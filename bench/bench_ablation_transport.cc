@@ -1,0 +1,163 @@
+// Ablation for the paper's central design decision (§4.2, data transfer):
+// persistent-store message transfer (Scribe) vs direct/tightly-coupled
+// transfer (RPC with bounded buffers and back pressure).
+//
+// The claim under test (§4.2.2): "Performance: If one processing node is
+// slow (or dies), the speed of the previous node is not affected ... In a
+// tightly coupled system, back pressure is propagated upstream and the peak
+// processing throughput is determined by the slowest node in the DAG."
+//
+// Deterministic simulation on a virtual clock: a two-node DAG where the
+// producer can emit 1000 events/tick and the consumer processes 1000/tick
+// but suffers an outage (or a slowdown) mid-run. Coupled transport uses a
+// bounded in-flight buffer (RPC window); decoupled transport uses a real
+// Scribe category.
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "bench/workloads.h"
+#include "scribe/scribe.h"
+
+namespace fbstream::bench {
+namespace {
+
+constexpr int kTicks = 60;
+constexpr int kProducerRate = 1000;   // Events the producer CAN emit per tick.
+constexpr int kConsumerRate = 1000;   // Events the consumer CAN process.
+constexpr int kOutageStart = 20;
+constexpr int kOutageEnd = 30;        // Consumer dead during [20, 30).
+constexpr size_t kRpcWindow = 2000;   // Bounded in-flight buffer (coupled).
+
+struct SimResult {
+  std::vector<int> produced_per_tick;
+  std::vector<int> consumed_per_tick;
+  int total_produced = 0;
+  int total_consumed = 0;
+  int producer_stalled_events = 0;  // Demand the producer could not emit.
+};
+
+// Tightly coupled: the producer can only emit while the RPC window has
+// room; a dead consumer propagates back pressure upstream immediately.
+SimResult RunCoupled() {
+  SimResult result;
+  std::deque<int> window;
+  for (int tick = 0; tick < kTicks; ++tick) {
+    int produced = 0;
+    for (int i = 0; i < kProducerRate; ++i) {
+      if (window.size() >= kRpcWindow) {
+        ++result.producer_stalled_events;  // Back pressure: demand dropped
+                                           // or blocked upstream.
+        continue;
+      }
+      window.push_back(tick);
+      ++produced;
+    }
+    int consumed = 0;
+    const bool consumer_up = tick < kOutageStart || tick >= kOutageEnd;
+    if (consumer_up) {
+      while (consumed < kConsumerRate && !window.empty()) {
+        window.pop_front();
+        ++consumed;
+      }
+    }
+    result.produced_per_tick.push_back(produced);
+    result.consumed_per_tick.push_back(consumed);
+    result.total_produced += produced;
+    result.total_consumed += consumed;
+  }
+  return result;
+}
+
+// Decoupled: the producer writes to a persistent Scribe category at full
+// speed no matter what; the consumer tails it and catches up after the
+// outage (it can read faster than real time from the retained log).
+SimResult RunDecoupled() {
+  SimResult result;
+  SimClock clock(1);
+  scribe::Scribe bus(&clock);
+  scribe::CategoryConfig config;
+  config.name = "edge";
+  (void)bus.CreateCategory(config);
+  scribe::Tailer tailer(&bus, "edge", 0);
+
+  for (int tick = 0; tick < kTicks; ++tick) {
+    int produced = 0;
+    for (int i = 0; i < kProducerRate; ++i) {
+      (void)bus.Write("edge", 0, "e");
+      ++produced;
+    }
+    int consumed = 0;
+    const bool consumer_up = tick < kOutageStart || tick >= kOutageEnd;
+    if (consumer_up) {
+      // Catch-up: a recovering consumer reads the backlog at up to 3x rate
+      // ("they pick up processing the input stream from where they left
+      // off").
+      const int budget = tick >= kOutageEnd && tick < kOutageEnd + 10
+                             ? kConsumerRate * 3
+                             : kConsumerRate;
+      while (consumed < budget) {
+        auto batch = tailer.Poll(static_cast<size_t>(budget - consumed));
+        if (batch.empty()) break;
+        consumed += static_cast<int>(batch.size());
+      }
+    }
+    result.produced_per_tick.push_back(produced);
+    result.consumed_per_tick.push_back(consumed);
+    result.total_produced += produced;
+    result.total_consumed += consumed;
+    clock.AdvanceMicros(kMicrosPerSecond);
+  }
+  return result;
+}
+
+void PrintSeries(const char* label, const std::vector<int>& series) {
+  printf("  %-22s", label);
+  for (int tick = 0; tick < kTicks; tick += 4) {
+    printf(" %5d", series[static_cast<size_t>(tick)]);
+  }
+  printf("\n");
+}
+
+void Run() {
+  printf("=== Ablation (§4.2): tightly coupled (RPC) vs decoupled (Scribe) "
+         "transport ===\n");
+  printf("(producer and consumer both rated %d events/tick; consumer dead "
+         "for ticks [%d, %d); RPC window %zu)\n\n",
+         kProducerRate, kOutageStart, kOutageEnd, kRpcWindow);
+
+  const SimResult coupled = RunCoupled();
+  const SimResult decoupled = RunDecoupled();
+
+  printf("producer output per tick (every 4th tick):\n");
+  PrintSeries("coupled (RPC)", coupled.produced_per_tick);
+  PrintSeries("decoupled (Scribe)", decoupled.produced_per_tick);
+  printf("\nconsumer throughput per tick:\n");
+  PrintSeries("coupled (RPC)", coupled.consumed_per_tick);
+  PrintSeries("decoupled (Scribe)", decoupled.consumed_per_tick);
+
+  printf("\n  %-36s coupled: %-10d decoupled: %d\n",
+         "events produced over the run", coupled.total_produced,
+         decoupled.total_produced);
+  printf("  %-36s coupled: %-10d decoupled: %d\n",
+         "events the producer had to stall", coupled.producer_stalled_events,
+         0);
+  printf("  %-36s coupled: %-10d decoupled: %d\n",
+         "events delivered by the end", coupled.total_consumed,
+         decoupled.total_consumed);
+
+  printf("\nshape check: with coupled transport the outage propagates "
+         "upstream (producer stalls, events lost to back pressure);\nwith "
+         "the persistent bus the producer never slows and the consumer "
+         "drains the backlog after recovery.\n");
+}
+
+}  // namespace
+}  // namespace fbstream::bench
+
+int main() {
+  fbstream::bench::Run();
+  return 0;
+}

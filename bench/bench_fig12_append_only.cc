@@ -1,0 +1,183 @@
+// Reproduces Figure 12: remote-database state saving, read-modify-write vs
+// append-only write throughput, swept over the flush interval. Paper: "the
+// application throughput is 25% to 200% higher with the append-only
+// optimization", measured on a Stylus monoid aggregation app over a
+// three-machine ZippyDB cluster.
+//
+// Workload: "the application aggregates its input events across many
+// dimensions, which means that one input event changes many different
+// values in the application state" — each event contributes to several
+// dimension keys drawn from a bounded key space, so short flush intervals
+// pay remote-op costs for almost every event while long intervals combine
+// heavily in memory first.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/workloads.h"
+#include "common/cost.h"
+#include "common/fs.h"
+#include "core/monoid_state.h"
+#include "core/node.h"
+#include "core/processor.h"
+#include "scribe/scribe.h"
+
+namespace fbstream::bench {
+namespace {
+
+using stylus::MonoidAggregator;
+using stylus::MonoidMergeOperator;
+using stylus::RemoteWriteMode;
+
+constexpr int kEventsPerSecond = 500;  // Nominal input rate.
+constexpr int kContributionsPerEvent = 10;
+constexpr int kDimensionSpace = 300;
+constexpr int kTotalEvents = 12000;
+
+double NowSeconds() {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Aggregates each event into several (dimension, count) cells.
+class MultiDimProcessor : public stylus::MonoidProcessor {
+ public:
+  MultiDimProcessor() : agg_(stylus::MakeInt64SumAggregator()), rng_(7) {}
+
+  void Process(const stylus::Event& event,
+               std::vector<Contribution>* contributions) override {
+    // Per-event application work (classification, bucketing, scoring): at
+    // long flush intervals this is what amortizes the remote costs.
+    BurnCpuMicros(40);
+    const int64_t dim = event.row.Get("dim_id").CoerceInt64();
+    for (int i = 0; i < kContributionsPerEvent; ++i) {
+      const uint64_t key = (static_cast<uint64_t>(dim) * 31 + i * 1009 +
+                            rng_.Uniform(17)) %
+                           kDimensionSpace;
+      contributions->emplace_back("d" + std::to_string(key), "1");
+    }
+  }
+  const MonoidAggregator& aggregator() const override { return *agg_; }
+
+ private:
+  std::unique_ptr<MonoidAggregator> agg_;
+  Rng rng_;
+};
+
+struct RunStats {
+  double events_per_second = 0;
+  uint64_t remote_reads = 0;
+  uint64_t remote_writes = 0;
+  uint64_t remote_merges = 0;
+};
+
+RunStats RunOne(RemoteWriteMode mode, int flush_interval_seconds) {
+  const std::string dir = MakeTempDir("fig12");
+  SimClock clock(1);
+  scribe::Scribe bus(&clock);
+  scribe::CategoryConfig category;
+  category.name = "in";
+  (void)bus.CreateCategory(category);
+  EventGenerator gen;
+  for (int i = 0; i < kTotalEvents; ++i) {
+    (void)bus.Write("in", 0, gen.NextPayload());
+  }
+
+  zippydb::ClusterOptions zopt;
+  zopt.num_shards = 3;  // The paper's three-machine ZippyDB cluster.
+  zopt.simulate_latency = true;
+  zopt.network_rtt_micros = 100;
+  zopt.quorum_commit_micros = 250;
+  // The read in read-modify-write is a point get through the LSM read path
+  // (possibly disk); a merge write is a pure log append. This asymmetry is
+  // what the append-only optimization exploits.
+  zopt.read_service_micros = 600;
+  zopt.per_kb_micros = 2;
+  zopt.merge_operator = std::make_shared<MonoidMergeOperator>(
+      std::shared_ptr<const MonoidAggregator>(
+          stylus::MakeInt64SumAggregator()));
+  auto cluster = zippydb::Cluster::Open(zopt, dir + "/z");
+  if (!cluster.ok()) return {};
+
+  stylus::NodeConfig config;
+  config.name = "multidim";
+  config.input_category = "in";
+  config.input_schema = EventsSchema();
+  config.event_time_column = "event_time";
+  config.monoid_factory = [] { return std::make_unique<MultiDimProcessor>(); };
+  config.monoid_aggregator = std::shared_ptr<const MonoidAggregator>(
+      stylus::MakeInt64SumAggregator());
+  config.remote = cluster->get();
+  config.remote_mode = mode;
+  // Flush interval in events at the nominal input rate.
+  config.checkpoint_every_events =
+      static_cast<size_t>(kEventsPerSecond) * flush_interval_seconds;
+
+  auto shard = stylus::NodeShard::Create(config, &bus, &clock, 0);
+  if (!shard.ok()) {
+    fprintf(stderr, "%s\n", shard.status().ToString().c_str());
+    return {};
+  }
+
+  const double start = NowSeconds();
+  while (true) {
+    auto n = (*shard)->RunOnce();
+    if (!n.ok() || *n == 0) break;
+  }
+  const double secs = NowSeconds() - start;
+
+  RunStats stats;
+  stats.events_per_second = kTotalEvents / secs;
+  stats.remote_reads = (*cluster)->stats().reads.load();
+  stats.remote_writes = (*cluster)->stats().writes.load();
+  stats.remote_merges = (*cluster)->stats().merges.load();
+  (void)RemoveAll(dir);
+  return stats;
+}
+
+void Run() {
+  printf("=== Figure 12: remote DB state saving — read-modify-write vs "
+         "append-only ===\n");
+  printf("(Stylus monoid app, %d contributions/event over %d dimension "
+         "keys, 3-shard ZippyDB, %d events at a nominal %d events/s)\n\n",
+         kContributionsPerEvent, kDimensionSpace, kTotalEvents,
+         kEventsPerSecond);
+  printf("  %-10s %-26s %-26s %-8s  remote ops (rmw R/W vs append M)\n",
+         "flush", "read-modify-write", "append-only", "gain");
+
+  double min_gain = 1e9;
+  double max_gain = 0;
+  for (const int interval : {1, 2, 4, 8, 16, 32}) {
+    const RunStats rmw = RunOne(RemoteWriteMode::kReadModifyWrite, interval);
+    const RunStats app = RunOne(RemoteWriteMode::kAppendOnly, interval);
+    const double gain =
+        (app.events_per_second / rmw.events_per_second - 1.0) * 100.0;
+    min_gain = std::min(min_gain, gain);
+    max_gain = std::max(max_gain, gain);
+    printf("  %3ds       %10.0f events/s      %10.0f events/s      +%.0f%%   "
+           " %llu/%llu vs %llu\n",
+           interval, rmw.events_per_second, app.events_per_second, gain,
+           static_cast<unsigned long long>(rmw.remote_reads),
+           static_cast<unsigned long long>(rmw.remote_writes),
+           static_cast<unsigned long long>(app.remote_merges));
+  }
+  printf("\n%s\n",
+         ReportLine("append-only throughput gain range", "+25% .. +200%",
+                    ("+" + std::to_string(static_cast<int>(min_gain)) +
+                     "% .. +" + std::to_string(static_cast<int>(max_gain)) +
+                     "%"))
+             .c_str());
+  printf("shape check: gain shrinks as the flush interval grows (in-memory "
+         "combining amortizes remote ops).\n");
+}
+
+}  // namespace
+}  // namespace fbstream::bench
+
+int main() {
+  fbstream::bench::Run();
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Microbenchmarks for the embedded LSM store (the RocksDB stand-in that
+// Laser, ZippyDB, and Stylus local state build on): puts, gets, merges,
+// scans, and WAL recovery.
+
+#include <benchmark/benchmark.h>
+
+#include "common/fs.h"
+#include "common/rng.h"
+#include "storage/lsm/db.h"
+#include "storage/lsm/merge_operator.h"
+
+namespace fbstream::lsm {
+namespace {
+
+std::unique_ptr<Db> FreshDb(const std::string& dir, bool with_merge = false) {
+  DbOptions options;
+  if (with_merge) options.merge_operator = MakeInt64AddOperator();
+  auto db = Db::Open(options, dir);
+  return db.ok() ? std::move(db).value() : nullptr;
+}
+
+void BM_LsmPut(benchmark::State& state) {
+  const std::string dir = MakeTempDir("lsmbench");
+  auto db = FreshDb(dir + "/db");
+  Rng rng(1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db->Put("key" + std::to_string(i++), "value-payload-64-bytes"));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+  db.reset();
+  (void)RemoveAll(dir);
+}
+BENCHMARK(BM_LsmPut);
+
+void BM_LsmGetHit(benchmark::State& state) {
+  const std::string dir = MakeTempDir("lsmbench");
+  auto db = FreshDb(dir + "/db");
+  constexpr int kKeys = 50000;
+  for (int i = 0; i < kKeys; ++i) {
+    (void)db->Put("key" + std::to_string(i), "value" + std::to_string(i));
+  }
+  (void)db->CompactAll();
+  Rng rng(2);
+  size_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db->Get("key" + std::to_string(rng.Uniform(kKeys))));
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n));
+  db.reset();
+  (void)RemoveAll(dir);
+}
+BENCHMARK(BM_LsmGetHit);
+
+void BM_LsmGetMiss(benchmark::State& state) {
+  const std::string dir = MakeTempDir("lsmbench");
+  auto db = FreshDb(dir + "/db");
+  for (int i = 0; i < 10000; ++i) {
+    (void)db->Put("key" + std::to_string(i), "v");
+  }
+  (void)db->CompactAll();
+  size_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->Get("missing" + std::to_string(n++)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n));
+  db.reset();
+  (void)RemoveAll(dir);
+}
+BENCHMARK(BM_LsmGetMiss);
+
+void BM_LsmMergeCounter(benchmark::State& state) {
+  // The append-only write path: no read before write.
+  const std::string dir = MakeTempDir("lsmbench");
+  auto db = FreshDb(dir + "/db", /*with_merge=*/true);
+  Rng rng(3);
+  size_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db->Merge("counter" + std::to_string(rng.Uniform(256)), "1"));
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n));
+  db.reset();
+  (void)RemoveAll(dir);
+}
+BENCHMARK(BM_LsmMergeCounter);
+
+void BM_LsmReadModifyWriteCounter(benchmark::State& state) {
+  // The pattern merge replaces: get, add, put.
+  const std::string dir = MakeTempDir("lsmbench");
+  auto db = FreshDb(dir + "/db");
+  Rng rng(3);
+  size_t n = 0;
+  for (auto _ : state) {
+    const std::string key = "counter" + std::to_string(rng.Uniform(256));
+    auto existing = db->Get(key);
+    const int64_t value =
+        existing.ok() ? strtoll(existing->c_str(), nullptr, 10) : 0;
+    benchmark::DoNotOptimize(db->Put(key, std::to_string(value + 1)));
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n));
+  db.reset();
+  (void)RemoveAll(dir);
+}
+BENCHMARK(BM_LsmReadModifyWriteCounter);
+
+void BM_LsmScan(benchmark::State& state) {
+  const std::string dir = MakeTempDir("lsmbench");
+  auto db = FreshDb(dir + "/db");
+  for (int i = 0; i < 20000; ++i) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%08d", i);
+    (void)db->Put(key, "value");
+  }
+  (void)db->CompactAll();
+  size_t rows = 0;
+  for (auto _ : state) {
+    for (auto it = db->NewIterator(); it.Valid(); it.Next()) ++rows;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+  db.reset();
+  (void)RemoveAll(dir);
+}
+BENCHMARK(BM_LsmScan);
+
+void BM_LsmWalRecovery(benchmark::State& state) {
+  // Reopen cost with an unflushed WAL of state.range(0) records.
+  const std::string dir = MakeTempDir("lsmbench");
+  {
+    auto db = FreshDb(dir + "/db");
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      (void)db->Put("key" + std::to_string(i), "value");
+    }
+  }
+  for (auto _ : state) {
+    auto db = Db::Open({}, dir + "/db");
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["wal_records"] = static_cast<double>(state.range(0));
+  (void)RemoveAll(dir);
+}
+BENCHMARK(BM_LsmWalRecovery)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace fbstream::lsm
+
+BENCHMARK_MAIN();

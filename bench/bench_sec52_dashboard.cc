@@ -1,0 +1,150 @@
+// Reproduces Section 5.2: migrating dashboard queries from Scuba (read-time
+// aggregation) to Puma (write-time aggregation). Paper: "The Puma apps
+// consume approximately 14% of the CPU that was needed to run the same
+// queries in Scuba."
+//
+// A fixed dashboard of repeated queries refreshes as new data streams in.
+// The Scuba path re-aggregates all raw rows on every refresh; the Puma path
+// folds each row into windowed aggregates once at write time and serves
+// refreshes from the precomputed results. We measure actual CPU seconds
+// spent in each path.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/workloads.h"
+#include "puma/app.h"
+#include "puma/parser.h"
+#include "scribe/scribe.h"
+#include "storage/scuba/scuba.h"
+
+namespace fbstream::bench {
+namespace {
+
+constexpr int kChunks = 12;           // Dashboard refreshes (e.g. hourly).
+constexpr int kRowsPerChunk = 20000;
+constexpr int kQueriesPerRefresh = 3; // Charts on the dashboard.
+
+double NowSeconds() {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr char kDashboardApp[] = R"(
+CREATE APPLICATION dashboard;
+CREATE INPUT TABLE events (event_time BIGINT, event_type, dim_id BIGINT, text)
+  FROM SCRIBE("events") TIME event_time;
+CREATE TABLE by_type AS
+  SELECT event_type, count(*) AS n, sum(dim_id) AS total
+  FROM events [5 minutes];
+)";
+
+void Run() {
+  printf("=== Section 5.2: dashboard queries — Scuba (read-time) vs Puma "
+         "(write-time) ===\n");
+  printf("(%d refreshes x %d queries over a stream of %d rows/refresh)\n\n",
+         kChunks, kQueriesPerRefresh, kRowsPerChunk);
+
+  SimClock clock(1);
+  scribe::Scribe bus(&clock);
+  scribe::CategoryConfig category;
+  category.name = "events";
+  (void)bus.CreateCategory(category);
+
+  // Scuba side: raw rows, aggregate at query time.
+  scuba::ScubaTable scuba_table("events", EventsSchema());
+
+  // Puma side: the same stream through a windowed aggregation app.
+  auto spec = puma::ParseApp(kDashboardApp);
+  if (!spec.ok()) {
+    fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return;
+  }
+  puma::PumaAppOptions options;  // Ephemeral: no HBase needed for the bench.
+  auto app = puma::PumaApp::Create(std::move(spec).value(), &bus, &clock,
+                                   options);
+  if (!app.ok()) {
+    fprintf(stderr, "%s\n", app.status().ToString().c_str());
+    return;
+  }
+
+  EventGenerator gen;
+  double scuba_cpu = 0;
+  double puma_cpu = 0;
+  uint64_t scuba_rows_scanned = 0;
+
+  for (int chunk = 0; chunk < kChunks; ++chunk) {
+    // New data arrives.
+    for (int i = 0; i < kRowsPerChunk; ++i) {
+      (void)bus.Write("events", 0, gen.NextPayload());
+    }
+
+    // Scuba ingest is cheap (store raw rows); queries pay at read time.
+    {
+      scribe::Tailer tailer(&bus, "events", 0,
+                            static_cast<uint64_t>(chunk) * kRowsPerChunk);
+      const double t0 = NowSeconds();
+      while (true) {
+        auto messages = tailer.Poll(1024);
+        if (messages.empty()) break;
+        for (const scribe::Message& m : messages) {
+          (void)scuba_table.IngestPayload(m.payload);
+        }
+      }
+      // Dashboard refresh: every chart re-aggregates all raw rows.
+      for (int q = 0; q < kQueriesPerRefresh; ++q) {
+        scuba::Query query;
+        query.group_by = {"event_type"};
+        query.time_column = "event_time";
+        query.bucket_micros = 5 * kMicrosPerMinute;
+        query.aggregates.push_back({scuba::AggKind::kCount, "", 0});
+        query.aggregates.push_back({scuba::AggKind::kSum, "dim_id", 0});
+        query.limit = 7;
+        auto result = scuba_table.Run(query);
+        if (result.ok()) scuba_rows_scanned += result->rows_scanned;
+      }
+      scuba_cpu += NowSeconds() - t0;
+    }
+
+    // Puma pays at write time; refreshes read precomputed windows.
+    {
+      const double t0 = NowSeconds();
+      (void)(*app)->PollOnce();
+      auto windows = (*app)->Windows("by_type");
+      if (windows.ok()) {
+        for (int q = 0; q < kQueriesPerRefresh; ++q) {
+          for (const Micros w : *windows) {
+            (void)(*app)->QueryWindow("by_type", w);
+          }
+        }
+      }
+      puma_cpu += NowSeconds() - t0;
+    }
+  }
+
+  const double pct = puma_cpu / scuba_cpu * 100.0;
+  printf("  Scuba path: %.2f s CPU (%llu raw rows scanned at read time)\n",
+         scuba_cpu, static_cast<unsigned long long>(scuba_rows_scanned));
+  printf("  Puma path:  %.2f s CPU (%llu rows folded once at write time, "
+         "%llu queries served)\n\n",
+         puma_cpu,
+         static_cast<unsigned long long>((*app)->rows_processed()),
+         static_cast<unsigned long long>((*app)->queries_served()));
+  char measured[32];
+  snprintf(measured, sizeof(measured), "%.0f%%", pct);
+  printf("%s\n", ReportLine("Puma CPU as fraction of Scuba CPU", "~14%",
+                            measured)
+                     .c_str());
+  printf("\nshape check: write-time aggregation costs a small fraction of "
+         "repeated read-time aggregation;\nthe exact ratio depends on the "
+         "refresh rate and retention, not on absolute speed.\n");
+}
+
+}  // namespace
+}  // namespace fbstream::bench
+
+int main() {
+  fbstream::bench::Run();
+  return 0;
+}

@@ -1,0 +1,101 @@
+#ifndef FBSTREAM_BENCH_WORKLOADS_H_
+#define FBSTREAM_BENCH_WORKLOADS_H_
+
+// Synthetic workload generators shared by the benchmark binaries. These
+// stand in for Facebook's production event firehose (see DESIGN.md
+// substitutions): the experiments depend on stream *statistics* — event
+// rate, dimension fan-out, topic skew, lateness — all exposed here as
+// parameters.
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "common/value.h"
+
+namespace fbstream::bench {
+
+// Schema of the synthetic "events" stream used across benches: the shape of
+// the paper's Section 3 example input (event type, dimension id, text).
+inline SchemaPtr EventsSchema() {
+  static const SchemaPtr* kSchema = new SchemaPtr(
+      Schema::Make({{"event_time", ValueType::kInt64},
+                    {"event_type", ValueType::kString},
+                    {"dim_id", ValueType::kInt64},
+                    {"text", ValueType::kString}}));
+  return *kSchema;
+}
+
+struct EventGenOptions {
+  uint64_t seed = 42;
+  int num_event_types = 8;
+  int num_dims = 1000;
+  int num_topics = 50;       // Topic words embedded in text, zipf-skewed.
+  double topic_skew = 0.99;
+  size_t text_bytes = 120;   // Payload padding, sets average row size.
+  Micros start_time = 0;
+  Micros time_step = 1000;   // Event-time spacing.
+  double late_fraction = 0.05;
+  Micros max_lateness = 5 * kMicrosPerSecond;
+};
+
+class EventGenerator {
+ public:
+  explicit EventGenerator(EventGenOptions options = {})
+      : options_(options),
+        rng_(options.seed),
+        zipf_(options.num_topics, options.topic_skew),
+        codec_(EventsSchema()) {}
+
+  // Next event row; event times advance by time_step with occasional
+  // lateness jitter.
+  Row NextRow() {
+    Micros t = options_.start_time + next_index_ * options_.time_step;
+    if (rng_.Bernoulli(options_.late_fraction)) {
+      t -= static_cast<Micros>(rng_.Uniform(
+          static_cast<uint64_t>(options_.max_lateness)));
+      if (t < 0) t = 0;
+    }
+    ++next_index_;
+    const std::string topic =
+        "topic" + std::to_string(zipf_.Sample(&rng_));
+    std::string text = "post about #" + topic + " ";
+    while (text.size() < options_.text_bytes) {
+      text += rng_.NextString(8);
+      text.push_back(' ');
+    }
+    return Row(EventsSchema(),
+               {Value(t),
+                Value("type" + std::to_string(rng_.Uniform(
+                                   options_.num_event_types))),
+                Value(static_cast<int64_t>(rng_.Uniform(options_.num_dims))),
+                Value(std::move(text))});
+  }
+
+  std::string NextPayload() { return codec_.Encode(NextRow()); }
+
+  const TextRowCodec& codec() const { return codec_; }
+
+ private:
+  EventGenOptions options_;
+  Rng rng_;
+  Zipf zipf_;
+  TextRowCodec codec_;
+  uint64_t next_index_ = 0;
+};
+
+// Renders a two-column "paper vs measured" line for experiment reports.
+inline std::string ReportLine(const std::string& label,
+                              const std::string& paper,
+                              const std::string& measured) {
+  char buf[160];
+  snprintf(buf, sizeof(buf), "  %-44s paper: %-18s measured: %s",
+           label.c_str(), paper.c_str(), measured.c_str());
+  return buf;
+}
+
+}  // namespace fbstream::bench
+
+#endif  // FBSTREAM_BENCH_WORKLOADS_H_

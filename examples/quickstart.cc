@@ -1,0 +1,100 @@
+// Quickstart: the paper's Figure 2 Puma application, end to end, in ~60
+// lines of user code.
+//
+//   1. stand up a Scribe bus and create the input category;
+//   2. submit the SQL app to the Puma service (deploys after review);
+//   3. write a few scored events into the stream;
+//   4. poll the app and query the "top K events" per 5-minute window.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/clock.h"
+#include "common/serde.h"
+#include "puma/app.h"
+#include "scribe/scribe.h"
+
+using namespace fbstream;  // Example code; library code never does this.
+
+// The complete Puma app from the paper's Figure 2.
+constexpr char kTopEventsApp[] = R"(
+CREATE APPLICATION top_events;
+
+CREATE INPUT TABLE events_score(
+    event_time BIGINT,
+    event,
+    category,
+    score BIGINT
+)
+FROM SCRIBE("events_stream")
+TIME event_time;
+
+CREATE TABLE top_events_5min AS
+SELECT
+    category,
+    event,
+    topk(score) AS score
+FROM
+    events_score [5 minutes];
+)";
+
+int main() {
+  // 1. The message bus. Every system reads and writes Scribe categories.
+  SystemClock* clock = SystemClock::Get();
+  scribe::Scribe bus(clock);
+  scribe::CategoryConfig input;
+  input.name = "events_stream";
+  input.num_buckets = 4;  // The unit of parallelism.
+  if (!bus.CreateCategory(input).ok()) return 1;
+
+  // 2. Deploy the app: submit -> review -> accept (§6.3 self-service flow).
+  puma::PumaService service(&bus, clock, puma::PumaAppOptions{});
+  auto diff = service.SubmitApp(kTopEventsApp);
+  if (!diff.ok()) {
+    fprintf(stderr, "parse error: %s\n", diff.status().ToString().c_str());
+    return 1;
+  }
+  if (!service.AcceptDiff(*diff).ok()) return 1;
+  puma::PumaApp* app = service.GetApp("top_events");
+
+  // 3. Producers log scored events (tab-separated rows, like any product
+  //    logging through Scribe).
+  auto schema = Schema::Make({{"event_time", ValueType::kInt64},
+                              {"event", ValueType::kString},
+                              {"category", ValueType::kString},
+                              {"score", ValueType::kInt64}});
+  TextRowCodec codec(schema);
+  const struct {
+    const char* event;
+    const char* category;
+    int64_t score;
+  } kEvents[] = {
+      {"worldcup_final", "sports", 95}, {"worldcup_final", "sports", 88},
+      {"election_debate", "politics", 72}, {"oscar_night", "arts", 64},
+      {"worldcup_final", "sports", 91}, {"local_derby", "sports", 33},
+      {"election_debate", "politics", 81}, {"indie_film", "arts", 12},
+  };
+  for (const auto& e : kEvents) {
+    Row row(schema, {Value(clock->NowMicros()), Value(e.event),
+                     Value(e.category), Value(e.score)});
+    (void)bus.WriteSharded("events_stream", e.event, codec.Encode(row));
+  }
+
+  // 4. The app consumes the stream (seconds of latency in production; one
+  //    poll here) and serves queries through its Thrift-like API.
+  if (!service.PollAll().ok()) return 1;
+
+  auto windows = app->Windows("top_events_5min");
+  if (!windows.ok() || windows->empty()) return 1;
+  auto top = app->QueryTopK("top_events_5min", windows->back(), /*k=*/2);
+  if (!top.ok()) return 1;
+
+  printf("top 2 events per category (5-minute window):\n");
+  for (const auto& row : *top) {
+    printf("  %-10s %-18s score=%.0f\n", row.group[0].ToString().c_str(),
+           row.group[1].ToString().c_str(),
+           row.aggregates[0].CoerceDouble());
+  }
+  return 0;
+}

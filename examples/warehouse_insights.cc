@@ -1,0 +1,150 @@
+// Warehouse round trip (paper §2.7 + §2.5): a daily Presto query over Hive
+// feeds Laser, and a live Puma app lookup-joins the stream against it.
+//
+//   Hive (yesterday's archive)
+//     └─ Presto: SELECT tag, count(*) AS popularity ... GROUP BY tag
+//          └─ sent to Laser ("they can then be sent to Laser for access by
+//             products and realtime stream processors")
+//               └─ Puma app: JOIN LASER("tag_popularity") ON tag
+//                    └─ realtime "rising tags" report: today's volume
+//                       relative to yesterday's popularity.
+
+#include <cstdio>
+
+#include "common/clock.h"
+#include "common/fs.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "presto/presto.h"
+#include "puma/app.h"
+#include "scribe/scribe.h"
+#include "storage/hive/hive.h"
+#include "storage/laser/laser.h"
+
+using namespace fbstream;  // Example code; library code never does this.
+
+namespace {
+
+SchemaPtr PostsSchema() {
+  return Schema::Make({{"event_time", ValueType::kInt64},
+                       {"tag", ValueType::kString},
+                       {"engagement", ValueType::kInt64}});
+}
+
+}  // namespace
+
+int main() {
+  const std::string work_dir = MakeTempDir("warehouse");
+  SimClock clock(1);
+  scribe::Scribe bus(&clock);
+  scribe::CategoryConfig config;
+  config.name = "posts";
+  config.num_buckets = 2;
+  if (!bus.CreateCategory(config).ok()) return 1;
+
+  // Yesterday's posts, archived in Hive.
+  hive::Hive hive(work_dir + "/hive");
+  if (!hive.CreateTable("posts_archive", PostsSchema()).ok()) return 1;
+  {
+    Rng rng(88);
+    std::vector<Row> yesterday;
+    const struct {
+      const char* tag;
+      int posts;
+    } kYesterday[] = {{"#cats", 500}, {"#news", 300}, {"#niche", 5}};
+    for (const auto& [tag, posts] : kYesterday) {
+      for (int i = 0; i < posts; ++i) {
+        yesterday.push_back(
+            Row(PostsSchema(), {Value(i), Value(tag),
+                                Value(static_cast<int64_t>(rng.Uniform(50)))}));
+      }
+    }
+    if (!hive.WritePartition("posts_archive", "yesterday", yesterday).ok()) {
+      return 1;
+    }
+    if (!hive.LandPartition("posts_archive", "yesterday").ok()) return 1;
+  }
+
+  // The daily Presto job (runs once, after midnight).
+  presto::Presto presto(&hive);
+  auto popularity = presto.Execute(
+      "SELECT tag, count(*) AS popularity FROM posts_archive "
+      "GROUP BY tag ORDER BY popularity DESC;");
+  if (!popularity.ok()) {
+    fprintf(stderr, "%s\n", popularity.status().ToString().c_str());
+    return 1;
+  }
+  printf("yesterday's popularity (Presto over Hive, %llu rows scanned):\n",
+         static_cast<unsigned long long>(popularity->rows_scanned));
+  for (const Row& row : popularity->rows) {
+    printf("  %-8s %5.0f posts\n", row.Get("tag").ToString().c_str(),
+           row.Get("popularity").CoerceDouble());
+  }
+
+  // Send the result to Laser.
+  laser::Laser laser_service(&bus, &clock, work_dir + "/laser");
+  laser::LaserAppConfig laser_config;
+  laser_config.name = "tag_popularity";
+  laser_config.input_schema = popularity->schema;
+  laser_config.key_columns = {"tag"};
+  laser_config.value_columns = {"popularity"};
+  if (!laser_service.DeployApp(laser_config).ok()) return 1;
+  if (!presto::Presto::SendToLaser(*popularity,
+                                   laser_service.GetApp("tag_popularity"))
+           .ok()) {
+    return 1;
+  }
+
+  // The live Puma app: today's stream, joined against yesterday's numbers.
+  puma::PumaAppOptions options;
+  options.laser = &laser_service;
+  puma::PumaService puma_service(&bus, &clock, options);
+  auto diff = puma_service.SubmitApp(R"(
+    CREATE APPLICATION rising_tags;
+    CREATE INPUT TABLE posts (event_time BIGINT, tag, engagement BIGINT,
+                              popularity BIGINT)
+      FROM SCRIBE("posts") TIME event_time
+      JOIN LASER("tag_popularity") ON tag;
+    CREATE TABLE rising AS
+      SELECT tag, count(*) AS today, max(popularity) AS yesterday
+      FROM posts [1 hours];
+  )");
+  if (!diff.ok() || !puma_service.AcceptDiff(*diff).ok()) {
+    fprintf(stderr, "deploy failed\n");
+    return 1;
+  }
+
+  // Today: #niche explodes, #cats is quiet.
+  {
+    TextRowCodec codec(PostsSchema());
+    Rng rng(99);
+    const struct {
+      const char* tag;
+      int posts;
+    } kToday[] = {{"#cats", 40}, {"#news", 250}, {"#niche", 400}};
+    for (const auto& [tag, posts] : kToday) {
+      for (int i = 0; i < posts; ++i) {
+        Row row(PostsSchema(),
+                {Value(static_cast<Micros>(i)), Value(tag),
+                 Value(static_cast<int64_t>(rng.Uniform(50)))});
+        (void)bus.WriteSharded("posts", tag, codec.Encode(row));
+      }
+    }
+  }
+  if (!puma_service.PollAll().ok()) return 1;
+
+  auto rows = puma_service.GetApp("rising_tags")->QueryWindow("rising", 0);
+  if (!rows.ok()) return 1;
+  printf("\nrising tags (today vs yesterday, first hour):\n");
+  printf("  %-8s %8s %10s %8s\n", "tag", "today", "yesterday", "ratio");
+  for (const auto& row : *rows) {
+    const double today = row.aggregates[0].CoerceDouble();
+    const double yesterday = std::max(1.0, row.aggregates[1].CoerceDouble());
+    printf("  %-8s %8.0f %10.0f %7.1fx\n",
+           row.group[0].ToString().c_str(), today, yesterday,
+           today / yesterday);
+  }
+  printf("\n(#niche at ~80x yesterday's volume is the one to alert on.)\n");
+  (void)RemoveAll(work_dir);
+  return 0;
+}

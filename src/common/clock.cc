@@ -1,0 +1,16 @@
+#include "common/clock.h"
+
+#include <thread>
+
+namespace fbstream {
+
+void SystemClock::AdvanceMicros(Micros micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+SystemClock* SystemClock::Get() {
+  static SystemClock* clock = new SystemClock();
+  return clock;
+}
+
+}  // namespace fbstream

@@ -1,0 +1,57 @@
+#ifndef FBSTREAM_COMMON_CLOCK_H_
+#define FBSTREAM_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace fbstream {
+
+// All engine timestamps are microseconds since the unix epoch.
+using Micros = int64_t;
+
+constexpr Micros kMicrosPerSecond = 1'000'000;
+constexpr Micros kMicrosPerMinute = 60 * kMicrosPerSecond;
+constexpr Micros kMicrosPerHour = 60 * kMicrosPerMinute;
+constexpr Micros kMicrosPerDay = 24 * kMicrosPerHour;
+
+// Time source abstraction. The stream runtime never reads the system clock
+// directly; tests and the Section 5.3 scheduling experiment substitute a
+// SimClock to get deterministic, fast-forwardable time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Micros NowMicros() const = 0;
+  // Advances time by `micros`: sleeps on a real clock, jumps on a simulated
+  // one.
+  virtual void AdvanceMicros(Micros micros) = 0;
+};
+
+class SystemClock : public Clock {
+ public:
+  Micros NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+  void AdvanceMicros(Micros micros) override;
+
+  // Process-wide instance (the default for production-style configs).
+  static SystemClock* Get();
+};
+
+// Deterministic, manually advanced clock.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(Micros start = 0) : now_(start) {}
+  Micros NowMicros() const override { return now_; }
+  void AdvanceMicros(Micros micros) override { now_ += micros; }
+  void SetMicros(Micros now) { now_ = now; }
+
+ private:
+  Micros now_;
+};
+
+}  // namespace fbstream
+
+#endif  // FBSTREAM_COMMON_CLOCK_H_

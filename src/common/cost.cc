@@ -1,0 +1,63 @@
+#include "common/cost.h"
+
+#include <chrono>
+
+namespace fbstream {
+
+void SpinWaitMicros(double micros) {
+  if (micros <= 0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::nanoseconds(static_cast<int64_t>(micros * 1000.0));
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Busy wait; precision matters more than efficiency here.
+  }
+}
+
+namespace {
+
+// Estimates loop iterations per microsecond once per process.
+double CalibrateItersPerMicro() {
+  volatile uint64_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  constexpr uint64_t kIters = 20'000'000;
+  uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (uint64_t i = 0; i < kIters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  sink = x;
+  (void)sink;
+  const double micros =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return micros > 0 ? static_cast<double>(kIters) / micros : 1e3;
+}
+
+}  // namespace
+
+void BurnCpuMicros(double micros) {
+  if (micros <= 0) return;
+  static const double kItersPerMicro = CalibrateItersPerMicro();
+  const uint64_t iters = static_cast<uint64_t>(micros * kItersPerMicro);
+  volatile uint64_t sink = 0;
+  uint64_t x = 0x2545f4914f6cdd1dULL;
+  for (uint64_t i = 0; i < iters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  sink = x;
+  (void)sink;
+}
+
+std::string OpStats::ToString() const {
+  return "reads=" + std::to_string(reads.load()) +
+         " writes=" + std::to_string(writes.load()) +
+         " merges=" + std::to_string(merges.load()) +
+         " bytes=" + std::to_string(bytes.load());
+}
+
+}  // namespace fbstream

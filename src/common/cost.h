@@ -1,0 +1,41 @@
+#ifndef FBSTREAM_COMMON_COST_H_
+#define FBSTREAM_COMMON_COST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace fbstream {
+
+// Busy-waits for approximately `micros` wall-clock microseconds. The
+// simulated-distribution layers (ZippyDB replication, HDFS copies, Scribe
+// delivery latency) use this to model network and fsync latency precisely at
+// microsecond scale, which sleep() cannot do. A zero or negative argument is
+// a no-op.
+void SpinWaitMicros(double micros);
+
+// Burns approximately `micros` of pure CPU (no clock reads in the inner
+// loop) to model compute-bound work such as interpreted-language
+// deserialization in the Figure 9 experiment. Calibrated once per process.
+void BurnCpuMicros(double micros);
+
+// Thread-safe counters for modeled remote operations, used by benches to
+// report op counts alongside throughput.
+struct OpStats {
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> merges{0};
+  std::atomic<uint64_t> bytes{0};
+
+  void Reset() {
+    reads = 0;
+    writes = 0;
+    merges = 0;
+    bytes = 0;
+  }
+  std::string ToString() const;
+};
+
+}  // namespace fbstream
+
+#endif  // FBSTREAM_COMMON_COST_H_

@@ -1,0 +1,114 @@
+#include "common/fs.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace fbstream {
+
+namespace stdfs = std::filesystem;
+
+Status WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("open for write: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) return Status::IoError("write: " + path);
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  FBSTREAM_RETURN_IF_ERROR(WriteFile(tmp, data));
+  return RenameFile(tmp, path);
+}
+
+Status AppendToFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return Status::IoError("open for append: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) return Status::IoError("append: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("open for read: " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+Status CreateDirs(const std::string& path) {
+  std::error_code ec;
+  stdfs::create_directories(path, ec);
+  if (ec) return Status::IoError("mkdir " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status RemoveAll(const std::string& path) {
+  std::error_code ec;
+  stdfs::remove_all(path, ec);
+  if (ec) return Status::IoError("rm -r " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  stdfs::remove(path, ec);
+  if (ec) return Status::IoError("rm " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  stdfs::rename(from, to, ec);
+  if (ec) {
+    return Status::IoError("rename " + from + " -> " + to + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return stdfs::exists(path, ec);
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& path) {
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (const auto& entry : stdfs::directory_iterator(path, ec)) {
+    names.push_back(entry.path().filename().string());
+  }
+  if (ec) return Status::IoError("ls " + path + ": " + ec.message());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+StatusOr<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  const uint64_t size = stdfs::file_size(path, ec);
+  if (ec) return Status::IoError("stat " + path + ": " + ec.message());
+  return size;
+}
+
+std::string MakeTempDir(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  const std::string base = stdfs::temp_directory_path().string();
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const std::string dir = base + "/" + prefix + "." +
+                            std::to_string(getpid()) + "." +
+                            std::to_string(counter.fetch_add(1));
+    std::error_code ec;
+    if (stdfs::create_directories(dir, ec) && !ec) return dir;
+  }
+  return base + "/" + prefix + ".fallback";
+}
+
+}  // namespace fbstream

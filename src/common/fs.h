@@ -1,0 +1,35 @@
+#ifndef FBSTREAM_COMMON_FS_H_
+#define FBSTREAM_COMMON_FS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fbstream {
+
+// Thin wrappers over the local filesystem used by the storage engines
+// (LSM WAL/SST files, Scribe segments, Hive partitions, simulated HDFS
+// blocks). All paths are plain strings; errors surface as Status.
+
+Status WriteFile(const std::string& path, const std::string& data);
+// Writes to `path + ".tmp"` then renames, so readers never observe a torn
+// file. Used for checkpoints and SST publication.
+Status WriteFileAtomic(const std::string& path, const std::string& data);
+Status AppendToFile(const std::string& path, const std::string& data);
+StatusOr<std::string> ReadFileToString(const std::string& path);
+Status CreateDirs(const std::string& path);
+Status RemoveAll(const std::string& path);
+Status RemoveFile(const std::string& path);
+Status RenameFile(const std::string& from, const std::string& to);
+bool FileExists(const std::string& path);
+StatusOr<std::vector<std::string>> ListDir(const std::string& path);
+StatusOr<uint64_t> FileSize(const std::string& path);
+
+// Creates a unique fresh directory under the system temp dir with the given
+// prefix; used by tests and benches.
+std::string MakeTempDir(const std::string& prefix);
+
+}  // namespace fbstream
+
+#endif  // FBSTREAM_COMMON_FS_H_

@@ -1,0 +1,32 @@
+#ifndef FBSTREAM_COMMON_HASH_H_
+#define FBSTREAM_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace fbstream {
+
+// 64-bit FNV-1a. Used for Scribe bucket sharding, ZippyDB shard routing, and
+// HyperLogLog. Stable across runs so sharding decisions are reproducible.
+inline uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0) {
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  for (const char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Finalizer from MurmurHash3 for mixing integer keys.
+inline uint64_t MixHash64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace fbstream
+
+#endif  // FBSTREAM_COMMON_HASH_H_

@@ -1,0 +1,83 @@
+#include "common/hll.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace fbstream {
+
+HyperLogLog::HyperLogLog(int precision)
+    : precision_(precision), registers_(size_t{1} << precision, 0) {}
+
+// FNV-1a alone has weak avalanche in the high bits (which select the
+// register), so finalize with a strong mixer.
+void HyperLogLog::Add(std::string_view item) {
+  AddHash(MixHash64(Fnv1a64(item)));
+}
+
+void HyperLogLog::AddHash(uint64_t hash) {
+  const size_t index = hash >> (64 - precision_);
+  const uint64_t rest = hash << precision_;
+  // Rank = position of the leftmost 1-bit in the remaining bits, 1-based.
+  const uint8_t rank =
+      rest == 0 ? static_cast<uint8_t>(64 - precision_ + 1)
+                : static_cast<uint8_t>(__builtin_clzll(rest) + 1);
+  registers_[index] = std::max(registers_[index], rank);
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_) return;
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() == 16) {
+    alpha = 0.673;
+  } else if (registers_.size() == 32) {
+    alpha = 0.697;
+  } else if (registers_.size() == 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  double sum = 0;
+  size_t zeros = 0;
+  for (const uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -r);
+    if (r == 0) ++zeros;
+  }
+  double estimate = alpha * m * m / sum;
+  if (estimate <= 2.5 * m && zeros > 0) {
+    // Linear counting for small cardinalities.
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+std::string HyperLogLog::Serialize() const {
+  std::string out;
+  out.push_back(static_cast<char>(precision_));
+  out.append(reinterpret_cast<const char*>(registers_.data()),
+             registers_.size());
+  return out;
+}
+
+HyperLogLog HyperLogLog::Deserialize(std::string_view data) {
+  if (data.empty()) return HyperLogLog();
+  const int precision = data[0];
+  HyperLogLog hll(precision);
+  const size_t expected = size_t{1} << precision;
+  if (data.size() - 1 >= expected) {
+    for (size_t i = 0; i < expected; ++i) {
+      hll.registers_[i] = static_cast<uint8_t>(data[1 + i]);
+    }
+  }
+  return hll;
+}
+
+}  // namespace fbstream

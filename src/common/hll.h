@@ -1,0 +1,45 @@
+#ifndef FBSTREAM_COMMON_HLL_H_
+#define FBSTREAM_COMMON_HLL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fbstream {
+
+// HyperLogLog approximate distinct counter (Flajolet et al. 2007, with the
+// small-range linear-counting correction). The paper's Section 6.5 notes that
+// "good approximate unique counts (computed with HyperLogLog) are often as
+// actionable as exact numbers"; Puma exposes this as APPROX_COUNT_DISTINCT.
+//
+// HyperLogLog sketches form a monoid (empty sketch identity, register-wise
+// max as the associative merge), so they compose with Stylus monoid state and
+// Puma map-side partial aggregation.
+class HyperLogLog {
+ public:
+  // `precision` selects 2^precision registers; 12 gives ~1.6% typical error.
+  explicit HyperLogLog(int precision = 12);
+
+  void Add(std::string_view item);
+  void AddHash(uint64_t hash);
+
+  // Register-wise max; both sketches must share the precision.
+  void Merge(const HyperLogLog& other);
+
+  double Estimate() const;
+
+  int precision() const { return precision_; }
+
+  // Serialization for checkpoints and batch shuffle.
+  std::string Serialize() const;
+  static HyperLogLog Deserialize(std::string_view data);
+
+ private:
+  int precision_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace fbstream
+
+#endif  // FBSTREAM_COMMON_HLL_H_

@@ -1,0 +1,58 @@
+#ifndef FBSTREAM_COMMON_LOGGING_H_
+#define FBSTREAM_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace fbstream {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped. Tests raise the
+// threshold to keep output quiet.
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Lets the macro below consume a whole `<<` chain: `&` binds looser than
+// `<<`, so the chain is evaluated into the LogMessage stream first.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define FBSTREAM_LOG(level)                                         \
+  (static_cast<int>(::fbstream::LogLevel::k##level) <               \
+   static_cast<int>(::fbstream::GetMinLogLevel()))                  \
+      ? (void)0                                                     \
+      : ::fbstream::internal::Voidify() &                           \
+            ::fbstream::internal::LogMessage(                       \
+                ::fbstream::LogLevel::k##level, __FILE__, __LINE__) \
+                .stream()
+
+#define FBSTREAM_CHECK(cond)                                           \
+  if (!(cond)) {                                                        \
+    fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, \
+            #cond);                                                     \
+    abort();                                                            \
+  }
+
+}  // namespace fbstream
+
+#endif  // FBSTREAM_COMMON_LOGGING_H_

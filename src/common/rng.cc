@@ -1,0 +1,31 @@
+#include "common/rng.h"
+
+namespace fbstream {
+
+namespace {
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+}  // namespace
+
+Zipf::Zipf(uint64_t n, double theta) : n_(n), theta_(theta) {
+  zetan_ = Zeta(n, theta);
+  const double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) / (1.0 - zeta2 / zetan_);
+}
+
+uint64_t Zipf::Sample(Rng* rng) const {
+  // Gray et al. "Quickly generating billion-record synthetic databases."
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+}  // namespace fbstream

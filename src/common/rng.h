@@ -1,0 +1,79 @@
+#ifndef FBSTREAM_COMMON_RNG_H_
+#define FBSTREAM_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fbstream {
+
+// Small, fast, seedable PRNG (xorshift128+). Workload generators use this so
+// every experiment is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    s0_ = seed ^ 0x9e3779b97f4a7c15ULL;
+    s1_ = (seed << 21) | 0x2545f4914f6cdd1dULL;
+    for (int i = 0; i < 8; ++i) Next64();
+  }
+
+  uint64_t Next64() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next64() % n; }
+
+  // Uniform in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / (1ULL << 53));
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Lowercase ASCII string of length `len`.
+  std::string NextString(size_t len) {
+    std::string s(len, 'a');
+    for (size_t i = 0; i < len; ++i) {
+      s[i] = static_cast<char>('a' + Uniform(26));
+    }
+    return s;
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+// Zipfian rank sampler over [0, n): rank 0 is the most popular item. Used by
+// workload generators to model skewed topic/event popularity.
+class Zipf {
+ public:
+  Zipf(uint64_t n, double theta = 0.99);
+
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace fbstream
+
+#endif  // FBSTREAM_COMMON_RNG_H_

@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace fbstream {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace fbstream

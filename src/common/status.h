@@ -1,0 +1,148 @@
+#ifndef FBSTREAM_COMMON_STATUS_H_
+#define FBSTREAM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace fbstream {
+
+// Error codes used across fbstream. Modeled after absl::StatusCode; the
+// library does not throw exceptions across API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kIoError = 3,
+  kFailedPrecondition = 4,
+  kUnavailable = 5,
+  kAlreadyExists = 6,
+  kAborted = 7,
+  kOutOfRange = 8,
+  kCorruption = 9,
+  kUnimplemented = 10,
+  kInternal = 11,
+};
+
+// Returns a short name like "NotFound" for diagnostics.
+const char* StatusCodeToString(StatusCode code);
+
+// A success-or-error result for operations that return no value.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+  // Human-readable "Code: message" form.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// A value-or-error result. On error, the value must not be accessed.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+// Propagates a non-OK status to the caller.
+#define FBSTREAM_RETURN_IF_ERROR(expr)                 \
+  do {                                                 \
+    ::fbstream::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                         \
+  } while (0)
+
+#define FBSTREAM_CONCAT_INNER(a, b) a##b
+#define FBSTREAM_CONCAT(a, b) FBSTREAM_CONCAT_INNER(a, b)
+
+// Evaluates a StatusOr expression; on error returns the status, otherwise
+// moves the value into `lhs`.
+#define FBSTREAM_ASSIGN_OR_RETURN(lhs, expr)                          \
+  auto FBSTREAM_CONCAT(_sor_, __LINE__) = (expr);                     \
+  if (!FBSTREAM_CONCAT(_sor_, __LINE__).ok())                         \
+    return FBSTREAM_CONCAT(_sor_, __LINE__).status();                 \
+  lhs = std::move(FBSTREAM_CONCAT(_sor_, __LINE__)).value()
+
+}  // namespace fbstream
+
+#endif  // FBSTREAM_COMMON_STATUS_H_

@@ -1,0 +1,168 @@
+#include "common/value.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fbstream {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+int64_t Value::AsInt64() const { return std::get<int64_t>(data_); }
+double Value::AsDouble() const { return std::get<double>(data_); }
+const std::string& Value::AsString() const {
+  return std::get<std::string>(data_);
+}
+
+int64_t Value::CoerceInt64() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+      return AsInt64();
+    case ValueType::kDouble:
+      return static_cast<int64_t>(AsDouble());
+    case ValueType::kString:
+      return strtoll(AsString().c_str(), nullptr, 10);
+  }
+  return 0;
+}
+
+double Value::CoerceDouble() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0.0;
+    case ValueType::kInt64:
+      return static_cast<double>(AsInt64());
+    case ValueType::kDouble:
+      return AsDouble();
+    case ValueType::kString:
+      return strtod(AsString().c_str(), nullptr);
+  }
+  return 0.0;
+}
+
+std::string Value::CoerceString() const {
+  if (type() == ValueType::kString) return AsString();
+  return ToString();
+}
+
+int Value::Compare(const Value& other) const {
+  const ValueType a = type();
+  const ValueType b = other.type();
+  const bool a_num = a == ValueType::kInt64 || a == ValueType::kDouble;
+  const bool b_num = b == ValueType::kInt64 || b == ValueType::kDouble;
+  if (a_num && b_num) {
+    if (a == ValueType::kInt64 && b == ValueType::kInt64) {
+      const int64_t x = AsInt64();
+      const int64_t y = other.AsInt64();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    const double x = CoerceDouble();
+    const double y = other.CoerceDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a != b) return static_cast<int>(a) < static_cast<int>(b) ? -1 : 1;
+  switch (a) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kString: {
+      const int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return 0;  // Unreachable: numeric cases handled above.
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%.6g", AsDouble());
+      return buf;
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "";
+}
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    index_.emplace(columns_[i].name, static_cast<int>(i));
+  }
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+namespace {
+const Value& NullValue() {
+  static const Value* kNull = new Value();
+  return *kNull;
+}
+}  // namespace
+
+const Value& Row::Get(const std::string& name) const {
+  if (schema_ == nullptr) return NullValue();
+  const int i = schema_->IndexOf(name);
+  if (i < 0 || static_cast<size_t>(i) >= values_.size()) return NullValue();
+  return values_[i];
+}
+
+bool Row::Set(const std::string& name, Value v) {
+  if (schema_ == nullptr) return false;
+  const int i = schema_->IndexOf(name);
+  if (i < 0) return false;
+  if (static_cast<size_t>(i) >= values_.size()) {
+    values_.resize(schema_->num_columns());
+  }
+  values_[i] = std::move(v);
+  return true;
+}
+
+std::string Row::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (schema_ != nullptr && i < schema_->num_columns()) {
+      out += schema_->column(i).name;
+      out += "=";
+    }
+    out += values_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace fbstream

@@ -1,0 +1,125 @@
+#ifndef FBSTREAM_COMMON_VALUE_H_
+#define FBSTREAM_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fbstream {
+
+enum class ValueType { kNull = 0, kInt64 = 1, kDouble = 2, kString = 3 };
+
+const char* ValueTypeToString(ValueType type);
+
+// A dynamically typed scalar: the cell type for rows flowing through Scribe,
+// the stream engines, and the analysis stores.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  Value(int64_t v) : data_(v) {}              // NOLINT
+  Value(int v) : data_(int64_t{v}) {}         // NOLINT
+  Value(double v) : data_(v) {}               // NOLINT
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  // Lossy conversions used by expression evaluation: numbers convert between
+  // each other; strings parse; null converts to 0 / 0.0 / "".
+  int64_t CoerceInt64() const;
+  double CoerceDouble() const;
+  std::string CoerceString() const;
+
+  // Total order: null < int/double (numeric order) < string (lexical).
+  // Mixed int/double compare numerically.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+// An ordered list of named, typed columns shared by all rows of a stream or
+// table. Schemas are immutable once constructed and shared via shared_ptr.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  static std::shared_ptr<const Schema> Make(std::vector<Column> columns) {
+    return std::make_shared<const Schema>(std::move(columns));
+  }
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Returns the index of `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+  bool Has(const std::string& name) const { return IndexOf(name) >= 0; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::map<std::string, int> index_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+// One event/record: a schema plus one Value per column.
+class Row {
+ public:
+  Row() = default;
+  Row(SchemaPtr schema, std::vector<Value> values)
+      : schema_(std::move(schema)), values_(std::move(values)) {}
+  explicit Row(SchemaPtr schema)
+      : schema_(std::move(schema)), values_(schema_->num_columns()) {}
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t num_columns() const { return values_.size(); }
+
+  const Value& Get(size_t i) const { return values_[i]; }
+  Value& Mutable(size_t i) { return values_[i]; }
+  void Set(size_t i, Value v) { values_[i] = std::move(v); }
+
+  // Named access; returns a shared null Value if the column is absent.
+  const Value& Get(const std::string& name) const;
+  bool Set(const std::string& name, Value v);
+
+  const std::vector<Value>& values() const { return values_; }
+
+  bool operator==(const Row& other) const { return values_ == other.values_; }
+
+  std::string ToString() const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Value> values_;
+};
+
+}  // namespace fbstream
+
+#endif  // FBSTREAM_COMMON_VALUE_H_

@@ -1,0 +1,137 @@
+#include "core/batch.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+
+namespace fbstream::stylus {
+
+namespace {
+
+Event EventFromRow(Row row, const std::string& event_time_column) {
+  Event e;
+  e.event_time = event_time_column.empty()
+                     ? 0
+                     : row.Get(event_time_column).CoerceInt64();
+  e.arrival_time = e.event_time;
+  e.row = std::move(row);
+  return e;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Row>> RunStatelessBatch(
+    const hive::Hive& hive, const std::string& table,
+    const std::vector<std::string>& partitions,
+    const std::function<std::unique_ptr<StatelessProcessor>()>& factory,
+    SchemaPtr /*input_schema*/, const std::string& event_time_column) {
+  std::vector<Row> output;
+  std::unique_ptr<StatelessProcessor> processor = factory();
+  for (const std::string& ds : partitions) {
+    FBSTREAM_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                              hive.ReadPartition(table, ds));
+    for (Row& row : rows) {
+      std::vector<Row> emitted;
+      processor->Process(EventFromRow(std::move(row), event_time_column),
+                         &emitted);
+      for (Row& r : emitted) output.push_back(std::move(r));
+    }
+  }
+  return output;
+}
+
+StatusOr<std::vector<Row>> RunStatefulBatch(
+    const hive::Hive& hive, const std::string& table,
+    const std::vector<std::string>& partitions,
+    const std::function<std::unique_ptr<StatefulProcessor>()>& factory,
+    SchemaPtr input_schema, const std::string& event_time_column,
+    const std::function<std::string(const Row&)>& key_fn) {
+  // Map: shuffle rows by aggregation key, carrying the encoded row.
+  TextRowCodec codec(input_schema);
+  hive::MapReduceSpec spec;
+  spec.map = [&codec, &key_fn](const Row& row) {
+    return std::vector<hive::KeyedRecord>{{key_fn(row), codec.Encode(row)}};
+  };
+  // Reduce: fresh processor per key, rows replayed in event-time order
+  // (the reduce key is the aggregation key plus event timestamp).
+  Micros final_time = 0;
+  spec.reduce = [&codec, &factory, &event_time_column, &final_time](
+                    const std::string& /*key*/,
+                    const std::vector<std::string>& records)
+      -> std::vector<Row> {
+    std::vector<Event> events;
+    events.reserve(records.size());
+    for (const std::string& encoded : records) {
+      auto row = codec.Decode(encoded);
+      if (!row.ok()) continue;
+      events.push_back(
+          EventFromRow(std::move(row).value(), event_time_column));
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) {
+                       return a.event_time < b.event_time;
+                     });
+    std::unique_ptr<StatefulProcessor> processor = factory();
+    std::vector<Row> out;
+    for (const Event& e : events) {
+      final_time = std::max(final_time, e.event_time);
+      processor->Process(e, &out);
+    }
+    processor->OnCheckpoint(final_time, &out);
+    return out;
+  };
+  return hive::RunMapReduce(hive, table, partitions, spec);
+}
+
+StatusOr<std::vector<std::pair<std::string, std::string>>> RunMonoidBatch(
+    const hive::Hive& hive, const std::string& table,
+    const std::vector<std::string>& partitions,
+    const std::function<std::unique_ptr<MonoidProcessor>()>& factory,
+    const MonoidAggregator& aggregator, SchemaPtr /*input_schema*/,
+    const std::string& event_time_column, hive::MapReduceCounters* counters,
+    bool map_side_combine) {
+  auto result_schema = Schema::Make(
+      {{"key", ValueType::kString}, {"value", ValueType::kString}});
+
+  std::unique_ptr<MonoidProcessor> mapper = factory();
+  hive::MapReduceSpec spec;
+  spec.output_schema = result_schema;
+  spec.map = [&mapper, &event_time_column](const Row& row) {
+    std::vector<MonoidProcessor::Contribution> contributions;
+    mapper->Process(EventFromRow(row, event_time_column), &contributions);
+    std::vector<hive::KeyedRecord> out;
+    out.reserve(contributions.size());
+    for (auto& [key, partial] : contributions) {
+      out.emplace_back(std::move(key), std::move(partial));
+    }
+    return out;
+  };
+  if (map_side_combine) {
+    // "The batch binary for monoid processors can be optimized to do partial
+    // aggregation in the map phase."
+    spec.combine = [&aggregator](const std::string& a, const std::string& b) {
+      return aggregator.Combine(a, b);
+    };
+  }
+  spec.reduce = [&aggregator, &result_schema](
+                    const std::string& key,
+                    const std::vector<std::string>& records)
+      -> std::vector<Row> {
+    std::string acc = aggregator.Identity();
+    for (const std::string& r : records) acc = aggregator.Combine(acc, r);
+    return {Row(result_schema, {Value(key), Value(acc)})};
+  };
+
+  FBSTREAM_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      hive::RunMapReduce(hive, table, partitions, spec, counters));
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    out.emplace_back(row.Get(0).AsString(), row.Get(1).AsString());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fbstream::stylus

@@ -1,0 +1,60 @@
+#ifndef FBSTREAM_CORE_BATCH_H_
+#define FBSTREAM_CORE_BATCH_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/processor.h"
+#include "storage/hive/hive.h"
+
+namespace fbstream::stylus {
+
+// Batch execution of Stylus processors over Hive (§4.5.2): "When a user
+// creates a Stylus application, two binaries are generated at the same
+// time: one for stream and one for batch." These runners are the batch
+// binary: the *same processor code* runs over warehouse partitions via the
+// MapReduce framework in storage/hive.
+//
+//   stateless  -> custom mapper (map-only job)
+//   stateful   -> custom reducer; "the reduce key is the aggregation key
+//                 plus event timestamp" — we reduce per aggregation key with
+//                 rows replayed in event-time order
+//   monoid     -> reducer with map-side partial aggregation via the
+//                 aggregator's Combine
+
+// Runs a stateless processor as a custom mapper over the given partitions.
+StatusOr<std::vector<Row>> RunStatelessBatch(
+    const hive::Hive& hive, const std::string& table,
+    const std::vector<std::string>& partitions,
+    const std::function<std::unique_ptr<StatelessProcessor>()>& factory,
+    SchemaPtr input_schema, const std::string& event_time_column);
+
+// Runs a general stateful processor as a custom reducer: rows are grouped
+// by `key_fn`, replayed per group in event-time order through a fresh
+// processor instance, and the processor's output (including the final
+// OnCheckpoint emission) is collected.
+StatusOr<std::vector<Row>> RunStatefulBatch(
+    const hive::Hive& hive, const std::string& table,
+    const std::vector<std::string>& partitions,
+    const std::function<std::unique_ptr<StatefulProcessor>()>& factory,
+    SchemaPtr input_schema, const std::string& event_time_column,
+    const std::function<std::string(const Row&)>& key_fn);
+
+// Runs a monoid processor with map-side partial aggregation. Returns the
+// final (key, merged value) pairs; `counters` (optional) exposes how much
+// the combiner shrank the shuffle.
+StatusOr<std::vector<std::pair<std::string, std::string>>> RunMonoidBatch(
+    const hive::Hive& hive, const std::string& table,
+    const std::vector<std::string>& partitions,
+    const std::function<std::unique_ptr<MonoidProcessor>()>& factory,
+    const MonoidAggregator& aggregator, SchemaPtr input_schema,
+    const std::string& event_time_column,
+    hive::MapReduceCounters* counters = nullptr,
+    bool map_side_combine = true);
+
+}  // namespace fbstream::stylus
+
+#endif  // FBSTREAM_CORE_BATCH_H_

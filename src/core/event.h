@@ -1,0 +1,24 @@
+#ifndef FBSTREAM_CORE_EVENT_H_
+#define FBSTREAM_CORE_EVENT_H_
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/value.h"
+
+namespace fbstream::stylus {
+
+// One input event as seen by a Stylus processor: the decoded row, the
+// event time the application writer identified in the stream (§2.4: "Stylus
+// requires the application writer to identify the event time data in the
+// stream"), the Scribe sequence it came from, and its arrival time.
+struct Event {
+  Row row;
+  Micros event_time = 0;
+  Micros arrival_time = 0;
+  uint64_t sequence = 0;
+};
+
+}  // namespace fbstream::stylus
+
+#endif  // FBSTREAM_CORE_EVENT_H_

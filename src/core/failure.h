@@ -1,0 +1,29 @@
+#ifndef FBSTREAM_CORE_FAILURE_H_
+#define FBSTREAM_CORE_FAILURE_H_
+
+#include <functional>
+#include <string>
+
+namespace fbstream::stylus {
+
+// Crash points inside one processing cycle. The engine consults its
+// FailureInjector at each point; if the injector says "crash", the cycle
+// aborts and the node loses its in-memory state (the checkpoint store is
+// all that survives). The points bracket the checkpoint writes so tests
+// and the Figure 7 experiment can land a crash exactly between the state
+// write and the offset write — the gap that distinguishes at-least-once
+// from at-most-once.
+enum class FailurePoint {
+  kAfterProcessing,       // Batch processed (and, for at-least-once output,
+                          // already emitted), checkpoint not started.
+  kBetweenCheckpointWrites,  // First checkpoint record durable, second not.
+  kAfterCheckpoint,       // Checkpoint durable, post-checkpoint emission
+                          // (at-most-once output) not yet done.
+};
+
+// Returns true to inject a crash at this point.
+using FailureInjector = std::function<bool(FailurePoint point)>;
+
+}  // namespace fbstream::stylus
+
+#endif  // FBSTREAM_CORE_FAILURE_H_

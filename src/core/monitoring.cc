@@ -1,0 +1,111 @@
+#include "core/monitoring.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fbstream::stylus {
+
+void MonitoringService::RegisterPipeline(const std::string& service,
+                                         Pipeline* pipeline) {
+  pipelines_[service] = pipeline;
+}
+
+void MonitoringService::Sample() {
+  const Micros now = clock_->NowMicros();
+  for (const auto& [service, pipeline] : pipelines_) {
+    for (const Pipeline::LagReport& report : pipeline->GetProcessingLag()) {
+      auto& series =
+          samples_[Key{service, report.node, report.shard}];
+      series.push_back(LagSample{now, report.lag_messages});
+      if (series.size() > history_) series.pop_front();
+    }
+  }
+}
+
+std::vector<LagSample> MonitoringService::History(const std::string& service,
+                                                  const std::string& node,
+                                                  int shard) const {
+  auto it = samples_.find(Key{service, node, shard});
+  if (it == samples_.end()) return {};
+  return std::vector<LagSample>(it->second.begin(), it->second.end());
+}
+
+std::vector<MonitoringService::Alert> MonitoringService::ActiveAlerts(
+    uint64_t lag_threshold) const {
+  std::vector<Alert> alerts;
+  for (const auto& [key, series] : samples_) {
+    if (series.empty()) continue;
+    if (series.back().lag_messages >= lag_threshold) {
+      alerts.push_back(Alert{key.service, key.node, key.shard,
+                             series.back().lag_messages});
+    }
+  }
+  return alerts;
+}
+
+bool MonitoringService::IsFallingBehind(const std::string& service,
+                                        const std::string& node, int shard,
+                                        size_t window) const {
+  auto it = samples_.find(Key{service, node, shard});
+  if (it == samples_.end() || it->second.size() < window + 1) return false;
+  const auto& series = it->second;
+  for (size_t i = series.size() - window; i < series.size(); ++i) {
+    if (series[i].lag_messages <= series[i - 1].lag_messages) return false;
+  }
+  return true;
+}
+
+void AutoScaler::RegisterPipeline(const std::string& service,
+                                  Pipeline* pipeline) {
+  pipelines_[service] = pipeline;
+}
+
+std::vector<std::string> AutoScaler::Evaluate() {
+  std::vector<std::string> actions;
+  for (const auto& [service, pipeline] : pipelines_) {
+    for (const std::string& node : pipeline->NodeNames()) {
+      // A node's pressure is the worst lag across its shards.
+      uint64_t worst = 0;
+      std::string category;
+      for (NodeShard* shard : pipeline->Shards(node)) {
+        worst = std::max(worst, shard->ProcessingLag());
+        category = shard->config().input_category;
+      }
+      const std::string key = service + "/" + node;
+      if (worst >= options_.lag_threshold) {
+        ++bad_streak_[key];
+      } else {
+        bad_streak_[key] = 0;
+        continue;
+      }
+      if (bad_streak_[key] < options_.sustained_samples) continue;
+      bad_streak_[key] = 0;
+
+      const int buckets = scribe_->NumBuckets(category);
+      if (buckets >= options_.max_buckets) {
+        FBSTREAM_LOG(Warning)
+            << "autoscaler: " << key << " at max buckets " << buckets;
+        continue;
+      }
+      const int target = std::min(options_.max_buckets, buckets * 2);
+      const Status st = scribe_->SetNumBuckets(category, target);
+      if (!st.ok()) {
+        FBSTREAM_LOG(Warning) << "autoscaler rebucket: " << st;
+        continue;
+      }
+      const Status reconcile = pipeline->ReconcileShards();
+      if (!reconcile.ok()) {
+        FBSTREAM_LOG(Warning) << "autoscaler reconcile: " << reconcile;
+        continue;
+      }
+      ++scale_ups_;
+      actions.push_back(key + ": rebucketed " + category + " " +
+                        std::to_string(buckets) + " -> " +
+                        std::to_string(target));
+    }
+  }
+  return actions;
+}
+
+}  // namespace fbstream::stylus

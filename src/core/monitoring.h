@@ -1,0 +1,120 @@
+#ifndef FBSTREAM_CORE_MONITORING_H_
+#define FBSTREAM_CORE_MONITORING_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "scribe/scribe.h"
+
+namespace fbstream::stylus {
+
+// Monitoring and automatic scaling (§6.4 and the paper's conclusion).
+//
+// §6.4: "We then use alerts to detect when an app is processing its Scribe
+// input more slowly than the input is being generated. We call that
+// 'processing lag'. ... In the future, we would like to provide dashboards
+// and alerts that are automatically configured ... We would also like to
+// scale the apps automatically." The dashboard/alert part is implemented as
+// the paper describes; auto-scaling implements the future-work item using
+// the mechanism the paper names (§6.4: "changing the parallelism is often
+// just changing the number of Scribe buckets and restarting the nodes").
+
+// One lag observation for one shard.
+struct LagSample {
+  Micros time = 0;
+  uint64_t lag_messages = 0;
+};
+
+// Automatically configured dashboard: samples processing lag for every
+// shard of every registered pipeline and retains a bounded history that a
+// UI (or test) can chart.
+class MonitoringService {
+ public:
+  explicit MonitoringService(Clock* clock, size_t history = 256)
+      : clock_(clock), history_(history) {}
+
+  // Registers a pipeline under a service name; all of its nodes are
+  // monitored with no per-app setup (the "automatically configured" part).
+  void RegisterPipeline(const std::string& service, Pipeline* pipeline);
+
+  // Takes one lag sample for every shard. Call periodically.
+  void Sample();
+
+  // Time series for one node shard, oldest first.
+  std::vector<LagSample> History(const std::string& service,
+                                 const std::string& node, int shard) const;
+
+  struct Alert {
+    std::string service;
+    std::string node;
+    int shard = 0;
+    uint64_t lag_messages = 0;
+  };
+  // Shards whose *latest* sampled lag exceeds the threshold.
+  std::vector<Alert> ActiveAlerts(uint64_t lag_threshold) const;
+
+  // True if the shard's lag grew monotonically over the last `window`
+  // samples — the "falling behind" signal that should page someone (or
+  // trigger the auto-scaler).
+  bool IsFallingBehind(const std::string& service, const std::string& node,
+                       int shard, size_t window = 3) const;
+
+ private:
+  struct Key {
+    std::string service;
+    std::string node;
+    int shard;
+    bool operator<(const Key& other) const {
+      if (service != other.service) return service < other.service;
+      if (node != other.node) return node < other.node;
+      return shard < other.shard;
+    }
+  };
+
+  Clock* clock_;
+  size_t history_;
+  std::map<std::string, Pipeline*> pipelines_;
+  std::map<Key, std::deque<LagSample>> samples_;
+};
+
+// Automatic scaling: when a node keeps falling behind, double its input
+// category's bucket count and reconcile the pipeline so new shards pick up
+// the new buckets. "We save both time and machine resources by being able
+// to change it easily; we can get started with some initial level and then
+// adapt quickly" (§6.4).
+class AutoScaler {
+ public:
+  struct Options {
+    uint64_t lag_threshold = 1000;   // Messages behind before acting.
+    size_t sustained_samples = 3;    // Consecutive bad samples required.
+    int max_buckets = 64;
+  };
+
+  AutoScaler(MonitoringService* monitoring, scribe::Scribe* scribe,
+             Options options)
+      : monitoring_(monitoring), scribe_(scribe), options_(options) {}
+
+  void RegisterPipeline(const std::string& service, Pipeline* pipeline);
+
+  // Evaluates every monitored node once; returns descriptions of scaling
+  // actions taken (empty if none).
+  std::vector<std::string> Evaluate();
+
+  int scale_ups() const { return scale_ups_; }
+
+ private:
+  MonitoringService* monitoring_;
+  scribe::Scribe* scribe_;
+  Options options_;
+  std::map<std::string, Pipeline*> pipelines_;
+  std::map<std::string, size_t> bad_streak_;  // service/node -> streak.
+  int scale_ups_ = 0;
+};
+
+}  // namespace fbstream::stylus
+
+#endif  // FBSTREAM_CORE_MONITORING_H_

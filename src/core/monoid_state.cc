@@ -1,0 +1,64 @@
+#include "core/monoid_state.h"
+
+namespace fbstream::stylus {
+
+RemoteMonoidState::RemoteMonoidState(zippydb::Cluster* cluster,
+                                     const MonoidAggregator* aggregator,
+                                     std::string key_prefix,
+                                     RemoteWriteMode mode)
+    : cluster_(cluster),
+      aggregator_(aggregator),
+      key_prefix_(std::move(key_prefix)),
+      mode_(mode) {}
+
+void RemoteMonoidState::Append(const std::string& key,
+                               const std::string& partial) {
+  auto it = partials_.find(key);
+  if (it == partials_.end()) {
+    partials_.emplace(key, partial);
+  } else {
+    it->second = aggregator_->Combine(it->second, partial);
+  }
+}
+
+StatusOr<std::string> RemoteMonoidState::Read(const std::string& key) {
+  std::string value;
+  auto remote = cluster_->Get(RemoteKey(key));
+  if (remote.ok()) {
+    value = std::move(remote).value();
+  } else if (remote.status().IsNotFound()) {
+    value = aggregator_->Identity();
+  } else {
+    return remote.status();
+  }
+  auto it = partials_.find(key);
+  if (it != partials_.end()) {
+    value = aggregator_->Combine(value, it->second);
+  }
+  return value;
+}
+
+Status RemoteMonoidState::Flush() {
+  for (const auto& [key, partial] : partials_) {
+    if (mode_ == RemoteWriteMode::kAppendOnly) {
+      FBSTREAM_RETURN_IF_ERROR(cluster_->Merge(RemoteKey(key), partial));
+      continue;
+    }
+    // Read-modify-write.
+    std::string existing;
+    auto remote = cluster_->Get(RemoteKey(key));
+    if (remote.ok()) {
+      existing = std::move(remote).value();
+    } else if (remote.status().IsNotFound()) {
+      existing = aggregator_->Identity();
+    } else {
+      return remote.status();
+    }
+    FBSTREAM_RETURN_IF_ERROR(
+        cluster_->Put(RemoteKey(key), aggregator_->Combine(existing, partial)));
+  }
+  partials_.clear();
+  return Status::OK();
+}
+
+}  // namespace fbstream::stylus

@@ -1,0 +1,103 @@
+#ifndef FBSTREAM_CORE_MONOID_STATE_H_
+#define FBSTREAM_CORE_MONOID_STATE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/processor.h"
+#include "storage/lsm/merge_operator.h"
+#include "storage/zippydb/zippydb.h"
+
+namespace fbstream::stylus {
+
+// How in-memory partial states reach the remote database (§4.4.2):
+//
+//   kReadModifyWrite — the classic pattern: "the existing database state is
+//   loaded in memory, merged with the in-memory partial state, and then
+//   written out to the database". One remote read + one remote write per
+//   dirty key per flush.
+//
+//   kAppendOnly — "When the remote database supports a custom merge
+//   operator, then the merge operation can happen in the database. The
+//   read-modify-write pattern is optimized to an append-only pattern,
+//   resulting in performance gains." One remote merge-write per dirty key,
+//   no read.
+//
+// Figure 12 sweeps the flush interval and compares the two modes.
+enum class RemoteWriteMode {
+  kReadModifyWrite,
+  kAppendOnly,
+};
+
+// Adapts a MonoidAggregator into an lsm::MergeOperator so a ZippyDB cluster
+// can resolve append-only partials server-side.
+class MonoidMergeOperator : public lsm::MergeOperator {
+ public:
+  explicit MonoidMergeOperator(std::shared_ptr<const MonoidAggregator> agg)
+      : agg_(std::move(agg)) {}
+
+  const char* Name() const override { return agg_->Name(); }
+
+  bool FullMerge(std::string_view key, const std::string* existing,
+                 const std::vector<std::string>& operands,
+                 std::string* result) const override {
+    (void)key;
+    std::string acc = existing != nullptr ? *existing : agg_->Identity();
+    for (const std::string& op : operands) acc = agg_->Combine(acc, op);
+    *result = std::move(acc);
+    return true;
+  }
+
+  bool PartialMerge(std::string_view key, std::string_view left,
+                    std::string_view right,
+                    std::string* result) const override {
+    (void)key;
+    *result = agg_->Combine(std::string(left), std::string(right));
+    return true;
+  }
+
+ private:
+  std::shared_ptr<const MonoidAggregator> agg_;
+};
+
+// Keyed monoid state for one node shard: partial values accumulate in
+// memory ("mutations are applied to an empty state — the identity element")
+// and flush to the remote database per RemoteWriteMode. "This read-merge-
+// write pattern can be done less often than the read-modify-write" — the
+// flush interval is the caller's policy.
+class RemoteMonoidState {
+ public:
+  RemoteMonoidState(zippydb::Cluster* cluster,
+                    const MonoidAggregator* aggregator, std::string key_prefix,
+                    RemoteWriteMode mode);
+
+  // Combines `partial` into the in-memory partial for `key`.
+  void Append(const std::string& key, const std::string& partial);
+
+  // Merged view of one key: remote value (if any) combined with the pending
+  // in-memory partial. Used by processors that need to read their state.
+  StatusOr<std::string> Read(const std::string& key);
+
+  // Pushes all dirty partials to the remote database and clears them.
+  Status Flush();
+
+  size_t dirty_keys() const { return partials_.size(); }
+  RemoteWriteMode mode() const { return mode_; }
+
+ private:
+  std::string RemoteKey(const std::string& key) const {
+    return key_prefix_ + "/" + key;
+  }
+
+  zippydb::Cluster* cluster_;
+  const MonoidAggregator* aggregator_;
+  std::string key_prefix_;
+  RemoteWriteMode mode_;
+  std::map<std::string, std::string> partials_;
+};
+
+}  // namespace fbstream::stylus
+
+#endif  // FBSTREAM_CORE_MONOID_STATE_H_

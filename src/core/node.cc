@@ -1,0 +1,325 @@
+#include "core/node.h"
+
+#include "common/logging.h"
+#include "common/serde.h"
+
+namespace fbstream::stylus {
+
+NodeShard::NodeShard(NodeConfig config, scribe::Scribe* scribe, Clock* clock,
+                     int bucket)
+    : config_(std::move(config)),
+      scribe_(scribe),
+      clock_(clock),
+      bucket_(bucket),
+      tailer_(scribe, config_.input_category, bucket) {}
+
+StatusOr<std::unique_ptr<NodeShard>> NodeShard::Create(
+    const NodeConfig& config, scribe::Scribe* scribe, Clock* clock,
+    int bucket) {
+  const int factories = (config.stateless_factory != nullptr ? 1 : 0) +
+                        (config.stateful_factory != nullptr ? 1 : 0) +
+                        (config.monoid_factory != nullptr ? 1 : 0);
+  if (factories != 1) {
+    return Status::InvalidArgument(config.name +
+                                   ": exactly one processor factory required");
+  }
+  if (!IsSupportedCombination(config.state_semantics,
+                              config.output_semantics)) {
+    return Status::InvalidArgument(
+        config.name + ": unsupported semantics combination (state=" +
+        ToString(config.state_semantics) + ", output=" +
+        ToString(config.output_semantics) + "); see Figure 8");
+  }
+  if (config.input_schema == nullptr) {
+    return Status::InvalidArgument(config.name + ": input schema required");
+  }
+  if (!scribe->HasCategory(config.input_category)) {
+    return Status::NotFound(config.name + ": input category " +
+                            config.input_category);
+  }
+  if (config.monoid_factory != nullptr) {
+    if (config.remote == nullptr || config.monoid_aggregator == nullptr) {
+      return Status::InvalidArgument(
+          config.name + ": monoid nodes need a remote cluster + aggregator");
+    }
+    if (config.state_semantics != StateSemantics::kAtLeastOnce) {
+      return Status::InvalidArgument(
+          config.name +
+          ": monoid remote state supports at-least-once state semantics");
+    }
+  }
+  if (config.backend == StateBackend::kRemote && config.remote == nullptr) {
+    return Status::InvalidArgument(config.name + ": remote backend needs a "
+                                                 "cluster");
+  }
+  if ((config.backend == StateBackend::kLocal ||
+       config.backend == StateBackend::kNone) &&
+      config.state_dir.empty() && config.monoid_factory == nullptr) {
+    return Status::InvalidArgument(config.name +
+                                   ": local backend needs state_dir");
+  }
+  if (config.output_semantics == OutputSemantics::kExactlyOnce) {
+    if (config.sink == nullptr || !config.sink->SupportsTransactions()) {
+      return Status::InvalidArgument(
+          config.name +
+          ": exactly-once output requires a transactional sink (a data "
+          "store, not a transport like Scribe)");
+    }
+  }
+  std::unique_ptr<NodeShard> shard(
+      new NodeShard(config, scribe, clock, bucket));
+  FBSTREAM_RETURN_IF_ERROR(shard->Start());
+  return shard;
+}
+
+std::string NodeShard::ShardLabel() const {
+  return config_.name + "/shard-" + std::to_string(bucket_);
+}
+
+Status NodeShard::OpenStateStore() {
+  if (config_.backend == StateBackend::kRemote) {
+    store_ = std::make_unique<RemoteStateStore>(config_.remote,
+                                                "ckpt/" + ShardLabel());
+    return Status::OK();
+  }
+  FBSTREAM_ASSIGN_OR_RETURN(
+      store_,
+      LocalStateStore::Open(config_.state_dir + "/" + ShardLabel(),
+                            config_.hdfs, "backup/" + ShardLabel()));
+  return Status::OK();
+}
+
+Status NodeShard::Start() {
+  if (config_.monoid_factory != nullptr) {
+    // Monoid nodes keep keyed state in the remote DB; the checkpoint store
+    // holds only the offset.
+    store_ = std::make_unique<RemoteStateStore>(config_.remote,
+                                                "ckpt/" + ShardLabel());
+    monoid_ = config_.monoid_factory();
+    monoid_state_ = std::make_unique<RemoteMonoidState>(
+        config_.remote, config_.monoid_aggregator.get(),
+        "mono/" + config_.name, config_.remote_mode);
+  } else {
+    FBSTREAM_RETURN_IF_ERROR(OpenStateStore());
+    if (config_.stateless_factory != nullptr) {
+      stateless_ = config_.stateless_factory();
+    } else {
+      stateful_ = config_.stateful_factory();
+    }
+  }
+  FBSTREAM_ASSIGN_OR_RETURN(Checkpoint cp, store_->Load());
+  if (cp.has_offset) {
+    tailer_.Seek(cp.offset);
+  } else {
+    tailer_.Seek(0);
+  }
+  if (stateful_ != nullptr && cp.has_state && !cp.state.empty()) {
+    FBSTREAM_RETURN_IF_ERROR(stateful_->RestoreState(cp.state));
+  }
+  alive_ = true;
+  return Status::OK();
+}
+
+void NodeShard::Crash() {
+  // Everything in memory dies; only the durable checkpoint store survives.
+  stateless_.reset();
+  stateful_.reset();
+  monoid_.reset();
+  monoid_state_.reset();
+  store_.reset();
+  watermark_ = WatermarkEstimator();
+  alive_ = false;
+}
+
+Status NodeShard::Recover() {
+  if (alive_) return Status::OK();
+  return Start();
+}
+
+bool NodeShard::MaybeCrash(FailurePoint point) {
+  if (failure_ != nullptr && failure_(point)) {
+    Crash();
+    return true;
+  }
+  return false;
+}
+
+StatusOr<std::vector<Event>> NodeShard::PollEvents() {
+  std::vector<scribe::Message> messages =
+      tailer_.Poll(config_.checkpoint_every_events);
+  if (config_.checkpoint_every_bytes > 0 && !messages.empty()) {
+    size_t bytes = 0;
+    size_t keep = 0;
+    for (; keep < messages.size(); ++keep) {
+      bytes += messages[keep].payload.size();
+      if (bytes >= config_.checkpoint_every_bytes) {
+        ++keep;
+        break;
+      }
+    }
+    if (keep < messages.size()) {
+      tailer_.Seek(messages[keep].sequence);  // Push back the remainder.
+      messages.resize(keep);
+    }
+  }
+  TextRowCodec codec(config_.input_schema);
+  const Micros now = clock_->NowMicros();
+  std::vector<Event> events;
+  events.reserve(messages.size());
+  for (scribe::Message& m : messages) {
+    auto row = codec.Decode(m.payload);
+    if (!row.ok()) {
+      FBSTREAM_LOG(Warning) << ShardLabel() << ": bad row: " << row.status();
+      continue;
+    }
+    Event e;
+    e.row = std::move(row).value();
+    e.arrival_time = now;
+    e.event_time = config_.event_time_column.empty()
+                       ? now
+                       : e.row.Get(config_.event_time_column).CoerceInt64();
+    e.sequence = m.sequence;
+    watermark_.Observe(e.event_time, e.arrival_time);
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+Status NodeShard::EmitRows(const std::vector<Row>& rows) {
+  if (config_.sink == nullptr) return Status::OK();
+  for (const Row& row : rows) {
+    FBSTREAM_RETURN_IF_ERROR(config_.sink->Emit(row));
+  }
+  return Status::OK();
+}
+
+StatusOr<size_t> NodeShard::RunOnce() {
+  if (!alive_) return Status::FailedPrecondition(ShardLabel() + " is down");
+  if (monoid_ != nullptr) return RunMonoid();
+  return RunStatelessOrStateful();
+}
+
+StatusOr<size_t> NodeShard::RunStatelessOrStateful() {
+  FBSTREAM_ASSIGN_OR_RETURN(std::vector<Event> events, PollEvents());
+  if (events.empty()) return size_t{0};
+
+  const bool emit_immediately =
+      config_.output_semantics == OutputSemantics::kAtLeastOnce;
+  std::vector<Row> buffered;
+
+  // §4.3.1 activity 1+2: process input events (side-effect-free w.r.t. the
+  // checkpoint) and generate output. With at-least-once output, emission
+  // happens as events are processed; otherwise output is buffered and
+  // synchronized with the checkpoint.
+  for (const Event& event : events) {
+    std::vector<Row> rows;
+    if (stateless_ != nullptr) {
+      stateless_->Process(event, &rows);
+    } else {
+      stateful_->Process(event, &rows);
+    }
+    if (emit_immediately) {
+      FBSTREAM_RETURN_IF_ERROR(EmitRows(rows));
+    } else {
+      buffered.insert(buffered.end(), rows.begin(), rows.end());
+    }
+  }
+  if (stateful_ != nullptr) {
+    std::vector<Row> window_rows;
+    stateful_->OnCheckpoint(clock_->NowMicros(), &window_rows);
+    if (emit_immediately) {
+      FBSTREAM_RETURN_IF_ERROR(EmitRows(window_rows));
+    } else {
+      buffered.insert(buffered.end(), window_rows.begin(), window_rows.end());
+    }
+  }
+
+  if (MaybeCrash(FailurePoint::kAfterProcessing)) {
+    return Status::Aborted("injected crash after processing");
+  }
+
+  const std::string state =
+      stateful_ != nullptr ? stateful_->SerializeState() : std::string();
+  const uint64_t offset = tailer_.offset();
+
+  if (config_.output_semantics == OutputSemantics::kExactlyOnce) {
+    lsm::WriteBatch output;
+    FBSTREAM_RETURN_IF_ERROR(
+        config_.sink->AppendToTransaction(buffered, &output));
+    FBSTREAM_RETURN_IF_ERROR(
+        store_->SaveCheckpointWithOutput(state, offset, output));
+  } else {
+    const Status st =
+        store_->SaveCheckpoint(config_.state_semantics, state, offset,
+                               [this](FailurePoint point) {
+                                 return failure_ != nullptr && failure_(point);
+                               });
+    if (st.IsAborted()) {
+      Crash();
+      return st;
+    }
+    FBSTREAM_RETURN_IF_ERROR(st);
+    if (config_.output_semantics == OutputSemantics::kAtMostOnce) {
+      // Checkpoint first, then emit: a crash here loses this batch's output
+      // (data loss preferred to duplication).
+      if (MaybeCrash(FailurePoint::kAfterCheckpoint)) {
+        return Status::Aborted("injected crash after checkpoint");
+      }
+      FBSTREAM_RETURN_IF_ERROR(EmitRows(buffered));
+    }
+  }
+
+  ++checkpoints_completed_;
+  if (config_.backend == StateBackend::kLocal && config_.hdfs != nullptr &&
+      config_.backup_every_checkpoints > 0 &&
+      checkpoints_completed_ %
+              static_cast<uint64_t>(config_.backup_every_checkpoints) ==
+          0) {
+    auto* local = static_cast<LocalStateStore*>(store_.get());
+    const Status st = local->BackupToHdfs();
+    if (!st.ok()) {
+      // "If HDFS is not available for writes, processing continues without
+      // remote backup copies."
+      FBSTREAM_LOG(Warning) << ShardLabel() << ": hdfs backup skipped: " << st;
+    }
+  }
+  return events.size();
+}
+
+StatusOr<size_t> NodeShard::RunMonoid() {
+  FBSTREAM_ASSIGN_OR_RETURN(std::vector<Event> events, PollEvents());
+  if (events.empty()) return size_t{0};
+
+  std::vector<MonoidProcessor::Contribution> contributions;
+  for (const Event& event : events) {
+    contributions.clear();
+    monoid_->Process(event, &contributions);
+    for (auto& [key, partial] : contributions) {
+      monoid_state_->Append(key, partial);
+    }
+  }
+
+  if (MaybeCrash(FailurePoint::kAfterProcessing)) {
+    return Status::Aborted("injected crash after processing");
+  }
+
+  // Flush partials, then save the offset: at-least-once state semantics (a
+  // crash between the two replays and re-merges this interval).
+  FBSTREAM_RETURN_IF_ERROR(monoid_state_->Flush());
+  if (MaybeCrash(FailurePoint::kBetweenCheckpointWrites)) {
+    return Status::Aborted("injected crash before offset save");
+  }
+  FBSTREAM_RETURN_IF_ERROR(store_->SaveCheckpoint(
+      StateSemantics::kAtLeastOnce, "", tailer_.offset(), nullptr));
+  ++checkpoints_completed_;
+  return events.size();
+}
+
+uint64_t NodeShard::ProcessingLag() const { return tailer_.LagMessages(); }
+
+Micros NodeShard::LowWatermark() const {
+  return watermark_.EstimateLowWatermark(clock_->NowMicros(),
+                                         config_.watermark_confidence);
+}
+
+}  // namespace fbstream::stylus

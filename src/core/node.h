@@ -1,0 +1,146 @@
+#ifndef FBSTREAM_CORE_NODE_H_
+#define FBSTREAM_CORE_NODE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/checkpoint.h"
+#include "core/failure.h"
+#include "core/monoid_state.h"
+#include "core/processor.h"
+#include "core/semantics.h"
+#include "core/sink.h"
+#include "core/watermark.h"
+#include "scribe/scribe.h"
+#include "storage/hdfs/hdfs.h"
+#include "storage/zippydb/zippydb.h"
+
+namespace fbstream::stylus {
+
+// Where a stateful shard keeps its checkpoints (§4.4.2).
+enum class StateBackend {
+  kNone,    // Stateless nodes: only the offset is checkpointed (locally).
+  kLocal,   // Embedded RocksDB + optional HDFS backup (Figure 10).
+  kRemote,  // ZippyDB (Figure 11).
+};
+
+// Configuration for one logical processing node. The engine instantiates
+// one shard per input Scribe bucket ("applications are parallelized by
+// sending different Scribe buckets to different processes", §2.1).
+struct NodeConfig {
+  std::string name;
+
+  // Input.
+  std::string input_category;
+  SchemaPtr input_schema;
+  // Column holding event time in micros; empty = use arrival time.
+  std::string event_time_column;
+
+  // Exactly one factory must be set.
+  std::function<std::unique_ptr<StatelessProcessor>()> stateless_factory;
+  std::function<std::unique_ptr<StatefulProcessor>()> stateful_factory;
+  std::function<std::unique_ptr<MonoidProcessor>()> monoid_factory;
+  // Monoid nodes share one aggregator definition.
+  std::shared_ptr<const MonoidAggregator> monoid_aggregator;
+
+  // Semantics (validated against Figure 8).
+  StateSemantics state_semantics = StateSemantics::kAtLeastOnce;
+  OutputSemantics output_semantics = OutputSemantics::kAtLeastOnce;
+
+  // Checkpoint policy: a checkpoint closes after this many events (or
+  // bytes), whichever comes first, per RunOnce cycle.
+  size_t checkpoint_every_events = 256;
+  size_t checkpoint_every_bytes = 0;  // 0 = no byte trigger.
+
+  // State backend.
+  StateBackend backend = StateBackend::kLocal;
+  std::string state_dir;  // Local backend root (per-shard subdirs).
+  hdfs::HdfsCluster* hdfs = nullptr;
+  int backup_every_checkpoints = 0;  // 0 = no HDFS backups.
+  zippydb::Cluster* remote = nullptr;
+  RemoteWriteMode remote_mode = RemoteWriteMode::kReadModifyWrite;
+
+  // Output. May be null for monoid nodes whose output *is* the remote DB.
+  std::shared_ptr<OutputSink> sink;
+
+  // Watermark confidence used by the shard's estimator.
+  double watermark_confidence = 0.99;
+};
+
+// One running shard of a node: tailer -> processor -> sink, with
+// checkpointing per the configured semantics and crash/recovery support.
+class NodeShard {
+ public:
+  // Validates the config (semantics combination, backend/sink coherence).
+  static StatusOr<std::unique_ptr<NodeShard>> Create(
+      const NodeConfig& config, scribe::Scribe* scribe, Clock* clock,
+      int bucket);
+
+  // Loads the checkpoint, constructs the processor, restores state, and
+  // seeks the tailer. Called by Create and by Recover.
+  Status Start();
+
+  // Processes up to one checkpoint interval of pending events, then
+  // checkpoints. Returns the number of events consumed. Returns Aborted if
+  // the failure injector fired — the shard is then dead until Recover().
+  StatusOr<size_t> RunOnce();
+
+  // Simulated process death: in-memory state and processor are destroyed.
+  void Crash();
+  // Restart on the same machine: reload from the checkpoint store.
+  Status Recover();
+  bool alive() const { return alive_; }
+
+  void SetFailureInjector(FailureInjector injector) {
+    failure_ = std::move(injector);
+  }
+
+  // Monitoring (§6.4): messages behind the bucket head.
+  uint64_t ProcessingLag() const;
+
+  const WatermarkEstimator& watermark() const { return watermark_; }
+  Micros LowWatermark() const;
+
+  int bucket() const { return bucket_; }
+  const NodeConfig& config() const { return config_; }
+  uint64_t checkpoints_completed() const { return checkpoints_completed_; }
+
+  // Testing hook: direct access to the shard's monoid state.
+  RemoteMonoidState* monoid_state() { return monoid_state_.get(); }
+
+ private:
+  NodeShard(NodeConfig config, scribe::Scribe* scribe, Clock* clock,
+            int bucket);
+
+  std::string ShardLabel() const;
+  Status OpenStateStore();
+  StatusOr<size_t> RunStatelessOrStateful();
+  StatusOr<size_t> RunMonoid();
+  StatusOr<std::vector<Event>> PollEvents();
+  Status EmitRows(const std::vector<Row>& rows);
+  bool MaybeCrash(FailurePoint point);
+
+  NodeConfig config_;
+  scribe::Scribe* scribe_;
+  Clock* clock_;
+  int bucket_;
+
+  scribe::Tailer tailer_;
+  std::unique_ptr<StateStore> store_;
+  std::unique_ptr<StatelessProcessor> stateless_;
+  std::unique_ptr<StatefulProcessor> stateful_;
+  std::unique_ptr<MonoidProcessor> monoid_;
+  std::unique_ptr<RemoteMonoidState> monoid_state_;
+  WatermarkEstimator watermark_;
+  FailureInjector failure_;
+  bool alive_ = false;
+  uint64_t checkpoints_completed_ = 0;
+};
+
+}  // namespace fbstream::stylus
+
+#endif  // FBSTREAM_CORE_NODE_H_

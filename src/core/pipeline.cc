@@ -1,0 +1,119 @@
+#include "core/pipeline.h"
+
+#include "common/logging.h"
+
+namespace fbstream::stylus {
+
+Status Pipeline::AddNode(const NodeConfig& config) {
+  if (nodes_.count(config.name) > 0) {
+    return Status::AlreadyExists("node " + config.name);
+  }
+  const int buckets = scribe_->NumBuckets(config.input_category);
+  if (buckets <= 0) {
+    return Status::NotFound("input category " + config.input_category);
+  }
+  std::vector<std::unique_ptr<NodeShard>> shards;
+  for (int b = 0; b < buckets; ++b) {
+    FBSTREAM_ASSIGN_OR_RETURN(auto shard,
+                              NodeShard::Create(config, scribe_, clock_, b));
+    shards.push_back(std::move(shard));
+  }
+  node_order_.push_back(config.name);
+  nodes_.emplace(config.name, std::move(shards));
+  return Status::OK();
+}
+
+StatusOr<size_t> Pipeline::RunRound() {
+  size_t processed = 0;
+  for (const std::string& name : node_order_) {
+    for (auto& shard : nodes_.at(name)) {
+      if (!shard->alive()) continue;  // Independent failure (§4.2.2).
+      auto result = shard->RunOnce();
+      if (!result.ok()) {
+        if (result.status().IsAborted()) {
+          FBSTREAM_LOG(Warning)
+              << name << "/shard-" << shard->bucket() << " crashed";
+          continue;  // Other nodes keep running.
+        }
+        return result.status();
+      }
+      processed += result.value();
+    }
+  }
+  return processed;
+}
+
+StatusOr<size_t> Pipeline::RunUntilQuiescent(int max_rounds) {
+  size_t total = 0;
+  for (int round = 0; round < max_rounds; ++round) {
+    FBSTREAM_ASSIGN_OR_RETURN(size_t n, RunRound());
+    total += n;
+    if (n == 0) return total;
+  }
+  return total;
+}
+
+std::vector<NodeShard*> Pipeline::Shards(const std::string& node) const {
+  std::vector<NodeShard*> out;
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return out;
+  for (const auto& shard : it->second) out.push_back(shard.get());
+  return out;
+}
+
+NodeShard* Pipeline::Shard(const std::string& node, int bucket) const {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return nullptr;
+  if (bucket < 0 || static_cast<size_t>(bucket) >= it->second.size()) {
+    return nullptr;
+  }
+  return it->second[static_cast<size_t>(bucket)].get();
+}
+
+Status Pipeline::RecoverAll() {
+  for (auto& [name, shards] : nodes_) {
+    for (auto& shard : shards) {
+      if (!shard->alive()) {
+        FBSTREAM_RETURN_IF_ERROR(shard->Recover());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Pipeline::ReconcileShards() {
+  for (auto& [name, shards] : nodes_) {
+    if (shards.empty()) continue;
+    const NodeConfig& config = shards[0]->config();
+    const int buckets = scribe_->NumBuckets(config.input_category);
+    while (static_cast<int>(shards.size()) < buckets) {
+      const int bucket = static_cast<int>(shards.size());
+      FBSTREAM_ASSIGN_OR_RETURN(
+          auto shard, NodeShard::Create(config, scribe_, clock_, bucket));
+      shards.push_back(std::move(shard));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Pipeline::LagReport> Pipeline::GetProcessingLag() const {
+  std::vector<LagReport> reports;
+  for (const std::string& name : node_order_) {
+    for (const auto& shard : nodes_.at(name)) {
+      reports.push_back(
+          LagReport{name, shard->bucket(), shard->ProcessingLag()});
+    }
+  }
+  return reports;
+}
+
+std::vector<Pipeline::LagReport> Pipeline::GetLagAlerts(
+    uint64_t threshold_messages) const {
+  std::vector<LagReport> alerts;
+  for (const LagReport& r : GetProcessingLag()) {
+    if (r.lag_messages >= threshold_messages) alerts.push_back(r);
+  }
+  return alerts;
+}
+
+}  // namespace fbstream::stylus

@@ -1,0 +1,71 @@
+#ifndef FBSTREAM_CORE_PIPELINE_H_
+#define FBSTREAM_CORE_PIPELINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/node.h"
+
+namespace fbstream::stylus {
+
+// A DAG of processing nodes connected by Scribe categories (§2: "Puma,
+// Stylus, and Swift applications can be connected through Scribe into a
+// complex DAG"). Because every edge is a persistent Scribe stream, node
+// failures are independent: a crashed shard stops consuming but neither
+// blocks its upstream nor corrupts its downstream, and it resumes from its
+// own checkpoint on recovery (§4.2.2).
+//
+// Execution is cooperative and deterministic: each round polls every shard
+// once, in node insertion order. Tests and benches drive rounds explicitly.
+class Pipeline {
+ public:
+  Pipeline(scribe::Scribe* scribe, Clock* clock)
+      : scribe_(scribe), clock_(clock) {}
+
+  // Creates one shard per bucket of the node's input category.
+  Status AddNode(const NodeConfig& config);
+
+  // Runs every live shard once; crashed shards are skipped (their upstream
+  // keeps flowing — decoupling in action). Returns events processed.
+  StatusOr<size_t> RunRound();
+
+  // Rounds until a full round consumes nothing (or max_rounds).
+  StatusOr<size_t> RunUntilQuiescent(int max_rounds = 1000);
+
+  // All shards of a node, for crash injection and inspection.
+  std::vector<NodeShard*> Shards(const std::string& node) const;
+  NodeShard* Shard(const std::string& node, int bucket) const;
+
+  // Restarts every crashed shard from its checkpoint.
+  Status RecoverAll();
+
+  // Node names in insertion (topological) order.
+  const std::vector<std::string>& NodeNames() const { return node_order_; }
+
+  // Creates shards for input buckets added after the node was deployed
+  // (§4.2.2/§6.4: re-bucketing a category is the scaling mechanism; new
+  // buckets need consumers). Existing shards are untouched.
+  Status ReconcileShards();
+
+  // Monitoring (§6.4): per-shard processing lag, and the alerting query
+  // ("alerts ... notify us to adapt our apps to changes in volume").
+  struct LagReport {
+    std::string node;
+    int shard = 0;
+    uint64_t lag_messages = 0;
+  };
+  std::vector<LagReport> GetProcessingLag() const;
+  std::vector<LagReport> GetLagAlerts(uint64_t threshold_messages) const;
+
+ private:
+  scribe::Scribe* scribe_;
+  Clock* clock_;
+  std::vector<std::string> node_order_;
+  std::map<std::string, std::vector<std::unique_ptr<NodeShard>>> nodes_;
+};
+
+}  // namespace fbstream::stylus
+
+#endif  // FBSTREAM_CORE_PIPELINE_H_

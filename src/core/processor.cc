@@ -1,0 +1,69 @@
+#include "core/processor.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "common/hll.h"
+
+namespace fbstream::stylus {
+
+namespace {
+
+class Int64SumAggregator : public MonoidAggregator {
+ public:
+  const char* Name() const override { return "int64_sum"; }
+  std::string Identity() const override { return "0"; }
+  std::string Combine(const std::string& older,
+                      const std::string& newer) const override {
+    return std::to_string(strtoll(older.c_str(), nullptr, 10) +
+                          strtoll(newer.c_str(), nullptr, 10));
+  }
+};
+
+class Int64MaxAggregator : public MonoidAggregator {
+ public:
+  const char* Name() const override { return "int64_max"; }
+  std::string Identity() const override {
+    return std::to_string(std::numeric_limits<int64_t>::min());
+  }
+  std::string Combine(const std::string& older,
+                      const std::string& newer) const override {
+    return std::to_string(std::max(strtoll(older.c_str(), nullptr, 10),
+                                   strtoll(newer.c_str(), nullptr, 10)));
+  }
+};
+
+class HllAggregator : public MonoidAggregator {
+ public:
+  explicit HllAggregator(int precision) : precision_(precision) {}
+  const char* Name() const override { return "hll_union"; }
+  std::string Identity() const override {
+    return HyperLogLog(precision_).Serialize();
+  }
+  std::string Combine(const std::string& older,
+                      const std::string& newer) const override {
+    HyperLogLog a = HyperLogLog::Deserialize(older);
+    a.Merge(HyperLogLog::Deserialize(newer));
+    return a.Serialize();
+  }
+
+ private:
+  int precision_;
+};
+
+}  // namespace
+
+std::unique_ptr<MonoidAggregator> MakeInt64SumAggregator() {
+  return std::make_unique<Int64SumAggregator>();
+}
+
+std::unique_ptr<MonoidAggregator> MakeInt64MaxAggregator() {
+  return std::make_unique<Int64MaxAggregator>();
+}
+
+std::unique_ptr<MonoidAggregator> MakeHllAggregator(int precision) {
+  return std::make_unique<HllAggregator>(precision);
+}
+
+}  // namespace fbstream::stylus

@@ -1,0 +1,29 @@
+#include "core/semantics.h"
+
+namespace fbstream::stylus {
+
+const char* ToString(StateSemantics s) {
+  switch (s) {
+    case StateSemantics::kAtLeastOnce:
+      return "at-least-once";
+    case StateSemantics::kAtMostOnce:
+      return "at-most-once";
+    case StateSemantics::kExactlyOnce:
+      return "exactly-once";
+  }
+  return "?";
+}
+
+const char* ToString(OutputSemantics s) {
+  switch (s) {
+    case OutputSemantics::kAtLeastOnce:
+      return "at-least-once";
+    case OutputSemantics::kAtMostOnce:
+      return "at-most-once";
+    case OutputSemantics::kExactlyOnce:
+      return "exactly-once";
+  }
+  return "?";
+}
+
+}  // namespace fbstream::stylus

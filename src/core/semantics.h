@@ -1,0 +1,56 @@
+#ifndef FBSTREAM_CORE_SEMANTICS_H_
+#define FBSTREAM_CORE_SEMANTICS_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace fbstream::stylus {
+
+// Processing semantics (§4.3.1). State semantics govern how many times each
+// input event can count in the state; output semantics govern how many times
+// a given output value can appear downstream. The implementation realizes
+// them purely through the *order* of checkpoint writes:
+//   at-least-once state:  save state, then offset
+//   at-most-once state:   save offset, then state
+//   exactly-once state:   save state and offset atomically
+// and analogously for where output emission sits relative to the checkpoint.
+enum class StateSemantics {
+  kAtLeastOnce,
+  kAtMostOnce,
+  kExactlyOnce,
+};
+
+enum class OutputSemantics {
+  kAtLeastOnce,
+  kAtMostOnce,
+  kExactlyOnce,
+};
+
+const char* ToString(StateSemantics s);
+const char* ToString(OutputSemantics s);
+
+// Validates a (state, output) pair against the paper's Figure 8 matrix of
+// common combinations:
+//              state:  at-least   at-most   exactly
+//   out at-least-once:    X                    X
+//   out at-most-once:                X         X
+//   out exactly-once:                          X
+inline bool IsSupportedCombination(StateSemantics state,
+                                   OutputSemantics output) {
+  switch (output) {
+    case OutputSemantics::kAtLeastOnce:
+      return state == StateSemantics::kAtLeastOnce ||
+             state == StateSemantics::kExactlyOnce;
+    case OutputSemantics::kAtMostOnce:
+      return state == StateSemantics::kAtMostOnce ||
+             state == StateSemantics::kExactlyOnce;
+    case OutputSemantics::kExactlyOnce:
+      return state == StateSemantics::kExactlyOnce;
+  }
+  return false;
+}
+
+}  // namespace fbstream::stylus
+
+#endif  // FBSTREAM_CORE_SEMANTICS_H_

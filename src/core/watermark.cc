@@ -1,0 +1,30 @@
+#include "core/watermark.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace fbstream::stylus {
+
+void WatermarkEstimator::Observe(Micros event_time, Micros arrival_time) {
+  const Micros lateness = std::max<Micros>(0, arrival_time - event_time);
+  lateness_.push_back(lateness);
+  if (lateness_.size() > window_) lateness_.pop_front();
+  max_event_time_ = std::max(max_event_time_, event_time);
+}
+
+Micros WatermarkEstimator::EstimateLowWatermark(Micros now,
+                                                double confidence) const {
+  if (lateness_.empty()) return now;
+  std::vector<Micros> sorted(lateness_.begin(), lateness_.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::min(1.0, std::max(0.0, confidence));
+  // Round the rank up: at confidence c we must cover at least a c-fraction
+  // of the observed lateness distribution, so small samples err toward the
+  // later (safer) quantile.
+  const size_t rank = static_cast<size_t>(
+      std::ceil(clamped * static_cast<double>(sorted.size() - 1)));
+  return now - sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace fbstream::stylus

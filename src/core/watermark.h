@@ -1,0 +1,40 @@
+#ifndef FBSTREAM_CORE_WATERMARK_H_
+#define FBSTREAM_CORE_WATERMARK_H_
+
+#include <deque>
+
+#include "common/clock.h"
+
+namespace fbstream::stylus {
+
+// Event-time low-watermark estimator (§2.4): "Stylus provides a function to
+// estimate the event time low watermark with a given confidence interval."
+//
+// The estimator observes (event_time, arrival_time) pairs and models the
+// lateness distribution over a sliding window of recent events. The low
+// watermark at confidence c is the time W such that an estimated fraction c
+// of all events with event_time <= W have already arrived: we take the c-th
+// quantile L of observed lateness and report now - L.
+class WatermarkEstimator {
+ public:
+  // `window` caps how many recent events inform the estimate.
+  explicit WatermarkEstimator(size_t window = 4096) : window_(window) {}
+
+  void Observe(Micros event_time, Micros arrival_time);
+
+  // Returns the low watermark at time `now` with the given confidence in
+  // (0, 1]. With no observations, returns now (streams with no lateness).
+  Micros EstimateLowWatermark(Micros now, double confidence) const;
+
+  size_t num_observations() const { return lateness_.size(); }
+  Micros max_event_time() const { return max_event_time_; }
+
+ private:
+  size_t window_;
+  std::deque<Micros> lateness_;
+  Micros max_event_time_ = 0;
+};
+
+}  // namespace fbstream::stylus
+
+#endif  // FBSTREAM_CORE_WATERMARK_H_

@@ -1,0 +1,99 @@
+#include "core/windowed.h"
+
+#include "common/serde.h"
+
+namespace fbstream::stylus {
+
+void WindowedProcessor::Process(const Event& event, std::vector<Row>* out) {
+  (void)out;
+  watermark_.Observe(event.event_time, event.arrival_time);
+  const Micros window = WindowOf(event.event_time);
+  if (window < finalized_through_) {
+    // The window already shipped; re-opening it would double count
+    // downstream. Count the straggler instead.
+    ++late_dropped_;
+    return;
+  }
+  auto& cells = windows_[window];
+  auto it = cells.find(GroupKey(event));
+  if (it == cells.end()) {
+    it = cells.emplace(GroupKey(event), InitialState()).first;
+  }
+  Fold(event, &it->second);
+}
+
+void WindowedProcessor::OnCheckpoint(Micros now, std::vector<Row>* out) {
+  const Micros watermark =
+      watermark_.EstimateLowWatermark(now, options_.confidence);
+  // Finalize every window whose end the watermark has passed.
+  auto it = windows_.begin();
+  while (it != windows_.end() &&
+         it->first + options_.window_micros <= watermark) {
+    for (const auto& [group, state] : it->second) {
+      out->push_back(Render(it->first, group, state));
+    }
+    finalized_through_ = it->first + options_.window_micros;
+    it = windows_.erase(it);
+  }
+}
+
+void WindowedProcessor::FlushAll(std::vector<Row>* out) {
+  for (const auto& [window, cells] : windows_) {
+    for (const auto& [group, state] : cells) {
+      out->push_back(Render(window, group, state));
+    }
+    finalized_through_ = window + options_.window_micros;
+  }
+  windows_.clear();
+}
+
+std::string WindowedProcessor::SerializeState() const {
+  std::string out;
+  PutVarint64(&out, ZigzagEncode(finalized_through_));
+  PutVarint64(&out, late_dropped_);
+  PutVarint64(&out, windows_.size());
+  for (const auto& [window, cells] : windows_) {
+    PutVarint64(&out, ZigzagEncode(window));
+    PutVarint64(&out, cells.size());
+    for (const auto& [group, state] : cells) {
+      PutLengthPrefixed(&out, group);
+      PutLengthPrefixed(&out, state);
+    }
+  }
+  return out;
+}
+
+Status WindowedProcessor::RestoreState(std::string_view data) {
+  windows_.clear();
+  uint64_t raw = 0;
+  if (!GetVarint64(&data, &raw)) return Status::Corruption("windowed: head");
+  finalized_through_ = ZigzagDecode(raw);
+  if (!GetVarint64(&data, &late_dropped_)) {
+    return Status::Corruption("windowed: late");
+  }
+  uint64_t num_windows = 0;
+  if (!GetVarint64(&data, &num_windows)) {
+    return Status::Corruption("windowed: count");
+  }
+  for (uint64_t w = 0; w < num_windows; ++w) {
+    if (!GetVarint64(&data, &raw)) return Status::Corruption("windowed: win");
+    const Micros window = ZigzagDecode(raw);
+    uint64_t num_cells = 0;
+    if (!GetVarint64(&data, &num_cells)) {
+      return Status::Corruption("windowed: cells");
+    }
+    auto& cells = windows_[window];
+    for (uint64_t c = 0; c < num_cells; ++c) {
+      std::string_view group;
+      std::string_view state;
+      if (!GetLengthPrefixed(&data, &group) ||
+          !GetLengthPrefixed(&data, &state)) {
+        return Status::Corruption("windowed: cell");
+      }
+      cells.emplace(std::string(group), std::string(state));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fbstream::stylus

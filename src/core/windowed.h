@@ -1,0 +1,80 @@
+#ifndef FBSTREAM_CORE_WINDOWED_H_
+#define FBSTREAM_CORE_WINDOWED_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/processor.h"
+#include "core/watermark.h"
+
+namespace fbstream::stylus {
+
+// Tumbling event-time windows with watermark-driven finalization — the
+// utility that turns §2.4's "estimate the event time low watermark with a
+// given confidence interval" into application behavior: "Stylus must handle
+// imperfect ordering in its input streams".
+//
+// Subclasses define how one event folds into per-(window, group) state and
+// how a finalized cell renders into an output row. The base class assigns
+// events to windows by event time, tolerates out-of-order arrivals, and
+// emits a window only once the estimated low watermark has passed its end —
+// late events beyond that are counted, not silently dropped into fresh
+// windows.
+class WindowedProcessor : public StatefulProcessor {
+ public:
+  struct Options {
+    Micros window_micros = 5 * kMicrosPerMinute;
+    // Confidence for the low-watermark estimate: higher = waits longer for
+    // stragglers before finalizing.
+    double confidence = 0.99;
+  };
+
+  explicit WindowedProcessor(Options options) : options_(options) {}
+
+  // ---- Subclass API -------------------------------------------------
+
+  // Group key for an event (e.g. its topic). Empty string = one global
+  // group per window.
+  virtual std::string GroupKey(const Event& event) const = 0;
+  // Initial per-cell state.
+  virtual std::string InitialState() const = 0;
+  // Folds one event into the cell state.
+  virtual void Fold(const Event& event, std::string* state) const = 0;
+  // Renders a finalized cell into an output row.
+  virtual Row Render(Micros window_start, const std::string& group,
+                     const std::string& state) const = 0;
+
+  // ---- StatefulProcessor implementation ------------------------------
+
+  void Process(const Event& event, std::vector<Row>* out) final;
+  void OnCheckpoint(Micros now, std::vector<Row>* out) final;
+  std::string SerializeState() const final;
+  Status RestoreState(std::string_view data) final;
+
+  // Events that arrived after their window was already finalized.
+  uint64_t late_dropped() const { return late_dropped_; }
+  size_t open_windows() const { return windows_.size(); }
+
+  // Forces every open window out (end of stream / batch tail).
+  void FlushAll(std::vector<Row>* out);
+
+ private:
+  Micros WindowOf(Micros event_time) const {
+    Micros w = event_time - (event_time % options_.window_micros);
+    if (event_time < 0 && event_time % options_.window_micros != 0) {
+      w -= options_.window_micros;
+    }
+    return w;
+  }
+
+  Options options_;
+  WatermarkEstimator watermark_;
+  std::map<Micros, std::map<std::string, std::string>> windows_;
+  Micros finalized_through_ = 0;  // Windows starting before this are gone.
+  uint64_t late_dropped_ = 0;
+};
+
+}  // namespace fbstream::stylus
+
+#endif  // FBSTREAM_CORE_WINDOWED_H_

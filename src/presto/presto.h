@@ -1,0 +1,59 @@
+#ifndef FBSTREAM_PRESTO_PRESTO_H_
+#define FBSTREAM_PRESTO_PRESTO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/hive/hive.h"
+#include "storage/laser/laser.h"
+
+namespace fbstream::presto {
+
+// Presto stand-in (paper §2.7): "Presto provides full ANSI SQL queries over
+// data stored in Hive. Query results change only once a day, after new data
+// is loaded. They can then be sent to Laser for access by products and
+// realtime stream processors."
+//
+// Supported statement shape (a practical subset of the dialect shared with
+// Puma — same lexer, expressions, scalar functions/UDFs, and aggregate
+// machinery):
+//
+//   SELECT <exprs and aggregates> FROM <hive_table>
+//     [WHERE <expr>] [GROUP BY col, ...]
+//     [ORDER BY output_col [DESC]] [LIMIT n];
+//
+// Queries run over the table's *landed* partitions (all of them by default,
+// or an explicit subset) — batch data, refreshed once a day, exactly as the
+// paper describes.
+struct PrestoResult {
+  SchemaPtr schema;  // Output columns, named by select-item aliases.
+  std::vector<Row> rows;
+  uint64_t rows_scanned = 0;
+  uint64_t partitions_scanned = 0;
+};
+
+class Presto {
+ public:
+  explicit Presto(const hive::Hive* hive) : hive_(hive) {}
+
+  // Runs over every landed partition of the FROM table.
+  StatusOr<PrestoResult> Execute(const std::string& sql) const;
+  // Runs over an explicit partition subset.
+  StatusOr<PrestoResult> ExecuteOnPartitions(
+      const std::string& sql, const std::vector<std::string>& partitions)
+      const;
+
+  // "They can then be sent to Laser": loads a result into a Laser app whose
+  // input schema matches the result columns by name.
+  static Status SendToLaser(const PrestoResult& result,
+                            laser::LaserApp* app);
+
+ private:
+  const hive::Hive* hive_;
+};
+
+}  // namespace fbstream::presto
+
+#endif  // FBSTREAM_PRESTO_PRESTO_H_

@@ -1,0 +1,157 @@
+#include "puma/agg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/serde.h"
+
+namespace fbstream::puma {
+
+AggCell::AggCell(AggFunction fn) : fn_(fn) {}
+
+void AggCell::Update(const Value& v) {
+  ++count_;
+  switch (fn_) {
+    case AggFunction::kCount:
+      return;
+    case AggFunction::kApproxCountDistinct:
+      hll_.Add(v.CoerceString());
+      hll_used_ = true;
+      return;
+    case AggFunction::kPercentile:
+      if (samples_.size() < kMaxSamples) {
+        samples_.push_back(v.CoerceDouble());
+      }
+      return;
+    default:
+      break;
+  }
+  const double x = v.CoerceDouble();
+  sum_ += x;
+  if (!has_minmax_) {
+    min_ = max_ = x;
+    has_minmax_ = true;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+void AggCell::Merge(const AggCell& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.has_minmax_) {
+    if (!has_minmax_) {
+      min_ = other.min_;
+      max_ = other.max_;
+      has_minmax_ = true;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  if (other.hll_used_) {
+    hll_.Merge(other.hll_);
+    hll_used_ = true;
+  }
+  for (const double s : other.samples_) {
+    if (samples_.size() >= kMaxSamples) break;
+    samples_.push_back(s);
+  }
+}
+
+Value AggCell::Result(const SelectItem& item) const {
+  switch (fn_) {
+    case AggFunction::kCount:
+      return Value(count_);
+    case AggFunction::kSum:
+    case AggFunction::kTopK:  // TopK accumulates the score; ranking is done
+                              // at query time over the group results.
+      return Value(sum_);
+    case AggFunction::kAvg:
+      return Value(count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0);
+    case AggFunction::kMin:
+      return Value(has_minmax_ ? min_ : 0.0);
+    case AggFunction::kMax:
+      return Value(has_minmax_ ? max_ : 0.0);
+    case AggFunction::kApproxCountDistinct:
+      return Value(static_cast<int64_t>(std::llround(hll_.Estimate())));
+    case AggFunction::kPercentile: {
+      if (samples_.empty()) return Value(0.0);
+      std::vector<double> sorted = samples_;
+      std::sort(sorted.begin(), sorted.end());
+      const double rank =
+          item.percentile * static_cast<double>(sorted.size() - 1);
+      const size_t lo = static_cast<size_t>(std::floor(rank));
+      const size_t hi = std::min(lo + 1, sorted.size() - 1);
+      const double frac = rank - std::floor(rank);
+      return Value(sorted[lo] * (1 - frac) + sorted[hi] * frac);
+    }
+  }
+  return Value();
+}
+
+void AggCell::Serialize(std::string* out) const {
+  out->push_back(static_cast<char>(fn_));
+  PutVarint64(out, ZigzagEncode(count_));
+  uint64_t bits = 0;
+  static_assert(sizeof(double) == 8, "");
+  memcpy(&bits, &sum_, 8);
+  PutFixed64(out, bits);
+  memcpy(&bits, &min_, 8);
+  PutFixed64(out, bits);
+  memcpy(&bits, &max_, 8);
+  PutFixed64(out, bits);
+  out->push_back(has_minmax_ ? 1 : 0);
+  out->push_back(hll_used_ ? 1 : 0);
+  if (hll_used_) {
+    PutLengthPrefixed(out, hll_.Serialize());
+  }
+  PutVarint64(out, samples_.size());
+  for (const double s : samples_) {
+    memcpy(&bits, &s, 8);
+    PutFixed64(out, bits);
+  }
+}
+
+StatusOr<AggCell> AggCell::Deserialize(std::string_view* in) {
+  if (in->size() < 1) return Status::Corruption("agg cell: empty");
+  AggCell cell(static_cast<AggFunction>(in->front()));
+  in->remove_prefix(1);
+  uint64_t raw = 0;
+  if (!GetVarint64(in, &raw)) return Status::Corruption("agg cell: count");
+  cell.count_ = ZigzagDecode(raw);
+  uint64_t bits = 0;
+  if (!GetFixed64(in, &bits)) return Status::Corruption("agg cell: sum");
+  memcpy(&cell.sum_, &bits, 8);
+  if (!GetFixed64(in, &bits)) return Status::Corruption("agg cell: min");
+  memcpy(&cell.min_, &bits, 8);
+  if (!GetFixed64(in, &bits)) return Status::Corruption("agg cell: max");
+  memcpy(&cell.max_, &bits, 8);
+  if (in->size() < 2) return Status::Corruption("agg cell: flags");
+  cell.has_minmax_ = (*in)[0] != 0;
+  cell.hll_used_ = (*in)[1] != 0;
+  in->remove_prefix(2);
+  if (cell.hll_used_) {
+    std::string_view hll_data;
+    if (!GetLengthPrefixed(in, &hll_data)) {
+      return Status::Corruption("agg cell: hll");
+    }
+    cell.hll_ = HyperLogLog::Deserialize(hll_data);
+  }
+  uint64_t n = 0;
+  if (!GetVarint64(in, &n)) return Status::Corruption("agg cell: samples");
+  // Each sample is 8 bytes; reject counts the input cannot hold.
+  if (n > in->size() / 8) return Status::Corruption("agg cell: sample count");
+  cell.samples_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!GetFixed64(in, &bits)) return Status::Corruption("agg cell: sample");
+    double s = 0;
+    memcpy(&s, &bits, 8);
+    cell.samples_.push_back(s);
+  }
+  return cell;
+}
+
+}  // namespace fbstream::puma

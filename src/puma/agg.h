@@ -1,0 +1,54 @@
+#ifndef FBSTREAM_PUMA_AGG_H_
+#define FBSTREAM_PUMA_AGG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/hll.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "puma/ast.h"
+
+namespace fbstream::puma {
+
+// State of one aggregate function for one (window, group) cell. Every
+// function is a monoid (§4.4.2: "The aggregation functions in Puma are all
+// monoid"): cells start at the identity, Update folds one row in, Merge is
+// the associative combine used for cross-shard/batch partial aggregation.
+// PERCENTILE keeps a bounded sample, making it approximate-but-mergeable.
+class AggCell {
+ public:
+  AggCell() = default;
+  explicit AggCell(AggFunction fn);
+
+  void Update(const Value& v);
+  void UpdateCount() { ++count_; }
+  void Merge(const AggCell& other);
+
+  // Final value given the select item (supplies percentile etc.).
+  Value Result(const SelectItem& item) const;
+
+  void Serialize(std::string* out) const;
+  static StatusOr<AggCell> Deserialize(std::string_view* in);
+
+  AggFunction function() const { return fn_; }
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  static constexpr size_t kMaxSamples = 4096;
+
+  AggFunction fn_ = AggFunction::kCount;
+  int64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  bool has_minmax_ = false;
+  HyperLogLog hll_{12};
+  bool hll_used_ = false;
+  std::vector<double> samples_;
+};
+
+}  // namespace fbstream::puma
+
+#endif  // FBSTREAM_PUMA_AGG_H_

@@ -1,0 +1,233 @@
+#include "puma/aggregation.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+
+namespace fbstream::puma {
+
+TableAggregation::TableAggregation(const CreateTableStmt* stmt,
+                                   SchemaPtr input_schema,
+                                   std::string time_column)
+    : stmt_(stmt),
+      input_schema_(std::move(input_schema)),
+      time_column_(std::move(time_column)) {
+  // Resolve each group-by name: an alias of a non-aggregate select item, or
+  // a bare input column.
+  for (const std::string& name : stmt_->group_by) {
+    ExprPtr expr;
+    for (const SelectItem& item : stmt_->items) {
+      if (!item.is_aggregate && item.alias == name) {
+        expr = item.expr;
+        break;
+      }
+    }
+    if (expr == nullptr) {
+      expr = std::make_shared<Expr>();
+      expr->kind = ExprKind::kColumn;
+      expr->column = name;
+    }
+    group_exprs_.push_back(std::move(expr));
+  }
+  for (size_t i = 0; i < stmt_->items.size(); ++i) {
+    if (stmt_->items[i].is_aggregate) {
+      agg_items_.push_back(static_cast<int>(i));
+    }
+  }
+}
+
+void TableAggregation::ProcessRow(const Row& row) {
+  if (stmt_->where != nullptr && !EvalPredicate(*stmt_->where, row)) return;
+  const Micros t = row.Get(time_column_).CoerceInt64();
+  max_event_time_ = std::max(max_event_time_, t);
+  Micros window = t - (t % stmt_->window_micros);
+  if (t < 0 && t % stmt_->window_micros != 0) window -= stmt_->window_micros;
+
+  GroupKey key;
+  key.reserve(group_exprs_.size());
+  for (const ExprPtr& expr : group_exprs_) {
+    key.push_back(EvalExpr(*expr, row).ToString());
+  }
+
+  Cells& cells = windows_[window][key];
+  if (cells.empty()) {
+    cells.reserve(agg_items_.size());
+    for (const int i : agg_items_) {
+      cells.emplace_back(stmt_->items[static_cast<size_t>(i)].agg);
+    }
+  }
+  for (size_t a = 0; a < agg_items_.size(); ++a) {
+    const SelectItem& item =
+        stmt_->items[static_cast<size_t>(agg_items_[a])];
+    if (item.agg == AggFunction::kCount && item.agg_arg == nullptr) {
+      cells[a].UpdateCount();
+    } else if (item.agg_arg != nullptr) {
+      cells[a].Update(EvalExpr(*item.agg_arg, row));
+    } else {
+      cells[a].UpdateCount();
+    }
+  }
+  ++rows_processed_;
+}
+
+std::vector<Value> TableAggregation::GroupValuesFor(const GroupKey& key) const {
+  std::vector<Value> values;
+  values.reserve(key.size());
+  for (const std::string& k : key) values.emplace_back(k);
+  return values;
+}
+
+std::vector<PumaResultRow> TableAggregation::QueryWindow(
+    Micros window_start) const {
+  std::vector<PumaResultRow> rows;
+  auto it = windows_.find(window_start);
+  if (it == windows_.end()) return rows;
+  for (const auto& [key, cells] : it->second) {
+    PumaResultRow row;
+    row.window_start = window_start;
+    row.group = GroupValuesFor(key);
+    for (size_t a = 0; a < agg_items_.size(); ++a) {
+      row.aggregates.push_back(cells[a].Result(
+          stmt_->items[static_cast<size_t>(agg_items_[a])]));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<PumaResultRow> TableAggregation::QueryTopK(Micros window_start,
+                                                       size_t k,
+                                                       int rank_item) const {
+  std::vector<PumaResultRow> rows = QueryWindow(window_start);
+  // Pick the ranking aggregate: explicit, else the TopK item, else item 0.
+  size_t rank = 0;
+  if (rank_item >= 0 && static_cast<size_t>(rank_item) < agg_items_.size()) {
+    rank = static_cast<size_t>(rank_item);
+  } else {
+    for (size_t a = 0; a < agg_items_.size(); ++a) {
+      if (stmt_->items[static_cast<size_t>(agg_items_[a])].agg ==
+          AggFunction::kTopK) {
+        rank = a;
+        break;
+      }
+    }
+  }
+  // Partition rows by the leading group column ("top K events for each
+  // topic"); no group columns = one global partition.
+  std::map<std::string, std::vector<PumaResultRow>> partitions;
+  for (PumaResultRow& row : rows) {
+    const std::string part =
+        row.group.empty() ? "" : row.group[0].ToString();
+    partitions[part].push_back(std::move(row));
+  }
+  std::vector<PumaResultRow> out;
+  for (auto& [part, members] : partitions) {
+    std::stable_sort(members.begin(), members.end(),
+                     [rank](const PumaResultRow& a, const PumaResultRow& b) {
+                       return b.aggregates[rank] < a.aggregates[rank];
+                     });
+    if (members.size() > k) members.resize(k);
+    for (PumaResultRow& row : members) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<Micros> TableAggregation::Windows() const {
+  std::vector<Micros> out;
+  out.reserve(windows_.size());
+  for (const auto& [w, groups] : windows_) out.push_back(w);
+  return out;
+}
+
+bool TableAggregation::IsWindowFinal(Micros window_start, Micros grace) const {
+  return max_event_time_ >= window_start + stmt_->window_micros + grace;
+}
+
+void TableAggregation::ExpireWindowsBefore(Micros horizon) {
+  auto it = windows_.begin();
+  while (it != windows_.end() && it->first < horizon) {
+    it = windows_.erase(it);
+  }
+}
+
+void TableAggregation::Serialize(std::string* out) const {
+  PutVarint64(out, ZigzagEncode(max_event_time_));
+  PutVarint64(out, rows_processed_);
+  PutVarint64(out, windows_.size());
+  for (const auto& [window, groups] : windows_) {
+    PutVarint64(out, ZigzagEncode(window));
+    PutVarint64(out, groups.size());
+    for (const auto& [key, cells] : groups) {
+      PutVarint64(out, key.size());
+      for (const std::string& k : key) PutLengthPrefixed(out, k);
+      PutVarint64(out, cells.size());
+      for (const AggCell& cell : cells) cell.Serialize(out);
+    }
+  }
+}
+
+Status TableAggregation::Restore(std::string_view data) {
+  windows_.clear();
+  uint64_t raw = 0;
+  if (!GetVarint64(&data, &raw)) return Status::Corruption("agg: time");
+  max_event_time_ = ZigzagDecode(raw);
+  if (!GetVarint64(&data, &rows_processed_)) {
+    return Status::Corruption("agg: rows");
+  }
+  uint64_t num_windows = 0;
+  if (!GetVarint64(&data, &num_windows)) {
+    return Status::Corruption("agg: windows");
+  }
+  for (uint64_t w = 0; w < num_windows; ++w) {
+    if (!GetVarint64(&data, &raw)) return Status::Corruption("agg: window");
+    const Micros window = ZigzagDecode(raw);
+    uint64_t num_groups = 0;
+    if (!GetVarint64(&data, &num_groups)) {
+      return Status::Corruption("agg: groups");
+    }
+    for (uint64_t g = 0; g < num_groups; ++g) {
+      uint64_t key_size = 0;
+      if (!GetVarint64(&data, &key_size)) {
+        return Status::Corruption("agg: key size");
+      }
+      GroupKey key;
+      for (uint64_t i = 0; i < key_size; ++i) {
+        std::string_view part;
+        if (!GetLengthPrefixed(&data, &part)) {
+          return Status::Corruption("agg: key part");
+        }
+        key.emplace_back(part);
+      }
+      uint64_t num_cells = 0;
+      if (!GetVarint64(&data, &num_cells)) {
+        return Status::Corruption("agg: cells");
+      }
+      Cells cells;
+      for (uint64_t c = 0; c < num_cells; ++c) {
+        FBSTREAM_ASSIGN_OR_RETURN(AggCell cell, AggCell::Deserialize(&data));
+        cells.push_back(std::move(cell));
+      }
+      windows_[window].emplace(std::move(key), std::move(cells));
+    }
+  }
+  return Status::OK();
+}
+
+void TableAggregation::MergeFrom(const TableAggregation& other) {
+  max_event_time_ = std::max(max_event_time_, other.max_event_time_);
+  rows_processed_ += other.rows_processed_;
+  for (const auto& [window, groups] : other.windows_) {
+    for (const auto& [key, cells] : groups) {
+      Cells& mine = windows_[window][key];
+      if (mine.empty()) {
+        mine = cells;
+        continue;
+      }
+      for (size_t i = 0; i < mine.size() && i < cells.size(); ++i) {
+        mine[i].Merge(cells[i]);
+      }
+    }
+  }
+}
+
+}  // namespace fbstream::puma

@@ -1,0 +1,88 @@
+#ifndef FBSTREAM_PUMA_AGGREGATION_H_
+#define FBSTREAM_PUMA_AGGREGATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "puma/agg.h"
+#include "puma/ast.h"
+#include "puma/expr.h"
+
+namespace fbstream::puma {
+
+// One result row of a Puma aggregation table query.
+struct PumaResultRow {
+  Micros window_start = 0;
+  std::vector<Value> group;       // Group-by values, in group_by order.
+  std::vector<Value> aggregates;  // One per aggregate select item.
+};
+
+// The continuously maintained windowed aggregation behind one CREATE TABLE
+// statement. Shared verbatim by the streaming app and the batch (Hive UDF)
+// runner — "The Puma app code remains unchanged, whether it is running over
+// streaming or batch data" (§4.5.2).
+class TableAggregation {
+ public:
+  TableAggregation(const CreateTableStmt* stmt, SchemaPtr input_schema,
+                   std::string time_column);
+
+  // Folds one input row (filtering, grouping, windowing, aggregating).
+  void ProcessRow(const Row& row);
+
+  // Full contents of one window, sorted by group key.
+  std::vector<PumaResultRow> QueryWindow(Micros window_start) const;
+
+  // Figure 2 semantics: for each value of the leading group-by column, the
+  // top `k` remaining group keys ranked by the given aggregate item
+  // (default: the TopK item, else the first aggregate).
+  std::vector<PumaResultRow> QueryTopK(Micros window_start, size_t k,
+                                       int rank_item = -1) const;
+
+  // Window starts with data, ascending.
+  std::vector<Micros> Windows() const;
+
+  // A window is final once event time has moved past its end (plus a grace
+  // period for late events): "the delay equals the size of the query
+  // result's time window" (§2.2).
+  bool IsWindowFinal(Micros window_start, Micros grace = kMicrosPerMinute) const;
+
+  // Drops windows older than `horizon` (state retention).
+  void ExpireWindowsBefore(Micros horizon);
+
+  // Checkpoint support: the whole aggregation state as one blob.
+  void Serialize(std::string* out) const;
+  Status Restore(std::string_view data);
+
+  // Merges another shard's partial aggregation state (all functions are
+  // monoid, so merge order does not matter).
+  void MergeFrom(const TableAggregation& other);
+
+  const CreateTableStmt& stmt() const { return *stmt_; }
+  Micros max_event_time() const { return max_event_time_; }
+  uint64_t rows_processed() const { return rows_processed_; }
+
+ private:
+  using GroupKey = std::vector<std::string>;
+  using Cells = std::vector<AggCell>;
+
+  std::vector<Value> GroupValuesFor(const GroupKey& key) const;
+
+  const CreateTableStmt* stmt_;
+  SchemaPtr input_schema_;
+  std::string time_column_;
+  // Expressions backing each group-by name (alias -> select expr, or bare
+  // column).
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<int> agg_items_;  // Indices of aggregate select items.
+  std::map<Micros, std::map<GroupKey, Cells>> windows_;
+  Micros max_event_time_ = 0;
+  uint64_t rows_processed_ = 0;
+};
+
+}  // namespace fbstream::puma
+
+#endif  // FBSTREAM_PUMA_AGGREGATION_H_

@@ -1,0 +1,156 @@
+#ifndef FBSTREAM_PUMA_APP_H_
+#define FBSTREAM_PUMA_APP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "puma/aggregation.h"
+#include "puma/ast.h"
+#include "puma/parser.h"
+#include "scribe/scribe.h"
+#include "storage/laser/laser.h"
+#include "storage/zippydb/zippydb.h"
+
+namespace fbstream::puma {
+
+// A deployed, running Puma application (§2.2): windowed aggregation tables
+// served through a Thrift-like query API, and/or stateless filter streams
+// whose output is another Scribe category. State checkpoints go to an
+// HBase stand-in (a ZippyDB cluster) with at-least-once state and output
+// semantics ("Puma guarantees at-least-once state and output semantics
+// with checkpoints to HBase", §4.3.2).
+struct PumaAppOptions {
+  // Checkpoint store; may be null for ephemeral (test) apps.
+  zippydb::Cluster* hbase = nullptr;
+  // Laser service resolving JOIN LASER lookup joins; may be null if no
+  // input table declares one.
+  laser::Laser* laser = nullptr;
+  // Events processed between checkpoints, per input bucket.
+  size_t checkpoint_every_events = 512;
+  // Aggregation windows older than this (relative to max event time) are
+  // expired from memory.
+  Micros window_retention = 24 * kMicrosPerHour;
+};
+
+class PumaApp {
+ public:
+  static StatusOr<std::unique_ptr<PumaApp>> Create(AppSpec spec,
+                                                   scribe::Scribe* scribe,
+                                                   Clock* clock,
+                                                   PumaAppOptions options);
+
+  const std::string& name() const { return spec_.name; }
+  const AppSpec& spec() const { return spec_; }
+
+  // Streaming: drains pending input across all buckets of all input tables
+  // and checkpoints. Returns events processed.
+  StatusOr<size_t> PollOnce();
+
+  // Crash/recovery: in-memory aggregation state dies; the checkpoint in
+  // HBase restores it (at-least-once).
+  void Crash();
+  Status Recover();
+  bool alive() const { return alive_; }
+
+  // Thrift-like query API ("The query results are obtained by querying the
+  // Puma app through a Thrift API", §2.2). Queries served per app; "Puma is
+  // designed to handle thousands of queries per second per app" (§3).
+  StatusOr<std::vector<PumaResultRow>> QueryWindow(const std::string& table,
+                                                   Micros window_start) const;
+  StatusOr<std::vector<PumaResultRow>> QueryTopK(const std::string& table,
+                                                 Micros window_start,
+                                                 size_t k) const;
+  // Uses the K declared in the table's topk(...) item (default 10).
+  StatusOr<std::vector<PumaResultRow>> QueryTopK(const std::string& table,
+                                                 Micros window_start) const;
+  StatusOr<std::vector<Micros>> Windows(const std::string& table) const;
+  StatusOr<bool> IsWindowFinal(const std::string& table,
+                               Micros window_start) const;
+
+  // Output schema of a stream statement (for consumers of its category).
+  StatusOr<SchemaPtr> StreamOutputSchema(const std::string& stream) const;
+
+  uint64_t queries_served() const { return queries_served_; }
+  uint64_t rows_processed() const { return rows_processed_; }
+  uint64_t checkpoints() const { return checkpoints_; }
+
+  // Direct (test) access to a table's aggregation engine.
+  const TableAggregation* aggregation(const std::string& table) const;
+
+ private:
+  PumaApp(AppSpec spec, scribe::Scribe* scribe, Clock* clock,
+          PumaAppOptions options);
+
+  Status Start();
+  Status ProcessInput(const CreateInputTableStmt& input, size_t* processed);
+  Status CheckpointNow();
+  std::string StateKey() const { return "puma/" + spec_.name + "/__state__"; }
+  std::string OffsetKey(const std::string& input, int bucket) const {
+    return "puma/" + spec_.name + "/offset/" + input + "/" +
+           std::to_string(bucket);
+  }
+
+  AppSpec spec_;
+  scribe::Scribe* scribe_;
+  Clock* clock_;
+  PumaAppOptions options_;
+
+  // Derived.
+  std::map<std::string, SchemaPtr> input_schemas_;
+  std::map<std::string, const CreateInputTableStmt*> inputs_;
+  // Resolved lookup joins: input table name -> Laser app.
+  std::map<std::string, laser::LaserApp*> lookups_;
+  std::map<std::string, std::unique_ptr<TableAggregation>> tables_;
+  std::map<std::string, SchemaPtr> stream_schemas_;
+
+  struct InputTailers {
+    const CreateInputTableStmt* input;
+    std::vector<scribe::Tailer> tailers;
+  };
+  std::vector<InputTailers> readers_;
+
+  bool alive_ = false;
+  uint64_t rows_processed_ = 0;
+  uint64_t checkpoints_ = 0;
+  mutable uint64_t queries_served_ = 0;
+};
+
+// The Puma service (§6.3): self-service deployment with a review gate —
+// "the UI generates a code diff that must be reviewed. The app is deployed
+// or deleted automatically after the diff is accepted and committed."
+class PumaService {
+ public:
+  PumaService(scribe::Scribe* scribe, Clock* clock, PumaAppOptions options)
+      : scribe_(scribe), clock_(clock), options_(options) {}
+
+  // Submits app source; returns a diff id awaiting review.
+  StatusOr<int> SubmitApp(const std::string& source);
+  // Second engineer accepts: the app deploys automatically.
+  Status AcceptDiff(int diff_id);
+  Status RejectDiff(int diff_id);
+
+  PumaApp* GetApp(const std::string& name) const;
+  Status DeleteApp(const std::string& name);
+  std::vector<std::string> ListApps() const;
+
+  // Drives all deployed apps; returns events processed.
+  StatusOr<size_t> PollAll();
+
+  int pending_diffs() const { return static_cast<int>(pending_.size()); }
+
+ private:
+  scribe::Scribe* scribe_;
+  Clock* clock_;
+  PumaAppOptions options_;
+  int next_diff_id_ = 1;
+  std::map<int, AppSpec> pending_;
+  std::map<std::string, std::unique_ptr<PumaApp>> apps_;
+};
+
+}  // namespace fbstream::puma
+
+#endif  // FBSTREAM_PUMA_APP_H_

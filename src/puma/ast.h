@@ -1,0 +1,146 @@
+#ifndef FBSTREAM_PUMA_AST_H_
+#define FBSTREAM_PUMA_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/value.h"
+
+namespace fbstream::puma {
+
+// Expression tree for the Puma dialect.
+enum class ExprKind {
+  kLiteral,
+  kColumn,
+  kBinary,
+  kUnaryNot,
+  kCall,  // Scalar function / UDF, or aggregate function.
+};
+
+enum class BinaryOp {
+  kAnd,
+  kOr,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+  // kLiteral:
+  Value literal;
+  // kColumn:
+  std::string column;
+  // kBinary:
+  BinaryOp op = BinaryOp::kAnd;
+  ExprPtr left;
+  ExprPtr right;
+  // kUnaryNot: operand in `left`.
+  // kCall:
+  std::string function;        // Uppercased name.
+  std::vector<ExprPtr> args;
+  bool star_arg = false;       // COUNT(*).
+
+  std::string ToString() const;
+};
+
+// Aggregate functions supported by Puma apps (§2.2: "aggregation functions
+// in Puma are all monoid", §6.5 HyperLogLog uniques).
+enum class AggFunction {
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kTopK,                // Figure 2's topk(score).
+  kApproxCountDistinct, // HyperLogLog.
+  kPercentile,
+};
+
+bool IsAggregateFunctionName(const std::string& upper_name);
+
+// One item of a SELECT list.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // Output column name (defaults to expression text).
+  bool is_aggregate = false;
+  // Filled by the analyzer for aggregate items:
+  AggFunction agg = AggFunction::kCount;
+  ExprPtr agg_arg;       // Argument expression (null for COUNT(*)).
+  int64_t topk_k = 10;   // For kTopK.
+  double percentile = 0.5;
+};
+
+// CREATE APPLICATION name;
+struct CreateApplicationStmt {
+  std::string name;
+};
+
+// CREATE INPUT TABLE t (col [type], ...) FROM SCRIBE("category") TIME col
+//   [JOIN LASER("laser_app") ON key_col];
+//
+// The optional JOIN LASER clause declares a lookup join (§2.5: Laser "can
+// also make the result of a complex Hive query or a Scribe stream available
+// to a Puma or Stylus app, usually for a lookup join"): the raw stream
+// carries the leading columns; the Laser app's value columns (declared by
+// name among the table's columns) are filled in per row by looking up
+// `laser_key` in the Laser app.
+struct CreateInputTableStmt {
+  std::string name;
+  std::vector<Column> columns;
+  std::string scribe_category;
+  std::string time_column;
+  std::string laser_app;  // Empty = no lookup join.
+  std::string laser_key;
+};
+
+// CREATE TABLE out AS SELECT ... FROM input [N minutes]
+//   [WHERE expr] [GROUP BY col, ...];
+// A windowed, continuously maintained aggregation (Figure 2). If GROUP BY
+// is omitted, the non-aggregate select items form the implicit group key.
+struct CreateTableStmt {
+  std::string name;
+  std::vector<SelectItem> items;
+  std::string from;
+  Micros window_micros = 5 * kMicrosPerMinute;
+  ExprPtr where;                     // Null = no filter.
+  std::vector<std::string> group_by; // Possibly empty.
+};
+
+// CREATE STREAM out AS SELECT ... FROM input [WHERE expr]
+//   EMIT TO SCRIBE("category");
+// A stateless filter/projection app whose output is another Scribe stream
+// (§2.2: "The output of these stateless Puma apps is another Scribe
+// stream").
+struct CreateStreamStmt {
+  std::string name;
+  std::vector<SelectItem> items;  // No aggregates allowed.
+  std::string from;
+  ExprPtr where;
+  std::string output_category;
+};
+
+// A parsed Puma application: one CREATE APPLICATION plus its tables.
+struct AppSpec {
+  std::string name;
+  std::vector<CreateInputTableStmt> inputs;
+  std::vector<CreateTableStmt> tables;
+  std::vector<CreateStreamStmt> streams;
+};
+
+}  // namespace fbstream::puma
+
+#endif  // FBSTREAM_PUMA_AST_H_

@@ -1,0 +1,38 @@
+#ifndef FBSTREAM_PUMA_BATCH_H_
+#define FBSTREAM_PUMA_BATCH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "puma/aggregation.h"
+#include "puma/ast.h"
+#include "storage/hive/hive.h"
+
+namespace fbstream::puma {
+
+// Batch execution of a Puma app over Hive (§4.5.2): "Puma applications can
+// run in Hive's environment as Hive UDFs and UDAFs. The Puma app code
+// remains unchanged, whether it is running over streaming or batch data."
+// The same TableAggregation engine that backs the streaming app is fed from
+// warehouse partitions instead of Scribe.
+struct PumaBatchResult {
+  // Table name -> all result rows across all windows.
+  std::map<std::string, std::vector<PumaResultRow>> tables;
+  // Stream name -> filtered/projected output rows.
+  std::map<std::string, std::vector<Row>> streams;
+  uint64_t input_rows = 0;
+};
+
+// `input_to_hive_table` maps each CREATE INPUT TABLE name to the Hive table
+// holding its archived stream (§4.5.2: "we store input and output streams
+// in our data warehouse Hive for longer retention").
+StatusOr<PumaBatchResult> RunAppOverHive(
+    const AppSpec& spec, const hive::Hive& hive,
+    const std::map<std::string, std::string>& input_to_hive_table,
+    const std::vector<std::string>& partitions);
+
+}  // namespace fbstream::puma
+
+#endif  // FBSTREAM_PUMA_BATCH_H_

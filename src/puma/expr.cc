@@ -1,0 +1,218 @@
+#include "puma/expr.h"
+
+#include <cctype>
+#include <cmath>
+
+namespace fbstream::puma {
+
+namespace {
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(toupper(c));
+  return s;
+}
+
+bool Truthy(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt64:
+      return v.AsInt64() != 0;
+    case ValueType::kDouble:
+      return v.AsDouble() != 0;
+    case ValueType::kString:
+      return !v.AsString().empty();
+  }
+  return false;
+}
+
+Value NumericBinary(BinaryOp op, const Value& a, const Value& b) {
+  const bool both_int = a.type() == ValueType::kInt64 &&
+                        b.type() == ValueType::kInt64;
+  if (both_int && op != BinaryOp::kDiv) {
+    const int64_t x = a.AsInt64();
+    const int64_t y = b.AsInt64();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value(x + y);
+      case BinaryOp::kSub:
+        return Value(x - y);
+      case BinaryOp::kMul:
+        return Value(x * y);
+      case BinaryOp::kMod:
+        return Value(y == 0 ? int64_t{0} : x % y);
+      default:
+        break;
+    }
+  }
+  const double x = a.CoerceDouble();
+  const double y = b.CoerceDouble();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value(x + y);
+    case BinaryOp::kSub:
+      return Value(x - y);
+    case BinaryOp::kMul:
+      return Value(x * y);
+    case BinaryOp::kDiv:
+      return Value(y == 0 ? 0.0 : x / y);
+    case BinaryOp::kMod:
+      return Value(y == 0 ? 0.0 : std::fmod(x, y));
+    default:
+      return Value();
+  }
+}
+
+Value BuiltinCall(const std::string& fn, const std::vector<Value>& args) {
+  if (fn == "LOWER" && args.size() == 1) {
+    std::string s = args[0].CoerceString();
+    for (char& c : s) c = static_cast<char>(tolower(c));
+    return Value(std::move(s));
+  }
+  if (fn == "UPPER" && args.size() == 1) {
+    return Value(ToUpper(args[0].CoerceString()));
+  }
+  if (fn == "LENGTH" && args.size() == 1) {
+    return Value(static_cast<int64_t>(args[0].CoerceString().size()));
+  }
+  if (fn == "CONCAT") {
+    std::string s;
+    for (const Value& v : args) s += v.CoerceString();
+    return Value(std::move(s));
+  }
+  if (fn == "CONTAINS" && args.size() == 2) {
+    return Value(static_cast<int64_t>(
+        args[0].CoerceString().find(args[1].CoerceString()) !=
+        std::string::npos));
+  }
+  if (fn == "SUBSTR" && args.size() >= 2) {
+    const std::string s = args[0].CoerceString();
+    const size_t pos = std::min<size_t>(
+        s.size(), static_cast<size_t>(std::max<int64_t>(
+                      0, args[1].CoerceInt64())));
+    const size_t len = args.size() >= 3
+                           ? static_cast<size_t>(std::max<int64_t>(
+                                 0, args[2].CoerceInt64()))
+                           : std::string::npos;
+    return Value(s.substr(pos, len));
+  }
+  if (fn == "IF" && args.size() == 3) {
+    return Truthy(args[0]) ? args[1] : args[2];
+  }
+  if (fn == "ABS" && args.size() == 1) {
+    if (args[0].type() == ValueType::kInt64) {
+      return Value(std::abs(args[0].AsInt64()));
+    }
+    return Value(std::fabs(args[0].CoerceDouble()));
+  }
+  if (fn == "ROUND" && args.size() == 1) {
+    return Value(static_cast<int64_t>(std::llround(args[0].CoerceDouble())));
+  }
+  return Value();  // Unknown builtin: null.
+}
+
+}  // namespace
+
+UdfRegistry* UdfRegistry::Global() {
+  static UdfRegistry* registry = new UdfRegistry();
+  return registry;
+}
+
+Status UdfRegistry::Register(const std::string& name, Udf udf) {
+  const std::string key = ToUpper(name);
+  if (IsAggregateFunctionName(key)) {
+    return Status::InvalidArgument("cannot shadow aggregate " + key);
+  }
+  udfs_[key] = std::move(udf);
+  return Status::OK();
+}
+
+const UdfRegistry::Udf* UdfRegistry::Find(const std::string& name) const {
+  auto it = udfs_.find(ToUpper(name));
+  return it == udfs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> UdfRegistry::Names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, udf] : udfs_) names.push_back(name);
+  return names;
+}
+
+Value EvalExpr(const Expr& expr, const Row& row, const UdfRegistry* udfs) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kColumn:
+      return row.Get(expr.column);
+    case ExprKind::kUnaryNot:
+      return Value(static_cast<int64_t>(
+          !Truthy(EvalExpr(*expr.left, row, udfs))));
+    case ExprKind::kBinary: {
+      switch (expr.op) {
+        case BinaryOp::kAnd:
+          return Value(static_cast<int64_t>(
+              Truthy(EvalExpr(*expr.left, row, udfs)) &&
+              Truthy(EvalExpr(*expr.right, row, udfs))));
+        case BinaryOp::kOr:
+          return Value(static_cast<int64_t>(
+              Truthy(EvalExpr(*expr.left, row, udfs)) ||
+              Truthy(EvalExpr(*expr.right, row, udfs))));
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe: {
+          const int c = EvalExpr(*expr.left, row, udfs)
+                            .Compare(EvalExpr(*expr.right, row, udfs));
+          bool result = false;
+          switch (expr.op) {
+            case BinaryOp::kEq:
+              result = c == 0;
+              break;
+            case BinaryOp::kNe:
+              result = c != 0;
+              break;
+            case BinaryOp::kLt:
+              result = c < 0;
+              break;
+            case BinaryOp::kLe:
+              result = c <= 0;
+              break;
+            case BinaryOp::kGt:
+              result = c > 0;
+              break;
+            case BinaryOp::kGe:
+              result = c >= 0;
+              break;
+            default:
+              break;
+          }
+          return Value(static_cast<int64_t>(result));
+        }
+        default:
+          return NumericBinary(expr.op, EvalExpr(*expr.left, row, udfs),
+                               EvalExpr(*expr.right, row, udfs));
+      }
+    }
+    case ExprKind::kCall: {
+      std::vector<Value> args;
+      args.reserve(expr.args.size());
+      for (const ExprPtr& arg : expr.args) {
+        args.push_back(EvalExpr(*arg, row, udfs));
+      }
+      const UdfRegistry* registry =
+          udfs != nullptr ? udfs : UdfRegistry::Global();
+      const UdfRegistry::Udf* udf = registry->Find(expr.function);
+      if (udf != nullptr) return (*udf)(args);
+      return BuiltinCall(expr.function, args);
+    }
+  }
+  return Value();
+}
+
+bool EvalPredicate(const Expr& expr, const Row& row, const UdfRegistry* udfs) {
+  return Truthy(EvalExpr(expr, row, udfs));
+}
+
+}  // namespace fbstream::puma

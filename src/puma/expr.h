@@ -1,0 +1,45 @@
+#ifndef FBSTREAM_PUMA_EXPR_H_
+#define FBSTREAM_PUMA_EXPR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "puma/ast.h"
+
+namespace fbstream::puma {
+
+// User-defined functions (§2.2: "a SQL-like language with UDFs written in
+// Java"; here the stand-ins are C++ callables). Names are case-insensitive.
+class UdfRegistry {
+ public:
+  using Udf = std::function<Value(const std::vector<Value>&)>;
+
+  // Process-wide registry for user functions. Built-ins (LOWER, UPPER,
+  // LENGTH, CONCAT, CONTAINS, SUBSTR, IF, ABS, ROUND) resolve automatically
+  // when a name is not registered.
+  static UdfRegistry* Global();
+
+  Status Register(const std::string& name, Udf udf);
+  const Udf* Find(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Udf> udfs_;
+};
+
+// Evaluates a scalar expression against one row. Aggregate calls must not
+// appear (the planner splits them out first); they evaluate to null.
+Value EvalExpr(const Expr& expr, const Row& row,
+               const UdfRegistry* udfs = nullptr);
+
+// Convenience: truthiness of an expression (non-zero / non-empty).
+bool EvalPredicate(const Expr& expr, const Row& row,
+                   const UdfRegistry* udfs = nullptr);
+
+}  // namespace fbstream::puma
+
+#endif  // FBSTREAM_PUMA_EXPR_H_

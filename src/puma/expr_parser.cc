@@ -1,0 +1,241 @@
+#include "puma/expr_parser.h"
+
+#include <cctype>
+#include <map>
+
+namespace fbstream::puma {
+
+namespace {
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(toupper(c));
+  return s;
+}
+
+StatusOr<ExprPtr> ParseOr(TokenCursor* cursor);
+
+StatusOr<ExprPtr> ParsePrimary(TokenCursor* cursor) {
+  auto node = std::make_shared<Expr>();
+  const Token& token = cursor->Peek();
+  switch (token.type) {
+    case TokenType::kInteger:
+      node->kind = ExprKind::kLiteral;
+      node->literal = Value(cursor->Advance().int_value);
+      return node;
+    case TokenType::kDouble:
+      node->kind = ExprKind::kLiteral;
+      node->literal = Value(cursor->Advance().double_value);
+      return node;
+    case TokenType::kString:
+      node->kind = ExprKind::kLiteral;
+      node->literal = Value(cursor->Advance().text);
+      return node;
+    case TokenType::kKeyword:
+      if (cursor->AcceptKeyword("TRUE")) {
+        node->kind = ExprKind::kLiteral;
+        node->literal = Value(1);
+        return node;
+      }
+      if (cursor->AcceptKeyword("FALSE")) {
+        node->kind = ExprKind::kLiteral;
+        node->literal = Value(0);
+        return node;
+      }
+      if (cursor->AcceptKeyword("NULL")) {
+        node->kind = ExprKind::kLiteral;
+        node->literal = Value();
+        return node;
+      }
+      return cursor->Error("unexpected keyword " + token.text);
+    case TokenType::kSymbol:
+      if (cursor->AcceptSymbol("(")) {
+        FBSTREAM_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr(cursor));
+        FBSTREAM_RETURN_IF_ERROR(cursor->ExpectSymbol(")"));
+        return inner;
+      }
+      return cursor->Error("unexpected symbol '" + token.text + "'");
+    case TokenType::kIdentifier: {
+      const std::string name = cursor->Advance().text;
+      if (cursor->AcceptSymbol("(")) {
+        node->kind = ExprKind::kCall;
+        node->function = ToUpper(name);
+        if (cursor->AcceptSymbol("*")) {
+          node->star_arg = true;
+        } else if (cursor->Peek().type != TokenType::kSymbol ||
+                   cursor->Peek().text != ")") {
+          while (true) {
+            FBSTREAM_ASSIGN_OR_RETURN(ExprPtr arg, ParseOr(cursor));
+            node->args.push_back(std::move(arg));
+            if (!cursor->AcceptSymbol(",")) break;
+          }
+        }
+        FBSTREAM_RETURN_IF_ERROR(cursor->ExpectSymbol(")"));
+        return node;
+      }
+      node->kind = ExprKind::kColumn;
+      node->column = name;
+      return node;
+    }
+    case TokenType::kEnd:
+      return cursor->Error("unexpected end of input");
+  }
+  return cursor->Error("unexpected token");
+}
+
+StatusOr<ExprPtr> ParseMultiplicative(TokenCursor* cursor) {
+  FBSTREAM_ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary(cursor));
+  while (cursor->Peek().type == TokenType::kSymbol &&
+         (cursor->Peek().text == "*" || cursor->Peek().text == "/" ||
+          cursor->Peek().text == "%")) {
+    const std::string sym = cursor->Advance().text;
+    const BinaryOp op = sym == "*"   ? BinaryOp::kMul
+                        : sym == "/" ? BinaryOp::kDiv
+                                     : BinaryOp::kMod;
+    FBSTREAM_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary(cursor));
+    auto node = std::make_shared<Expr>();
+    node->kind = ExprKind::kBinary;
+    node->op = op;
+    node->left = std::move(left);
+    node->right = std::move(right);
+    left = std::move(node);
+  }
+  return left;
+}
+
+StatusOr<ExprPtr> ParseAdditive(TokenCursor* cursor) {
+  FBSTREAM_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative(cursor));
+  while (cursor->Peek().type == TokenType::kSymbol &&
+         (cursor->Peek().text == "+" || cursor->Peek().text == "-")) {
+    const BinaryOp op =
+        cursor->Advance().text == "+" ? BinaryOp::kAdd : BinaryOp::kSub;
+    FBSTREAM_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative(cursor));
+    auto node = std::make_shared<Expr>();
+    node->kind = ExprKind::kBinary;
+    node->op = op;
+    node->left = std::move(left);
+    node->right = std::move(right);
+    left = std::move(node);
+  }
+  return left;
+}
+
+StatusOr<ExprPtr> ParseComparison(TokenCursor* cursor) {
+  FBSTREAM_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive(cursor));
+  static const std::map<std::string, BinaryOp> kCmp = {
+      {"=", BinaryOp::kEq},  {"!=", BinaryOp::kNe}, {"<", BinaryOp::kLt},
+      {"<=", BinaryOp::kLe}, {">", BinaryOp::kGt},  {">=", BinaryOp::kGe}};
+  if (cursor->Peek().type == TokenType::kSymbol &&
+      kCmp.count(cursor->Peek().text) > 0) {
+    const BinaryOp op = kCmp.at(cursor->Advance().text);
+    FBSTREAM_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive(cursor));
+    auto node = std::make_shared<Expr>();
+    node->kind = ExprKind::kBinary;
+    node->op = op;
+    node->left = std::move(left);
+    node->right = std::move(right);
+    return node;
+  }
+  return left;
+}
+
+StatusOr<ExprPtr> ParseNot(TokenCursor* cursor) {
+  if (cursor->AcceptKeyword("NOT")) {
+    FBSTREAM_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot(cursor));
+    auto node = std::make_shared<Expr>();
+    node->kind = ExprKind::kUnaryNot;
+    node->left = std::move(operand);
+    return node;
+  }
+  return ParseComparison(cursor);
+}
+
+StatusOr<ExprPtr> ParseAnd(TokenCursor* cursor) {
+  FBSTREAM_ASSIGN_OR_RETURN(ExprPtr left, ParseNot(cursor));
+  while (cursor->AcceptKeyword("AND")) {
+    FBSTREAM_ASSIGN_OR_RETURN(ExprPtr right, ParseNot(cursor));
+    auto node = std::make_shared<Expr>();
+    node->kind = ExprKind::kBinary;
+    node->op = BinaryOp::kAnd;
+    node->left = std::move(left);
+    node->right = std::move(right);
+    left = std::move(node);
+  }
+  return left;
+}
+
+StatusOr<ExprPtr> ParseOr(TokenCursor* cursor) {
+  FBSTREAM_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd(cursor));
+  while (cursor->AcceptKeyword("OR")) {
+    FBSTREAM_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd(cursor));
+    auto node = std::make_shared<Expr>();
+    node->kind = ExprKind::kBinary;
+    node->op = BinaryOp::kOr;
+    node->left = std::move(left);
+    node->right = std::move(right);
+    left = std::move(node);
+  }
+  return left;
+}
+
+}  // namespace
+
+StatusOr<ExprPtr> ParseExpression(TokenCursor* cursor) {
+  return ParseOr(cursor);
+}
+
+Status ParseSelectList(TokenCursor* cursor, std::vector<SelectItem>* items) {
+  while (true) {
+    SelectItem item;
+    FBSTREAM_ASSIGN_OR_RETURN(item.expr, ParseExpression(cursor));
+    if (cursor->AcceptKeyword("AS")) {
+      FBSTREAM_ASSIGN_OR_RETURN(item.alias, cursor->ExpectIdentifier());
+    } else {
+      item.alias = item.expr->kind == ExprKind::kColumn
+                       ? item.expr->column
+                       : item.expr->ToString();
+    }
+    items->push_back(std::move(item));
+    if (!cursor->AcceptSymbol(",")) break;
+  }
+  return Status::OK();
+}
+
+Status ClassifyAggregate(SelectItem* item) {
+  const Expr& call = *item->expr;
+  const std::string& fn = call.function;
+  if (fn == "COUNT") {
+    item->agg = AggFunction::kCount;
+    if (!call.star_arg && !call.args.empty()) item->agg_arg = call.args[0];
+    return Status::OK();
+  }
+  if (call.args.empty()) {
+    return Status::InvalidArgument(fn + " needs an argument");
+  }
+  item->agg_arg = call.args[0];
+  if (fn == "SUM") {
+    item->agg = AggFunction::kSum;
+  } else if (fn == "AVG") {
+    item->agg = AggFunction::kAvg;
+  } else if (fn == "MIN") {
+    item->agg = AggFunction::kMin;
+  } else if (fn == "MAX") {
+    item->agg = AggFunction::kMax;
+  } else if (fn == "TOPK") {
+    item->agg = AggFunction::kTopK;
+    if (call.args.size() > 1 && call.args[1]->kind == ExprKind::kLiteral) {
+      item->topk_k = call.args[1]->literal.CoerceInt64();
+    }
+  } else if (fn == "APPROX_COUNT_DISTINCT") {
+    item->agg = AggFunction::kApproxCountDistinct;
+  } else if (fn == "PERCENTILE") {
+    item->agg = AggFunction::kPercentile;
+    if (call.args.size() > 1 && call.args[1]->kind == ExprKind::kLiteral) {
+      item->percentile = call.args[1]->literal.CoerceDouble();
+    }
+  } else {
+    return Status::InvalidArgument("unknown aggregate " + fn);
+  }
+  return Status::OK();
+}
+
+}  // namespace fbstream::puma

@@ -1,0 +1,88 @@
+#ifndef FBSTREAM_PUMA_EXPR_PARSER_H_
+#define FBSTREAM_PUMA_EXPR_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "puma/ast.h"
+#include "puma/lexer.h"
+
+namespace fbstream::puma {
+
+// Token-stream cursor shared by the SQL front-ends (the Puma application
+// parser and the Presto SELECT parser).
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("parse error at offset " +
+                                   std::to_string(Peek().position) + ": " +
+                                   message);
+  }
+
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().type == TokenType::kKeyword && Peek().text == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptSymbol(const std::string& sym) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) return Error("expected " + kw);
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const std::string& sym) {
+    if (!AcceptSymbol(sym)) return Error("expected '" + sym + "'");
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected identifier");
+    }
+    return Advance().text;
+  }
+
+  StatusOr<std::string> ExpectString() {
+    if (Peek().type != TokenType::kString) {
+      return Error("expected string literal");
+    }
+    return Advance().text;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+// Parses one expression (precedence-climbing over OR/AND/NOT, comparisons,
+// +,-,*,/,%, calls, literals, columns) starting at the cursor.
+StatusOr<ExprPtr> ParseExpression(TokenCursor* cursor);
+
+// Parses a comma-separated SELECT list with optional AS aliases.
+Status ParseSelectList(TokenCursor* cursor, std::vector<SelectItem>* items);
+
+// Classifies an item whose expression is an aggregate call: fills agg,
+// agg_arg, topk_k, percentile.
+Status ClassifyAggregate(SelectItem* item);
+
+}  // namespace fbstream::puma
+
+#endif  // FBSTREAM_PUMA_EXPR_PARSER_H_

@@ -1,0 +1,146 @@
+#include "puma/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+namespace fbstream::puma {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* kKeywords = new std::set<std::string>{
+      "CREATE", "APPLICATION", "INPUT",  "TABLE",  "STREAM", "FROM",
+      "SCRIBE", "TIME",        "AS",     "SELECT", "WHERE",  "GROUP",
+      "JOIN",   "LASER",       "ON",     "ORDER",  "LIMIT",  "DESC",
+      "ASC",
+      "BY",     "AND",         "OR",     "NOT",    "EMIT",   "TO",
+      "MINUTES", "MINUTE",     "SECONDS", "SECOND", "HOURS",  "HOUR",
+      "INT",    "BIGINT",      "DOUBLE", "STRING", "TRUE",   "FALSE",
+      "NULL",
+  };
+  return *kKeywords;
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(toupper(c));
+  return s;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = source.size();
+  while (i < n) {
+    const char c = source[i];
+    if (isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && source[i + 1] == '-') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    // Identifiers and keywords.
+    if (isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      std::string text = source.substr(start, i - start);
+      const std::string upper = ToUpper(text);
+      if (Keywords().count(upper) > 0) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = std::move(text);
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Numbers.
+    if (isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && (isdigit(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '.')) {
+        if (source[i] == '.') is_double = true;
+        ++i;
+      }
+      const std::string text = source.substr(start, i - start);
+      if (is_double) {
+        token.type = TokenType::kDouble;
+        token.double_value = strtod(text.c_str(), nullptr);
+      } else {
+        token.type = TokenType::kInteger;
+        token.int_value = strtoll(text.c_str(), nullptr, 10);
+      }
+      token.text = text;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Strings: single or double quoted.
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      size_t j = i + 1;
+      std::string content;
+      bool closed = false;
+      while (j < n) {
+        if (source[j] == quote) {
+          closed = true;
+          break;
+        }
+        content.push_back(source[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string at offset " +
+                                       std::to_string(i));
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(content);
+      tokens.push_back(std::move(token));
+      i = j + 1;
+      continue;
+    }
+    // Multi-char operators.
+    if (i + 1 < n) {
+      const std::string two = source.substr(i, 2);
+      if (two == "!=" || two == "<=" || two == ">=" || two == "<>") {
+        token.type = TokenType::kSymbol;
+        token.text = two == "<>" ? "!=" : two;
+        tokens.push_back(std::move(token));
+        i += 2;
+        continue;
+      }
+    }
+    // Single-char symbols.
+    static const std::string kSymbols = "()[],;*=<>+-/%.";
+    if (kSymbols.find(c) != std::string::npos) {
+      token.type = TokenType::kSymbol;
+      token.text = std::string(1, c);
+      tokens.push_back(std::move(token));
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace fbstream::puma

@@ -1,0 +1,36 @@
+#ifndef FBSTREAM_PUMA_LEXER_H_
+#define FBSTREAM_PUMA_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fbstream::puma {
+
+// Tokenizer for the Puma SQL dialect (paper §2.2, Figure 2). Keywords are
+// case-insensitive; identifiers keep their case.
+enum class TokenType {
+  kIdentifier,
+  kKeyword,   // Uppercased text in Token::text.
+  kInteger,
+  kDouble,
+  kString,    // Unquoted content in Token::text.
+  kSymbol,    // Punctuation / operator in Token::text: ( ) , ; [ ] * etc.
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t position = 0;  // Byte offset, for error messages.
+};
+
+// Splits `source` into tokens. Comments (-- to end of line) are skipped.
+StatusOr<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace fbstream::puma
+
+#endif  // FBSTREAM_PUMA_LEXER_H_

@@ -1,0 +1,322 @@
+#include "puma/parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "puma/expr_parser.h"
+#include "puma/lexer.h"
+
+namespace fbstream::puma {
+
+bool IsAggregateFunctionName(const std::string& upper_name) {
+  return upper_name == "COUNT" || upper_name == "SUM" ||
+         upper_name == "AVG" || upper_name == "MIN" || upper_name == "MAX" ||
+         upper_name == "TOPK" || upper_name == "APPROX_COUNT_DISTINCT" ||
+         upper_name == "PERCENTILE";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kColumn:
+      return column;
+    case ExprKind::kUnaryNot:
+      return "NOT " + (left != nullptr ? left->ToString() : "");
+    case ExprKind::kBinary: {
+      static const char* kOps[] = {"AND", "OR", "=", "!=", "<",
+                                   "<=",  ">",  ">=", "+", "-",
+                                   "*",   "/",  "%"};
+      return (left != nullptr ? left->ToString() : "") + " " +
+             kOps[static_cast<int>(op)] + " " +
+             (right != nullptr ? right->ToString() : "");
+    }
+    case ExprKind::kCall: {
+      std::string s = function + "(";
+      if (star_arg) s += "*";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += args[i]->ToString();
+      }
+      return s + ")";
+    }
+  }
+  return "";
+}
+
+namespace {
+
+// Statement-level parser for Puma applications; expression parsing and
+// select lists are shared with Presto via puma/expr_parser.h.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : cursor_(std::move(tokens)) {}
+
+  StatusOr<AppSpec> ParseAppSpec() {
+    AppSpec spec;
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("CREATE"));
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("APPLICATION"));
+    FBSTREAM_ASSIGN_OR_RETURN(spec.name, cursor_.ExpectIdentifier());
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectSymbol(";"));
+
+    while (!cursor_.AtEnd()) {
+      FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("CREATE"));
+      if (cursor_.AcceptKeyword("INPUT")) {
+        FBSTREAM_RETURN_IF_ERROR(ParseInputTable(&spec));
+      } else if (cursor_.AcceptKeyword("TABLE")) {
+        FBSTREAM_RETURN_IF_ERROR(ParseTable(&spec));
+      } else if (cursor_.AcceptKeyword("STREAM")) {
+        FBSTREAM_RETURN_IF_ERROR(ParseStream(&spec));
+      } else {
+        return cursor_.Error("expected INPUT, TABLE, or STREAM after CREATE");
+      }
+    }
+    FBSTREAM_RETURN_IF_ERROR(Analyze(&spec));
+    return spec;
+  }
+
+ private:
+  Status ParseInputTable(AppSpec* spec) {
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("TABLE"));
+    CreateInputTableStmt stmt;
+    FBSTREAM_ASSIGN_OR_RETURN(stmt.name, cursor_.ExpectIdentifier());
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectSymbol("("));
+    while (true) {
+      Column column;
+      FBSTREAM_ASSIGN_OR_RETURN(column.name, cursor_.ExpectIdentifier());
+      column.type = ValueType::kString;
+      if (cursor_.AcceptKeyword("INT") || cursor_.AcceptKeyword("BIGINT")) {
+        column.type = ValueType::kInt64;
+      } else if (cursor_.AcceptKeyword("DOUBLE")) {
+        column.type = ValueType::kDouble;
+      } else if (cursor_.AcceptKeyword("STRING")) {
+        column.type = ValueType::kString;
+      }
+      stmt.columns.push_back(std::move(column));
+      if (!cursor_.AcceptSymbol(",")) break;
+    }
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectSymbol(")"));
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("FROM"));
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("SCRIBE"));
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectSymbol("("));
+    FBSTREAM_ASSIGN_OR_RETURN(stmt.scribe_category, cursor_.ExpectString());
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectSymbol(")"));
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("TIME"));
+    FBSTREAM_ASSIGN_OR_RETURN(stmt.time_column, cursor_.ExpectIdentifier());
+    if (cursor_.AcceptKeyword("JOIN")) {
+      FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("LASER"));
+      FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectSymbol("("));
+      FBSTREAM_ASSIGN_OR_RETURN(stmt.laser_app, cursor_.ExpectString());
+      FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectSymbol(")"));
+      FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("ON"));
+      FBSTREAM_ASSIGN_OR_RETURN(stmt.laser_key, cursor_.ExpectIdentifier());
+      bool has_key = false;
+      for (const Column& c : stmt.columns) {
+        if (c.name == stmt.laser_key) has_key = true;
+      }
+      if (!has_key) {
+        return Status::InvalidArgument("JOIN LASER key " + stmt.laser_key +
+                                       " not in input table " + stmt.name);
+      }
+    }
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectSymbol(";"));
+    spec->inputs.push_back(std::move(stmt));
+    return Status::OK();
+  }
+
+  Status ParseTable(AppSpec* spec) {
+    CreateTableStmt stmt;
+    FBSTREAM_ASSIGN_OR_RETURN(stmt.name, cursor_.ExpectIdentifier());
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("AS"));
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("SELECT"));
+    FBSTREAM_RETURN_IF_ERROR(ParseSelectList(&cursor_, &stmt.items));
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("FROM"));
+    FBSTREAM_ASSIGN_OR_RETURN(stmt.from, cursor_.ExpectIdentifier());
+    if (cursor_.AcceptSymbol("[")) {
+      if (cursor_.Peek().type != TokenType::kInteger) {
+        return cursor_.Error("expected window length");
+      }
+      const int64_t n = cursor_.Advance().int_value;
+      Micros unit = kMicrosPerMinute;
+      if (cursor_.AcceptKeyword("SECONDS") ||
+          cursor_.AcceptKeyword("SECOND")) {
+        unit = kMicrosPerSecond;
+      } else if (cursor_.AcceptKeyword("MINUTES") ||
+                 cursor_.AcceptKeyword("MINUTE")) {
+        unit = kMicrosPerMinute;
+      } else if (cursor_.AcceptKeyword("HOURS") ||
+                 cursor_.AcceptKeyword("HOUR")) {
+        unit = kMicrosPerHour;
+      } else {
+        return cursor_.Error("expected window unit (seconds/minutes/hours)");
+      }
+      stmt.window_micros = n * unit;
+      FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectSymbol("]"));
+    }
+    if (cursor_.AcceptKeyword("WHERE")) {
+      FBSTREAM_ASSIGN_OR_RETURN(stmt.where, ParseExpression(&cursor_));
+    }
+    if (cursor_.AcceptKeyword("GROUP")) {
+      FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("BY"));
+      while (true) {
+        FBSTREAM_ASSIGN_OR_RETURN(std::string col,
+                                  cursor_.ExpectIdentifier());
+        stmt.group_by.push_back(std::move(col));
+        if (!cursor_.AcceptSymbol(",")) break;
+      }
+    }
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectSymbol(";"));
+    spec->tables.push_back(std::move(stmt));
+    return Status::OK();
+  }
+
+  Status ParseStream(AppSpec* spec) {
+    CreateStreamStmt stmt;
+    FBSTREAM_ASSIGN_OR_RETURN(stmt.name, cursor_.ExpectIdentifier());
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("AS"));
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("SELECT"));
+    FBSTREAM_RETURN_IF_ERROR(ParseSelectList(&cursor_, &stmt.items));
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("FROM"));
+    FBSTREAM_ASSIGN_OR_RETURN(stmt.from, cursor_.ExpectIdentifier());
+    if (cursor_.AcceptKeyword("WHERE")) {
+      FBSTREAM_ASSIGN_OR_RETURN(stmt.where, ParseExpression(&cursor_));
+    }
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("EMIT"));
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("TO"));
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectKeyword("SCRIBE"));
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectSymbol("("));
+    FBSTREAM_ASSIGN_OR_RETURN(stmt.output_category, cursor_.ExpectString());
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectSymbol(")"));
+    FBSTREAM_RETURN_IF_ERROR(cursor_.ExpectSymbol(";"));
+    spec->streams.push_back(std::move(stmt));
+    return Status::OK();
+  }
+
+  // -------------------------------------------------------------------
+  // Semantic analysis.
+
+  Status Analyze(AppSpec* spec) {
+    std::map<std::string, const CreateInputTableStmt*> inputs;
+    for (const CreateInputTableStmt& input : spec->inputs) {
+      if (inputs.count(input.name) > 0) {
+        return Status::InvalidArgument("duplicate input table " + input.name);
+      }
+      bool has_time = false;
+      for (const Column& c : input.columns) {
+        if (c.name == input.time_column) has_time = true;
+      }
+      if (!has_time) {
+        return Status::InvalidArgument("TIME column " + input.time_column +
+                                       " not in input table " + input.name);
+      }
+      inputs.emplace(input.name, &input);
+    }
+    for (CreateTableStmt& table : spec->tables) {
+      auto it = inputs.find(table.from);
+      if (it == inputs.end()) {
+        return Status::InvalidArgument("table " + table.name +
+                                       " reads unknown input " + table.from);
+      }
+      FBSTREAM_RETURN_IF_ERROR(
+          AnalyzeSelect(&table.items, *it->second, /*allow_agg=*/true));
+      if (table.where != nullptr) {
+        FBSTREAM_RETURN_IF_ERROR(
+            CheckColumns(*table.where, *it->second, /*allow_agg=*/false));
+      }
+      // Implicit group key: non-aggregate select items.
+      if (table.group_by.empty()) {
+        for (const SelectItem& item : table.items) {
+          if (!item.is_aggregate) table.group_by.push_back(item.alias);
+        }
+      }
+      bool any_agg = false;
+      for (const SelectItem& item : table.items) {
+        any_agg = any_agg || item.is_aggregate;
+      }
+      if (!any_agg) {
+        return Status::InvalidArgument(
+            "table " + table.name +
+            " has no aggregate; use CREATE STREAM for pass-through apps");
+      }
+    }
+    for (CreateStreamStmt& stream : spec->streams) {
+      auto it = inputs.find(stream.from);
+      if (it == inputs.end()) {
+        return Status::InvalidArgument("stream " + stream.name +
+                                       " reads unknown input " + stream.from);
+      }
+      FBSTREAM_RETURN_IF_ERROR(
+          AnalyzeSelect(&stream.items, *it->second, /*allow_agg=*/false));
+      if (stream.where != nullptr) {
+        FBSTREAM_RETURN_IF_ERROR(
+            CheckColumns(*stream.where, *it->second, /*allow_agg=*/false));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status AnalyzeSelect(std::vector<SelectItem>* items,
+                       const CreateInputTableStmt& input, bool allow_agg) {
+    for (SelectItem& item : *items) {
+      if (item.expr->kind == ExprKind::kCall &&
+          IsAggregateFunctionName(item.expr->function)) {
+        if (!allow_agg) {
+          return Status::InvalidArgument(
+              "aggregate " + item.expr->function + " not allowed here");
+        }
+        item.is_aggregate = true;
+        FBSTREAM_RETURN_IF_ERROR(ClassifyAggregate(&item));
+        if (item.agg_arg != nullptr) {
+          FBSTREAM_RETURN_IF_ERROR(
+              CheckColumns(*item.agg_arg, input, /*allow_agg=*/false));
+        }
+      } else {
+        FBSTREAM_RETURN_IF_ERROR(
+            CheckColumns(*item.expr, input, /*allow_agg=*/false));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status CheckColumns(const Expr& expr, const CreateInputTableStmt& input,
+                      bool allow_agg) {
+    switch (expr.kind) {
+      case ExprKind::kLiteral:
+        return Status::OK();
+      case ExprKind::kColumn: {
+        for (const Column& c : input.columns) {
+          if (c.name == expr.column) return Status::OK();
+        }
+        return Status::InvalidArgument("unknown column " + expr.column +
+                                       " in input " + input.name);
+      }
+      case ExprKind::kUnaryNot:
+        return CheckColumns(*expr.left, input, allow_agg);
+      case ExprKind::kBinary:
+        FBSTREAM_RETURN_IF_ERROR(CheckColumns(*expr.left, input, allow_agg));
+        return CheckColumns(*expr.right, input, allow_agg);
+      case ExprKind::kCall: {
+        if (!allow_agg && IsAggregateFunctionName(expr.function)) {
+          return Status::InvalidArgument("nested aggregate " + expr.function);
+        }
+        for (const ExprPtr& arg : expr.args) {
+          FBSTREAM_RETURN_IF_ERROR(CheckColumns(*arg, input, allow_agg));
+        }
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+
+  TokenCursor cursor_;
+};
+
+}  // namespace
+
+StatusOr<AppSpec> ParseApp(const std::string& source) {
+  FBSTREAM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseAppSpec();
+}
+
+}  // namespace fbstream::puma

@@ -1,0 +1,21 @@
+#ifndef FBSTREAM_PUMA_PARSER_H_
+#define FBSTREAM_PUMA_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "puma/ast.h"
+
+namespace fbstream::puma {
+
+// Parses one complete Puma application (the Figure 2 shape): a
+// CREATE APPLICATION statement followed by CREATE INPUT TABLE /
+// CREATE TABLE / CREATE STREAM statements, semicolon-separated.
+// Performs semantic analysis: expressions are checked against the input
+// schemas, aggregate items are classified, and implicit group keys are
+// derived from non-aggregate select items.
+StatusOr<AppSpec> ParseApp(const std::string& source);
+
+}  // namespace fbstream::puma
+
+#endif  // FBSTREAM_PUMA_PARSER_H_

@@ -1,0 +1,215 @@
+#ifndef FBSTREAM_SCRIBE_SCRIBE_H_
+#define FBSTREAM_SCRIBE_SCRIBE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace fbstream::scribe {
+
+// Scribe (paper §2.1): a persistent, distributed messaging system for
+// collecting, aggregating and delivering high volumes of log data with a few
+// seconds of latency. Data is organized by *category* (a distinct stream);
+// each category has multiple *buckets*, the unit of parallel consumption.
+// Messages are durable (optionally persisted to disk segments, standing in
+// for Scribe's HDFS storage) and can be replayed by the same or different
+// readers for the retention period.
+//
+// This implementation keeps the properties the paper's design arguments rest
+// on: append-only per-bucket logs with monotone sequence numbers, fully
+// decoupled readers with independent offsets, replay from any retained
+// offset, multiplexing (any number of readers per bucket), retention
+// trimming, and re-bucketing via a config change.
+
+// One message in a bucket. `sequence` is the bucket-local offset; a reader
+// that has consumed message s resumes at s+1.
+struct Message {
+  uint64_t sequence = 0;
+  Micros write_time = 0;  // When the writer appended it.
+  std::string payload;
+};
+
+struct CategoryConfig {
+  std::string name;
+  int num_buckets = 1;
+  // Messages older than this are eligible for trimming ("up to a few days").
+  Micros retention_micros = 3 * kMicrosPerDay;
+  // Minimum delay before a written message becomes visible to readers;
+  // models Scribe's aggregation/batching latency ("about a second per
+  // stream"). Zero for latency-insensitive tests.
+  Micros delivery_latency_micros = 0;
+  // If true, every append is also written to a disk segment under the Scribe
+  // root directory and survives process restart.
+  bool persist_to_disk = false;
+};
+
+// A single append-only bucket log. Thread-safe.
+//
+// Persistence uses rotated segment files (`segment-<base_seq>.log`): the
+// active segment rolls over every kSegmentMessages appends, and retention
+// trimming deletes whole expired segments from disk — the unit of deletion
+// in real log stores.
+class Bucket {
+ public:
+  static constexpr size_t kSegmentMessages = 4096;
+
+  Bucket(std::string dir, bool persist);
+
+  // Appends a payload; returns its sequence number.
+  uint64_t Append(const std::string& payload, Micros now);
+
+  // Reads up to `max_messages` messages with sequence >= from_sequence that
+  // are visible at time `now` (write_time + delivery_latency <= now).
+  // Returns the number of messages appended to `out`.
+  size_t Read(uint64_t from_sequence, size_t max_messages, Micros now,
+              Micros delivery_latency, std::vector<Message>* out) const;
+
+  // Drops messages with write_time < horizon (and deletes fully expired
+  // sealed segments from disk). Trailing readers whose offset points below
+  // the trim point will resume at the oldest retained message.
+  void TrimBefore(Micros horizon);
+
+  uint64_t next_sequence() const;
+  uint64_t oldest_sequence() const;
+  uint64_t total_bytes() const;
+  // Sealed + active segment files currently on disk (0 if not persisted).
+  size_t NumSegmentFiles() const;
+
+  // Rebuilds in-memory state from disk segments (startup recovery).
+  Status RecoverFromDisk();
+
+ private:
+  struct SegmentMeta {
+    uint64_t base_sequence = 0;
+    std::string path;
+    Micros newest_time = 0;
+    size_t messages = 0;
+  };
+
+  std::string SegmentPath(uint64_t base_sequence) const;
+  void PersistAppendLocked(const Message& m);
+
+  mutable std::mutex mu_;
+  std::string dir_;
+  bool persist_;
+  uint64_t base_sequence_ = 0;  // Sequence of messages_[0].
+  std::vector<Message> messages_;
+  uint64_t bytes_ = 0;
+  std::vector<SegmentMeta> segments_;  // Ascending base_sequence; last is
+                                       // the active segment.
+};
+
+class Category {
+ public:
+  explicit Category(CategoryConfig config, std::string root_dir);
+
+  const CategoryConfig& config() const { return config_; }
+  int num_buckets() const;
+
+  Bucket* bucket(int i);
+  const Bucket* bucket(int i) const;
+
+  // Reconfigures the number of buckets (§4.2.2 scalability: "changing the
+  // number of buckets per Scribe category in a configuration file"). Growing
+  // adds empty buckets; shrinking seals the tail buckets — writers stop
+  // routing to them, readers can still drain retained data.
+  Status SetNumBuckets(int n);
+
+ private:
+  CategoryConfig config_;
+  std::string root_dir_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Bucket>> buckets_;
+  int active_buckets_;
+};
+
+// The bus. Owns all categories. Thread-safe.
+class Scribe {
+ public:
+  // `root_dir` hosts persisted segments for categories that opt in; it may
+  // be empty if no category persists.
+  explicit Scribe(Clock* clock, std::string root_dir = "");
+
+  Scribe(const Scribe&) = delete;
+  Scribe& operator=(const Scribe&) = delete;
+
+  Status CreateCategory(const CategoryConfig& config);
+  bool HasCategory(const std::string& name) const;
+  StatusOr<CategoryConfig> GetConfig(const std::string& name) const;
+  Status SetNumBuckets(const std::string& category, int n);
+
+  // Appends to an explicit bucket.
+  Status Write(const std::string& category, int bucket,
+               const std::string& payload);
+  // Routes by hash of `shard_key` over the category's active buckets. This
+  // is how processing nodes reshard their output (§3).
+  Status WriteSharded(const std::string& category,
+                      const std::string& shard_key,
+                      const std::string& payload);
+
+  // Reads messages visible now. Used by Tailer; exposed for tests.
+  StatusOr<std::vector<Message>> Read(const std::string& category, int bucket,
+                                      uint64_t from_sequence,
+                                      size_t max_messages) const;
+
+  StatusOr<uint64_t> NextSequence(const std::string& category,
+                                  int bucket) const;
+
+  // Applies retention trimming across all categories.
+  void TrimExpired();
+
+  // Total backlog (messages not yet trimmed) across a category, for
+  // monitoring.
+  StatusOr<uint64_t> TotalBytes(const std::string& category) const;
+
+  Clock* clock() const { return clock_; }
+
+  int NumBuckets(const std::string& category) const;
+
+ private:
+  Category* Find(const std::string& name) const;
+
+  Clock* clock_;
+  std::string root_dir_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Category>> categories_;
+};
+
+// A cursor over one bucket of one category. Each Tailer has an independent
+// offset: readers are fully decoupled from writers and from each other.
+class Tailer {
+ public:
+  Tailer(Scribe* scribe, std::string category, int bucket,
+         uint64_t start_sequence = 0);
+
+  // Returns up to `max_messages` new messages and advances the offset.
+  std::vector<Message> Poll(size_t max_messages = 1024);
+
+  // Next sequence this tailer will read. Persisted by consumers as their
+  // checkpoint offset.
+  uint64_t offset() const { return offset_; }
+  void Seek(uint64_t sequence) { offset_ = sequence; }
+
+  const std::string& category() const { return category_; }
+  int bucket() const { return bucket_; }
+
+  // Processing lag in messages: how far the tailer trails the bucket head
+  // (§6.4 monitoring).
+  uint64_t LagMessages() const;
+
+ private:
+  Scribe* scribe_;
+  std::string category_;
+  int bucket_;
+  uint64_t offset_;
+};
+
+}  // namespace fbstream::scribe
+
+#endif  // FBSTREAM_SCRIBE_SCRIBE_H_

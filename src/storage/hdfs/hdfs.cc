@@ -1,0 +1,174 @@
+#include "storage/hdfs/hdfs.h"
+
+#include "common/fs.h"
+#include "common/logging.h"
+#include "common/serde.h"
+
+namespace fbstream::hdfs {
+
+namespace {
+constexpr char kNamespaceImage[] = "fsimage";
+}  // namespace
+
+HdfsCluster::HdfsCluster(std::string root_dir, HdfsOptions options)
+    : root_(std::move(root_dir)), options_(options) {
+  const Status st = CreateDirs(root_ + "/blocks");
+  if (!st.ok()) FBSTREAM_LOG(Warning) << "hdfs root: " << st;
+  const Status rec = RecoverNamespace();
+  if (!rec.ok()) FBSTREAM_LOG(Warning) << "hdfs recover: " << rec;
+}
+
+void HdfsCluster::SetAvailable(bool available) {
+  std::lock_guard<std::mutex> lock(mu_);
+  available_ = available;
+}
+
+bool HdfsCluster::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return available_;
+}
+
+std::string HdfsCluster::BlockPath(uint64_t id) const {
+  return root_ + "/blocks/blk_" + std::to_string(id);
+}
+
+Status HdfsCluster::WriteFile(const std::string& path,
+                              const std::string& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!available_) return Status::Unavailable("hdfs down");
+  INode inode;
+  inode.length = data.size();
+  size_t offset = 0;
+  do {
+    const size_t n = std::min(options_.block_bytes, data.size() - offset);
+    const uint64_t id = next_block_id_++;
+    FBSTREAM_RETURN_IF_ERROR(
+        ::fbstream::WriteFile(BlockPath(id), data.substr(offset, n)));
+    inode.block_ids.push_back(id);
+    offset += n;
+  } while (offset < data.size());
+  // Replace any previous version; old blocks are garbage collected.
+  auto it = namespace_.find(path);
+  std::vector<uint64_t> old_blocks;
+  if (it != namespace_.end()) old_blocks = it->second.block_ids;
+  namespace_[path] = std::move(inode);
+  FBSTREAM_RETURN_IF_ERROR(PersistNamespaceLocked());
+  for (const uint64_t id : old_blocks) {
+    const Status st = RemoveFile(BlockPath(id));
+    if (!st.ok()) FBSTREAM_LOG(Warning) << "hdfs gc: " << st;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> HdfsCluster::ReadFile(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!available_) return Status::Unavailable("hdfs down");
+  auto it = namespace_.find(path);
+  if (it == namespace_.end()) return Status::NotFound(path);
+  std::string data;
+  data.reserve(it->second.length);
+  for (const uint64_t id : it->second.block_ids) {
+    FBSTREAM_ASSIGN_OR_RETURN(std::string block,
+                              ReadFileToString(BlockPath(id)));
+    data += block;
+  }
+  return data;
+}
+
+Status HdfsCluster::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!available_) return Status::Unavailable("hdfs down");
+  auto it = namespace_.find(path);
+  if (it == namespace_.end()) return Status::NotFound(path);
+  const std::vector<uint64_t> blocks = it->second.block_ids;
+  namespace_.erase(it);
+  FBSTREAM_RETURN_IF_ERROR(PersistNamespaceLocked());
+  for (const uint64_t id : blocks) {
+    const Status st = RemoveFile(BlockPath(id));
+    if (!st.ok()) FBSTREAM_LOG(Warning) << "hdfs gc: " << st;
+  }
+  return Status::OK();
+}
+
+bool HdfsCluster::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return available_ && namespace_.count(path) > 0;
+}
+
+StatusOr<std::vector<std::string>> HdfsCluster::ListFiles(
+    const std::string& dir) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!available_) return Status::Unavailable("hdfs down");
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  std::vector<std::string> names;
+  for (const auto& [path, inode] : namespace_) {
+    if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0) {
+      names.push_back(path.substr(prefix.size()));
+    }
+  }
+  return names;
+}
+
+StatusOr<HdfsCluster::FileInfo> HdfsCluster::Stat(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!available_) return Status::Unavailable("hdfs down");
+  auto it = namespace_.find(path);
+  if (it == namespace_.end()) return Status::NotFound(path);
+  FileInfo info;
+  info.length = it->second.length;
+  info.num_blocks = static_cast<int>(it->second.block_ids.size());
+  return info;
+}
+
+uint64_t HdfsCluster::UsedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [path, inode] : namespace_) total += inode.length;
+  return total;
+}
+
+Status HdfsCluster::PersistNamespaceLocked() const {
+  std::string image;
+  PutVarint64(&image, next_block_id_);
+  PutVarint64(&image, namespace_.size());
+  for (const auto& [path, inode] : namespace_) {
+    PutLengthPrefixed(&image, path);
+    PutVarint64(&image, inode.length);
+    PutVarint64(&image, inode.block_ids.size());
+    for (const uint64_t id : inode.block_ids) PutVarint64(&image, id);
+  }
+  return WriteFileAtomic(root_ + "/" + kNamespaceImage, image);
+}
+
+Status HdfsCluster::RecoverNamespace() {
+  const std::string path = root_ + "/" + kNamespaceImage;
+  if (!FileExists(path)) return Status::OK();
+  FBSTREAM_ASSIGN_OR_RETURN(std::string image, ReadFileToString(path));
+  std::string_view view(image);
+  uint64_t count = 0;
+  if (!GetVarint64(&view, &next_block_id_) || !GetVarint64(&view, &count)) {
+    return Status::Corruption("hdfs fsimage header");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view p;
+    INode inode;
+    uint64_t nblocks = 0;
+    if (!GetLengthPrefixed(&view, &p) ||
+        !GetVarint64(&view, &inode.length) ||
+        !GetVarint64(&view, &nblocks)) {
+      return Status::Corruption("hdfs fsimage inode");
+    }
+    for (uint64_t b = 0; b < nblocks; ++b) {
+      uint64_t id = 0;
+      if (!GetVarint64(&view, &id)) {
+        return Status::Corruption("hdfs fsimage block");
+      }
+      inode.block_ids.push_back(id);
+    }
+    namespace_.emplace(std::string(p), std::move(inode));
+  }
+  return Status::OK();
+}
+
+}  // namespace fbstream::hdfs

@@ -1,0 +1,151 @@
+#include "storage/hive/hive.h"
+
+#include <algorithm>
+
+#include "common/fs.h"
+#include "common/hash.h"
+#include "common/serde.h"
+
+namespace fbstream::hive {
+
+Hive::Hive(std::string root_dir) : root_(std::move(root_dir)) {}
+
+Status Hive::CreateTable(const std::string& name, SchemaPtr schema) {
+  if (name.empty()) return Status::InvalidArgument("empty table name");
+  if (tables_.count(name) > 0) return Status::AlreadyExists(name);
+  FBSTREAM_RETURN_IF_ERROR(CreateDirs(TableDir(name)));
+  tables_.emplace(name, Table{std::move(schema)});
+  return Status::OK();
+}
+
+bool Hive::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+StatusOr<SchemaPtr> Hive::GetSchema(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return it->second.schema;
+}
+
+Status Hive::WritePartition(const std::string& name, const std::string& ds,
+                            const std::vector<Row>& rows) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  TextRowCodec codec(it->second.schema);
+  std::string data;
+  for (const Row& row : rows) {
+    data += codec.Encode(row);
+    data.push_back('\n');
+  }
+  return AppendToFile(PartitionFile(name, ds), data);
+}
+
+Status Hive::LandPartition(const std::string& name, const std::string& ds) {
+  if (tables_.count(name) == 0) return Status::NotFound("table " + name);
+  if (!FileExists(PartitionFile(name, ds))) {
+    // An empty day still lands; create the (empty) partition file.
+    FBSTREAM_RETURN_IF_ERROR(WriteFile(PartitionFile(name, ds), ""));
+  }
+  return WriteFile(LandedMarker(name, ds), "");
+}
+
+bool Hive::IsPartitionLanded(const std::string& name,
+                             const std::string& ds) const {
+  return FileExists(LandedMarker(name, ds));
+}
+
+StatusOr<std::vector<Row>> Hive::ReadPartition(const std::string& name,
+                                               const std::string& ds) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  if (!IsPartitionLanded(name, ds)) {
+    return Status::FailedPrecondition("partition " + ds + " of " + name +
+                                      " has not landed");
+  }
+  FBSTREAM_ASSIGN_OR_RETURN(std::string data,
+                            ReadFileToString(PartitionFile(name, ds)));
+  TextRowCodec codec(it->second.schema);
+  std::vector<Row> rows;
+  size_t start = 0;
+  for (size_t pos = 0; pos <= data.size(); ++pos) {
+    if (pos == data.size() || data[pos] == '\n') {
+      if (pos > start) {
+        FBSTREAM_ASSIGN_OR_RETURN(
+            Row row,
+            codec.Decode(std::string_view(data.data() + start, pos - start)));
+        rows.push_back(std::move(row));
+      }
+      start = pos + 1;
+    }
+  }
+  return rows;
+}
+
+StatusOr<std::vector<std::string>> Hive::ListPartitions(
+    const std::string& name) const {
+  if (tables_.count(name) == 0) return Status::NotFound("table " + name);
+  FBSTREAM_ASSIGN_OR_RETURN(std::vector<std::string> files,
+                            ListDir(TableDir(name)));
+  std::vector<std::string> partitions;
+  for (const std::string& f : files) {
+    // Landed markers are "ds=YYYY-MM-DD.landed".
+    if (f.size() > 10 && f.compare(0, 3, "ds=") == 0 &&
+        f.size() > 7 + 3 && f.compare(f.size() - 7, 7, ".landed") == 0) {
+      partitions.push_back(f.substr(3, f.size() - 3 - 7));
+    }
+  }
+  std::sort(partitions.begin(), partitions.end());
+  return partitions;
+}
+
+StatusOr<std::vector<Row>> RunMapReduce(const Hive& hive,
+                                        const std::string& table,
+                                        const std::vector<std::string>& dss,
+                                        const MapReduceSpec& spec,
+                                        MapReduceCounters* counters) {
+  MapReduceCounters local;
+  MapReduceCounters* c = counters != nullptr ? counters : &local;
+  *c = MapReduceCounters{};
+
+  const int num_reducers = std::max(1, spec.num_reducers);
+  // Per-reducer shuffle spills: key -> records (combined if possible).
+  std::vector<std::map<std::string, std::vector<std::string>>> shuffle(
+      static_cast<size_t>(num_reducers));
+
+  // Map phase, one partition at a time (each partition is a "split").
+  for (const std::string& ds : dss) {
+    FBSTREAM_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                              hive.ReadPartition(table, ds));
+    for (const Row& row : rows) {
+      ++c->map_input_rows;
+      for (auto& [key, record] : spec.map(row)) {
+        ++c->map_output_records;
+        auto& slot = shuffle[Fnv1a64(key) % static_cast<uint64_t>(
+                                                num_reducers)][key];
+        if (spec.combine != nullptr && !slot.empty()) {
+          // Map-side combine: fold into the existing partial record.
+          slot.back() = spec.combine(slot.back(), record);
+        } else {
+          slot.push_back(std::move(record));
+        }
+      }
+    }
+  }
+
+  // Map-only job: concatenate shuffle contents as rows via reduce identity.
+  std::vector<Row> output;
+  for (auto& reducer_input : shuffle) {
+    for (auto& [key, records] : reducer_input) {
+      c->shuffle_records += records.size();
+      ++c->reduce_groups;
+      if (spec.reduce == nullptr) continue;
+      for (Row& row : spec.reduce(key, records)) {
+        output.push_back(std::move(row));
+      }
+    }
+  }
+  return output;
+}
+
+}  // namespace fbstream::hive

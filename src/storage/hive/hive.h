@@ -1,0 +1,103 @@
+#ifndef FBSTREAM_STORAGE_HIVE_HIVE_H_
+#define FBSTREAM_STORAGE_HIVE_HIVE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace fbstream::hive {
+
+// Hive (paper §2.7): the data warehouse. "Most event tables in Hive are
+// partitioned by day: each partition becomes available after the day ends at
+// midnight." Tables are day-partitioned directories of text-serialized rows
+// on local disk; the MapReduce runner below executes the batch/backfill path
+// (§4.5.2: "we use the standard MapReduce framework to read from Hive and
+// run the stream processing applications in our batch environment").
+class Hive {
+ public:
+  explicit Hive(std::string root_dir);
+
+  Status CreateTable(const std::string& name, SchemaPtr schema);
+  bool HasTable(const std::string& name) const;
+  StatusOr<SchemaPtr> GetSchema(const std::string& name) const;
+
+  // Appends rows to the `ds` (YYYY-MM-DD) partition of `name`.
+  Status WritePartition(const std::string& name, const std::string& ds,
+                        const std::vector<Row>& rows);
+  // Marks a partition landed (readable). Partitions written but not landed
+  // model in-flight days.
+  Status LandPartition(const std::string& name, const std::string& ds);
+  bool IsPartitionLanded(const std::string& name, const std::string& ds) const;
+
+  StatusOr<std::vector<Row>> ReadPartition(const std::string& name,
+                                           const std::string& ds) const;
+  // Landed partitions in ascending ds order.
+  StatusOr<std::vector<std::string>> ListPartitions(
+      const std::string& name) const;
+
+ private:
+  struct Table {
+    SchemaPtr schema;
+  };
+
+  std::string TableDir(const std::string& name) const {
+    return root_ + "/" + name;
+  }
+  std::string PartitionFile(const std::string& name,
+                            const std::string& ds) const {
+    return TableDir(name) + "/ds=" + ds + ".rows";
+  }
+  std::string LandedMarker(const std::string& name,
+                           const std::string& ds) const {
+    return TableDir(name) + "/ds=" + ds + ".landed";
+  }
+
+  std::string root_;
+  std::map<std::string, Table> tables_;
+};
+
+// ---------------------------------------------------------------------------
+// MapReduce batch runner.
+
+// Map emits (shuffle_key, record) pairs; Reduce folds all records of one key.
+using KeyedRecord = std::pair<std::string, std::string>;
+using MapFn = std::function<std::vector<KeyedRecord>(const Row&)>;
+// Combines two encoded partial records; enables monoid map-side partial
+// aggregation (§4.5.2: "The batch binary for monoid processors can be
+// optimized to do partial aggregation in the map phase").
+using CombineFn =
+    std::function<std::string(const std::string&, const std::string&)>;
+using ReduceFn = std::function<std::vector<Row>(
+    const std::string& key, const std::vector<std::string>& records)>;
+
+struct MapReduceSpec {
+  MapFn map;
+  ReduceFn reduce;     // Null = map-only job (identity shuffle, emit as-is).
+  CombineFn combine;   // Optional map-side combiner.
+  int num_reducers = 4;
+  SchemaPtr output_schema;  // Schema of reduce-emitted rows.
+};
+
+struct MapReduceCounters {
+  uint64_t map_input_rows = 0;
+  uint64_t map_output_records = 0;
+  uint64_t shuffle_records = 0;  // Post-combine records crossing the wire.
+  uint64_t reduce_groups = 0;
+};
+
+// Runs the job over the given partitions of `table`, returning all output
+// rows (and counters for tests/benches).
+StatusOr<std::vector<Row>> RunMapReduce(const Hive& hive,
+                                        const std::string& table,
+                                        const std::vector<std::string>& dss,
+                                        const MapReduceSpec& spec,
+                                        MapReduceCounters* counters = nullptr);
+
+}  // namespace fbstream::hive
+
+#endif  // FBSTREAM_STORAGE_HIVE_HIVE_H_

@@ -1,0 +1,59 @@
+#include "storage/lsm/bloom.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace fbstream::lsm {
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  size_t bits = std::max<size_t>(64, expected_keys * bits_per_key);
+  bits_ = std::vector<uint8_t>((bits + 7) / 8, 0);
+  // k ~= bits_per_key * ln(2), clamped to a sane range.
+  num_probes_ = std::clamp(static_cast<int>(bits_per_key * 0.69), 1, 30);
+}
+
+BloomFilter BloomFilter::Deserialize(std::string_view data) {
+  BloomFilter filter;
+  if (data.empty()) return filter;
+  filter.num_probes_ = std::clamp<int>(data[0], 1, 30);
+  data.remove_prefix(1);
+  filter.bits_.assign(data.begin(), data.end());
+  return filter;
+}
+
+void BloomFilter::Add(std::string_view key) {
+  if (bits_.empty()) return;
+  const uint64_t h = Fnv1a64(key);
+  uint64_t a = MixHash64(h);
+  const uint64_t delta = MixHash64(h ^ 0x9e3779b97f4a7c15ULL) | 1;
+  const uint64_t nbits = bits_.size() * 8;
+  for (int i = 0; i < num_probes_; ++i) {
+    const uint64_t bit = a % nbits;
+    bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+    a += delta;
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  if (bits_.empty()) return true;  // No filter = cannot exclude.
+  const uint64_t h = Fnv1a64(key);
+  uint64_t a = MixHash64(h);
+  const uint64_t delta = MixHash64(h ^ 0x9e3779b97f4a7c15ULL) | 1;
+  const uint64_t nbits = bits_.size() * 8;
+  for (int i = 0; i < num_probes_; ++i) {
+    const uint64_t bit = a % nbits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+    a += delta;
+  }
+  return true;
+}
+
+std::string BloomFilter::Serialize() const {
+  std::string out;
+  out.push_back(static_cast<char>(num_probes_));
+  out.append(reinterpret_cast<const char*>(bits_.data()), bits_.size());
+  return out;
+}
+
+}  // namespace fbstream::lsm

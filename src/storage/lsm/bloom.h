@@ -1,0 +1,39 @@
+#ifndef FBSTREAM_STORAGE_LSM_BLOOM_H_
+#define FBSTREAM_STORAGE_LSM_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fbstream::lsm {
+
+// Per-SST bloom filter over user keys (the standard LSM point-lookup
+// optimization: a negative probe skips the table entirely). Double hashing
+// over a 64-bit base hash; ~10 bits/key and 6 probes give a ~1% false
+// positive rate. No false negatives, ever.
+class BloomFilter {
+ public:
+  // Builder: size the filter for an expected key count.
+  explicit BloomFilter(size_t expected_keys, int bits_per_key = 10);
+  // Reader: wrap serialized bits (from BloomFilter::Serialize).
+  static BloomFilter Deserialize(std::string_view data);
+
+  void Add(std::string_view key);
+  // False means definitely absent; true means probably present.
+  bool MayContain(std::string_view key) const;
+
+  std::string Serialize() const;
+  size_t num_bits() const { return bits_.size() * 8; }
+  bool empty() const { return bits_.empty(); }
+
+ private:
+  BloomFilter() = default;
+
+  int num_probes_ = 6;
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace fbstream::lsm
+
+#endif  // FBSTREAM_STORAGE_LSM_BLOOM_H_

@@ -1,0 +1,627 @@
+#include "storage/lsm/db.h"
+
+#include <algorithm>
+
+#include "common/fs.h"
+#include "common/logging.h"
+#include "common/serde.h"
+
+namespace fbstream::lsm {
+
+namespace {
+constexpr char kManifestFile[] = "MANIFEST";
+constexpr char kWalFile[] = "wal.log";
+
+std::string ManifestEncode(SequenceNumber last_sequence,
+                           uint64_t next_file_number,
+                           const std::vector<uint64_t>& l0,
+                           const std::vector<uint64_t>& l1) {
+  std::string out;
+  PutVarint64(&out, last_sequence);
+  PutVarint64(&out, next_file_number);
+  PutVarint64(&out, l0.size());
+  for (const uint64_t n : l0) PutVarint64(&out, n);
+  PutVarint64(&out, l1.size());
+  for (const uint64_t n : l1) PutVarint64(&out, n);
+  return out;
+}
+
+Status ManifestDecode(std::string_view data, SequenceNumber* last_sequence,
+                      uint64_t* next_file_number, std::vector<uint64_t>* l0,
+                      std::vector<uint64_t>* l1) {
+  uint64_t n0 = 0;
+  uint64_t n1 = 0;
+  if (!GetVarint64(&data, last_sequence) ||
+      !GetVarint64(&data, next_file_number) || !GetVarint64(&data, &n0)) {
+    return Status::Corruption("manifest header");
+  }
+  for (uint64_t i = 0; i < n0; ++i) {
+    uint64_t f = 0;
+    if (!GetVarint64(&data, &f)) return Status::Corruption("manifest l0");
+    l0->push_back(f);
+  }
+  if (!GetVarint64(&data, &n1)) return Status::Corruption("manifest l1");
+  for (uint64_t i = 0; i < n1; ++i) {
+    uint64_t f = 0;
+    if (!GetVarint64(&data, &f)) return Status::Corruption("manifest l1");
+    l1->push_back(f);
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Db::Db(DbOptions options, std::string dir)
+    : options_(std::move(options)), dir_(std::move(dir)) {}
+
+Db::~Db() { wal_.Close(); }
+
+StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& options,
+                                       const std::string& dir) {
+  FBSTREAM_RETURN_IF_ERROR(CreateDirs(dir));
+  std::unique_ptr<Db> db(new Db(options, dir));
+  std::lock_guard<std::mutex> lock(db->mu_);
+  FBSTREAM_RETURN_IF_ERROR(db->RecoverLocked());
+  return db;
+}
+
+std::string Db::SstPath(uint64_t number) const {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/%06llu.sst",
+           static_cast<unsigned long long>(number));
+  return dir_ + buf;
+}
+
+Status Db::RecoverLocked() {
+  const std::string manifest_path = dir_ + "/" + kManifestFile;
+  if (FileExists(manifest_path)) {
+    FBSTREAM_ASSIGN_OR_RETURN(std::string data,
+                              ReadFileToString(manifest_path));
+    std::vector<uint64_t> l0;
+    std::vector<uint64_t> l1;
+    FBSTREAM_RETURN_IF_ERROR(
+        ManifestDecode(data, &last_sequence_, &next_file_number_, &l0, &l1));
+    for (const uint64_t n : l0) {
+      FBSTREAM_ASSIGN_OR_RETURN(auto reader, SstReader::Open(SstPath(n)));
+      level0_.push_back(FileMeta{n, std::move(reader)});
+    }
+    for (const uint64_t n : l1) {
+      FBSTREAM_ASSIGN_OR_RETURN(auto reader, SstReader::Open(SstPath(n)));
+      level1_.push_back(FileMeta{n, std::move(reader)});
+    }
+  }
+  // Replay the WAL into the memtable: these are writes that were
+  // acknowledged but not yet flushed when the process stopped.
+  const std::string wal_path = dir_ + "/" + kWalFile;
+  FBSTREAM_RETURN_IF_ERROR(ReplayWal(
+      wal_path, [this](SequenceNumber first, const WriteBatch& batch) {
+        SequenceNumber seq = first;
+        for (const WriteBatch::Op& op : batch.ops()) {
+          memtable_.Add(seq, op.type, op.key, op.value);
+          last_sequence_ = std::max(last_sequence_, seq);
+          ++seq;
+        }
+      }));
+  return wal_.Open(wal_path);
+}
+
+Status Db::Put(std::string_view key, std::string_view value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(batch);
+}
+
+Status Db::Delete(std::string_view key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(batch);
+}
+
+Status Db::Merge(std::string_view key, std::string_view operand) {
+  if (options_.merge_operator == nullptr) {
+    return Status::FailedPrecondition("no merge operator configured");
+  }
+  WriteBatch batch;
+  batch.Merge(key, operand);
+  return Write(batch);
+}
+
+Status Db::Write(const WriteBatch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WriteLocked(batch);
+}
+
+Status Db::WriteLocked(const WriteBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  const SequenceNumber first = last_sequence_ + 1;
+  FBSTREAM_RETURN_IF_ERROR(wal_.AddRecord(first, batch));
+  SequenceNumber seq = first;
+  for (const WriteBatch::Op& op : batch.ops()) {
+    memtable_.Add(seq, op.type, op.key, op.value);
+    ++seq;
+  }
+  last_sequence_ = seq - 1;
+  if (memtable_.ApproximateBytes() >= options_.memtable_bytes) {
+    return FlushLocked();
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> Db::Get(std::string_view key) const {
+  return Get(key, nullptr);
+}
+
+StatusOr<std::string> Db::Get(std::string_view key,
+                              const DbSnapshot* snapshot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SequenceNumber read_seq =
+      snapshot != nullptr ? snapshot->sequence() : last_sequence_;
+  return GetLocked(key, read_seq);
+}
+
+StatusOr<std::string> Db::GetLocked(std::string_view key,
+                                    SequenceNumber read_seq) const {
+  LookupState state;
+  memtable_.Get(key, read_seq, &state);
+  if (!state.found_base) {
+    // L0 files can overlap; newest file (appended last) wins.
+    for (auto it = level0_.rbegin(); it != level0_.rend(); ++it) {
+      it->reader->Get(key, read_seq, &state);
+      if (state.found_base) break;
+    }
+  }
+  if (!state.found_base && !level1_.empty()) {
+    // L1 ranges are disjoint: binary search the file covering `key`.
+    auto it = std::lower_bound(level1_.begin(), level1_.end(), key,
+                               [](const FileMeta& f, std::string_view k) {
+                                 return f.reader->largest() < k;
+                               });
+    if (it != level1_.end() && it->reader->smallest() <= std::string(key)) {
+      it->reader->Get(key, read_seq, &state);
+    }
+  }
+  return ResolveLookup(key, state);
+}
+
+StatusOr<std::string> Db::ResolveLookup(std::string_view key,
+                                        const LookupState& state) const {
+  if (state.operands.empty()) {
+    if (!state.found_base || state.base_is_delete) {
+      return Status::NotFound(std::string(key));
+    }
+    return state.base_value;
+  }
+  if (options_.merge_operator == nullptr) {
+    return Status::Corruption("merge operands but no merge operator");
+  }
+  const std::string* existing =
+      state.found_base && !state.base_is_delete ? &state.base_value : nullptr;
+  std::string result;
+  if (!options_.merge_operator->FullMerge(key, existing, state.operands,
+                                          &result)) {
+    return Status::Corruption("merge failed for key " + std::string(key));
+  }
+  return result;
+}
+
+Status Db::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status Db::FlushLocked() {
+  if (memtable_.empty()) return Status::OK();
+  const uint64_t number = next_file_number_++;
+  SstWriter writer;
+  for (const Entry& e : memtable_.Snapshot()) writer.Add(e);
+  FBSTREAM_RETURN_IF_ERROR(writer.Finish(SstPath(number)));
+  FBSTREAM_ASSIGN_OR_RETURN(auto reader, SstReader::Open(SstPath(number)));
+  level0_.push_back(FileMeta{number, std::move(reader)});
+  FBSTREAM_RETURN_IF_ERROR(PersistManifestLocked());
+  memtable_.Clear();
+  // The WAL's contents are now durable in the SST; start a fresh log.
+  wal_.Close();
+  FBSTREAM_RETURN_IF_ERROR(RemoveFile(dir_ + "/" + kWalFile));
+  FBSTREAM_RETURN_IF_ERROR(wal_.Open(dir_ + "/" + kWalFile));
+  ++flushes_;
+  if (static_cast<int>(level0_.size()) >= options_.l0_compaction_trigger) {
+    return CompactLocked();
+  }
+  return Status::OK();
+}
+
+Status Db::CompactAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FBSTREAM_RETURN_IF_ERROR(FlushLocked());
+  return CompactLocked();
+}
+
+SequenceNumber Db::OldestLiveSnapshotLocked() const {
+  return live_snapshots_.empty() ? kMaxSequence : *live_snapshots_.begin();
+}
+
+Status Db::CompactLocked() {
+  if (level0_.empty() && level1_.size() <= 1) return Status::OK();
+
+  // Merge every L0 and L1 file (a full compaction into the bottom level;
+  // our two-level scheme keeps range bookkeeping trivial at this scale).
+  struct Source {
+    SstReader::Iterator it;
+    // Tie-break: newer files (higher number) win on equal internal keys.
+    uint64_t number;
+  };
+  std::vector<Source> sources;
+  std::vector<uint64_t> obsolete;
+  for (const FileMeta& f : level0_) {
+    sources.push_back(Source{f.reader->NewIterator(), f.number});
+    obsolete.push_back(f.number);
+  }
+  for (const FileMeta& f : level1_) {
+    sources.push_back(Source{f.reader->NewIterator(), f.number});
+    obsolete.push_back(f.number);
+  }
+  for (Source& s : sources) s.it.SeekToFirst();
+
+  const bool snapshots_live = !live_snapshots_.empty();
+  const MergeOperator* merge_op = options_.merge_operator.get();
+
+  std::vector<FileMeta> new_level1;
+  SstWriter writer;
+  auto maybe_roll = [&]() -> Status {
+    if (writer.ApproximateBytes() < options_.target_sst_bytes) {
+      return Status::OK();
+    }
+    const uint64_t number = next_file_number_++;
+    FBSTREAM_RETURN_IF_ERROR(writer.Finish(SstPath(number)));
+    FBSTREAM_ASSIGN_OR_RETURN(auto reader, SstReader::Open(SstPath(number)));
+    new_level1.push_back(FileMeta{number, std::move(reader)});
+    writer = SstWriter();
+    return Status::OK();
+  };
+
+  auto pop_smallest = [&]() -> const Entry* {
+    int best = -1;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (!sources[i].it.Valid()) continue;
+      if (best < 0) {
+        best = static_cast<int>(i);
+        continue;
+      }
+      const int c = sources[i].it.entry().key.Compare(
+          sources[best].it.entry().key);
+      if (c < 0 || (c == 0 && sources[i].number > sources[best].number)) {
+        best = static_cast<int>(i);
+      }
+    }
+    return best < 0 ? nullptr
+                    : &sources[static_cast<size_t>(best)].it.entry();
+  };
+  auto advance_smallest = [&](const Entry* e) {
+    for (Source& s : sources) {
+      if (s.it.Valid() && &s.it.entry() == e) {
+        s.it.Next();
+        return;
+      }
+    }
+  };
+
+  // Process one user key at a time.
+  while (true) {
+    const Entry* first = pop_smallest();
+    if (first == nullptr) break;
+    const std::string user_key = first->key.user_key;
+
+    // Collect the full chain for this key, newest first. Exact-duplicate
+    // internal keys (same sequence, from a file that was both in L0 and
+    // rewritten) keep only the newest file's copy.
+    std::vector<Entry> chain;
+    while (true) {
+      const Entry* e = pop_smallest();
+      if (e == nullptr || e->key.user_key != user_key) break;
+      if (chain.empty() || chain.back().key.sequence != e->key.sequence) {
+        chain.push_back(*e);
+      }
+      advance_smallest(e);
+    }
+
+    if (snapshots_live) {
+      // Conservative: with live snapshots every version stays visible to
+      // someone; rewrite the chain untouched.
+      for (const Entry& e : chain) {
+        writer.Add(e);
+        FBSTREAM_RETURN_IF_ERROR(maybe_roll());
+      }
+      continue;
+    }
+
+    // No snapshots: resolve the chain to at most one entry. This is the
+    // bottom level, so tombstones and shadowed versions can be elided and
+    // merge chains fully applied.
+    std::vector<std::string> operands_newest_first;
+    bool found_base = false;
+    bool base_is_delete = false;
+    std::string base_value;
+    SequenceNumber newest_seq = chain.empty() ? 0 : chain[0].key.sequence;
+    for (const Entry& e : chain) {
+      if (e.key.type == EntryType::kMerge) {
+        operands_newest_first.push_back(e.value);
+        continue;
+      }
+      found_base = true;
+      base_is_delete = e.key.type == EntryType::kDelete;
+      if (!base_is_delete) base_value = e.value;
+      break;
+    }
+    if (operands_newest_first.empty()) {
+      if (found_base && !base_is_delete) {
+        writer.Add(Entry{InternalKey{user_key, newest_seq, EntryType::kPut},
+                         base_value});
+        FBSTREAM_RETURN_IF_ERROR(maybe_roll());
+      }
+      // Deletes and absent keys vanish at the bottom level.
+      continue;
+    }
+    std::vector<std::string> operands(operands_newest_first.rbegin(),
+                                      operands_newest_first.rend());
+    std::string resolved;
+    if (merge_op != nullptr &&
+        merge_op->FullMerge(
+            user_key,
+            found_base && !base_is_delete ? &base_value : nullptr, operands,
+            &resolved)) {
+      writer.Add(Entry{InternalKey{user_key, newest_seq, EntryType::kPut},
+                       resolved});
+      FBSTREAM_RETURN_IF_ERROR(maybe_roll());
+    } else {
+      // Cannot resolve (no operator): keep the chain as-is.
+      for (const Entry& e : chain) {
+        writer.Add(e);
+        FBSTREAM_RETURN_IF_ERROR(maybe_roll());
+      }
+    }
+  }
+
+  if (writer.num_entries() > 0) {
+    const uint64_t number = next_file_number_++;
+    FBSTREAM_RETURN_IF_ERROR(writer.Finish(SstPath(number)));
+    FBSTREAM_ASSIGN_OR_RETURN(auto reader, SstReader::Open(SstPath(number)));
+    new_level1.push_back(FileMeta{number, std::move(reader)});
+  }
+
+  level0_.clear();
+  level1_ = std::move(new_level1);
+  FBSTREAM_RETURN_IF_ERROR(PersistManifestLocked());
+  for (const uint64_t n : obsolete) {
+    const Status st = RemoveFile(SstPath(n));
+    if (!st.ok()) FBSTREAM_LOG(Warning) << "gc " << SstPath(n) << ": " << st;
+  }
+  ++compactions_;
+  return Status::OK();
+}
+
+Status Db::PersistManifestLocked() {
+  std::vector<uint64_t> l0;
+  std::vector<uint64_t> l1;
+  for (const FileMeta& f : level0_) l0.push_back(f.number);
+  for (const FileMeta& f : level1_) l1.push_back(f.number);
+  return WriteFileAtomic(
+      dir_ + "/" + kManifestFile,
+      ManifestEncode(last_sequence_, next_file_number_, l0, l1));
+}
+
+const DbSnapshot* Db::GetSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_snapshots_.insert(last_sequence_);
+  return new DbSnapshot(last_sequence_);
+}
+
+void Db::ReleaseSnapshot(const DbSnapshot* snapshot) {
+  if (snapshot == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_snapshots_.find(snapshot->sequence());
+  if (it != live_snapshots_.end()) live_snapshots_.erase(it);
+  delete snapshot;
+}
+
+SequenceNumber Db::LatestSequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_sequence_;
+}
+
+Db::Iterator Db::NewIterator(const DbSnapshot* snapshot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SequenceNumber read_seq =
+      snapshot != nullptr ? snapshot->sequence() : last_sequence_;
+  std::vector<Iterator::Source> sources;
+  {
+    Iterator::Source s;
+    s.entries = memtable_.Snapshot();
+    sources.push_back(std::move(s));
+  }
+  auto add_file = [&sources](const FileMeta& f) {
+    Iterator::Source s;
+    s.entries.reserve(f.reader->num_entries());
+    for (auto it = f.reader->NewIterator(); it.Valid(); it.Next()) {
+      s.entries.push_back(it.entry());
+    }
+    sources.push_back(std::move(s));
+  };
+  for (const FileMeta& f : level0_) add_file(f);
+  for (const FileMeta& f : level1_) add_file(f);
+  return Iterator(std::move(sources), read_seq,
+                  options_.merge_operator.get());
+}
+
+Db::Iterator::Iterator(std::vector<Source> sources, SequenceNumber read_seq,
+                       const MergeOperator* merge_op)
+    : sources_(std::move(sources)), read_seq_(read_seq), merge_op_(merge_op) {
+  ResolveNext();
+}
+
+const Entry* Db::Iterator::PeekSmallest(int* source_index) const {
+  int best = -1;
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    const Source& s = sources_[i];
+    if (s.pos >= s.entries.size()) continue;
+    if (best < 0 ||
+        s.entries[s.pos].key.Compare(
+            sources_[static_cast<size_t>(best)]
+                .entries[sources_[static_cast<size_t>(best)].pos]
+                .key) < 0) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) return nullptr;
+  *source_index = best;
+  return &sources_[static_cast<size_t>(best)]
+              .entries[sources_[static_cast<size_t>(best)].pos];
+}
+
+void Db::Iterator::ResolveNext() {
+  valid_ = false;
+  while (true) {
+    int idx = -1;
+    const Entry* first = PeekSmallest(&idx);
+    if (first == nullptr) return;
+    const std::string user_key = first->key.user_key;
+
+    std::vector<std::string> operands_newest_first;
+    bool found_base = false;
+    bool base_is_delete = false;
+    std::string base_value;
+    bool chain_done = false;
+    SequenceNumber last_seen_seq = kMaxSequence;
+    while (true) {
+      int i = -1;
+      const Entry* e = PeekSmallest(&i);
+      if (e == nullptr || e->key.user_key != user_key) break;
+      const Entry entry = *e;
+      sources_[static_cast<size_t>(i)].pos++;  // Consume.
+      if (entry.key.sequence > read_seq_) continue;  // Invisible version.
+      if (chain_done) continue;  // Shadowed by a newer base.
+      if (entry.key.sequence == last_seen_seq) continue;  // Duplicate.
+      last_seen_seq = entry.key.sequence;
+      if (entry.key.type == EntryType::kMerge) {
+        operands_newest_first.push_back(entry.value);
+        continue;
+      }
+      found_base = true;
+      base_is_delete = entry.key.type == EntryType::kDelete;
+      if (!base_is_delete) base_value = entry.value;
+      chain_done = true;
+    }
+
+    if (operands_newest_first.empty()) {
+      if (!found_base || base_is_delete) continue;  // Not visible.
+      key_ = user_key;
+      value_ = base_value;
+      valid_ = true;
+      return;
+    }
+    if (merge_op_ == nullptr) continue;  // Unresolvable; skip.
+    std::vector<std::string> operands(operands_newest_first.rbegin(),
+                                      operands_newest_first.rend());
+    std::string resolved;
+    if (!merge_op_->FullMerge(
+            user_key, found_base && !base_is_delete ? &base_value : nullptr,
+            operands, &resolved)) {
+      continue;
+    }
+    key_ = user_key;
+    value_ = resolved;
+    valid_ = true;
+    return;
+  }
+}
+
+void Db::Iterator::Next() {
+  if (!valid_) return;
+  ResolveNext();
+}
+
+void Db::Iterator::Seek(std::string_view target) {
+  for (Source& s : sources_) {
+    auto it = std::lower_bound(s.entries.begin(), s.entries.end(), target,
+                               [](const Entry& e, std::string_view k) {
+                                 return e.key.user_key < k;
+                               });
+    s.pos = static_cast<size_t>(it - s.entries.begin());
+  }
+  ResolveNext();
+}
+
+void Db::Iterator::SeekToFirst() {
+  for (Source& s : sources_) s.pos = 0;
+  ResolveNext();
+}
+
+Status Db::CreateBackup(
+    const std::function<Status(const std::string& name,
+                               const std::string& contents)>& sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FBSTREAM_RETURN_IF_ERROR(FlushLocked());
+  // An empty database may never have flushed; make sure the MANIFEST exists
+  // so the backup is openable.
+  FBSTREAM_RETURN_IF_ERROR(PersistManifestLocked());
+  std::vector<std::string> names;
+  for (const FileMeta& f : level0_) {
+    names.push_back(SstPath(f.number).substr(dir_.size() + 1));
+  }
+  for (const FileMeta& f : level1_) {
+    names.push_back(SstPath(f.number).substr(dir_.size() + 1));
+  }
+  names.push_back(kManifestFile);
+  for (const std::string& name : names) {
+    FBSTREAM_ASSIGN_OR_RETURN(std::string data,
+                              ReadFileToString(dir_ + "/" + name));
+    FBSTREAM_RETURN_IF_ERROR(sink(name, data));
+  }
+  return Status::OK();
+}
+
+Status Db::RestoreBackup(
+    const std::function<StatusOr<std::vector<std::string>>()>& list,
+    const std::function<StatusOr<std::string>(const std::string&)>& read,
+    const std::string& dir) {
+  if (FileExists(dir + "/" + kManifestFile)) {
+    return Status::AlreadyExists("database exists in " + dir);
+  }
+  FBSTREAM_RETURN_IF_ERROR(CreateDirs(dir));
+  FBSTREAM_ASSIGN_OR_RETURN(std::vector<std::string> names, list());
+  for (const std::string& name : names) {
+    FBSTREAM_ASSIGN_OR_RETURN(std::string data, read(name));
+    FBSTREAM_RETURN_IF_ERROR(WriteFileAtomic(dir + "/" + name, data));
+  }
+  return Status::OK();
+}
+
+Status Db::CreateBackupToDir(const std::string& backup_dir) {
+  FBSTREAM_RETURN_IF_ERROR(CreateDirs(backup_dir));
+  return CreateBackup(
+      [&backup_dir](const std::string& name, const std::string& data) {
+        return WriteFileAtomic(backup_dir + "/" + name, data);
+      });
+}
+
+Status Db::RestoreBackupFromDir(const std::string& backup_dir,
+                                const std::string& dir) {
+  return RestoreBackup(
+      [&backup_dir]() { return ListDir(backup_dir); },
+      [&backup_dir](const std::string& name) {
+        return ReadFileToString(backup_dir + "/" + name);
+      },
+      dir);
+}
+
+Db::Stats Db::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.memtable_bytes = memtable_.ApproximateBytes();
+  stats.memtable_entries = memtable_.num_entries();
+  stats.l0_files = static_cast<int>(level0_.size());
+  stats.l1_files = static_cast<int>(level1_.size());
+  stats.flushes = flushes_;
+  stats.compactions = compactions_;
+  return stats;
+}
+
+}  // namespace fbstream::lsm

@@ -1,0 +1,184 @@
+#ifndef FBSTREAM_STORAGE_LSM_DB_H_
+#define FBSTREAM_STORAGE_LSM_DB_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/lsm/internal_key.h"
+#include "storage/lsm/memtable.h"
+#include "storage/lsm/merge_operator.h"
+#include "storage/lsm/sstable.h"
+#include "storage/lsm/wal.h"
+#include "storage/lsm/write_batch.h"
+
+namespace fbstream::lsm {
+
+// Embedded LSM key-value store — the RocksDB stand-in the paper's systems
+// build on (§2.5 Laser "built on top of RocksDB", §4.4.2 local state
+// saving, ZippyDB "built on top of RocksDB"). Features implemented:
+// write-ahead logging with crash recovery, a sorted memtable flushed to
+// on-disk SSTs, two-level leveled compaction, sequence-number snapshots,
+// merging iterators, custom merge operators (the Figure 12 append-only
+// optimization), and a backup engine (the Figure 10 HDFS remote backup).
+struct DbOptions {
+  // Flush the memtable to an L0 SST when it exceeds this size.
+  size_t memtable_bytes = 4u << 20;
+  // Compact L0 into L1 once L0 holds this many files.
+  int l0_compaction_trigger = 4;
+  // Split L1 output files at roughly this size.
+  size_t target_sst_bytes = 8u << 20;
+  // Optional merge operator enabling Db::Merge().
+  std::shared_ptr<const MergeOperator> merge_operator;
+};
+
+// A consistent read view pinned at a sequence number. Obtained from
+// Db::GetSnapshot(); must be released.
+class DbSnapshot {
+ public:
+  SequenceNumber sequence() const { return sequence_; }
+
+ private:
+  friend class Db;
+  explicit DbSnapshot(SequenceNumber s) : sequence_(s) {}
+  SequenceNumber sequence_;
+};
+
+class Db {
+ public:
+  // Opens (creating or recovering) a database in `dir`. Recovery loads the
+  // MANIFEST, opens live SSTs, and replays the WAL into the memtable.
+  static StatusOr<std::unique_ptr<Db>> Open(const DbOptions& options,
+                                            const std::string& dir);
+
+  ~Db();
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+  Status Merge(std::string_view key, std::string_view operand);
+  // Applies the batch atomically (one WAL record, consecutive sequences).
+  Status Write(const WriteBatch& batch);
+
+  StatusOr<std::string> Get(std::string_view key) const;
+  StatusOr<std::string> Get(std::string_view key,
+                            const DbSnapshot* snapshot) const;
+
+  // Resolved forward iteration over live (key, value) pairs: version
+  // selection, merge resolution, and tombstone skipping already applied.
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    const std::string& key() const { return key_; }
+    const std::string& value() const { return value_; }
+    void Next();
+    void Seek(std::string_view target);
+    void SeekToFirst();
+
+   private:
+    friend class Db;
+    struct Source {
+      std::vector<Entry> entries;
+      size_t pos = 0;
+    };
+    Iterator(std::vector<Source> sources, SequenceNumber read_seq,
+             const MergeOperator* merge_op);
+    // Positions on the next resolved visible key at or after the current
+    // source cursors.
+    void ResolveNext();
+    const Entry* PeekSmallest(int* source_index) const;
+
+    std::vector<Source> sources_;
+    SequenceNumber read_seq_;
+    const MergeOperator* merge_op_;
+    bool valid_ = false;
+    std::string key_;
+    std::string value_;
+  };
+
+  Iterator NewIterator(const DbSnapshot* snapshot = nullptr) const;
+
+  // Persists the memtable as an L0 SST and resets the WAL. May trigger
+  // compaction.
+  Status Flush();
+  // Merges all L0 files (plus overlapping L1 files) into L1.
+  Status CompactAll();
+
+  const DbSnapshot* GetSnapshot();
+  void ReleaseSnapshot(const DbSnapshot* snapshot);
+
+  SequenceNumber LatestSequence() const;
+
+  // Backup engine (paper Fig 10: "The local database is then copied
+  // asynchronously to HDFS ... using RocksDB's backup engine"). Flushes,
+  // then streams every live file through `sink(name, contents)`.
+  Status CreateBackup(
+      const std::function<Status(const std::string& name,
+                                 const std::string& contents)>& sink);
+  // Restores a backup into `dir` (which must not already hold a database):
+  // `list()` names the files, `read(name)` returns contents.
+  static Status RestoreBackup(
+      const std::function<StatusOr<std::vector<std::string>>()>& list,
+      const std::function<StatusOr<std::string>(const std::string&)>& read,
+      const std::string& dir);
+
+  // Convenience local-directory backup/restore used by tests.
+  Status CreateBackupToDir(const std::string& backup_dir);
+  static Status RestoreBackupFromDir(const std::string& backup_dir,
+                                     const std::string& dir);
+
+  struct Stats {
+    size_t memtable_bytes = 0;
+    size_t memtable_entries = 0;
+    int l0_files = 0;
+    int l1_files = 0;
+    uint64_t flushes = 0;
+    uint64_t compactions = 0;
+  };
+  Stats GetStats() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct FileMeta {
+    uint64_t number = 0;
+    std::shared_ptr<SstReader> reader;
+  };
+
+  Db(DbOptions options, std::string dir);
+
+  Status RecoverLocked();
+  Status WriteLocked(const WriteBatch& batch);
+  Status FlushLocked();
+  Status CompactLocked();
+  Status PersistManifestLocked();
+  StatusOr<std::string> GetLocked(std::string_view key,
+                                  SequenceNumber read_seq) const;
+  std::string SstPath(uint64_t number) const;
+  SequenceNumber OldestLiveSnapshotLocked() const;
+  StatusOr<std::string> ResolveLookup(std::string_view key,
+                                      const LookupState& state) const;
+
+  DbOptions options_;
+  std::string dir_;
+
+  mutable std::mutex mu_;
+  MemTable memtable_;
+  WalWriter wal_;
+  SequenceNumber last_sequence_ = 0;
+  uint64_t next_file_number_ = 1;
+  std::vector<FileMeta> level0_;  // Newest file last.
+  std::vector<FileMeta> level1_;  // Sorted by smallest key, disjoint ranges.
+  std::multiset<SequenceNumber> live_snapshots_;
+  uint64_t flushes_ = 0;
+  uint64_t compactions_ = 0;
+};
+
+}  // namespace fbstream::lsm
+
+#endif  // FBSTREAM_STORAGE_LSM_DB_H_

@@ -1,0 +1,61 @@
+#ifndef FBSTREAM_STORAGE_LSM_INTERNAL_KEY_H_
+#define FBSTREAM_STORAGE_LSM_INTERNAL_KEY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fbstream::lsm {
+
+// Sequence numbers order all writes; kMaxSequence reads see everything.
+using SequenceNumber = uint64_t;
+constexpr SequenceNumber kMaxSequence = ~SequenceNumber{0} >> 8;
+
+enum class EntryType : uint8_t {
+  kPut = 1,
+  kDelete = 2,
+  kMerge = 3,
+};
+
+// An internal entry key: (user_key, sequence, type). Internal ordering is
+// user_key ascending, then sequence *descending*, so the newest version of a
+// key sorts first — the same scheme LevelDB/RocksDB use.
+struct InternalKey {
+  std::string user_key;
+  SequenceNumber sequence = 0;
+  EntryType type = EntryType::kPut;
+
+  // Returns <0, 0, >0 per internal ordering.
+  int Compare(const InternalKey& other) const {
+    const int c = user_key.compare(other.user_key);
+    if (c != 0) return c;
+    if (sequence != other.sequence) {
+      return sequence > other.sequence ? -1 : 1;  // Higher seq sorts first.
+    }
+    return 0;
+  }
+
+  bool operator<(const InternalKey& other) const { return Compare(other) < 0; }
+};
+
+// One key-value entry flowing through memtables, SSTs, and iterators.
+struct Entry {
+  InternalKey key;
+  std::string value;  // Empty for deletes.
+};
+
+// Accumulator for a layered point lookup. The DB probes layers newest to
+// oldest (active memtable, immutable memtable, L0 newest-first, L1...);
+// each layer *prepends* its merge operands (they are older than everything
+// collected so far) and stops the search once a Put/Delete base is found.
+struct LookupState {
+  bool found_base = false;
+  bool base_is_delete = false;
+  std::string base_value;
+  std::vector<std::string> operands;  // Oldest first.
+};
+
+}  // namespace fbstream::lsm
+
+#endif  // FBSTREAM_STORAGE_LSM_INTERNAL_KEY_H_

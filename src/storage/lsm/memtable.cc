@@ -1,0 +1,56 @@
+#include "storage/lsm/memtable.h"
+
+#include <algorithm>
+
+namespace fbstream::lsm {
+
+void MemTable::Add(SequenceNumber sequence, EntryType type,
+                   std::string_view key, std::string_view value) {
+  InternalKey ikey{std::string(key), sequence, type};
+  bytes_ += key.size() + value.size() + 16;
+  entries_.emplace(std::move(ikey), std::string(value));
+}
+
+bool MemTable::Get(std::string_view user_key, SequenceNumber read_seq,
+                   LookupState* state) const {
+  // Seek to the newest visible entry: internal keys sort sequence-descending,
+  // so lower_bound on (key, read_seq, any-type) lands on the newest entry
+  // with sequence <= read_seq.
+  InternalKey probe{std::string(user_key), read_seq, EntryType::kPut};
+  auto it = entries_.lower_bound(probe);
+  bool any = false;
+  std::vector<std::string> operands_newest_first;
+  for (; it != entries_.end() && it->first.user_key == user_key; ++it) {
+    if (it->first.sequence > read_seq) continue;  // Too new for this reader.
+    any = true;
+    if (it->first.type == EntryType::kMerge) {
+      operands_newest_first.push_back(it->second);
+      continue;
+    }
+    state->found_base = true;
+    state->base_is_delete = it->first.type == EntryType::kDelete;
+    if (!state->base_is_delete) state->base_value = it->second;
+    break;
+  }
+  // This layer's operands are older than anything collected so far.
+  state->operands.insert(state->operands.begin(),
+                         operands_newest_first.rbegin(),
+                         operands_newest_first.rend());
+  return any;
+}
+
+std::vector<Entry> MemTable::Snapshot() const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, value] : entries_) {
+    out.push_back(Entry{key, value});
+  }
+  return out;
+}
+
+void MemTable::Clear() {
+  entries_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace fbstream::lsm

@@ -1,0 +1,49 @@
+#ifndef FBSTREAM_STORAGE_LSM_MEMTABLE_H_
+#define FBSTREAM_STORAGE_LSM_MEMTABLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/lsm/internal_key.h"
+
+namespace fbstream::lsm {
+
+// In-memory sorted write buffer. Entries are ordered by internal key
+// (user key ascending, sequence descending). Not internally synchronized;
+// the DB serializes access under its own mutex.
+class MemTable {
+ public:
+  void Add(SequenceNumber sequence, EntryType type, std::string_view key,
+           std::string_view value);
+
+  // Collects the version chain for `user_key` visible at `read_seq`:
+  // prepends merge operands to `state->operands` and fills the base if a
+  // Put/Delete terminates the chain in this layer. Returns true if this
+  // memtable held anything visible for the key.
+  bool Get(std::string_view user_key, SequenceNumber read_seq,
+           LookupState* state) const;
+
+  // All entries in internal-key order; used for flush and iterators.
+  std::vector<Entry> Snapshot() const;
+
+  size_t ApproximateBytes() const { return bytes_; }
+  size_t num_entries() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void Clear();
+
+ private:
+  struct KeyLess {
+    bool operator()(const InternalKey& a, const InternalKey& b) const {
+      return a.Compare(b) < 0;
+    }
+  };
+
+  std::map<InternalKey, std::string, KeyLess> entries_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace fbstream::lsm
+
+#endif  // FBSTREAM_STORAGE_LSM_MEMTABLE_H_

@@ -1,0 +1,105 @@
+#include "storage/lsm/merge_operator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace fbstream::lsm {
+
+namespace {
+
+int64_t ParseInt64(std::string_view s) {
+  return strtoll(std::string(s).c_str(), nullptr, 10);
+}
+
+class Int64AddOperator : public MergeOperator {
+ public:
+  const char* Name() const override { return "int64_add"; }
+
+  bool FullMerge(std::string_view /*key*/, const std::string* existing,
+                 const std::vector<std::string>& operands,
+                 std::string* result) const override {
+    int64_t sum = existing != nullptr ? ParseInt64(*existing) : 0;
+    for (const std::string& op : operands) sum += ParseInt64(op);
+    *result = std::to_string(sum);
+    return true;
+  }
+
+  bool PartialMerge(std::string_view /*key*/, std::string_view left,
+                    std::string_view right,
+                    std::string* result) const override {
+    *result = std::to_string(ParseInt64(left) + ParseInt64(right));
+    return true;
+  }
+};
+
+class StringAppendOperator : public MergeOperator {
+ public:
+  explicit StringAppendOperator(char sep) : sep_(sep) {}
+
+  const char* Name() const override { return "string_append"; }
+
+  bool FullMerge(std::string_view /*key*/, const std::string* existing,
+                 const std::vector<std::string>& operands,
+                 std::string* result) const override {
+    result->clear();
+    if (existing != nullptr) *result = *existing;
+    for (const std::string& op : operands) {
+      if (!result->empty()) result->push_back(sep_);
+      result->append(op);
+    }
+    return true;
+  }
+
+  bool PartialMerge(std::string_view /*key*/, std::string_view left,
+                    std::string_view right,
+                    std::string* result) const override {
+    result->assign(left);
+    if (!result->empty() && !right.empty()) result->push_back(sep_);
+    result->append(right);
+    return true;
+  }
+
+ private:
+  char sep_;
+};
+
+class Int64MaxOperator : public MergeOperator {
+ public:
+  const char* Name() const override { return "int64_max"; }
+
+  bool FullMerge(std::string_view /*key*/, const std::string* existing,
+                 const std::vector<std::string>& operands,
+                 std::string* result) const override {
+    int64_t best = existing != nullptr ? ParseInt64(*existing)
+                                       : std::numeric_limits<int64_t>::min();
+    for (const std::string& op : operands) {
+      best = std::max(best, ParseInt64(op));
+    }
+    *result = std::to_string(best);
+    return true;
+  }
+
+  bool PartialMerge(std::string_view /*key*/, std::string_view left,
+                    std::string_view right,
+                    std::string* result) const override {
+    *result = std::to_string(std::max(ParseInt64(left), ParseInt64(right)));
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<MergeOperator> MakeInt64AddOperator() {
+  return std::make_unique<Int64AddOperator>();
+}
+
+std::unique_ptr<MergeOperator> MakeStringAppendOperator(char separator) {
+  return std::make_unique<StringAppendOperator>(separator);
+}
+
+std::unique_ptr<MergeOperator> MakeInt64MaxOperator() {
+  return std::make_unique<Int64MaxOperator>();
+}
+
+}  // namespace fbstream::lsm

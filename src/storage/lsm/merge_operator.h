@@ -1,0 +1,57 @@
+#ifndef FBSTREAM_STORAGE_LSM_MERGE_OPERATOR_H_
+#define FBSTREAM_STORAGE_LSM_MERGE_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fbstream::lsm {
+
+// Custom merge operator, the RocksDB feature the paper's Figure 12
+// experiment depends on: "When the remote database supports a custom merge
+// operator ... the read-modify-write pattern is optimized to an append-only
+// pattern, resulting in performance gains" (§4.4.2).
+//
+// A Merge(key, operand) write appends an operand; reads and compactions
+// combine the operand stack with the base value via FullMerge. PartialMerge
+// optionally combines adjacent operands without a base value so compaction
+// can shrink operand chains.
+class MergeOperator {
+ public:
+  virtual ~MergeOperator() = default;
+
+  virtual const char* Name() const = 0;
+
+  // Combines `existing` (nullptr if the key has no base value) with
+  // `operands`, oldest first. Returns false on malformed input, in which
+  // case the read fails with Corruption.
+  virtual bool FullMerge(std::string_view key, const std::string* existing,
+                         const std::vector<std::string>& operands,
+                         std::string* result) const = 0;
+
+  // Combines two adjacent operands (older `left`, newer `right`). Returns
+  // false if these operands cannot be combined without the base value.
+  virtual bool PartialMerge(std::string_view key, std::string_view left,
+                            std::string_view right,
+                            std::string* result) const {
+    (void)key;
+    (void)left;
+    (void)right;
+    (void)result;
+    return false;
+  }
+};
+
+// value/operand = decimal int64; merge = addition. The classic counter.
+std::unique_ptr<MergeOperator> MakeInt64AddOperator();
+
+// value/operand = arbitrary bytes; merge = concatenation with a separator.
+std::unique_ptr<MergeOperator> MakeStringAppendOperator(char separator = ',');
+
+// value/operand = decimal int64; merge = max.
+std::unique_ptr<MergeOperator> MakeInt64MaxOperator();
+
+}  // namespace fbstream::lsm
+
+#endif  // FBSTREAM_STORAGE_LSM_MERGE_OPERATOR_H_

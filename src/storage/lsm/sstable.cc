@@ -1,0 +1,169 @@
+#include "storage/lsm/sstable.h"
+
+#include <algorithm>
+
+#include "common/fs.h"
+#include "common/serde.h"
+
+namespace fbstream::lsm {
+
+namespace {
+constexpr uint64_t kSstMagic = 0xfb57ab1e00c0ffeeULL;
+
+void EncodeEntry(const Entry& e, std::string* out) {
+  PutLengthPrefixed(out, e.key.user_key);
+  PutVarint64(out, e.key.sequence);
+  out->push_back(static_cast<char>(e.key.type));
+  PutLengthPrefixed(out, e.value);
+}
+
+bool DecodeEntry(std::string_view* in, Entry* e) {
+  std::string_view key;
+  uint64_t seq = 0;
+  std::string_view value;
+  if (!GetLengthPrefixed(in, &key)) return false;
+  if (!GetVarint64(in, &seq)) return false;
+  if (in->empty()) return false;
+  const auto type = static_cast<EntryType>(in->front());
+  in->remove_prefix(1);
+  if (!GetLengthPrefixed(in, &value)) return false;
+  e->key.user_key = std::string(key);
+  e->key.sequence = seq;
+  e->key.type = type;
+  e->value = std::string(value);
+  return true;
+}
+}  // namespace
+
+void SstWriter::Add(const Entry& entry) {
+  if (num_entries_ == 0) smallest_ = entry.key.user_key;
+  if (user_keys_.empty() || user_keys_.back() != entry.key.user_key) {
+    user_keys_.push_back(entry.key.user_key);  // Input is sorted by key.
+  }
+  largest_ = entry.key.user_key;
+  max_sequence_ = std::max(max_sequence_, entry.key.sequence);
+  if (num_entries_ % kIndexInterval == 0) {
+    index_.emplace_back(entry.key.user_key, data_.size());
+  }
+  EncodeEntry(entry, &data_);
+  ++num_entries_;
+}
+
+Status SstWriter::Finish(const std::string& path) {
+  std::string file = data_;
+  const uint64_t index_offset = file.size();
+  PutVarint64(&file, index_.size());
+  for (const auto& [key, offset] : index_) {
+    PutLengthPrefixed(&file, key);
+    PutFixed64(&file, offset);
+  }
+  const uint64_t meta_offset = file.size();
+  PutLengthPrefixed(&file, smallest_);
+  PutLengthPrefixed(&file, largest_);
+  PutVarint64(&file, max_sequence_);
+  PutVarint64(&file, num_entries_);
+  BloomFilter bloom(user_keys_.size());
+  for (const std::string& key : user_keys_) bloom.Add(key);
+  PutLengthPrefixed(&file, bloom.Serialize());
+  // Fixed-size footer.
+  PutFixed64(&file, index_offset);
+  PutFixed64(&file, meta_offset);
+  PutFixed64(&file, kSstMagic);
+  return WriteFileAtomic(path, file);
+}
+
+StatusOr<std::shared_ptr<SstReader>> SstReader::Open(const std::string& path) {
+  FBSTREAM_ASSIGN_OR_RETURN(std::string file, ReadFileToString(path));
+  if (file.size() < 24) return Status::Corruption("sst too small: " + path);
+  std::string_view footer(file.data() + file.size() - 24, 24);
+  uint64_t index_offset = 0;
+  uint64_t meta_offset = 0;
+  uint64_t magic = 0;
+  GetFixed64(&footer, &index_offset);
+  GetFixed64(&footer, &meta_offset);
+  GetFixed64(&footer, &magic);
+  if (magic != kSstMagic) return Status::Corruption("sst bad magic: " + path);
+  if (index_offset > file.size() || meta_offset > file.size() ||
+      index_offset > meta_offset) {
+    return Status::Corruption("sst bad offsets: " + path);
+  }
+
+  auto reader = std::make_shared<SstReader>();
+  reader->path_ = path;
+
+  std::string_view meta(file.data() + meta_offset,
+                        file.size() - 24 - meta_offset);
+  std::string_view smallest;
+  std::string_view largest;
+  uint64_t max_seq = 0;
+  uint64_t count = 0;
+  if (!GetLengthPrefixed(&meta, &smallest) ||
+      !GetLengthPrefixed(&meta, &largest) || !GetVarint64(&meta, &max_seq) ||
+      !GetVarint64(&meta, &count)) {
+    return Status::Corruption("sst bad meta: " + path);
+  }
+  reader->smallest_ = std::string(smallest);
+  reader->largest_ = std::string(largest);
+  reader->max_sequence_ = max_seq;
+  // Bloom filter (appended field; absent in older files).
+  std::string_view bloom_bits;
+  if (GetLengthPrefixed(&meta, &bloom_bits)) {
+    reader->bloom_ = BloomFilter::Deserialize(bloom_bits);
+  }
+
+  std::string_view data(file.data(), index_offset);
+  // Each entry occupies at least 4 bytes on disk; a larger count is corrupt
+  // and must not drive the reserve below.
+  if (count > data.size() / 4 + 1) {
+    return Status::Corruption("sst bad entry count: " + path);
+  }
+  reader->entries_.reserve(count);
+  while (!data.empty()) {
+    Entry e;
+    if (!DecodeEntry(&data, &e)) {
+      return Status::Corruption("sst bad entry: " + path);
+    }
+    reader->entries_.push_back(std::move(e));
+  }
+  if (reader->entries_.size() != count) {
+    return Status::Corruption("sst entry count mismatch: " + path);
+  }
+  return reader;
+}
+
+bool SstReader::Get(std::string_view user_key, SequenceNumber read_seq,
+                    LookupState* state) const {
+  if (!bloom_.MayContain(user_key)) return false;  // Definitely absent.
+  // First entry with user_key >= target; within a key, sequences descend.
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), user_key,
+      [](const Entry& e, std::string_view k) { return e.key.user_key < k; });
+  bool any = false;
+  std::vector<std::string> operands_newest_first;
+  for (; it != entries_.end() && it->key.user_key == user_key; ++it) {
+    if (it->key.sequence > read_seq) continue;
+    any = true;
+    if (it->key.type == EntryType::kMerge) {
+      operands_newest_first.push_back(it->value);
+      continue;
+    }
+    state->found_base = true;
+    state->base_is_delete = it->key.type == EntryType::kDelete;
+    if (!state->base_is_delete) state->base_value = it->value;
+    break;
+  }
+  // This table's operands are older than anything collected so far.
+  state->operands.insert(state->operands.begin(),
+                         operands_newest_first.rbegin(),
+                         operands_newest_first.rend());
+  return any;
+}
+
+void SstReader::Iterator::Seek(std::string_view target) {
+  auto it = std::lower_bound(
+      reader_->entries_.begin(), reader_->entries_.end(), target,
+      [](const Entry& e, std::string_view k) { return e.key.user_key < k; });
+  pos_ = static_cast<size_t>(it - reader_->entries_.begin());
+}
+
+}  // namespace fbstream::lsm

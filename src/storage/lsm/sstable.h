@@ -1,0 +1,94 @@
+#ifndef FBSTREAM_STORAGE_LSM_SSTABLE_H_
+#define FBSTREAM_STORAGE_LSM_SSTABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/lsm/bloom.h"
+#include "storage/lsm/internal_key.h"
+
+namespace fbstream::lsm {
+
+// Immutable sorted table file. Layout:
+//   data:   entries in internal-key order
+//           (user_key, sequence, type, value; all length/varint coded)
+//   index:  sparse (every kIndexInterval entries) user_key -> data offset
+//   meta:   smallest/largest user key, max sequence, entry count, and a
+//           bloom filter over user keys (point lookups skip tables whose
+//           filter excludes the key)
+//   footer: index offset, meta offset, magic
+class SstWriter {
+ public:
+  // Entries must be appended in strict internal-key order.
+  void Add(const Entry& entry);
+
+  size_t num_entries() const { return num_entries_; }
+  size_t ApproximateBytes() const { return data_.size(); }
+
+  // Writes the finished table atomically to `path`.
+  Status Finish(const std::string& path);
+
+ private:
+  static constexpr size_t kIndexInterval = 16;
+
+  std::string data_;
+  std::vector<std::string> user_keys_;  // Distinct keys for the bloom filter.
+  std::string smallest_;
+  std::string largest_;
+  SequenceNumber max_sequence_ = 0;
+  size_t num_entries_ = 0;
+  std::vector<std::pair<std::string, uint64_t>> index_;
+};
+
+// Reader. Loads the file once; all lookups are served from memory (the
+// process-wide equivalent of a fully cached table).
+class SstReader {
+ public:
+  static StatusOr<std::shared_ptr<SstReader>> Open(const std::string& path);
+
+  // Same contract as MemTable::Get: prepends merge operands / fills the base
+  // into `state`; returns true if the key appeared visibly in this table.
+  bool Get(std::string_view user_key, SequenceNumber read_seq,
+           LookupState* state) const;
+
+  // Sequential scan over all entries in internal order.
+  class Iterator {
+   public:
+    explicit Iterator(const SstReader* reader) : reader_(reader) {}
+    bool Valid() const { return pos_ < reader_->entries_.size(); }
+    const Entry& entry() const { return reader_->entries_[pos_]; }
+    void Next() { ++pos_; }
+    // Positions at the first entry with user_key >= target.
+    void Seek(std::string_view target);
+    void SeekToFirst() { pos_ = 0; }
+
+   private:
+    const SstReader* reader_;
+    size_t pos_ = 0;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+  const std::string& smallest() const { return smallest_; }
+  const std::string& largest() const { return largest_; }
+  SequenceNumber max_sequence() const { return max_sequence_; }
+  size_t num_entries() const { return entries_.size(); }
+  const std::string& path() const { return path_; }
+  const BloomFilter& bloom() const { return bloom_; }
+
+ private:
+  friend class Iterator;
+
+  std::string path_;
+  BloomFilter bloom_ = BloomFilter::Deserialize("");
+  std::string smallest_;
+  std::string largest_;
+  SequenceNumber max_sequence_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fbstream::lsm
+
+#endif  // FBSTREAM_STORAGE_LSM_SSTABLE_H_

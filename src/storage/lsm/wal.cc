@@ -1,0 +1,81 @@
+#include "storage/lsm/wal.h"
+
+#include "common/fs.h"
+#include "common/hash.h"
+#include "common/serde.h"
+
+namespace fbstream::lsm {
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Open(const std::string& path) {
+  Close();
+  file_ = fopen(path.c_str(), "ab");
+  if (file_ == nullptr) return Status::IoError("wal open: " + path);
+  return Status::OK();
+}
+
+Status WalWriter::AddRecord(SequenceNumber first_sequence,
+                            const WriteBatch& batch) {
+  if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  std::string body;
+  PutVarint64(&body, first_sequence);
+  const std::string payload = batch.Serialize();
+  PutLengthPrefixed(&body, payload);
+
+  std::string record;
+  PutVarint64(&record, body.size());
+  PutFixed64(&record, Fnv1a64(body));
+  record += body;
+  if (fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::IoError("wal write");
+  }
+  if (fflush(file_) != 0) return Status::IoError("wal flush");
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr) return Status::OK();
+  if (fflush(file_) != 0) return Status::IoError("wal flush");
+  return Status::OK();
+}
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status ReplayWal(
+    const std::string& path,
+    const std::function<void(SequenceNumber, const WriteBatch&)>& apply) {
+  if (!FileExists(path)) return Status::OK();
+  FBSTREAM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  std::string_view view(data);
+  while (!view.empty()) {
+    uint64_t len = 0;
+    uint64_t checksum = 0;
+    if (!GetVarint64(&view, &len) || !GetFixed64(&view, &checksum) ||
+        view.size() < len) {
+      break;  // Torn tail.
+    }
+    const std::string_view body = view.substr(0, len);
+    view.remove_prefix(len);
+    if (Fnv1a64(body) != checksum) break;  // Corrupt tail.
+
+    std::string_view cursor = body;
+    uint64_t first_sequence = 0;
+    std::string_view payload;
+    if (!GetVarint64(&cursor, &first_sequence) ||
+        !GetLengthPrefixed(&cursor, &payload)) {
+      break;
+    }
+    auto batch = WriteBatch::Deserialize(payload);
+    if (!batch.ok()) break;
+    apply(first_sequence, batch.value());
+  }
+  return Status::OK();
+}
+
+}  // namespace fbstream::lsm

@@ -1,0 +1,44 @@
+#ifndef FBSTREAM_STORAGE_LSM_WAL_H_
+#define FBSTREAM_STORAGE_LSM_WAL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "storage/lsm/internal_key.h"
+#include "storage/lsm/write_batch.h"
+
+namespace fbstream::lsm {
+
+// Write-ahead log. Each record is a (starting-sequence, WriteBatch) pair,
+// framed with a length prefix and a checksum so replay stops cleanly at a
+// torn tail after a crash.
+class WalWriter {
+ public:
+  ~WalWriter();
+
+  WalWriter() = default;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  Status Open(const std::string& path);
+  Status AddRecord(SequenceNumber first_sequence, const WriteBatch& batch);
+  Status Sync();
+  void Close();
+
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  FILE* file_ = nullptr;
+};
+
+// Replays every intact record in order. Corrupt or torn trailing data ends
+// replay without error (matching the crash-recovery contract).
+Status ReplayWal(
+    const std::string& path,
+    const std::function<void(SequenceNumber, const WriteBatch&)>& apply);
+
+}  // namespace fbstream::lsm
+
+#endif  // FBSTREAM_STORAGE_LSM_WAL_H_

@@ -1,0 +1,66 @@
+#include "storage/lsm/write_batch.h"
+
+#include "common/serde.h"
+
+namespace fbstream::lsm {
+
+void WriteBatch::Put(std::string_view key, std::string_view value) {
+  ops_.push_back(Op{EntryType::kPut, std::string(key), std::string(value)});
+}
+
+void WriteBatch::Delete(std::string_view key) {
+  ops_.push_back(Op{EntryType::kDelete, std::string(key), ""});
+}
+
+void WriteBatch::Merge(std::string_view key, std::string_view operand) {
+  ops_.push_back(
+      Op{EntryType::kMerge, std::string(key), std::string(operand)});
+}
+
+std::string WriteBatch::Serialize() const {
+  std::string out;
+  PutVarint64(&out, ops_.size());
+  for (const Op& op : ops_) {
+    out.push_back(static_cast<char>(op.type));
+    PutLengthPrefixed(&out, op.key);
+    if (op.type != EntryType::kDelete) PutLengthPrefixed(&out, op.value);
+  }
+  return out;
+}
+
+StatusOr<WriteBatch> WriteBatch::Deserialize(std::string_view data) {
+  WriteBatch batch;
+  uint64_t n = 0;
+  if (!GetVarint64(&data, &n)) {
+    return Status::Corruption("write batch: bad count");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    if (data.empty()) return Status::Corruption("write batch: truncated");
+    const auto type = static_cast<EntryType>(data.front());
+    data.remove_prefix(1);
+    std::string_view key;
+    if (!GetLengthPrefixed(&data, &key)) {
+      return Status::Corruption("write batch: bad key");
+    }
+    std::string_view value;
+    if (type != EntryType::kDelete && !GetLengthPrefixed(&data, &value)) {
+      return Status::Corruption("write batch: bad value");
+    }
+    switch (type) {
+      case EntryType::kPut:
+        batch.Put(key, value);
+        break;
+      case EntryType::kDelete:
+        batch.Delete(key);
+        break;
+      case EntryType::kMerge:
+        batch.Merge(key, value);
+        break;
+      default:
+        return Status::Corruption("write batch: unknown op type");
+    }
+  }
+  return batch;
+}
+
+}  // namespace fbstream::lsm

@@ -1,0 +1,43 @@
+#ifndef FBSTREAM_STORAGE_LSM_WRITE_BATCH_H_
+#define FBSTREAM_STORAGE_LSM_WRITE_BATCH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/lsm/internal_key.h"
+
+namespace fbstream::lsm {
+
+// An atomic group of updates. The whole batch gets consecutive sequence
+// numbers and reaches the WAL as one record, so recovery applies all of it
+// or none — this is the primitive Stylus exactly-once semantics build on.
+class WriteBatch {
+ public:
+  struct Op {
+    EntryType type;
+    std::string key;
+    std::string value;  // Empty for deletes.
+  };
+
+  void Put(std::string_view key, std::string_view value);
+  void Delete(std::string_view key);
+  void Merge(std::string_view key, std::string_view operand);
+  void Clear() { ops_.clear(); }
+
+  const std::vector<Op>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  // Wire format for the WAL.
+  std::string Serialize() const;
+  static StatusOr<WriteBatch> Deserialize(std::string_view data);
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace fbstream::lsm
+
+#endif  // FBSTREAM_STORAGE_LSM_WRITE_BATCH_H_

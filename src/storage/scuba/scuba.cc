@@ -1,0 +1,291 @@
+#include "storage/scuba/scuba.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/hll.h"
+#include "common/logging.h"
+#include "common/serde.h"
+
+namespace fbstream::scuba {
+
+namespace {
+
+bool EvalFilter(const Filter& filter, const Row& row) {
+  const Value& v = row.Get(filter.column);
+  switch (filter.op) {
+    case FilterOp::kEq:
+      return v.Compare(filter.operand) == 0;
+    case FilterOp::kNe:
+      return v.Compare(filter.operand) != 0;
+    case FilterOp::kLt:
+      return v.Compare(filter.operand) < 0;
+    case FilterOp::kLe:
+      return v.Compare(filter.operand) <= 0;
+    case FilterOp::kGt:
+      return v.Compare(filter.operand) > 0;
+    case FilterOp::kGe:
+      return v.Compare(filter.operand) >= 0;
+    case FilterOp::kContains:
+      return v.type() == ValueType::kString &&
+             v.AsString().find(filter.operand.CoerceString()) !=
+                 std::string::npos;
+  }
+  return false;
+}
+
+// Streaming state for one (bucket, group) cell.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  bool has_minmax = false;
+  std::vector<double> samples;       // For percentile.
+  std::unique_ptr<HyperLogLog> hll;  // For uniques.
+};
+
+}  // namespace
+
+ScubaTable::ScubaTable(std::string name, SchemaPtr schema, double sample_rate,
+                       uint64_t sample_seed)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      sample_rate_(sample_rate),
+      rng_(sample_seed) {}
+
+bool ScubaTable::AddRow(Row row) {
+  if (sample_rate_ < 1.0 && !rng_.Bernoulli(sample_rate_)) return false;
+  rows_.push_back(std::move(row));
+  return true;
+}
+
+Status ScubaTable::IngestPayload(std::string_view payload) {
+  TextRowCodec codec(schema_);
+  FBSTREAM_ASSIGN_OR_RETURN(Row row, codec.Decode(payload));
+  AddRow(std::move(row));
+  return Status::OK();
+}
+
+StatusOr<QueryResult> ScubaTable::Run(const Query& query) const {
+  if (query.aggregates.empty()) {
+    return Status::InvalidArgument("query needs at least one aggregate");
+  }
+  const bool time_series = !query.time_column.empty();
+  if (time_series && query.bucket_micros <= 0) {
+    return Status::InvalidArgument("time series query needs bucket_micros");
+  }
+
+  // Key = (bucket, group values as strings).
+  std::map<std::pair<Micros, std::vector<std::string>>,
+           std::vector<AggState>>
+      cells;
+
+  QueryResult result;
+  for (const Row& row : rows_) {
+    ++result.rows_scanned;  // Read-time aggregation cost: every raw row.
+    bool pass = true;
+    for (const Filter& f : query.filters) {
+      if (!EvalFilter(f, row)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+
+    Micros bucket = 0;
+    if (time_series) {
+      const Micros t = row.Get(query.time_column).CoerceInt64();
+      if (query.max_time > query.min_time &&
+          (t < query.min_time || t >= query.max_time)) {
+        continue;
+      }
+      bucket = t - (t % query.bucket_micros);
+      if (t < 0 && t % query.bucket_micros != 0) bucket -= query.bucket_micros;
+    }
+
+    std::vector<std::string> group;
+    group.reserve(query.group_by.size());
+    for (const std::string& col : query.group_by) {
+      group.push_back(row.Get(col).ToString());
+    }
+
+    auto& states = cells[{bucket, std::move(group)}];
+    if (states.empty()) states.resize(query.aggregates.size());
+    for (size_t i = 0; i < query.aggregates.size(); ++i) {
+      const Aggregate& agg = query.aggregates[i];
+      AggState& s = states[i];
+      ++s.count;
+      if (agg.kind == AggKind::kCount) continue;
+      const Value& v = row.Get(agg.column);
+      if (agg.kind == AggKind::kUniques) {
+        if (s.hll == nullptr) s.hll = std::make_unique<HyperLogLog>(12);
+        s.hll->Add(v.ToString());
+        continue;
+      }
+      const double x = v.CoerceDouble();
+      s.sum += x;
+      if (!s.has_minmax) {
+        s.min = s.max = x;
+        s.has_minmax = true;
+      } else {
+        s.min = std::min(s.min, x);
+        s.max = std::max(s.max, x);
+      }
+      if (agg.kind == AggKind::kPercentile) s.samples.push_back(x);
+    }
+  }
+  total_rows_scanned_ += result.rows_scanned;
+
+  for (auto& [key, states] : cells) {
+    ResultRow out;
+    out.bucket = key.first;
+    for (const std::string& g : key.second) out.group.emplace_back(g);
+    for (size_t i = 0; i < query.aggregates.size(); ++i) {
+      const Aggregate& agg = query.aggregates[i];
+      AggState& s = states[i];
+      switch (agg.kind) {
+        case AggKind::kCount:
+          out.aggregates.push_back(static_cast<double>(s.count));
+          break;
+        case AggKind::kSum:
+          out.aggregates.push_back(s.sum);
+          break;
+        case AggKind::kAvg:
+          out.aggregates.push_back(s.count > 0 ? s.sum / double(s.count) : 0);
+          break;
+        case AggKind::kMin:
+          out.aggregates.push_back(s.min);
+          break;
+        case AggKind::kMax:
+          out.aggregates.push_back(s.max);
+          break;
+        case AggKind::kPercentile: {
+          if (s.samples.empty()) {
+            out.aggregates.push_back(0);
+            break;
+          }
+          std::sort(s.samples.begin(), s.samples.end());
+          const double rank =
+              agg.percentile * static_cast<double>(s.samples.size() - 1);
+          const size_t lo = static_cast<size_t>(std::floor(rank));
+          const size_t hi = std::min(lo + 1, s.samples.size() - 1);
+          const double frac = rank - std::floor(rank);
+          out.aggregates.push_back(s.samples[lo] * (1 - frac) +
+                                   s.samples[hi] * frac);
+          break;
+        }
+        case AggKind::kUniques:
+          out.aggregates.push_back(s.hll != nullptr ? s.hll->Estimate() : 0);
+          break;
+      }
+    }
+    result.rows.push_back(std::move(out));
+  }
+
+  // Keep only the top `limit` groups, ranked by the first aggregate. For
+  // time series, rank groups by their total across buckets so whole series
+  // survive the cut.
+  if (query.limit > 0 && !query.group_by.empty()) {
+    std::map<std::vector<std::string>, double> group_totals;
+    for (const ResultRow& r : result.rows) {
+      std::vector<std::string> g;
+      for (const Value& v : r.group) g.push_back(v.ToString());
+      group_totals[g] += r.aggregates.empty() ? 0 : r.aggregates[0];
+    }
+    if (group_totals.size() > query.limit) {
+      std::vector<std::pair<double, std::vector<std::string>>> ranked;
+      for (const auto& [g, total] : group_totals) {
+        ranked.emplace_back(total, g);
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      ranked.resize(query.limit);
+      std::set<std::vector<std::string>> keep;
+      for (const auto& [total, g] : ranked) keep.insert(g);
+      std::vector<ResultRow> filtered;
+      for (ResultRow& r : result.rows) {
+        std::vector<std::string> g;
+        for (const Value& v : r.group) g.push_back(v.ToString());
+        if (keep.count(g) > 0) filtered.push_back(std::move(r));
+      }
+      result.rows = std::move(filtered);
+    }
+  }
+  return result;
+}
+
+size_t ScubaTable::ExpireBefore(const std::string& time_column,
+                                Micros horizon) {
+  const size_t before = rows_.size();
+  rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
+                             [&time_column, horizon](const Row& row) {
+                               return row.Get(time_column).CoerceInt64() <
+                                      horizon;
+                             }),
+              rows_.end());
+  return before - rows_.size();
+}
+
+Status Scuba::CreateTable(const std::string& name, SchemaPtr schema,
+                          double sample_rate) {
+  if (tables_.count(name) > 0) return Status::AlreadyExists(name);
+  tables_.emplace(name, std::make_unique<ScubaTable>(name, std::move(schema),
+                                                     sample_rate));
+  return Status::OK();
+}
+
+ScubaTable* Scuba::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Scuba::AttachCategory(const std::string& table,
+                             const std::string& category) {
+  if (tables_.count(table) == 0) return Status::NotFound("table " + table);
+  if (scribe_ == nullptr || !scribe_->HasCategory(category)) {
+    return Status::NotFound("category " + category);
+  }
+  Attachment att;
+  att.table = table;
+  const int buckets = scribe_->NumBuckets(category);
+  for (int b = 0; b < buckets; ++b) {
+    att.tailers.emplace_back(scribe_, category, b);
+  }
+  attachments_.push_back(std::move(att));
+  return Status::OK();
+}
+
+size_t Scuba::PollAll() {
+  size_t ingested = 0;
+  for (Attachment& att : attachments_) {
+    ScubaTable* table = GetTable(att.table);
+    if (table == nullptr) continue;
+    for (scribe::Tailer& tailer : att.tailers) {
+      while (true) {
+        auto messages = tailer.Poll();
+        if (messages.empty()) break;
+        for (const scribe::Message& m : messages) {
+          const Status st = table->IngestPayload(m.payload);
+          if (st.ok()) {
+            ++ingested;
+          } else {
+            FBSTREAM_LOG(Warning) << "scuba ingest: " << st;
+          }
+        }
+      }
+    }
+  }
+  return ingested;
+}
+
+uint64_t Scuba::total_rows_scanned() const {
+  uint64_t total = 0;
+  for (const auto& [name, table] : tables_) {
+    total += table->total_rows_scanned();
+  }
+  return total;
+}
+
+}  // namespace fbstream::scuba

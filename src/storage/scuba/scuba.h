@@ -1,0 +1,142 @@
+#ifndef FBSTREAM_STORAGE_SCUBA_SCUBA_H_
+#define FBSTREAM_STORAGE_SCUBA_SCUBA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "scribe/scribe.h"
+
+namespace fbstream::scuba {
+
+// Scuba (paper §2.6): "Facebook's fast slice-and-dice analysis data store...
+// Scuba ingests millions of new rows per second... Scuba provides ad hoc
+// queries with most response times under 1 second." Scuba aggregates at
+// *query time* by reading all of the raw event data (§5.2) — the property
+// the dashboard-migration experiment measures. Rows may be sampled on
+// ingest ("Most data sent to Scuba is sampled", §4.3.2) and query results
+// are best-effort.
+
+enum class AggKind {
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kPercentile,  // Exact, by sorting the group's values.
+  kUniques,     // HyperLogLog approximate distinct count.
+};
+
+struct Aggregate {
+  AggKind kind = AggKind::kCount;
+  std::string column;       // Ignored for kCount.
+  double percentile = 0.5;  // For kPercentile.
+};
+
+enum class FilterOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
+
+struct Filter {
+  std::string column;
+  FilterOp op = FilterOp::kEq;
+  Value operand;
+};
+
+// A slice-and-dice query: filter -> optional time bucketing -> group by ->
+// aggregate -> keep the top `limit` series. Dashboards visualize at most ~7
+// lines (§5.2: "Most Scuba queries have a limit of 7").
+struct Query {
+  std::vector<Filter> filters;
+  std::vector<std::string> group_by;
+  std::vector<Aggregate> aggregates;
+  // Time-series bucketing; empty time_column disables it.
+  std::string time_column;
+  Micros bucket_micros = 0;
+  // Optional closed-open time range on time_column (0,0 = unbounded).
+  Micros min_time = 0;
+  Micros max_time = 0;
+  size_t limit = 7;
+};
+
+struct ResultRow {
+  Micros bucket = 0;  // Bucket start when time bucketing is on.
+  std::vector<Value> group;
+  std::vector<double> aggregates;
+};
+
+struct QueryResult {
+  std::vector<ResultRow> rows;
+  // CPU-work proxy: raw rows visited to answer this query. The §5.2 bench
+  // compares this against Puma's write-time aggregation cost.
+  uint64_t rows_scanned = 0;
+};
+
+class ScubaTable {
+ public:
+  ScubaTable(std::string name, SchemaPtr schema, double sample_rate = 1.0,
+             uint64_t sample_seed = 42);
+
+  const std::string& name() const { return name_; }
+  const SchemaPtr& schema() const { return schema_; }
+
+  // Adds a row, subject to ingest-time sampling. Returns true if kept.
+  bool AddRow(Row row);
+  // Parses a text-serialized row and adds it.
+  Status IngestPayload(std::string_view payload);
+
+  StatusOr<QueryResult> Run(const Query& query) const;
+
+  // Retention: drops raw rows whose `time_column` value is below `horizon`
+  // (Scuba keeps a bounded window of recent raw data). Returns rows dropped.
+  size_t ExpireBefore(const std::string& time_column, Micros horizon);
+
+  size_t num_rows() const { return rows_.size(); }
+  uint64_t total_rows_scanned() const { return total_rows_scanned_; }
+  double sample_rate() const { return sample_rate_; }
+
+ private:
+  std::string name_;
+  SchemaPtr schema_;
+  double sample_rate_;
+  Rng rng_;
+  std::vector<Row> rows_;
+  mutable uint64_t total_rows_scanned_ = 0;
+};
+
+// The Scuba service: tables plus realtime Scribe ingestion.
+class Scuba {
+ public:
+  explicit Scuba(scribe::Scribe* scribe) : scribe_(scribe) {}
+
+  Status CreateTable(const std::string& name, SchemaPtr schema,
+                     double sample_rate = 1.0);
+  ScubaTable* GetTable(const std::string& name) const;
+
+  // Streams a Scribe category into a table ("Scuba can also ingest the
+  // output of any Puma, Stylus, or Swift app").
+  Status AttachCategory(const std::string& table,
+                        const std::string& category);
+  // Drains all attached categories. Returns rows ingested.
+  size_t PollAll();
+
+  // Global CPU-work proxy across all tables.
+  uint64_t total_rows_scanned() const;
+
+ private:
+  struct Attachment {
+    std::string table;
+    std::vector<scribe::Tailer> tailers;
+  };
+
+  scribe::Scribe* scribe_;
+  std::map<std::string, std::unique_ptr<ScubaTable>> tables_;
+  std::vector<Attachment> attachments_;
+};
+
+}  // namespace fbstream::scuba
+
+#endif  // FBSTREAM_STORAGE_SCUBA_SCUBA_H_

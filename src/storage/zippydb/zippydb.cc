@@ -1,0 +1,352 @@
+#include "storage/zippydb/zippydb.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/hash.h"
+
+namespace fbstream::zippydb {
+
+Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<Cluster>> Cluster::Open(const ClusterOptions& options,
+                                                 const std::string& dir) {
+  if (options.num_shards <= 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  if (options.replication <= 0) {
+    return Status::InvalidArgument("replication must be positive");
+  }
+  std::unique_ptr<Cluster> cluster(new Cluster(options));
+  for (int i = 0; i < options.num_shards; ++i) {
+    Shard shard;
+    for (int r = 0; r < options.replication; ++r) {
+      lsm::DbOptions db_options;
+      db_options.merge_operator = options.merge_operator;
+      FBSTREAM_ASSIGN_OR_RETURN(
+          auto db,
+          lsm::Db::Open(db_options, dir + "/shard-" + std::to_string(i) +
+                                        "/replica-" + std::to_string(r)));
+      shard.replicas.push_back(std::move(db));
+      shard.available.push_back(true);
+      shard.applied.push_back(0);
+    }
+    cluster->shards_.push_back(std::move(shard));
+  }
+  return cluster;
+}
+
+int Cluster::ShardOf(std::string_view key) const {
+  return static_cast<int>(Fnv1a64(key) %
+                          static_cast<uint64_t>(shards_.size()));
+}
+
+void Cluster::ChargeRead(size_t bytes) {
+  stats_.reads.fetch_add(1);
+  stats_.bytes.fetch_add(bytes);
+  if (options_.simulate_latency) {
+    SpinWaitMicros(options_.network_rtt_micros + options_.read_service_micros +
+                   options_.per_kb_micros * static_cast<double>(bytes) / 1024.0);
+  }
+}
+
+void Cluster::ChargeWrite(size_t bytes) {
+  stats_.writes.fetch_add(1);
+  stats_.bytes.fetch_add(bytes);
+  if (options_.simulate_latency) {
+    SpinWaitMicros(options_.network_rtt_micros + options_.quorum_commit_micros +
+                   options_.per_kb_micros * static_cast<double>(bytes) / 1024.0);
+  }
+}
+
+Status Cluster::CatchUpLocked(Shard* shard) {
+  for (size_t r = 0; r < shard->replicas.size(); ++r) {
+    if (!shard->available[r]) continue;
+    while (shard->applied[r] < shard->log_base + shard->log.size()) {
+      const lsm::WriteBatch& batch =
+          shard->log[shard->applied[r] - shard->log_base];
+      FBSTREAM_RETURN_IF_ERROR(shard->replicas[r]->Write(batch));
+      ++shard->applied[r];
+    }
+  }
+  // Compact the log prefix that every replica (live or not) has applied;
+  // dead replicas pin the log so they can catch up on revival.
+  size_t min_applied = shard->log_base + shard->log.size();
+  for (const size_t a : shard->applied) min_applied = std::min(min_applied, a);
+  while (shard->log_base < min_applied && !shard->log.empty()) {
+    shard->log.erase(shard->log.begin());
+    ++shard->log_base;
+  }
+  return Status::OK();
+}
+
+Status Cluster::CommitToShardLocked(int shard_index,
+                                    const lsm::WriteBatch& batch) {
+  Shard& shard = shards_[static_cast<size_t>(shard_index)];
+  int live = 0;
+  for (const bool a : shard.available) live += a ? 1 : 0;
+  if (live * 2 <= static_cast<int>(shard.replicas.size())) {
+    return Status::Unavailable("shard " + std::to_string(shard_index) +
+                               ": quorum lost (" + std::to_string(live) +
+                               "/" + std::to_string(shard.replicas.size()) +
+                               " replicas up)");
+  }
+  shard.log.push_back(batch);
+  return CatchUpLocked(&shard);
+}
+
+StatusOr<lsm::Db*> Cluster::ReadReplicaLocked(int shard_index) {
+  Shard& shard = shards_[static_cast<size_t>(shard_index)];
+  FBSTREAM_RETURN_IF_ERROR(CatchUpLocked(&shard));
+  for (size_t r = 0; r < shard.replicas.size(); ++r) {
+    if (shard.available[r]) return shard.replicas[r].get();
+  }
+  return Status::Unavailable("shard " + std::to_string(shard_index) +
+                             ": all replicas down");
+}
+
+StatusOr<std::string> Cluster::Get(std::string_view key) {
+  StatusOr<std::string> result = Status::Unavailable("unreached");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto db = ReadReplicaLocked(ShardOf(key));
+    if (!db.ok()) return db.status();  // No replica even answered.
+    result = (*db)->Get(key);
+  }
+  // A miss is still a remote read (NotFound travels back over the wire).
+  ChargeRead(key.size() + (result.ok() ? result->size() : 0));
+  return result;
+}
+
+Status Cluster::Put(std::string_view key, std::string_view value) {
+  lsm::WriteBatch batch;
+  batch.Put(key, value);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FBSTREAM_RETURN_IF_ERROR(CommitToShardLocked(ShardOf(key), batch));
+  }
+  ChargeWrite(key.size() + value.size());
+  return Status::OK();
+}
+
+Status Cluster::Delete(std::string_view key) {
+  lsm::WriteBatch batch;
+  batch.Delete(key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FBSTREAM_RETURN_IF_ERROR(CommitToShardLocked(ShardOf(key), batch));
+  }
+  ChargeWrite(key.size());
+  return Status::OK();
+}
+
+Status Cluster::Merge(std::string_view key, std::string_view operand) {
+  if (options_.merge_operator == nullptr) {
+    return Status::FailedPrecondition("cluster has no merge operator");
+  }
+  lsm::WriteBatch batch;
+  batch.Merge(key, operand);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FBSTREAM_RETURN_IF_ERROR(CommitToShardLocked(ShardOf(key), batch));
+  }
+  stats_.merges.fetch_add(1);
+  stats_.bytes.fetch_add(key.size() + operand.size());
+  if (options_.simulate_latency) {
+    SpinWaitMicros(options_.network_rtt_micros + options_.quorum_commit_micros +
+                   options_.per_kb_micros *
+                       static_cast<double>(key.size() + operand.size()) /
+                       1024.0);
+  }
+  return Status::OK();
+}
+
+std::vector<StatusOr<std::string>> Cluster::MultiGet(
+    const std::vector<std::string>& keys) {
+  std::vector<StatusOr<std::string>> results;
+  results.reserve(keys.size());
+  std::set<int> touched;
+  size_t bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& key : keys) {
+      const int shard = ShardOf(key);
+      auto db = ReadReplicaLocked(shard);
+      if (!db.ok()) {
+        results.push_back(db.status());
+        continue;
+      }
+      touched.insert(shard);
+      auto result = (*db)->Get(key);
+      bytes += key.size() + (result.ok() ? result->size() : 0);
+      results.push_back(std::move(result));
+    }
+  }
+  stats_.reads.fetch_add(touched.size());
+  stats_.bytes.fetch_add(bytes);
+  if (options_.simulate_latency && !touched.empty()) {
+    // Shard fan-out happens in parallel; charge the per-shard RTT once and
+    // the byte cost serially (client NIC bound).
+    SpinWaitMicros(options_.network_rtt_micros +
+                   options_.per_kb_micros * static_cast<double>(bytes) /
+                       1024.0);
+  }
+  return results;
+}
+
+Status Cluster::WriteBatch(const lsm::WriteBatch& batch) {
+  std::vector<lsm::WriteBatch> per_shard(shards_.size());
+  size_t bytes = 0;
+  for (const lsm::WriteBatch::Op& op : batch.ops()) {
+    auto& b = per_shard[static_cast<size_t>(ShardOf(op.key))];
+    switch (op.type) {
+      case lsm::EntryType::kPut:
+        b.Put(op.key, op.value);
+        break;
+      case lsm::EntryType::kDelete:
+        b.Delete(op.key);
+        break;
+      case lsm::EntryType::kMerge:
+        if (options_.merge_operator == nullptr) {
+          return Status::FailedPrecondition("cluster has no merge operator");
+        }
+        b.Merge(op.key, op.value);
+        break;
+    }
+    bytes += op.key.size() + op.value.size();
+  }
+  int touched = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < per_shard.size(); ++i) {
+      if (per_shard[i].empty()) continue;
+      ++touched;
+      FBSTREAM_RETURN_IF_ERROR(
+          CommitToShardLocked(static_cast<int>(i), per_shard[i]));
+    }
+  }
+  stats_.writes.fetch_add(static_cast<uint64_t>(touched));
+  stats_.bytes.fetch_add(bytes);
+  if (options_.simulate_latency && touched > 0) {
+    SpinWaitMicros(options_.network_rtt_micros + options_.quorum_commit_micros +
+                   options_.per_kb_micros * static_cast<double>(bytes) /
+                       1024.0);
+  }
+  return Status::OK();
+}
+
+Status Cluster::CommitTransaction(const lsm::WriteBatch& batch) {
+  // Figure out the participant set first (2PC prepare).
+  std::set<int> participants;
+  size_t bytes = 0;
+  std::vector<lsm::WriteBatch> per_shard(shards_.size());
+  for (const lsm::WriteBatch::Op& op : batch.ops()) {
+    const int shard = ShardOf(op.key);
+    participants.insert(shard);
+    auto& b = per_shard[static_cast<size_t>(shard)];
+    switch (op.type) {
+      case lsm::EntryType::kPut:
+        b.Put(op.key, op.value);
+        break;
+      case lsm::EntryType::kDelete:
+        b.Delete(op.key);
+        break;
+      case lsm::EntryType::kMerge:
+        b.Merge(op.key, op.value);
+        break;
+    }
+    bytes += op.key.size() + op.value.size();
+  }
+  {
+    // Prepare: every participant must have a write quorum, checked before
+    // anything is applied (atomicity on failure).
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const int shard_index : participants) {
+      const Shard& shard = shards_[static_cast<size_t>(shard_index)];
+      int live = 0;
+      for (const bool a : shard.available) live += a ? 1 : 0;
+      if (live * 2 <= static_cast<int>(shard.replicas.size())) {
+        return Status::Unavailable("txn prepare: shard " +
+                                   std::to_string(shard_index) +
+                                   " lost quorum");
+      }
+    }
+    // Commit point: apply all participant batches under the lock.
+    for (size_t i = 0; i < per_shard.size(); ++i) {
+      if (per_shard[i].empty()) continue;
+      FBSTREAM_RETURN_IF_ERROR(
+          CommitToShardLocked(static_cast<int>(i), per_shard[i]));
+    }
+  }
+  if (options_.simulate_latency) {
+    // Prepare + commit rounds, serialized across participants (the
+    // "high-latency distributed transaction" of §4.3.2).
+    SpinWaitMicros(static_cast<double>(participants.size()) * 2.0 *
+                       options_.txn_round_micros +
+                   options_.per_kb_micros * static_cast<double>(bytes) /
+                       1024.0);
+  }
+  stats_.writes.fetch_add(participants.size());
+  stats_.bytes.fetch_add(bytes);
+  return Status::OK();
+}
+
+void Cluster::SetReplicaAvailable(int shard, int replica, bool available) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shard < 0 || static_cast<size_t>(shard) >= shards_.size()) return;
+  Shard& s = shards_[static_cast<size_t>(shard)];
+  if (replica < 0 || static_cast<size_t>(replica) >= s.available.size()) {
+    return;
+  }
+  s.available[static_cast<size_t>(replica)] = available;
+}
+
+void Cluster::SetShardAvailable(int shard, bool available) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shard < 0 || static_cast<size_t>(shard) >= shards_.size()) return;
+  Shard& s = shards_[static_cast<size_t>(shard)];
+  for (size_t r = 0; r < s.available.size(); ++r) s.available[r] = available;
+}
+
+int Cluster::LiveReplicas(int shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shard < 0 || static_cast<size_t>(shard) >= shards_.size()) return 0;
+  const Shard& s = shards_[static_cast<size_t>(shard)];
+  int live = 0;
+  for (const bool a : s.available) live += a ? 1 : 0;
+  return live;
+}
+
+StatusOr<std::vector<std::pair<std::string, std::string>>>
+Cluster::ScanPrefix(const std::string& prefix) {
+  std::vector<std::pair<std::string, std::string>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      FBSTREAM_ASSIGN_OR_RETURN(lsm::Db * db,
+                                ReadReplicaLocked(static_cast<int>(i)));
+      auto it = db->NewIterator();
+      it.Seek(prefix);
+      for (; it.Valid(); it.Next()) {
+        if (it.key().compare(0, prefix.size(), prefix) != 0) break;
+        out.emplace_back(it.key(), it.value());
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  ChargeRead(0);
+  return out;
+}
+
+Status Cluster::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Shard& shard : shards_) {
+    for (size_t r = 0; r < shard.replicas.size(); ++r) {
+      if (!shard.available[r]) continue;
+      FBSTREAM_RETURN_IF_ERROR(shard.replicas[r]->Flush());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fbstream::zippydb

@@ -1,0 +1,134 @@
+#ifndef FBSTREAM_STORAGE_ZIPPYDB_ZIPPYDB_H_
+#define FBSTREAM_STORAGE_ZIPPYDB_ZIPPYDB_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/cost.h"
+#include "common/status.h"
+#include "storage/lsm/db.h"
+#include "storage/lsm/merge_operator.h"
+#include "storage/lsm/write_batch.h"
+
+namespace fbstream::zippydb {
+
+// ZippyDB stand-in (paper §4.3.2: "Facebook's distributed key-value store
+// with Paxos-style replication, built on top of RocksDB"). Also doubles as
+// the HBase stand-in for Puma checkpoints.
+//
+// Each shard is a replica group of embedded lsm::Db instances coordinated
+// through a per-shard replicated log: a write commits once a majority of
+// replicas is up, is applied to every live replica, and lagging replicas
+// catch up from the log when they come back — the observable behavior of a
+// Paxos/Raft group, without the wire protocol. The network and quorum costs
+// are a calibrated latency model charged per operation (see DESIGN.md
+// substitutions): the paper's Figure 12 depends on remote *operation
+// counts* and the read-vs-append cost asymmetry, both preserved here.
+struct ClusterOptions {
+  int num_shards = 3;
+  int replication = 3;
+  // Client -> shard round trip (charged once per op, plus size cost).
+  double network_rtt_micros = 150;
+  // Server-side service time for a point read (RocksDB read path, possibly
+  // touching disk). Merge writes skip this entirely — they append to the
+  // WAL/memtable without reading — which is the asymmetry behind the
+  // Figure 12 append-only optimization.
+  double read_service_micros = 0;
+  // Paxos quorum commit charged per mutating op on top of the RTT.
+  double quorum_commit_micros = 250;
+  double per_kb_micros = 4;
+  // Extra rounds for cross-shard two-phase commit (per participant shard).
+  double txn_round_micros = 500;
+  // Disable to make unit tests instant; benches keep it on.
+  bool simulate_latency = true;
+  std::shared_ptr<const lsm::MergeOperator> merge_operator;
+};
+
+class Cluster {
+ public:
+  // Shard replica data lives in `dir`/shard-<i>/replica-<r>.
+  static StatusOr<std::unique_ptr<Cluster>> Open(const ClusterOptions& options,
+                                                 const std::string& dir);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int replication() const { return options_.replication; }
+  int ShardOf(std::string_view key) const;
+
+  // Single-key client operations. Each charges one network RTT plus
+  // replication cost (for writes) and tracks OpStats.
+  StatusOr<std::string> Get(std::string_view key);
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+  // Append-only write: requires options.merge_operator.
+  Status Merge(std::string_view key, std::string_view operand);
+
+  // Batched reads: one RTT per *touched shard*, not per key.
+  std::vector<StatusOr<std::string>> MultiGet(
+      const std::vector<std::string>& keys);
+
+  // Batched writes routed to shards; one RTT + one quorum commit per
+  // touched shard. Atomic per shard, NOT across shards.
+  Status WriteBatch(const lsm::WriteBatch& batch);
+
+  // Cross-shard transaction: atomic across shards via (simulated) 2PC.
+  // This is the expensive path the paper says most users avoid: "The state
+  // must be saved to multiple shards, requiring a high-latency distributed
+  // transaction."
+  Status CommitTransaction(const lsm::WriteBatch& batch);
+
+  // Failure injection. A shard stays writable while a majority of its
+  // replicas is up and readable while at least one is up; a revived
+  // replica catches up from the shard's log.
+  void SetReplicaAvailable(int shard, int replica, bool available);
+  // Convenience: flips every replica of the shard at once.
+  void SetShardAvailable(int shard, bool available);
+  int LiveReplicas(int shard) const;
+
+  // Point-in-time scan of every key with the given prefix (merge-resolved).
+  StatusOr<std::vector<std::pair<std::string, std::string>>> ScanPrefix(
+      const std::string& prefix);
+
+  OpStats& stats() { return stats_; }
+  const ClusterOptions& options() const { return options_; }
+
+  // Flushes every live replica's memtable (used by tests around restart).
+  Status FlushAll();
+
+ private:
+  struct Shard {
+    std::vector<std::unique_ptr<lsm::Db>> replicas;
+    std::vector<bool> available;
+    // Replicated log: committed batches not yet compacted away, plus the
+    // index of the first entry still in `log`.
+    std::vector<lsm::WriteBatch> log;
+    size_t log_base = 0;
+    std::vector<size_t> applied;  // Next log index to apply, per replica.
+  };
+
+  explicit Cluster(ClusterOptions options);
+
+  void ChargeRead(size_t bytes);
+  void ChargeWrite(size_t bytes);
+  // Replays pending log entries to every live replica; prunes the log
+  // prefix all replicas have applied.
+  Status CatchUpLocked(Shard* shard);
+  // Commits a batch to the shard's log and applies it to live replicas.
+  // Fails without a majority ("quorum lost").
+  Status CommitToShardLocked(int shard_index, const lsm::WriteBatch& batch);
+  // First live, caught-up replica for reads; null if none.
+  StatusOr<lsm::Db*> ReadReplicaLocked(int shard_index);
+
+  ClusterOptions options_;
+  std::vector<Shard> shards_;
+  mutable std::mutex mu_;
+  OpStats stats_;
+};
+
+}  // namespace fbstream::zippydb
+
+#endif  // FBSTREAM_STORAGE_ZIPPYDB_ZIPPYDB_H_

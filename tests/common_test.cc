@@ -1,0 +1,420 @@
+// Unit and property tests for src/common: status, values/rows, serde,
+// clocks, rng, HyperLogLog, filesystem helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/clock.h"
+#include "common/cost.h"
+#include "common/fs.h"
+#include "common/hash.h"
+#include "common/hll.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace fbstream {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("key k1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: key k1");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 11; ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::IoError("disk");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kIoError);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  FBSTREAM_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  EXPECT_FALSE(UseAssignOrReturn(-1, &out).ok());
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(7).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(7).AsInt64(), 7);
+  EXPECT_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, NumericComparisonCrossesTypes) {
+  EXPECT_EQ(Value(2).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value(1).Compare(Value(1.5)), 0);
+  EXPECT_GT(Value(3.5).Compare(Value(3)), 0);
+}
+
+TEST(ValueTest, NullSortsFirstStringsLast) {
+  EXPECT_LT(Value().Compare(Value(0)), 0);
+  EXPECT_LT(Value(999).Compare(Value("a")), 0);
+  EXPECT_LT(Value("a").Compare(Value("b")), 0);
+}
+
+TEST(ValueTest, Coercions) {
+  EXPECT_EQ(Value("123").CoerceInt64(), 123);
+  EXPECT_DOUBLE_EQ(Value("1.5").CoerceDouble(), 1.5);
+  EXPECT_EQ(Value(42).CoerceString(), "42");
+  EXPECT_EQ(Value().CoerceInt64(), 0);
+  EXPECT_EQ(Value(3.9).CoerceInt64(), 3);
+}
+
+TEST(SchemaTest, IndexLookup) {
+  Schema schema({{"a", ValueType::kInt64}, {"b", ValueType::kString}});
+  EXPECT_EQ(schema.num_columns(), 2u);
+  EXPECT_EQ(schema.IndexOf("a"), 0);
+  EXPECT_EQ(schema.IndexOf("b"), 1);
+  EXPECT_EQ(schema.IndexOf("c"), -1);
+  EXPECT_TRUE(schema.Has("a"));
+  EXPECT_FALSE(schema.Has("z"));
+}
+
+TEST(RowTest, NamedAccess) {
+  auto schema = Schema::Make({{"x", ValueType::kInt64},
+                              {"y", ValueType::kString}});
+  Row row(schema);
+  EXPECT_TRUE(row.Set("x", Value(9)));
+  EXPECT_TRUE(row.Set("y", Value("v")));
+  EXPECT_FALSE(row.Set("zzz", Value(1)));
+  EXPECT_EQ(row.Get("x").AsInt64(), 9);
+  EXPECT_EQ(row.Get("y").AsString(), "v");
+  EXPECT_TRUE(row.Get("missing").is_null());
+}
+
+TEST(SerdeTest, VarintRoundTrip) {
+  for (const uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 300ULL,
+                           1ULL << 32, ~0ULL}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    std::string_view view(buf);
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&view, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(view.empty());
+  }
+}
+
+TEST(SerdeTest, VarintRejectsTruncation) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 40);
+  buf.resize(buf.size() - 1);
+  std::string_view view(buf);
+  uint64_t out = 0;
+  EXPECT_FALSE(GetVarint64(&view, &out));
+}
+
+TEST(SerdeTest, ZigzagRoundTrip) {
+  for (const int64_t v :
+       std::initializer_list<int64_t>{0, -1, 1, -123456789,
+                                      std::numeric_limits<int64_t>::min(),
+                                      std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v);
+  }
+}
+
+TEST(SerdeTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, std::string("\0bin\t", 5));
+  std::string_view view(buf);
+  std::string_view a;
+  std::string_view b;
+  ASSERT_TRUE(GetLengthPrefixed(&view, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&view, &b));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, std::string("\0bin\t", 5));
+}
+
+TEST(SerdeTest, BinaryRowRoundTrip) {
+  auto schema = Schema::Make({{"i", ValueType::kInt64},
+                              {"d", ValueType::kDouble},
+                              {"s", ValueType::kString},
+                              {"n", ValueType::kNull}});
+  BinaryRowCodec codec(schema);
+  Row row(schema, {Value(-77), Value(3.14159), Value("text\twith\ttabs"),
+                   Value()});
+  auto decoded = codec.Decode(codec.Encode(row));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, row);
+}
+
+TEST(SerdeTest, TextRowRoundTrip) {
+  auto schema = Schema::Make({{"i", ValueType::kInt64},
+                              {"d", ValueType::kDouble},
+                              {"s", ValueType::kString}});
+  TextRowCodec codec(schema);
+  Row row(schema, {Value(42), Value(1.5), Value("hello world")});
+  auto decoded = codec.Decode(codec.Encode(row));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->Get(0).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(decoded->Get(1).AsDouble(), 1.5);
+  EXPECT_EQ(decoded->Get(2).AsString(), "hello world");
+}
+
+TEST(SerdeTest, TextRowNegativeNumbers) {
+  auto schema = Schema::Make({{"i", ValueType::kInt64}});
+  TextRowCodec codec(schema);
+  auto decoded = codec.Decode("-987");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->Get(0).AsInt64(), -987);
+}
+
+TEST(SerdeTest, TextRowShortInputPadsNulls) {
+  auto schema = Schema::Make({{"a", ValueType::kString},
+                              {"b", ValueType::kString},
+                              {"c", ValueType::kInt64}});
+  TextRowCodec codec(schema);
+  auto decoded = codec.Decode("only");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->num_columns(), 3u);
+  EXPECT_EQ(decoded->Get(0).AsString(), "only");
+}
+
+TEST(ClockTest, SimClockAdvances) {
+  SimClock clock(1000);
+  EXPECT_EQ(clock.NowMicros(), 1000);
+  clock.AdvanceMicros(500);
+  EXPECT_EQ(clock.NowMicros(), 1500);
+  clock.SetMicros(10);
+  EXPECT_EQ(clock.NowMicros(), 10);
+}
+
+TEST(ClockTest, SystemClockMonotoneish) {
+  SystemClock* clock = SystemClock::Get();
+  const Micros a = clock->NowMicros();
+  const Micros b = clock->NowMicros();
+  EXPECT_LE(a, b);
+  EXPECT_GT(a, 1'000'000'000LL);  // Sometime after 1970.
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, SkewedTowardLowRanks) {
+  Rng rng(5);
+  Zipf zipf(1000, 0.99);
+  int rank0 = 0;
+  int total = 20000;
+  for (int i = 0; i < total; ++i) {
+    const uint64_t r = zipf.Sample(&rng);
+    ASSERT_LT(r, 1000u);
+    if (r == 0) ++rank0;
+  }
+  // Rank 0 should get far more than the uniform share (0.1%).
+  EXPECT_GT(rank0, total / 100);
+}
+
+TEST(HashTest, StableAndSpread) {
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  std::set<uint64_t> buckets;
+  for (int i = 0; i < 100; ++i) {
+    buckets.insert(Fnv1a64("key" + std::to_string(i)) % 8);
+  }
+  EXPECT_EQ(buckets.size(), 8u);  // All buckets hit.
+}
+
+TEST(HllTest, EmptyEstimatesZeroish) {
+  HyperLogLog hll(12);
+  EXPECT_LT(hll.Estimate(), 1.0);
+}
+
+TEST(HllTest, AccuracyWithinFewPercent) {
+  HyperLogLog hll(12);
+  constexpr int kTrue = 100000;
+  for (int i = 0; i < kTrue; ++i) hll.Add("user" + std::to_string(i));
+  const double est = hll.Estimate();
+  EXPECT_NEAR(est, kTrue, kTrue * 0.05);
+}
+
+TEST(HllTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int rep = 0; rep < 10; ++rep) {
+    for (int i = 0; i < 1000; ++i) hll.Add("item" + std::to_string(i));
+  }
+  EXPECT_NEAR(hll.Estimate(), 1000, 100);
+}
+
+TEST(HllTest, MergeIsUnion) {
+  HyperLogLog a(12);
+  HyperLogLog b(12);
+  for (int i = 0; i < 5000; ++i) a.Add("a" + std::to_string(i));
+  for (int i = 0; i < 5000; ++i) b.Add("b" + std::to_string(i));
+  a.Merge(b);
+  EXPECT_NEAR(a.Estimate(), 10000, 800);
+}
+
+TEST(HllTest, MergeIsCommutativeMonoid) {
+  // Property: merge is associative + commutative with identity = empty.
+  HyperLogLog x(12);
+  HyperLogLog y(12);
+  HyperLogLog z(12);
+  for (int i = 0; i < 300; ++i) x.Add("x" + std::to_string(i));
+  for (int i = 0; i < 300; ++i) y.Add("y" + std::to_string(i));
+  for (int i = 0; i < 300; ++i) z.Add("z" + std::to_string(i));
+
+  HyperLogLog xy = x;
+  xy.Merge(y);
+  HyperLogLog xy_z = xy;
+  xy_z.Merge(z);
+
+  HyperLogLog yz = y;
+  yz.Merge(z);
+  HyperLogLog x_yz = x;
+  x_yz.Merge(yz);
+
+  EXPECT_DOUBLE_EQ(xy_z.Estimate(), x_yz.Estimate());
+
+  HyperLogLog with_identity = x;
+  with_identity.Merge(HyperLogLog(12));
+  EXPECT_DOUBLE_EQ(with_identity.Estimate(), x.Estimate());
+}
+
+TEST(HllTest, SerializeRoundTrip) {
+  HyperLogLog hll(10);
+  for (int i = 0; i < 2000; ++i) hll.Add("k" + std::to_string(i));
+  HyperLogLog back = HyperLogLog::Deserialize(hll.Serialize());
+  EXPECT_DOUBLE_EQ(back.Estimate(), hll.Estimate());
+  EXPECT_EQ(back.precision(), 10);
+}
+
+TEST(FsTest, WriteReadRoundTrip) {
+  const std::string dir = MakeTempDir("fstest");
+  const std::string path = dir + "/file.bin";
+  const std::string data("binary\0data", 11);
+  ASSERT_TRUE(WriteFile(path, data).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+TEST(FsTest, AtomicWriteLeavesNoTmp) {
+  const std::string dir = MakeTempDir("fstest");
+  ASSERT_TRUE(WriteFileAtomic(dir + "/f", "v1").ok());
+  ASSERT_TRUE(WriteFileAtomic(dir + "/f", "v2").ok());
+  EXPECT_FALSE(FileExists(dir + "/f.tmp"));
+  auto read = ReadFileToString(dir + "/f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "v2");
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+TEST(FsTest, AppendAccumulates) {
+  const std::string dir = MakeTempDir("fstest");
+  ASSERT_TRUE(AppendToFile(dir + "/log", "a").ok());
+  ASSERT_TRUE(AppendToFile(dir + "/log", "b").ok());
+  auto read = ReadFileToString(dir + "/log");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "ab");
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+TEST(FsTest, ListDirSorted) {
+  const std::string dir = MakeTempDir("fstest");
+  ASSERT_TRUE(WriteFile(dir + "/b", "").ok());
+  ASSERT_TRUE(WriteFile(dir + "/a", "").ok());
+  ASSERT_TRUE(WriteFile(dir + "/c", "").ok());
+  auto names = ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+TEST(FsTest, MissingFileIsError) {
+  EXPECT_FALSE(ReadFileToString("/nonexistent/nope").ok());
+  EXPECT_FALSE(FileExists("/nonexistent/nope"));
+}
+
+TEST(CostTest, SpinWaitWaitsRoughly) {
+  const auto start = std::chrono::steady_clock::now();
+  SpinWaitMicros(2000);
+  const double elapsed =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed, 1900.0);
+}
+
+TEST(CostTest, ZeroAndNegativeAreNoOps) {
+  SpinWaitMicros(0);
+  SpinWaitMicros(-5);
+  BurnCpuMicros(0);
+  BurnCpuMicros(-1);
+}
+
+}  // namespace
+}  // namespace fbstream

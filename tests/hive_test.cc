@@ -1,0 +1,207 @@
+// Tests for Hive (day-partitioned warehouse) and the MapReduce runner
+// (including map-side combining for monoid partial aggregation).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/fs.h"
+#include "storage/hive/hive.h"
+
+namespace fbstream::hive {
+namespace {
+
+SchemaPtr EventSchema() {
+  return Schema::Make({{"time", ValueType::kInt64},
+                       {"topic", ValueType::kString},
+                       {"score", ValueType::kInt64}});
+}
+
+Row MakeRow(const SchemaPtr& schema, int64_t time, const std::string& topic,
+            int64_t score) {
+  return Row(schema, {Value(time), Value(topic), Value(score)});
+}
+
+class HiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = MakeTempDir("hive");
+    hive_ = std::make_unique<Hive>(root_);
+    schema_ = EventSchema();
+    ASSERT_TRUE(hive_->CreateTable("events", schema_).ok());
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(root_).ok()); }
+
+  std::string root_;
+  std::unique_ptr<Hive> hive_;
+  SchemaPtr schema_;
+};
+
+TEST_F(HiveTest, CreateTableValidation) {
+  EXPECT_EQ(hive_->CreateTable("events", schema_).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(hive_->CreateTable("", schema_).ok());
+  EXPECT_TRUE(hive_->HasTable("events"));
+  EXPECT_FALSE(hive_->HasTable("nope"));
+}
+
+TEST_F(HiveTest, PartitionLifecycle) {
+  std::vector<Row> rows = {MakeRow(schema_, 1, "sports", 5)};
+  ASSERT_TRUE(hive_->WritePartition("events", "2016-01-01", rows).ok());
+  // Not landed yet: reads must fail (the partition becomes available only
+  // "after the day ends at midnight").
+  EXPECT_FALSE(hive_->ReadPartition("events", "2016-01-01").ok());
+  EXPECT_FALSE(hive_->IsPartitionLanded("events", "2016-01-01"));
+
+  ASSERT_TRUE(hive_->LandPartition("events", "2016-01-01").ok());
+  auto read = hive_->ReadPartition("events", "2016-01-01");
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 1u);
+  EXPECT_EQ((*read)[0].Get("topic").AsString(), "sports");
+}
+
+TEST_F(HiveTest, AppendsAccumulateWithinPartition) {
+  ASSERT_TRUE(hive_->WritePartition("events", "2016-01-01",
+                                    {MakeRow(schema_, 1, "a", 1)})
+                  .ok());
+  ASSERT_TRUE(hive_->WritePartition("events", "2016-01-01",
+                                    {MakeRow(schema_, 2, "b", 2)})
+                  .ok());
+  ASSERT_TRUE(hive_->LandPartition("events", "2016-01-01").ok());
+  auto read = hive_->ReadPartition("events", "2016-01-01");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), 2u);
+}
+
+TEST_F(HiveTest, ListPartitionsOnlyLanded) {
+  ASSERT_TRUE(hive_->WritePartition("events", "2016-01-02",
+                                    {MakeRow(schema_, 1, "a", 1)})
+                  .ok());
+  ASSERT_TRUE(hive_->WritePartition("events", "2016-01-01",
+                                    {MakeRow(schema_, 1, "a", 1)})
+                  .ok());
+  ASSERT_TRUE(hive_->LandPartition("events", "2016-01-01").ok());
+  auto partitions = hive_->ListPartitions("events");
+  ASSERT_TRUE(partitions.ok());
+  EXPECT_EQ(*partitions, std::vector<std::string>{"2016-01-01"});
+  ASSERT_TRUE(hive_->LandPartition("events", "2016-01-02").ok());
+  partitions = hive_->ListPartitions("events");
+  ASSERT_TRUE(partitions.ok());
+  EXPECT_EQ(*partitions,
+            (std::vector<std::string>{"2016-01-01", "2016-01-02"}));
+}
+
+TEST_F(HiveTest, EmptyDayLands) {
+  ASSERT_TRUE(hive_->LandPartition("events", "2016-03-01").ok());
+  auto read = hive_->ReadPartition("events", "2016-03-01");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+}
+
+class MapReduceTest : public HiveTest {
+ protected:
+  void SetUp() override {
+    HiveTest::SetUp();
+    std::vector<Row> day1;
+    std::vector<Row> day2;
+    for (int i = 0; i < 50; ++i) {
+      day1.push_back(
+          MakeRow(schema_, i, i % 2 == 0 ? "sports" : "movies", 1));
+      day2.push_back(MakeRow(schema_, 100 + i, "sports", 2));
+    }
+    ASSERT_TRUE(hive_->WritePartition("events", "2016-01-01", day1).ok());
+    ASSERT_TRUE(hive_->LandPartition("events", "2016-01-01").ok());
+    ASSERT_TRUE(hive_->WritePartition("events", "2016-01-02", day2).ok());
+    ASSERT_TRUE(hive_->LandPartition("events", "2016-01-02").ok());
+  }
+
+  MapReduceSpec SumByTopicSpec() {
+    MapReduceSpec spec;
+    spec.output_schema = Schema::Make(
+        {{"topic", ValueType::kString}, {"total", ValueType::kInt64}});
+    spec.map = [](const Row& row) {
+      return std::vector<KeyedRecord>{
+          {row.Get("topic").AsString(), row.Get("score").ToString()}};
+    };
+    auto schema = spec.output_schema;
+    spec.reduce = [schema](const std::string& key,
+                           const std::vector<std::string>& records) {
+      int64_t total = 0;
+      for (const std::string& r : records) {
+        total += strtoll(r.c_str(), nullptr, 10);
+      }
+      return std::vector<Row>{Row(schema, {Value(key), Value(total)})};
+    };
+    return spec;
+  }
+};
+
+TEST_F(MapReduceTest, SumByKeyAcrossPartitions) {
+  MapReduceCounters counters;
+  auto result = RunMapReduce(*hive_, "events", {"2016-01-01", "2016-01-02"},
+                             SumByTopicSpec(), &counters);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  int64_t sports = 0;
+  int64_t movies = 0;
+  for (const Row& row : *result) {
+    if (row.Get("topic").AsString() == "sports") {
+      sports = row.Get("total").AsInt64();
+    } else {
+      movies = row.Get("total").AsInt64();
+    }
+  }
+  EXPECT_EQ(sports, 25 + 100);  // 25 day1 + 50*2 day2.
+  EXPECT_EQ(movies, 25);
+  EXPECT_EQ(counters.map_input_rows, 100u);
+  EXPECT_EQ(counters.reduce_groups, 2u);
+}
+
+TEST_F(MapReduceTest, CombinerShrinksShuffle) {
+  MapReduceSpec spec = SumByTopicSpec();
+  MapReduceCounters without;
+  auto r1 = RunMapReduce(*hive_, "events", {"2016-01-01", "2016-01-02"},
+                         spec, &without);
+  ASSERT_TRUE(r1.ok());
+
+  spec.combine = [](const std::string& a, const std::string& b) {
+    return std::to_string(strtoll(a.c_str(), nullptr, 10) +
+                          strtoll(b.c_str(), nullptr, 10));
+  };
+  MapReduceCounters with;
+  auto r2 = RunMapReduce(*hive_, "events", {"2016-01-01", "2016-01-02"},
+                         spec, &with);
+  ASSERT_TRUE(r2.ok());
+
+  // Same results, far fewer shuffle records.
+  EXPECT_EQ(r1->size(), r2->size());
+  EXPECT_EQ(without.shuffle_records, 100u);
+  EXPECT_EQ(with.shuffle_records, 2u);
+}
+
+TEST_F(MapReduceTest, MapOnlyJobCounts) {
+  MapReduceSpec spec;
+  spec.map = [](const Row& row) {
+    if (row.Get("topic").AsString() != "sports") return std::vector<KeyedRecord>{};
+    return std::vector<KeyedRecord>{{"k", "1"}};
+  };
+  spec.reduce = nullptr;
+  MapReduceCounters counters;
+  auto result = RunMapReduce(*hive_, "events", {"2016-01-01"}, spec,
+                             &counters);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+  EXPECT_EQ(counters.map_output_records, 25u);
+}
+
+TEST_F(MapReduceTest, UnlandedPartitionFails) {
+  ASSERT_TRUE(hive_->WritePartition("events", "2016-01-03",
+                                    {MakeRow(schema_, 1, "a", 1)})
+                  .ok());
+  auto result =
+      RunMapReduce(*hive_, "events", {"2016-01-03"}, SumByTopicSpec());
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace fbstream::hive

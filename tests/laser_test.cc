@@ -1,0 +1,185 @@
+// Tests for Laser: app configuration, realtime Scribe ingestion, key/value
+// column projection, TTL expiry, Hive bulk loads, deploy/delete.
+
+#include <gtest/gtest.h>
+
+#include "common/fs.h"
+#include "common/serde.h"
+#include "storage/hive/hive.h"
+#include "storage/laser/laser.h"
+
+namespace fbstream::laser {
+namespace {
+
+class LaserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = MakeTempDir("laser");
+    scribe_ = std::make_unique<scribe::Scribe>(&clock_);
+    scribe::CategoryConfig config;
+    config.name = "dim_stream";
+    config.num_buckets = 2;
+    ASSERT_TRUE(scribe_->CreateCategory(config).ok());
+    schema_ = Schema::Make({{"dim_id", ValueType::kInt64},
+                            {"language", ValueType::kString},
+                            {"country", ValueType::kString}});
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(dir_).ok()); }
+
+  LaserAppConfig BaseConfig() {
+    LaserAppConfig config;
+    config.name = "dims";
+    config.scribe_category = "dim_stream";
+    config.input_schema = schema_;
+    config.key_columns = {"dim_id"};
+    config.value_columns = {"language", "country"};
+    return config;
+  }
+
+  void WriteDim(int64_t id, const std::string& lang,
+                const std::string& country) {
+    TextRowCodec codec(schema_);
+    Row row(schema_, {Value(id), Value(lang), Value(country)});
+    ASSERT_TRUE(
+        scribe_->WriteSharded("dim_stream", std::to_string(id),
+                              codec.Encode(row))
+            .ok());
+  }
+
+  std::string dir_;
+  SimClock clock_{1'000'000};
+  std::unique_ptr<scribe::Scribe> scribe_;
+  SchemaPtr schema_;
+};
+
+TEST_F(LaserTest, IngestAndGet) {
+  auto app = LaserApp::Create(BaseConfig(), scribe_.get(), &clock_,
+                              dir_ + "/dims");
+  ASSERT_TRUE(app.ok()) << app.status();
+  WriteDim(42, "en", "US");
+  WriteDim(7, "pt", "BR");
+  auto ingested = (*app)->PollOnce();
+  ASSERT_TRUE(ingested.ok());
+  EXPECT_EQ(*ingested, 2u);
+
+  auto row = (*app)->Get(Value(42));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->Get("language").AsString(), "en");
+  EXPECT_EQ(row->Get("country").AsString(), "US");
+
+  EXPECT_TRUE((*app)->Get(Value(999)).status().IsNotFound());
+}
+
+TEST_F(LaserTest, LatestWriteWinsPerKey) {
+  auto app = LaserApp::Create(BaseConfig(), scribe_.get(), &clock_,
+                              dir_ + "/dims");
+  ASSERT_TRUE(app.ok());
+  WriteDim(1, "en", "US");
+  WriteDim(1, "fr", "FR");
+  ASSERT_TRUE((*app)->PollOnce().ok());
+  auto row = (*app)->Get(Value(1));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->Get("language").AsString(), "fr");
+}
+
+TEST_F(LaserTest, TtlExpiresKeys) {
+  LaserAppConfig config = BaseConfig();
+  config.ttl_micros = 10 * kMicrosPerSecond;
+  auto app = LaserApp::Create(config, scribe_.get(), &clock_, dir_ + "/ttl");
+  ASSERT_TRUE(app.ok());
+  WriteDim(5, "de", "DE");
+  ASSERT_TRUE((*app)->PollOnce().ok());
+  EXPECT_TRUE((*app)->Get(Value(5)).ok());
+  clock_.AdvanceMicros(11 * kMicrosPerSecond);
+  EXPECT_TRUE((*app)->Get(Value(5)).status().IsNotFound());
+}
+
+TEST_F(LaserTest, MultiColumnKeys) {
+  LaserAppConfig config = BaseConfig();
+  config.key_columns = {"language", "country"};
+  config.value_columns = {"dim_id"};
+  auto app = LaserApp::Create(config, scribe_.get(), &clock_, dir_ + "/mc");
+  ASSERT_TRUE(app.ok());
+  WriteDim(10, "en", "US");
+  WriteDim(11, "en", "GB");
+  ASSERT_TRUE((*app)->PollOnce().ok());
+  auto us = (*app)->Get({Value("en"), Value("US")});
+  ASSERT_TRUE(us.ok());
+  EXPECT_EQ(us->Get("dim_id").AsInt64(), 10);
+  auto gb = (*app)->Get({Value("en"), Value("GB")});
+  ASSERT_TRUE(gb.ok());
+  EXPECT_EQ(gb->Get("dim_id").AsInt64(), 11);
+}
+
+TEST_F(LaserTest, MultiGet) {
+  auto app = LaserApp::Create(BaseConfig(), scribe_.get(), &clock_,
+                              dir_ + "/mg");
+  ASSERT_TRUE(app.ok());
+  WriteDim(1, "en", "US");
+  WriteDim(2, "es", "MX");
+  ASSERT_TRUE((*app)->PollOnce().ok());
+  auto results = (*app)->MultiGet({{Value(1)}, {Value(2)}, {Value(3)}});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_TRUE(results[2].status().IsNotFound());
+}
+
+TEST_F(LaserTest, RejectsBadConfigs) {
+  LaserAppConfig config = BaseConfig();
+  config.key_columns = {"no_such_column"};
+  EXPECT_FALSE(
+      LaserApp::Create(config, scribe_.get(), &clock_, dir_ + "/bad").ok());
+
+  config = BaseConfig();
+  config.key_columns.clear();
+  EXPECT_FALSE(
+      LaserApp::Create(config, scribe_.get(), &clock_, dir_ + "/bad2").ok());
+
+  config = BaseConfig();
+  config.scribe_category = "missing_category";
+  EXPECT_FALSE(
+      LaserApp::Create(config, scribe_.get(), &clock_, dir_ + "/bad3").ok());
+}
+
+TEST_F(LaserTest, LoadFromHiveOnceADay) {
+  // §2.5: "Laser can read ... from any Hive table once a day."
+  hive::Hive hive(dir_ + "/hive");
+  ASSERT_TRUE(hive.CreateTable("dim_daily", schema_).ok());
+  std::vector<Row> rows;
+  rows.emplace_back(schema_, std::vector<Value>{Value(100), Value("jp"),
+                                                Value("JP")});
+  rows.emplace_back(schema_, std::vector<Value>{Value(101), Value("ko"),
+                                                Value("KR")});
+  ASSERT_TRUE(hive.WritePartition("dim_daily", "2016-02-01", rows).ok());
+  ASSERT_TRUE(hive.LandPartition("dim_daily", "2016-02-01").ok());
+
+  LaserAppConfig config = BaseConfig();
+  config.scribe_category.clear();  // Hive-only app.
+  auto app = LaserApp::Create(config, scribe_.get(), &clock_, dir_ + "/hv");
+  ASSERT_TRUE(app.ok()) << app.status();
+  ASSERT_TRUE((*app)->LoadFromHive(hive, "dim_daily", "2016-02-01").ok());
+  auto row = (*app)->Get(Value(100));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->Get("language").AsString(), "jp");
+}
+
+TEST_F(LaserTest, ServiceDeployAndDelete) {
+  Laser service(scribe_.get(), &clock_, dir_ + "/svc");
+  ASSERT_TRUE(service.DeployApp(BaseConfig()).ok());
+  EXPECT_EQ(service.DeployApp(BaseConfig()).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_NE(service.GetApp("dims"), nullptr);
+  EXPECT_EQ(service.ListApps(), std::vector<std::string>{"dims"});
+
+  WriteDim(1, "en", "US");
+  service.PollAll();
+  EXPECT_TRUE(service.GetApp("dims")->Get(Value(1)).ok());
+
+  ASSERT_TRUE(service.DeleteApp("dims").ok());
+  EXPECT_EQ(service.GetApp("dims"), nullptr);
+  EXPECT_TRUE(service.DeleteApp("dims").IsNotFound());
+}
+
+}  // namespace
+}  // namespace fbstream::laser

@@ -1,0 +1,174 @@
+// Tests for monitoring (auto-configured lag dashboards + alerts, §6.4) and
+// the auto-scaler (the conclusion's future-work item: rebucket the input
+// category and reconcile pipeline shards when a node keeps falling behind).
+
+#include <gtest/gtest.h>
+
+#include "common/fs.h"
+#include "common/serde.h"
+#include "core/monitoring.h"
+#include "core/node.h"
+#include "core/pipeline.h"
+#include "core/processor.h"
+#include "core/sink.h"
+
+namespace fbstream::stylus {
+namespace {
+
+SchemaPtr InputSchema() {
+  return Schema::Make({{"ts", ValueType::kInt64}, {"k", ValueType::kString}});
+}
+
+class CountingProcessor : public StatelessProcessor {
+ public:
+  void Process(const Event&, std::vector<Row>*) override {}
+};
+
+class MonitoringTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = MakeTempDir("monitoring");
+    scribe_ = std::make_unique<scribe::Scribe>(&clock_);
+    scribe::CategoryConfig config;
+    config.name = "in";
+    config.num_buckets = 1;
+    ASSERT_TRUE(scribe_->CreateCategory(config).ok());
+    pipeline_ = std::make_unique<Pipeline>(scribe_.get(), &clock_);
+
+    NodeConfig node;
+    node.name = "worker";
+    node.input_category = "in";
+    node.input_schema = InputSchema();
+    node.stateless_factory = [] {
+      return std::make_unique<CountingProcessor>();
+    };
+    node.backend = StateBackend::kNone;
+    node.state_dir = dir_ + "/state";
+    node.checkpoint_every_events = 64;
+    node.sink = std::make_shared<CollectingSink>();
+    ASSERT_TRUE(pipeline_->AddNode(node).ok());
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(dir_).ok()); }
+
+  void WriteMessages(int n) {
+    TextRowCodec codec(InputSchema());
+    for (int i = 0; i < n; ++i) {
+      Row row(InputSchema(), {Value(i), Value("k" + std::to_string(i))});
+      ASSERT_TRUE(scribe_->WriteSharded("in", "k" + std::to_string(i),
+                                        codec.Encode(row))
+                      .ok());
+    }
+  }
+
+  SimClock clock_{1};
+  std::string dir_;
+  std::unique_ptr<scribe::Scribe> scribe_;
+  std::unique_ptr<Pipeline> pipeline_;
+};
+
+TEST_F(MonitoringTest, SamplesLagHistory) {
+  MonitoringService monitoring(&clock_);
+  monitoring.RegisterPipeline("svc", pipeline_.get());
+
+  WriteMessages(100);
+  monitoring.Sample();
+  clock_.AdvanceMicros(kMicrosPerSecond);
+  WriteMessages(100);
+  monitoring.Sample();
+
+  auto history = monitoring.History("svc", "worker", 0);
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].lag_messages, 100u);
+  EXPECT_EQ(history[1].lag_messages, 200u);
+  EXPECT_LT(history[0].time, history[1].time);
+  EXPECT_TRUE(monitoring.History("svc", "nope", 0).empty());
+}
+
+TEST_F(MonitoringTest, AlertsFireOnLatestSample) {
+  MonitoringService monitoring(&clock_);
+  monitoring.RegisterPipeline("svc", pipeline_.get());
+  WriteMessages(500);
+  monitoring.Sample();
+  auto alerts = monitoring.ActiveAlerts(100);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].node, "worker");
+  EXPECT_EQ(alerts[0].lag_messages, 500u);
+
+  // Drain and re-sample: alert clears.
+  ASSERT_TRUE(pipeline_->RunUntilQuiescent().ok());
+  monitoring.Sample();
+  EXPECT_TRUE(monitoring.ActiveAlerts(100).empty());
+}
+
+TEST_F(MonitoringTest, FallingBehindNeedsMonotoneGrowth) {
+  MonitoringService monitoring(&clock_);
+  monitoring.RegisterPipeline("svc", pipeline_.get());
+  for (int i = 0; i < 4; ++i) {
+    WriteMessages(100);  // Lag grows every sample; nothing consumes.
+    monitoring.Sample();
+  }
+  EXPECT_TRUE(monitoring.IsFallingBehind("svc", "worker", 0));
+  ASSERT_TRUE(pipeline_->RunUntilQuiescent().ok());
+  monitoring.Sample();  // Lag dropped to zero.
+  EXPECT_FALSE(monitoring.IsFallingBehind("svc", "worker", 0));
+}
+
+TEST_F(MonitoringTest, ReconcileShardsPicksUpNewBuckets) {
+  EXPECT_EQ(pipeline_->Shards("worker").size(), 1u);
+  ASSERT_TRUE(scribe_->SetNumBuckets("in", 4).ok());
+  ASSERT_TRUE(pipeline_->ReconcileShards().ok());
+  EXPECT_EQ(pipeline_->Shards("worker").size(), 4u);
+  // New shards consume their buckets.
+  WriteMessages(200);
+  ASSERT_TRUE(pipeline_->RunUntilQuiescent().ok());
+  for (const auto& report : pipeline_->GetProcessingLag()) {
+    EXPECT_EQ(report.lag_messages, 0u);
+  }
+}
+
+TEST_F(MonitoringTest, AutoScalerRebucketsAfterSustainedLag) {
+  MonitoringService monitoring(&clock_);
+  monitoring.RegisterPipeline("svc", pipeline_.get());
+  AutoScaler::Options options;
+  options.lag_threshold = 100;
+  options.sustained_samples = 3;
+  options.max_buckets = 8;
+  AutoScaler scaler(&monitoring, scribe_.get(), options);
+  scaler.RegisterPipeline("svc", pipeline_.get());
+
+  // Two bad samples: not sustained yet.
+  WriteMessages(500);
+  EXPECT_TRUE(scaler.Evaluate().empty());
+  EXPECT_TRUE(scaler.Evaluate().empty());
+  // Third: scale up 1 -> 2 buckets.
+  auto actions = scaler.Evaluate();
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(scribe_->NumBuckets("in"), 2);
+  EXPECT_EQ(pipeline_->Shards("worker").size(), 2u);
+  EXPECT_EQ(scaler.scale_ups(), 1);
+
+  // Lag drained resets the streak: no further scaling.
+  ASSERT_TRUE(pipeline_->RunUntilQuiescent().ok());
+  EXPECT_TRUE(scaler.Evaluate().empty());
+  EXPECT_TRUE(scaler.Evaluate().empty());
+  EXPECT_TRUE(scaler.Evaluate().empty());
+  EXPECT_EQ(scribe_->NumBuckets("in"), 2);
+}
+
+TEST_F(MonitoringTest, AutoScalerRespectsMaxBuckets) {
+  AutoScaler::Options options;
+  options.lag_threshold = 1;
+  options.sustained_samples = 1;
+  options.max_buckets = 2;
+  MonitoringService monitoring(&clock_);
+  AutoScaler scaler(&monitoring, scribe_.get(), options);
+  scaler.RegisterPipeline("svc", pipeline_.get());
+  WriteMessages(100);
+  EXPECT_EQ(scaler.Evaluate().size(), 1u);  // 1 -> 2.
+  WriteMessages(100);
+  EXPECT_TRUE(scaler.Evaluate().empty());  // Capped at 2.
+  EXPECT_EQ(scribe_->NumBuckets("in"), 2);
+}
+
+}  // namespace
+}  // namespace fbstream::stylus

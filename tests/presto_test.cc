@@ -1,0 +1,150 @@
+// Tests for the Presto stand-in: SELECT over Hive partitions (projection,
+// filters, aggregates, GROUP BY, ORDER BY, LIMIT), partition subsets, and
+// sending results to Laser (§2.7).
+
+#include <gtest/gtest.h>
+
+#include "common/fs.h"
+#include "presto/presto.h"
+#include "storage/hive/hive.h"
+#include "storage/laser/laser.h"
+
+namespace fbstream::presto {
+namespace {
+
+SchemaPtr SalesSchema() {
+  return Schema::Make({{"ds_time", ValueType::kInt64},
+                       {"region", ValueType::kString},
+                       {"product", ValueType::kString},
+                       {"units", ValueType::kInt64}});
+}
+
+class PrestoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = MakeTempDir("presto");
+    hive_ = std::make_unique<hive::Hive>(dir_ + "/hive");
+    schema_ = SalesSchema();
+    ASSERT_TRUE(hive_->CreateTable("sales", schema_).ok());
+    // Two days of data.
+    std::vector<Row> day1 = {
+        Make(1, "us", "widget", 10), Make(2, "us", "gadget", 5),
+        Make(3, "eu", "widget", 7)};
+    std::vector<Row> day2 = {
+        Make(4, "us", "widget", 20), Make(5, "eu", "gadget", 2),
+        Make(6, "eu", "widget", 3)};
+    ASSERT_TRUE(hive_->WritePartition("sales", "2016-01-01", day1).ok());
+    ASSERT_TRUE(hive_->LandPartition("sales", "2016-01-01").ok());
+    ASSERT_TRUE(hive_->WritePartition("sales", "2016-01-02", day2).ok());
+    ASSERT_TRUE(hive_->LandPartition("sales", "2016-01-02").ok());
+    presto_ = std::make_unique<Presto>(hive_.get());
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(dir_).ok()); }
+
+  Row Make(int64_t t, const std::string& region, const std::string& product,
+           int64_t units) {
+    return Row(schema_, {Value(t), Value(region), Value(product),
+                         Value(units)});
+  }
+
+  std::string dir_;
+  std::unique_ptr<hive::Hive> hive_;
+  SchemaPtr schema_;
+  std::unique_ptr<Presto> presto_;
+};
+
+TEST_F(PrestoTest, PlainProjectionAndFilter) {
+  auto result = presto_->Execute(
+      "SELECT region, units FROM sales WHERE product = 'widget';");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 4u);
+  EXPECT_EQ(result->rows_scanned, 6u);
+  EXPECT_EQ(result->partitions_scanned, 2u);
+  EXPECT_EQ(result->schema->num_columns(), 2u);
+  EXPECT_EQ(result->rows[0].Get("region").AsString(), "us");
+}
+
+TEST_F(PrestoTest, GroupByAggregates) {
+  auto result = presto_->Execute(
+      "SELECT region, count(*) AS n, sum(units) AS total FROM sales "
+      "GROUP BY region ORDER BY total DESC;");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0].Get("region").AsString(), "us");
+  EXPECT_DOUBLE_EQ(result->rows[0].Get("total").CoerceDouble(), 35.0);
+  EXPECT_DOUBLE_EQ(result->rows[0].Get("n").CoerceDouble(), 3.0);
+  EXPECT_EQ(result->rows[1].Get("region").AsString(), "eu");
+  EXPECT_DOUBLE_EQ(result->rows[1].Get("total").CoerceDouble(), 12.0);
+}
+
+TEST_F(PrestoTest, ImplicitGroupByFromSelectItems) {
+  auto result = presto_->Execute(
+      "SELECT product, avg(units) AS mean FROM sales;");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 2u);  // widget, gadget.
+}
+
+TEST_F(PrestoTest, OrderByAndLimit) {
+  auto result = presto_->Execute(
+      "SELECT product, units FROM sales ORDER BY units DESC LIMIT 2;");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0].Get("units").AsInt64(), 20);
+  EXPECT_EQ(result->rows[1].Get("units").AsInt64(), 10);
+}
+
+TEST_F(PrestoTest, ScalarExpressionsInSelect) {
+  auto result = presto_->Execute(
+      "SELECT upper(region) AS r, units * 2 AS dbl FROM sales LIMIT 1;");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].Get("r").CoerceString(), "US");
+  EXPECT_EQ(result->rows[0].Get("dbl").CoerceInt64(), 20);
+}
+
+TEST_F(PrestoTest, PartitionSubset) {
+  // "Query results change only once a day, after new data is loaded."
+  auto result = presto_->ExecuteOnPartitions(
+      "SELECT count(*) AS n FROM sales;", {"2016-01-01"});
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->rows[0].Get("n").CoerceDouble(), 3.0);
+  EXPECT_EQ(result->partitions_scanned, 1u);
+}
+
+TEST_F(PrestoTest, Validation) {
+  EXPECT_FALSE(presto_->Execute("SELECT nosuch FROM sales;").ok());
+  EXPECT_FALSE(presto_->Execute("SELECT units FROM missing_table;").ok());
+  EXPECT_FALSE(presto_->Execute("SELECT units sales;").ok());
+  EXPECT_FALSE(
+      presto_->Execute("SELECT units FROM sales ORDER BY nosuch;").ok());
+}
+
+TEST_F(PrestoTest, SendResultToLaser) {
+  // §2.7: query results "can then be sent to Laser for access by products
+  // and realtime stream processors".
+  auto result = presto_->Execute(
+      "SELECT region, sum(units) AS total FROM sales GROUP BY region;");
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  laser::LaserAppConfig config;
+  config.name = "region_totals";
+  config.input_schema = result->schema;
+  config.key_columns = {"region"};
+  config.value_columns = {"total"};
+  SimClock clock(1);
+  auto app = laser::LaserApp::Create(config, nullptr, &clock,
+                                     dir_ + "/laser");
+  ASSERT_TRUE(app.ok()) << app.status();
+  ASSERT_TRUE(Presto::SendToLaser(*result, app->get()).ok());
+
+  auto us = (*app)->Get(Value("us"));
+  ASSERT_TRUE(us.ok());
+  EXPECT_DOUBLE_EQ(us->Get("total").CoerceDouble(), 35.0);
+  auto eu = (*app)->Get(Value("eu"));
+  ASSERT_TRUE(eu.ok());
+  EXPECT_DOUBLE_EQ(eu->Get("total").CoerceDouble(), 12.0);
+}
+
+}  // namespace
+}  // namespace fbstream::presto

@@ -1,0 +1,227 @@
+// Tests for Scuba: ingestion (with sampling), filters, group-by,
+// aggregates, time series, top-N series limiting, Scribe attachment, and
+// read-time CPU accounting.
+
+#include <gtest/gtest.h>
+
+#include "common/serde.h"
+#include "storage/scuba/scuba.h"
+
+namespace fbstream::scuba {
+namespace {
+
+SchemaPtr EventSchema() {
+  return Schema::Make({{"time", ValueType::kInt64},
+                       {"app", ValueType::kString},
+                       {"metric", ValueType::kString},
+                       {"value", ValueType::kDouble},
+                       {"user", ValueType::kString}});
+}
+
+Row MakeRow(const SchemaPtr& schema, int64_t time, const std::string& app,
+            const std::string& metric, double value,
+            const std::string& user = "u") {
+  return Row(schema,
+             {Value(time), Value(app), Value(metric), Value(value),
+              Value(user)});
+}
+
+TEST(ScubaTableTest, CountAndFilter) {
+  ScubaTable table("events", EventSchema());
+  for (int i = 0; i < 10; ++i) {
+    table.AddRow(MakeRow(table.schema(), i, i % 2 == 0 ? "fb4a" : "msgr",
+                         "cold_start", 1.0 * i));
+  }
+  Query query;
+  query.filters.push_back({"app", FilterOp::kEq, Value("fb4a")});
+  query.aggregates.push_back({AggKind::kCount, "", 0});
+  auto result = table.Run(query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->rows[0].aggregates[0], 5.0);
+  EXPECT_EQ(result->rows_scanned, 10u);  // Read-time aggregation scans all.
+}
+
+TEST(ScubaTableTest, GroupByWithMultipleAggregates) {
+  ScubaTable table("events", EventSchema());
+  table.AddRow(MakeRow(table.schema(), 1, "fb4a", "m", 10));
+  table.AddRow(MakeRow(table.schema(), 2, "fb4a", "m", 30));
+  table.AddRow(MakeRow(table.schema(), 3, "msgr", "m", 5));
+  Query query;
+  query.group_by = {"app"};
+  query.aggregates.push_back({AggKind::kCount, "", 0});
+  query.aggregates.push_back({AggKind::kSum, "value", 0});
+  query.aggregates.push_back({AggKind::kAvg, "value", 0});
+  query.aggregates.push_back({AggKind::kMin, "value", 0});
+  query.aggregates.push_back({AggKind::kMax, "value", 0});
+  auto result = table.Run(query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 2u);
+  const ResultRow& fb4a = result->rows[0];
+  EXPECT_EQ(fb4a.group[0].AsString(), "fb4a");
+  EXPECT_DOUBLE_EQ(fb4a.aggregates[0], 2);
+  EXPECT_DOUBLE_EQ(fb4a.aggregates[1], 40);
+  EXPECT_DOUBLE_EQ(fb4a.aggregates[2], 20);
+  EXPECT_DOUBLE_EQ(fb4a.aggregates[3], 10);
+  EXPECT_DOUBLE_EQ(fb4a.aggregates[4], 30);
+}
+
+TEST(ScubaTableTest, PercentileExact) {
+  ScubaTable table("events", EventSchema());
+  for (int i = 1; i <= 100; ++i) {
+    table.AddRow(MakeRow(table.schema(), i, "a", "m", i));
+  }
+  Query query;
+  query.aggregates.push_back({AggKind::kPercentile, "value", 0.5});
+  query.aggregates.push_back({AggKind::kPercentile, "value", 0.99});
+  auto result = table.Run(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->rows[0].aggregates[0], 50.5, 0.01);
+  EXPECT_NEAR(result->rows[0].aggregates[1], 99.01, 0.1);
+}
+
+TEST(ScubaTableTest, UniquesApproximate) {
+  ScubaTable table("events", EventSchema());
+  for (int i = 0; i < 5000; ++i) {
+    table.AddRow(MakeRow(table.schema(), i, "a", "m", 1,
+                         "user" + std::to_string(i % 1000)));
+  }
+  Query query;
+  query.aggregates.push_back({AggKind::kUniques, "user", 0});
+  auto result = table.Run(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->rows[0].aggregates[0], 1000, 100);
+}
+
+TEST(ScubaTableTest, TimeSeriesBucketsAndRange) {
+  ScubaTable table("events", EventSchema());
+  for (int64_t t = 0; t < 100; ++t) {
+    table.AddRow(MakeRow(table.schema(), t * kMicrosPerSecond, "a", "m", 1));
+  }
+  Query query;
+  query.time_column = "time";
+  query.bucket_micros = 10 * kMicrosPerSecond;
+  query.min_time = 20 * kMicrosPerSecond;
+  query.max_time = 60 * kMicrosPerSecond;
+  query.aggregates.push_back({AggKind::kCount, "", 0});
+  auto result = table.Run(query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 4u);  // Buckets 20,30,40,50.
+  for (const ResultRow& row : result->rows) {
+    EXPECT_DOUBLE_EQ(row.aggregates[0], 10);
+  }
+  EXPECT_EQ(result->rows[0].bucket, 20 * kMicrosPerSecond);
+}
+
+TEST(ScubaTableTest, LimitKeepsTopSeries) {
+  // §5.2: "Most Scuba queries have a limit of 7" — only the biggest series
+  // survive.
+  ScubaTable table("events", EventSchema());
+  for (int app = 0; app < 20; ++app) {
+    for (int i = 0; i <= app; ++i) {
+      table.AddRow(MakeRow(table.schema(), i, "app" + std::to_string(app),
+                           "m", 1));
+    }
+  }
+  Query query;
+  query.group_by = {"app"};
+  query.aggregates.push_back({AggKind::kCount, "", 0});
+  query.limit = 7;
+  auto result = table.Run(query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 7u);
+  for (const ResultRow& row : result->rows) {
+    EXPECT_GE(row.aggregates[0], 14);  // Only the largest groups.
+  }
+}
+
+TEST(ScubaTableTest, ContainsFilter) {
+  ScubaTable table("events", EventSchema());
+  table.AddRow(MakeRow(table.schema(), 1, "a", "posts #superbowl yay", 1));
+  table.AddRow(MakeRow(table.schema(), 2, "a", "other post", 1));
+  Query query;
+  query.filters.push_back(
+      {"metric", FilterOp::kContains, Value("#superbowl")});
+  query.aggregates.push_back({AggKind::kCount, "", 0});
+  auto result = table.Run(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->rows[0].aggregates[0], 1);
+}
+
+TEST(ScubaTableTest, SamplingReducesRows) {
+  ScubaTable table("events", EventSchema(), /*sample_rate=*/0.1,
+                   /*sample_seed=*/7);
+  int kept = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (table.AddRow(MakeRow(table.schema(), i, "a", "m", 1))) ++kept;
+  }
+  EXPECT_EQ(table.num_rows(), static_cast<size_t>(kept));
+  EXPECT_NEAR(kept, 1000, 150);
+}
+
+TEST(ScubaTableTest, InvalidQueriesRejected) {
+  ScubaTable table("events", EventSchema());
+  Query no_aggs;
+  EXPECT_FALSE(table.Run(no_aggs).ok());
+  Query bad_ts;
+  bad_ts.time_column = "time";
+  bad_ts.bucket_micros = 0;
+  bad_ts.aggregates.push_back({AggKind::kCount, "", 0});
+  EXPECT_FALSE(table.Run(bad_ts).ok());
+}
+
+TEST(ScubaTableTest, CpuAccountingAccumulates) {
+  ScubaTable table("events", EventSchema());
+  for (int i = 0; i < 100; ++i) {
+    table.AddRow(MakeRow(table.schema(), i, "a", "m", 1));
+  }
+  Query query;
+  query.aggregates.push_back({AggKind::kCount, "", 0});
+  ASSERT_TRUE(table.Run(query).ok());
+  ASSERT_TRUE(table.Run(query).ok());
+  EXPECT_EQ(table.total_rows_scanned(), 200u);  // Every query rescans.
+}
+
+TEST(ScubaTableTest, RetentionExpiresOldRows) {
+  ScubaTable table("events", EventSchema());
+  for (int i = 0; i < 100; ++i) {
+    table.AddRow(MakeRow(table.schema(), i * kMicrosPerMinute, "a", "m", 1));
+  }
+  const size_t dropped = table.ExpireBefore("time", 60 * kMicrosPerMinute);
+  EXPECT_EQ(dropped, 60u);
+  EXPECT_EQ(table.num_rows(), 40u);
+  Query query;
+  query.aggregates.push_back({AggKind::kCount, "", 0});
+  auto result = table.Run(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->rows[0].aggregates[0], 40);
+}
+
+TEST(ScubaServiceTest, ScribeIngestion) {
+  SimClock clock(1);
+  scribe::Scribe bus(&clock);
+  scribe::CategoryConfig config;
+  config.name = "scuba_in";
+  config.num_buckets = 2;
+  ASSERT_TRUE(bus.CreateCategory(config).ok());
+
+  Scuba scuba(&bus);
+  ASSERT_TRUE(scuba.CreateTable("events", EventSchema()).ok());
+  ASSERT_TRUE(scuba.AttachCategory("events", "scuba_in").ok());
+  EXPECT_FALSE(scuba.AttachCategory("missing", "scuba_in").ok());
+  EXPECT_FALSE(scuba.AttachCategory("events", "missing").ok());
+
+  TextRowCodec codec(EventSchema());
+  for (int i = 0; i < 10; ++i) {
+    Row row = MakeRow(EventSchema(), i, "fb4a", "m", i);
+    ASSERT_TRUE(
+        bus.WriteSharded("scuba_in", std::to_string(i), codec.Encode(row))
+            .ok());
+  }
+  EXPECT_EQ(scuba.PollAll(), 10u);
+  EXPECT_EQ(scuba.GetTable("events")->num_rows(), 10u);
+  EXPECT_EQ(scuba.PollAll(), 0u);  // Drained.
+}
+
+}  // namespace
+}  // namespace fbstream::scuba

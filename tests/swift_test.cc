@@ -1,0 +1,203 @@
+// Tests for Swift: N-strings / B-bytes checkpoint triggers, the pipe
+// protocol, at-least-once replay after a crash, and the
+// buffer-everything-between-checkpoints execution model.
+
+#include <gtest/gtest.h>
+
+#include "common/fs.h"
+#include "swift/swift.h"
+
+namespace fbstream::swift {
+namespace {
+
+class RecordingClient : public SwiftClient {
+ public:
+  void HandleMessage(const std::string& message) override {
+    messages.push_back(message);
+  }
+  void OnCheckpoint(uint64_t next_offset) override {
+    checkpoint_offsets.push_back(next_offset);
+  }
+
+  std::vector<std::string> messages;
+  std::vector<uint64_t> checkpoint_offsets;
+};
+
+class SwiftTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = MakeTempDir("swift");
+    scribe_ = std::make_unique<scribe::Scribe>(&clock_);
+    scribe::CategoryConfig config;
+    config.name = "in";
+    ASSERT_TRUE(scribe_->CreateCategory(config).ok());
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(dir_).ok()); }
+
+  SwiftConfig BaseConfig() {
+    SwiftConfig config;
+    config.name = "tailer";
+    config.category = "in";
+    config.checkpoint_every_strings = 10;
+    config.checkpoint_dir = dir_;
+    return config;
+  }
+
+  void WriteMessages(int from, int to) {
+    for (int i = from; i < to; ++i) {
+      ASSERT_TRUE(scribe_->Write("in", 0, "msg" + std::to_string(i)).ok());
+    }
+  }
+
+  SimClock clock_{1};
+  std::string dir_;
+  std::unique_ptr<scribe::Scribe> scribe_;
+};
+
+TEST_F(SwiftTest, ConfigValidation) {
+  SwiftConfig no_trigger = BaseConfig();
+  no_trigger.checkpoint_every_strings = 0;
+  RecordingClient client;
+  EXPECT_FALSE(SwiftRunner::Create(no_trigger, scribe_.get(), &client).ok());
+
+  SwiftConfig no_dir = BaseConfig();
+  no_dir.checkpoint_dir.clear();
+  EXPECT_FALSE(SwiftRunner::Create(no_dir, scribe_.get(), &client).ok());
+
+  SwiftConfig bad_category = BaseConfig();
+  bad_category.category = "missing";
+  EXPECT_FALSE(SwiftRunner::Create(bad_category, scribe_.get(), &client).ok());
+}
+
+TEST_F(SwiftTest, DeliversInCheckpointIntervals) {
+  RecordingClient client;
+  auto runner = SwiftRunner::Create(BaseConfig(), scribe_.get(), &client);
+  ASSERT_TRUE(runner.ok());
+  WriteMessages(0, 25);
+
+  auto n1 = (*runner)->RunOnce();
+  ASSERT_TRUE(n1.ok());
+  EXPECT_EQ(*n1, 10u);  // One full interval.
+  EXPECT_EQ(client.messages.size(), 10u);
+  EXPECT_EQ(client.messages[0], "msg0");
+  ASSERT_EQ(client.checkpoint_offsets.size(), 1u);
+  EXPECT_EQ(client.checkpoint_offsets[0], 10u);
+
+  ASSERT_TRUE((*runner)->RunOnce().ok());
+  EXPECT_EQ(client.messages.size(), 20u);
+
+  // Remaining 5 messages do not fill an interval...
+  auto partial = (*runner)->RunOnce();
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(*partial, 0u);
+  // ...until flushed explicitly.
+  auto flushed = (*runner)->RunOnce(/*flush_partial=*/true);
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_EQ(*flushed, 5u);
+  EXPECT_EQ(client.messages.size(), 25u);
+}
+
+TEST_F(SwiftTest, ByteTrigger) {
+  SwiftConfig config = BaseConfig();
+  config.checkpoint_every_strings = 0;
+  config.checkpoint_every_bytes = 30;  // ~6 x "msgN\n".
+  RecordingClient client;
+  auto runner = SwiftRunner::Create(config, scribe_.get(), &client);
+  ASSERT_TRUE(runner.ok());
+  WriteMessages(0, 10);
+  auto n = (*runner)->RunOnce();
+  ASSERT_TRUE(n.ok());
+  EXPECT_GT(*n, 0u);
+  EXPECT_LT(*n, 10u);
+}
+
+TEST_F(SwiftTest, AtLeastOnceReplayAfterCrash) {
+  RecordingClient client;
+  auto runner = SwiftRunner::Create(BaseConfig(), scribe_.get(), &client);
+  ASSERT_TRUE(runner.ok());
+  WriteMessages(0, 20);
+  ASSERT_TRUE((*runner)->RunOnce().ok());  // Checkpoint at 10.
+  EXPECT_EQ(client.messages.size(), 10u);
+
+  // Crash before the next checkpoint: a new runner (same checkpoint dir)
+  // resumes from offset 10 and re-reads everything after it.
+  RecordingClient client2;
+  auto runner2 = SwiftRunner::Create(BaseConfig(), scribe_.get(), &client2);
+  ASSERT_TRUE(runner2.ok());
+  EXPECT_EQ((*runner2)->offset(), 10u);
+  ASSERT_TRUE((*runner2)->RunOnce().ok());
+  ASSERT_EQ(client2.messages.size(), 10u);
+  EXPECT_EQ(client2.messages[0], "msg10");  // No gap, no skip.
+}
+
+TEST_F(SwiftTest, ReplayedIntervalIsDuplicatedNotLost) {
+  // Deliver an interval, then "crash" before its checkpoint is consumed by
+  // simulating an interrupted run: recover to the pre-interval offset.
+  RecordingClient client;
+  auto runner = SwiftRunner::Create(BaseConfig(), scribe_.get(), &client);
+  ASSERT_TRUE(runner.ok());
+  WriteMessages(0, 10);
+  ASSERT_TRUE((*runner)->RunOnce().ok());
+  // Manually roll back the durable checkpoint to simulate a crash between
+  // delivery and checkpoint (the window where duplication happens).
+  ASSERT_TRUE(RemoveAll(dir_).ok());
+  ASSERT_TRUE(CreateDirs(dir_).ok());
+  RecordingClient client2;
+  auto runner2 = SwiftRunner::Create(BaseConfig(), scribe_.get(), &client2);
+  ASSERT_TRUE(runner2.ok());
+  ASSERT_TRUE((*runner2)->RunOnce().ok());
+  EXPECT_EQ(client2.messages.size(), 10u);  // Same 10 messages, again.
+  EXPECT_EQ(client2.messages[0], "msg0");
+}
+
+TEST_F(SwiftTest, PipeProtocolFramesWithNewlines) {
+  // The default HandleBatch splits the pipe buffer on newlines.
+  class RawClient : public SwiftClient {
+   public:
+    void HandleBatch(const std::string& pipe_data) override {
+      raw = pipe_data;
+      SwiftClient::HandleBatch(pipe_data);
+    }
+    void HandleMessage(const std::string& m) override { parsed.push_back(m); }
+    std::string raw;
+    std::vector<std::string> parsed;
+  };
+  RawClient client;
+  SwiftConfig config = BaseConfig();
+  config.checkpoint_every_strings = 3;
+  auto runner = SwiftRunner::Create(config, scribe_.get(), &client);
+  ASSERT_TRUE(runner.ok());
+  WriteMessages(0, 3);
+  ASSERT_TRUE((*runner)->RunOnce().ok());
+  EXPECT_EQ(client.raw, "msg0\nmsg1\nmsg2\n");
+  EXPECT_EQ(client.parsed,
+            (std::vector<std::string>{"msg0", "msg1", "msg2"}));
+}
+
+TEST_F(SwiftTest, MultipleBucketsViaSeparateRunners) {
+  scribe::CategoryConfig wide;
+  wide.name = "wide";
+  wide.num_buckets = 2;
+  ASSERT_TRUE(scribe_->CreateCategory(wide).ok());
+  ASSERT_TRUE(scribe_->Write("wide", 0, "a").ok());
+  ASSERT_TRUE(scribe_->Write("wide", 1, "b").ok());
+
+  RecordingClient c0;
+  RecordingClient c1;
+  SwiftConfig config = BaseConfig();
+  config.category = "wide";
+  config.checkpoint_every_strings = 1;
+  config.bucket = 0;
+  auto r0 = SwiftRunner::Create(config, scribe_.get(), &c0);
+  config.bucket = 1;
+  auto r1 = SwiftRunner::Create(config, scribe_.get(), &c1);
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE((*r0)->RunOnce().ok());
+  ASSERT_TRUE((*r1)->RunOnce().ok());
+  EXPECT_EQ(c0.messages, std::vector<std::string>{"a"});
+  EXPECT_EQ(c1.messages, std::vector<std::string>{"b"});
+}
+
+}  // namespace
+}  // namespace fbstream::swift

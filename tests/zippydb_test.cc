@@ -1,0 +1,287 @@
+// Tests for the ZippyDB cluster: sharding, CRUD, merge operators, batched
+// ops, cross-shard transactions, failure injection, op accounting.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/fs.h"
+#include "common/rng.h"
+#include "storage/zippydb/zippydb.h"
+
+namespace fbstream::zippydb {
+namespace {
+
+class ZippyDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = MakeTempDir("zippy"); }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(dir_).ok()); }
+
+  std::unique_ptr<Cluster> OpenCluster(int shards = 3,
+                                       bool with_merge = false) {
+    ClusterOptions options;
+    options.num_shards = shards;
+    options.simulate_latency = false;  // Tests must be instant.
+    if (with_merge) options.merge_operator = lsm::MakeInt64AddOperator();
+    auto cluster = Cluster::Open(options, dir_ + "/c");
+    EXPECT_TRUE(cluster.ok()) << cluster.status();
+    return std::move(cluster).value();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ZippyDbTest, PutGetDelete) {
+  auto cluster = OpenCluster();
+  ASSERT_TRUE(cluster->Put("user:1", "alice").ok());
+  auto got = cluster->Get("user:1");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "alice");
+  ASSERT_TRUE(cluster->Delete("user:1").ok());
+  EXPECT_TRUE(cluster->Get("user:1").status().IsNotFound());
+}
+
+TEST_F(ZippyDbTest, ShardRoutingIsStableAndSpread) {
+  auto cluster = OpenCluster(4);
+  std::set<int> shards;
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    EXPECT_EQ(cluster->ShardOf(key), cluster->ShardOf(key));
+    shards.insert(cluster->ShardOf(key));
+  }
+  EXPECT_EQ(shards.size(), 4u);
+}
+
+TEST_F(ZippyDbTest, MergeAppendsServerSide) {
+  auto cluster = OpenCluster(3, /*with_merge=*/true);
+  ASSERT_TRUE(cluster->Merge("counter", "5").ok());
+  ASSERT_TRUE(cluster->Merge("counter", "7").ok());
+  auto got = cluster->Get("counter");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "12");
+  EXPECT_EQ(cluster->stats().merges.load(), 2u);
+}
+
+TEST_F(ZippyDbTest, MergeWithoutOperatorFails) {
+  auto cluster = OpenCluster();
+  EXPECT_FALSE(cluster->Merge("k", "1").ok());
+}
+
+TEST_F(ZippyDbTest, MultiGetChargesPerShardNotPerKey) {
+  auto cluster = OpenCluster(3);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 30; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(cluster->Put(key, "v").ok());
+    keys.push_back(key);
+  }
+  cluster->stats().Reset();
+  auto results = cluster->MultiGet(keys);
+  ASSERT_EQ(results.size(), 30u);
+  for (const auto& r : results) EXPECT_TRUE(r.ok());
+  EXPECT_LE(cluster->stats().reads.load(), 3u);  // One per touched shard.
+}
+
+TEST_F(ZippyDbTest, WriteBatchRoutesAcrossShards) {
+  auto cluster = OpenCluster(3);
+  lsm::WriteBatch batch;
+  for (int i = 0; i < 20; ++i) {
+    batch.Put("batch" + std::to_string(i), std::to_string(i));
+  }
+  ASSERT_TRUE(cluster->WriteBatch(batch).ok());
+  for (int i = 0; i < 20; ++i) {
+    auto got = cluster->Get("batch" + std::to_string(i));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, std::to_string(i));
+  }
+}
+
+TEST_F(ZippyDbTest, TransactionCommitsAtomicallyAcrossShards) {
+  auto cluster = OpenCluster(3);
+  lsm::WriteBatch txn;
+  txn.Put("state", "s1");
+  txn.Put("offset", "42");
+  txn.Put("output/1", "v");
+  ASSERT_TRUE(cluster->CommitTransaction(txn).ok());
+  EXPECT_EQ(*cluster->Get("state"), "s1");
+  EXPECT_EQ(*cluster->Get("offset"), "42");
+  EXPECT_EQ(*cluster->Get("output/1"), "v");
+}
+
+TEST_F(ZippyDbTest, UnavailableShardFailsOnlyItsKeys) {
+  auto cluster = OpenCluster(3);
+  // Find keys on different shards.
+  std::string key0;
+  std::string key1;
+  for (int i = 0; i < 100 && (key0.empty() || key1.empty()); ++i) {
+    const std::string k = "probe" + std::to_string(i);
+    if (cluster->ShardOf(k) == 0 && key0.empty()) key0 = k;
+    if (cluster->ShardOf(k) == 1 && key1.empty()) key1 = k;
+  }
+  ASSERT_FALSE(key0.empty());
+  ASSERT_FALSE(key1.empty());
+  cluster->SetShardAvailable(0, false);
+  EXPECT_TRUE(cluster->Put(key0, "v").IsUnavailable());
+  EXPECT_TRUE(cluster->Put(key1, "v").ok());  // Other shards unaffected.
+  cluster->SetShardAvailable(0, true);
+  EXPECT_TRUE(cluster->Put(key0, "v").ok());
+}
+
+TEST_F(ZippyDbTest, TransactionFailsIfAnyParticipantDown) {
+  auto cluster = OpenCluster(3);
+  lsm::WriteBatch txn;
+  for (int i = 0; i < 10; ++i) txn.Put("t" + std::to_string(i), "v");
+  cluster->SetShardAvailable(1, false);
+  EXPECT_FALSE(cluster->CommitTransaction(txn).ok());
+  // Nothing may have been applied to available shards either (atomicity):
+  // the prepare phase fails before any write.
+  cluster->SetShardAvailable(1, true);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(cluster->Get("t" + std::to_string(i)).status().IsNotFound());
+  }
+}
+
+TEST_F(ZippyDbTest, ScanPrefixAcrossShards) {
+  auto cluster = OpenCluster(3);
+  ASSERT_TRUE(cluster->Put("app/a", "1").ok());
+  ASSERT_TRUE(cluster->Put("app/b", "2").ok());
+  ASSERT_TRUE(cluster->Put("other/c", "3").ok());
+  auto scanned = cluster->ScanPrefix("app/");
+  ASSERT_TRUE(scanned.ok());
+  ASSERT_EQ(scanned->size(), 2u);
+  EXPECT_EQ((*scanned)[0].first, "app/a");
+  EXPECT_EQ((*scanned)[1].first, "app/b");
+}
+
+TEST_F(ZippyDbTest, OpStatsAccumulate) {
+  auto cluster = OpenCluster(3, /*with_merge=*/true);
+  cluster->stats().Reset();
+  ASSERT_TRUE(cluster->Put("a", "1").ok());
+  ASSERT_TRUE(cluster->Merge("a", "2").ok());
+  auto unused = cluster->Get("a");
+  ASSERT_TRUE(unused.ok());
+  EXPECT_EQ(cluster->stats().writes.load(), 1u);
+  EXPECT_EQ(cluster->stats().merges.load(), 1u);
+  EXPECT_EQ(cluster->stats().reads.load(), 1u);
+}
+
+TEST_F(ZippyDbTest, LatencySimulationSlowsOps) {
+  ClusterOptions options;
+  options.num_shards = 1;
+  options.simulate_latency = true;
+  options.network_rtt_micros = 2000;
+  options.quorum_commit_micros = 0;
+  auto cluster = Cluster::Open(options, dir_ + "/slow");
+  ASSERT_TRUE(cluster.ok());
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE((*cluster)->Put("k", "v").ok());
+  const double micros =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(micros, 1800.0);
+}
+
+TEST_F(ZippyDbTest, RejectsZeroShards) {
+  ClusterOptions options;
+  options.num_shards = 0;
+  EXPECT_FALSE(Cluster::Open(options, dir_ + "/bad").ok());
+}
+
+
+TEST_F(ZippyDbTest, ReplicationSurvivesMinorityFailure) {
+  auto cluster = OpenCluster(1);  // 1 shard x 3 replicas.
+  ASSERT_EQ(cluster->replication(), 3);
+  ASSERT_TRUE(cluster->Put("k", "v1").ok());
+  cluster->SetReplicaAvailable(0, 0, false);
+  EXPECT_EQ(cluster->LiveReplicas(0), 2);
+  // Majority up: reads and writes proceed.
+  ASSERT_TRUE(cluster->Put("k", "v2").ok());
+  auto got = cluster->Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "v2");
+}
+
+TEST_F(ZippyDbTest, RevivedReplicaCatchesUpFromLog) {
+  auto cluster = OpenCluster(1);
+  cluster->SetReplicaAvailable(0, 0, false);
+  // Writes land while replica 0 is down.
+  ASSERT_TRUE(cluster->Put("a", "1").ok());
+  ASSERT_TRUE(cluster->Put("b", "2").ok());
+  // Revive replica 0 and kill the two that saw the writes: if catch-up
+  // works, replica 0 now serves them.
+  cluster->SetReplicaAvailable(0, 0, true);
+  cluster->SetReplicaAvailable(0, 1, false);
+  cluster->SetReplicaAvailable(0, 2, false);
+  auto a = cluster->Get("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, "1");
+  auto b = cluster->Get("b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, "2");
+}
+
+TEST_F(ZippyDbTest, QuorumLossBlocksWritesNotReads) {
+  auto cluster = OpenCluster(1);
+  ASSERT_TRUE(cluster->Put("k", "v").ok());
+  cluster->SetReplicaAvailable(0, 1, false);
+  cluster->SetReplicaAvailable(0, 2, false);
+  EXPECT_EQ(cluster->LiveReplicas(0), 1);
+  // 1/3 live: no write quorum...
+  EXPECT_TRUE(cluster->Put("k", "v2").IsUnavailable());
+  EXPECT_TRUE(cluster->Merge("k", "1").ok() == false);
+  // ...but reads are still served by the surviving replica.
+  auto got = cluster->Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "v");
+}
+
+TEST_F(ZippyDbTest, AllReplicasDownBlocksReads) {
+  auto cluster = OpenCluster(1);
+  ASSERT_TRUE(cluster->Put("k", "v").ok());
+  cluster->SetShardAvailable(0, false);
+  EXPECT_TRUE(cluster->Get("k").status().IsUnavailable());
+  cluster->SetShardAvailable(0, true);
+  EXPECT_TRUE(cluster->Get("k").ok());
+}
+
+TEST_F(ZippyDbTest, ReplicasConvergeAfterChurn) {
+  auto cluster = OpenCluster(1, /*with_merge=*/true);
+  Rng rng(13);
+  // Random write stream with replicas flapping; quorum always holds
+  // (at most one replica down at a time).
+  int down = -1;
+  for (int i = 0; i < 300; ++i) {
+    if (rng.Bernoulli(0.1)) {
+      if (down >= 0) cluster->SetReplicaAvailable(0, down, true);
+      down = static_cast<int>(rng.Uniform(3));
+      cluster->SetReplicaAvailable(0, down, false);
+    }
+    const std::string key = "k" + std::to_string(rng.Uniform(20));
+    if (rng.Bernoulli(0.5)) {
+      ASSERT_TRUE(cluster->Merge(key, "1").ok());
+    } else {
+      ASSERT_TRUE(cluster->Put(key, std::to_string(i)).ok());
+    }
+  }
+  if (down >= 0) cluster->SetReplicaAvailable(0, down, true);
+  // Every replica, read in isolation, returns the same values.
+  std::vector<std::map<std::string, std::string>> views(3);
+  for (int r = 0; r < 3; ++r) {
+    for (int other = 0; other < 3; ++other) {
+      cluster->SetReplicaAvailable(0, other, other == r);
+    }
+    for (int k = 0; k < 20; ++k) {
+      const std::string key = "k" + std::to_string(k);
+      auto got = cluster->Get(key);
+      if (got.ok()) views[static_cast<size_t>(r)][key] = *got;
+    }
+  }
+  EXPECT_EQ(views[0], views[1]);
+  EXPECT_EQ(views[1], views[2]);
+  EXPECT_FALSE(views[0].empty());
+}
+
+}  // namespace
+}  // namespace fbstream::zippydb
