@@ -1,6 +1,7 @@
 #ifndef FBSTREAM_COMMON_CLOCK_H_
 #define FBSTREAM_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -40,16 +41,22 @@ class SystemClock : public Clock {
   static SystemClock* Get();
 };
 
-// Deterministic, manually advanced clock.
+// Deterministic, manually advanced clock. Reads and advances are atomic so
+// a driver thread can fast-forward time while pipeline worker threads read
+// it (the parallel shard scheduler polls NowMicros from every worker).
 class SimClock : public Clock {
  public:
   explicit SimClock(Micros start = 0) : now_(start) {}
-  Micros NowMicros() const override { return now_; }
-  void AdvanceMicros(Micros micros) override { now_ += micros; }
-  void SetMicros(Micros now) { now_ = now; }
+  Micros NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void AdvanceMicros(Micros micros) override {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+  void SetMicros(Micros now) { now_.store(now, std::memory_order_relaxed); }
 
  private:
-  Micros now_;
+  std::atomic<Micros> now_;
 };
 
 }  // namespace fbstream

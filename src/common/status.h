@@ -23,6 +23,7 @@ enum class StatusCode {
   kCorruption = 9,
   kUnimplemented = 10,
   kInternal = 11,
+  kDeadlineExceeded = 12,
 };
 
 // Returns a short name like "NotFound" for diagnostics.
@@ -69,6 +70,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -77,6 +81,9 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   // Human-readable "Code: message" form.
   std::string ToString() const;

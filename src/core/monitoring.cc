@@ -1,6 +1,7 @@
 #include "core/monitoring.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/logging.h"
 
@@ -8,11 +9,13 @@ namespace fbstream::stylus {
 
 void MonitoringService::RegisterPipeline(const std::string& service,
                                          Pipeline* pipeline) {
+  std::lock_guard<std::mutex> lock(mu_);
   pipelines_[service] = pipeline;
 }
 
 void MonitoringService::Sample() {
   const Micros now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [service, pipeline] : pipelines_) {
     for (const Pipeline::LagReport& report : pipeline->GetProcessingLag()) {
       auto& series =
@@ -26,6 +29,7 @@ void MonitoringService::Sample() {
 std::vector<LagSample> MonitoringService::History(const std::string& service,
                                                   const std::string& node,
                                                   int shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = samples_.find(Key{service, node, shard});
   if (it == samples_.end()) return {};
   return std::vector<LagSample>(it->second.begin(), it->second.end());
@@ -34,6 +38,7 @@ std::vector<LagSample> MonitoringService::History(const std::string& service,
 std::vector<MonitoringService::Alert> MonitoringService::ActiveAlerts(
     uint64_t lag_threshold) const {
   std::vector<Alert> alerts;
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, series] : samples_) {
     if (series.empty()) continue;
     if (series.back().lag_messages >= lag_threshold) {
@@ -47,6 +52,7 @@ std::vector<MonitoringService::Alert> MonitoringService::ActiveAlerts(
 bool MonitoringService::IsFallingBehind(const std::string& service,
                                         const std::string& node, int shard,
                                         size_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = samples_.find(Key{service, node, shard});
   if (it == samples_.end() || it->second.size() < window + 1) return false;
   const auto& series = it->second;
@@ -58,21 +64,37 @@ bool MonitoringService::IsFallingBehind(const std::string& service,
 
 void AutoScaler::RegisterPipeline(const std::string& service,
                                   Pipeline* pipeline) {
+  std::lock_guard<std::mutex> lock(mu_);
   pipelines_[service] = pipeline;
+  // A re-registered service is a fresh deployment: drop its recorded
+  // streaks so a new node reusing a service/node key starts from zero.
+  const std::string prefix = service + "/";
+  for (auto it = bad_streak_.lower_bound(prefix); it != bad_streak_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    it = bad_streak_.erase(it);
+  }
 }
 
 std::vector<std::string> AutoScaler::Evaluate() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> actions;
+  std::set<std::string> live_keys;
   for (const auto& [service, pipeline] : pipelines_) {
     for (const std::string& node : pipeline->NodeNames()) {
+      const std::string key = service + "/" + node;
+      live_keys.insert(key);
+      const std::vector<NodeShard*> shards = pipeline->Shards(node);
+      if (shards.empty()) {
+        // No shards means no lag and no input category to rebucket.
+        bad_streak_.erase(key);
+        continue;
+      }
       // A node's pressure is the worst lag across its shards.
       uint64_t worst = 0;
-      std::string category;
-      for (NodeShard* shard : pipeline->Shards(node)) {
+      for (NodeShard* shard : shards) {
         worst = std::max(worst, shard->ProcessingLag());
-        category = shard->config().input_category;
       }
-      const std::string key = service + "/" + node;
+      const std::string category = shards[0]->config().input_category;
       if (worst >= options_.lag_threshold) {
         ++bad_streak_[key];
       } else {
@@ -103,6 +125,15 @@ std::vector<std::string> AutoScaler::Evaluate() {
       actions.push_back(key + ": rebucketed " + category + " " +
                         std::to_string(buckets) + " -> " +
                         std::to_string(target));
+    }
+  }
+  // Prune streaks whose node vanished (pipeline replaced or unregistered):
+  // a fresh node that later reuses the key must not inherit them.
+  for (auto it = bad_streak_.begin(); it != bad_streak_.end();) {
+    if (live_keys.count(it->first) == 0) {
+      it = bad_streak_.erase(it);
+    } else {
+      ++it;
     }
   }
   return actions;

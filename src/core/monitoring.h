@@ -1,9 +1,11 @@
 #ifndef FBSTREAM_CORE_MONITORING_H_
 #define FBSTREAM_CORE_MONITORING_H_
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,12 @@ namespace fbstream::stylus {
 // the paper describes; auto-scaling implements the future-work item using
 // the mechanism the paper names (§6.4: "changing the parallelism is often
 // just changing the number of Scribe buckets and restarting the nodes").
+//
+// Thread-safety: monitoring runs on its own thread in a deployed system.
+// Sample() and Evaluate() are safe to call while a pipeline round is in
+// flight on the worker pool — they only touch atomic shard counters and
+// mutex-guarded pipeline/Scribe state — and both services serialize their
+// own bookkeeping behind an internal mutex.
 
 // One lag observation for one shard.
 struct LagSample {
@@ -41,7 +49,8 @@ class MonitoringService {
   // monitored with no per-app setup (the "automatically configured" part).
   void RegisterPipeline(const std::string& service, Pipeline* pipeline);
 
-  // Takes one lag sample for every shard. Call periodically.
+  // Takes one lag sample for every shard. Call periodically; may race a
+  // running round (lag reads are atomic snapshots).
   void Sample();
 
   // Time series for one node shard, oldest first.
@@ -77,6 +86,7 @@ class MonitoringService {
 
   Clock* clock_;
   size_t history_;
+  mutable std::mutex mu_;
   std::map<std::string, Pipeline*> pipelines_;
   std::map<Key, std::deque<LagSample>> samples_;
 };
@@ -98,21 +108,28 @@ class AutoScaler {
              Options options)
       : monitoring_(monitoring), scribe_(scribe), options_(options) {}
 
+  // Registers (or replaces) a pipeline under a service name. Re-registering
+  // is treated as a fresh deployment: any lag streaks recorded under this
+  // service are forgotten, so a new node reusing a service/node key cannot
+  // inherit a stale streak and trigger a bogus scale-up.
   void RegisterPipeline(const std::string& service, Pipeline* pipeline);
 
   // Evaluates every monitored node once; returns descriptions of scaling
-  // actions taken (empty if none).
+  // actions taken (empty if none). Safe to call while pipeline rounds are
+  // in flight: the triggered ReconcileShards adds shards that join the next
+  // round.
   std::vector<std::string> Evaluate();
 
-  int scale_ups() const { return scale_ups_; }
+  int scale_ups() const { return scale_ups_.load(std::memory_order_relaxed); }
 
  private:
   MonitoringService* monitoring_;
   scribe::Scribe* scribe_;
   Options options_;
+  std::mutex mu_;
   std::map<std::string, Pipeline*> pipelines_;
   std::map<std::string, size_t> bad_streak_;  // service/node -> streak.
-  int scale_ups_ = 0;
+  std::atomic<int> scale_ups_{0};
 };
 
 }  // namespace fbstream::stylus

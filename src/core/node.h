@@ -1,6 +1,7 @@
 #ifndef FBSTREAM_CORE_NODE_H_
 #define FBSTREAM_CORE_NODE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -73,6 +74,13 @@ struct NodeConfig {
 
 // One running shard of a node: tailer -> processor -> sink, with
 // checkpointing per the configured semantics and crash/recovery support.
+//
+// Thread-safety: RunOnce / Crash / Recover belong to the single worker
+// currently executing the shard (the parallel scheduler never runs one shard
+// on two threads at once). alive(), ProcessingLag(), checkpoints_completed(),
+// and config() are safe to call concurrently from monitoring / auto-scaling
+// threads while RunOnce is in flight. watermark(), LowWatermark(), and
+// monoid_state() are inspection hooks for quiesced shards only.
 class NodeShard {
  public:
   // Validates the config (semantics combination, backend/sink coherence).
@@ -93,7 +101,7 @@ class NodeShard {
   void Crash();
   // Restart on the same machine: reload from the checkpoint store.
   Status Recover();
-  bool alive() const { return alive_; }
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
 
   void SetFailureInjector(FailureInjector injector) {
     failure_ = std::move(injector);
@@ -107,7 +115,9 @@ class NodeShard {
 
   int bucket() const { return bucket_; }
   const NodeConfig& config() const { return config_; }
-  uint64_t checkpoints_completed() const { return checkpoints_completed_; }
+  uint64_t checkpoints_completed() const {
+    return checkpoints_completed_.load(std::memory_order_acquire);
+  }
 
   // Testing hook: direct access to the shard's monoid state.
   RemoteMonoidState* monoid_state() { return monoid_state_.get(); }
@@ -137,8 +147,8 @@ class NodeShard {
   std::unique_ptr<RemoteMonoidState> monoid_state_;
   WatermarkEstimator watermark_;
   FailureInjector failure_;
-  bool alive_ = false;
-  uint64_t checkpoints_completed_ = 0;
+  std::atomic<bool> alive_{false};
+  std::atomic<uint64_t> checkpoints_completed_{0};
 };
 
 }  // namespace fbstream::stylus

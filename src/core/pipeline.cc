@@ -1,10 +1,23 @@
 #include "core/pipeline.h"
 
+#include <atomic>
+#include <functional>
+
 #include "common/logging.h"
 
 namespace fbstream::stylus {
 
+Pipeline::Pipeline(scribe::Scribe* scribe, Clock* clock, Options options)
+    : scribe_(scribe), clock_(clock), options_(options) {
+  if (options_.num_threads > 1) {
+    executor_ = std::make_unique<ShardExecutor>(options_.num_threads);
+  }
+}
+
+Pipeline::~Pipeline() = default;
+
 Status Pipeline::AddNode(const NodeConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (nodes_.count(config.name) > 0) {
     return Status::AlreadyExists("node " + config.name);
   }
@@ -24,23 +37,53 @@ Status Pipeline::AddNode(const NodeConfig& config) {
 }
 
 StatusOr<size_t> Pipeline::RunRound() {
-  size_t processed = 0;
-  for (const std::string& name : node_order_) {
-    for (auto& shard : nodes_.at(name)) {
-      if (!shard->alive()) continue;  // Independent failure (§4.2.2).
-      auto result = shard->RunOnce();
-      if (!result.ok()) {
-        if (result.status().IsAborted()) {
-          FBSTREAM_LOG(Warning)
-              << name << "/shard-" << shard->bucket() << " crashed";
-          continue;  // Other nodes keep running.
-        }
-        return result.status();
-      }
-      processed += result.value();
-    }
+  std::vector<std::string> order;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    order = node_order_;
   }
-  return processed;
+  std::atomic<size_t> processed{0};
+  for (const std::string& name : order) {
+    // Snapshot the node's shards: a concurrent ReconcileShards may append
+    // (never remove) shards; appended ones join the next round for earlier
+    // nodes, this round for later ones.
+    std::vector<NodeShard*> shards;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& shard : nodes_.at(name)) shards.push_back(shard.get());
+    }
+    std::mutex error_mu;
+    Status error = Status::OK();
+    auto run_shard = [&processed, &error_mu, &error, &name](NodeShard* shard) {
+      if (!shard->alive()) return;  // Independent failure (§4.2.2).
+      auto result = shard->RunOnce();
+      if (result.ok()) {
+        processed.fetch_add(result.value(), std::memory_order_relaxed);
+        return;
+      }
+      if (result.status().IsAborted()) {
+        FBSTREAM_LOG(Warning)
+            << name << "/shard-" << shard->bucket() << " crashed";
+        return;  // Other shards keep running.
+      }
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (error.ok()) error = result.status();
+    };
+    if (executor_ != nullptr && shards.size() > 1) {
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(shards.size());
+      for (NodeShard* shard : shards) {
+        tasks.push_back([&run_shard, shard] { run_shard(shard); });
+      }
+      executor_->RunBatch(std::move(tasks));
+    } else {
+      for (NodeShard* shard : shards) run_shard(shard);
+    }
+    // The node's whole batch ran (matching parallel semantics); a
+    // non-crash error still fails the round before downstream nodes run.
+    if (!error.ok()) return error;
+  }
+  return processed.load();
 }
 
 StatusOr<size_t> Pipeline::RunUntilQuiescent(int max_rounds) {
@@ -50,11 +93,14 @@ StatusOr<size_t> Pipeline::RunUntilQuiescent(int max_rounds) {
     total += n;
     if (n == 0) return total;
   }
-  return total;
+  return Status::DeadlineExceeded(
+      "pipeline still consuming after " + std::to_string(max_rounds) +
+      " rounds (" + std::to_string(total) + " events processed)");
 }
 
 std::vector<NodeShard*> Pipeline::Shards(const std::string& node) const {
   std::vector<NodeShard*> out;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = nodes_.find(node);
   if (it == nodes_.end()) return out;
   for (const auto& shard : it->second) out.push_back(shard.get());
@@ -62,6 +108,7 @@ std::vector<NodeShard*> Pipeline::Shards(const std::string& node) const {
 }
 
 NodeShard* Pipeline::Shard(const std::string& node, int bucket) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = nodes_.find(node);
   if (it == nodes_.end()) return nullptr;
   if (bucket < 0 || static_cast<size_t>(bucket) >= it->second.size()) {
@@ -71,6 +118,7 @@ NodeShard* Pipeline::Shard(const std::string& node, int bucket) const {
 }
 
 Status Pipeline::RecoverAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, shards] : nodes_) {
     for (auto& shard : shards) {
       if (!shard->alive()) {
@@ -82,6 +130,7 @@ Status Pipeline::RecoverAll() {
 }
 
 Status Pipeline::ReconcileShards() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, shards] : nodes_) {
     if (shards.empty()) continue;
     const NodeConfig& config = shards[0]->config();
@@ -98,6 +147,7 @@ Status Pipeline::ReconcileShards() {
 
 std::vector<Pipeline::LagReport> Pipeline::GetProcessingLag() const {
   std::vector<LagReport> reports;
+  std::lock_guard<std::mutex> lock(mu_);
   for (const std::string& name : node_order_) {
     for (const auto& shard : nodes_.at(name)) {
       reports.push_back(

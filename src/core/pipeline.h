@@ -3,10 +3,12 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/node.h"
+#include "core/shard_executor.h"
 
 namespace fbstream::stylus {
 
@@ -17,12 +19,35 @@ namespace fbstream::stylus {
 // blocks its upstream nor corrupts its downstream, and it resumes from its
 // own checkpoint on recovery (§4.2.2).
 //
-// Execution is cooperative and deterministic: each round polls every shard
-// once, in node insertion order. Tests and benches drive rounds explicitly.
+// Execution model: rounds are driven explicitly (tests and benches call
+// RunRound / RunUntilQuiescent). Within a round, nodes run in insertion
+// (topological) order — a downstream node's round starts only after its
+// upstream node's round completes. With Options{num_threads > 1} the shards
+// *within* each node run concurrently on a fixed worker pool (ShardExecutor);
+// Scribe buckets decouple them, so parallel rounds are deterministic-
+// equivalent to serial ones: identical per-shard outputs and checkpoints,
+// only the interleaving across shards differs.
+//
+// Thread-safety contract: one driver thread calls RunRound / RunUntilQuiescent
+// / RecoverAll / AddNode. While a round is in flight, *other* threads may
+// safely call Shards / Shard / GetProcessingLag / GetLagAlerts /
+// ReconcileShards (monitoring and auto-scaling race a running round by
+// design); shard topology is guarded by an internal mutex and per-shard
+// counters are atomic. Shards created by a concurrent ReconcileShards join
+// the next round.
 class Pipeline {
  public:
+  struct Options {
+    // Worker threads for shard execution. 1 (the default) preserves the
+    // fully serial, single-threaded seed behavior; n > 1 runs each node's
+    // shards concurrently on a pool of n threads.
+    int num_threads = 1;
+  };
+
   Pipeline(scribe::Scribe* scribe, Clock* clock)
-      : scribe_(scribe), clock_(clock) {}
+      : Pipeline(scribe, clock, Options{}) {}
+  Pipeline(scribe::Scribe* scribe, Clock* clock, Options options);
+  ~Pipeline();
 
   // Creates one shard per bucket of the node's input category.
   Status AddNode(const NodeConfig& config);
@@ -31,7 +56,9 @@ class Pipeline {
   // keeps flowing — decoupling in action). Returns events processed.
   StatusOr<size_t> RunRound();
 
-  // Rounds until a full round consumes nothing (or max_rounds).
+  // Rounds until a full round consumes nothing. Returns the events processed
+  // if the pipeline quiesced; returns DeadlineExceeded if it was still
+  // consuming after max_rounds (callers can tell "drained" from "gave up").
   StatusOr<size_t> RunUntilQuiescent(int max_rounds = 1000);
 
   // All shards of a node, for crash injection and inspection.
@@ -41,16 +68,19 @@ class Pipeline {
   // Restarts every crashed shard from its checkpoint.
   Status RecoverAll();
 
-  // Node names in insertion (topological) order.
+  // Node names in insertion (topological) order. Stable while rounds run:
+  // nodes are only added by AddNode, which must not race a round.
   const std::vector<std::string>& NodeNames() const { return node_order_; }
 
   // Creates shards for input buckets added after the node was deployed
   // (§4.2.2/§6.4: re-bucketing a category is the scaling mechanism; new
-  // buckets need consumers). Existing shards are untouched.
+  // buckets need consumers). Existing shards are untouched. Safe to call
+  // while a round is in flight; new shards join the next round.
   Status ReconcileShards();
 
   // Monitoring (§6.4): per-shard processing lag, and the alerting query
   // ("alerts ... notify us to adapt our apps to changes in volume").
+  // Safe to call concurrently with a running round.
   struct LagReport {
     std::string node;
     int shard = 0;
@@ -59,9 +89,16 @@ class Pipeline {
   std::vector<LagReport> GetProcessingLag() const;
   std::vector<LagReport> GetLagAlerts(uint64_t threshold_messages) const;
 
+  int num_threads() const { return options_.num_threads; }
+
  private:
   scribe::Scribe* scribe_;
   Clock* clock_;
+  Options options_;
+  std::unique_ptr<ShardExecutor> executor_;  // Null in serial mode.
+  // Guards the shard topology (nodes_ / node_order_). Shard pointers remain
+  // valid once created: shards are never destroyed, only appended.
+  mutable std::mutex mu_;
   std::vector<std::string> node_order_;
   std::map<std::string, std::vector<std::unique_ptr<NodeShard>>> nodes_;
 };

@@ -1,0 +1,55 @@
+#include "core/shard_executor.h"
+
+namespace fbstream::stylus {
+
+ShardExecutor::ShardExecutor(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ShardExecutor::~ShardExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ShardExecutor::WorkerLoop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain queued work even when stopping: a pending batch's submitter is
+      // blocked until every task runs.
+      if (queue_.empty()) return;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    item.first();
+    {
+      std::lock_guard<std::mutex> lock(item.second->mu);
+      if (--item.second->remaining == 0) item.second->done.notify_all();
+    }
+  }
+}
+
+void ShardExecutor::RunBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& task : tasks) queue_.emplace_back(std::move(task), batch);
+  }
+  work_.notify_all();
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done.wait(lock, [&batch] { return batch->remaining == 0; });
+}
+
+}  // namespace fbstream::stylus

@@ -1,0 +1,62 @@
+#ifndef FBSTREAM_CORE_SHARD_EXECUTOR_H_
+#define FBSTREAM_CORE_SHARD_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace fbstream::stylus {
+
+// Fixed worker pool that runs batches of independent shard tasks.
+//
+// The paper's scaling argument (§4.2.2, §6.4) rests on Scribe buckets
+// decoupling node shards: every shard owns its bucket cursor, its checkpoint
+// store, and its processor state, so shards of one node can run concurrently
+// with no coordination beyond the thread-safe Scribe bus. The executor is
+// the primitive that exploits that: Pipeline::RunRound dispatches one task
+// per alive shard and waits for the batch, node by node, preserving the DAG
+// order between nodes while shards within a node run fully in parallel.
+//
+// RunBatch may be called concurrently from multiple threads; each batch
+// tracks its own completion. Tasks must not recursively call RunBatch on the
+// same executor (workers do not re-enter the pool).
+class ShardExecutor {
+ public:
+  explicit ShardExecutor(int num_threads);
+  ~ShardExecutor();
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  // Runs every task on the pool and blocks until all have completed. Tasks
+  // within a batch must be independent of each other.
+  void RunBatch(std::vector<std::function<void()>> tasks);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  // Shared between the batch submitter and the workers executing its tasks.
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining = 0;
+  };
+  using Item = std::pair<std::function<void()>, std::shared_ptr<Batch>>;
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_;
+  std::deque<Item> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fbstream::stylus
+
+#endif  // FBSTREAM_CORE_SHARD_EXECUTOR_H_

@@ -181,6 +181,11 @@ Category::Category(CategoryConfig config, std::string root_dir)
   }
 }
 
+CategoryConfig Category::config() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_;
+}
+
 int Category::num_buckets() const {
   std::lock_guard<std::mutex> lock(mu_);
   return active_buckets_;
@@ -355,11 +360,11 @@ Tailer::Tailer(Scribe* scribe, std::string category, int bucket,
       offset_(start_sequence) {}
 
 std::vector<Message> Tailer::Poll(size_t max_messages) {
-  auto result = scribe_->Read(category_, bucket_, offset_, max_messages);
+  auto result = scribe_->Read(category_, bucket_, offset(), max_messages);
   if (!result.ok()) return {};
   std::vector<Message> messages = std::move(result).value();
   if (!messages.empty()) {
-    offset_ = messages.back().sequence + 1;
+    Seek(messages.back().sequence + 1);
   }
   return messages;
 }
@@ -367,7 +372,8 @@ std::vector<Message> Tailer::Poll(size_t max_messages) {
 uint64_t Tailer::LagMessages() const {
   auto next = scribe_->NextSequence(category_, bucket_);
   if (!next.ok()) return 0;
-  return next.value() > offset_ ? next.value() - offset_ : 0;
+  const uint64_t at = offset();
+  return next.value() > at ? next.value() - at : 0;
 }
 
 }  // namespace fbstream::scribe

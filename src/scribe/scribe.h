@@ -1,6 +1,7 @@
 #ifndef FBSTREAM_SCRIBE_SCRIBE_H_
 #define FBSTREAM_SCRIBE_SCRIBE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -109,7 +110,10 @@ class Category {
  public:
   explicit Category(CategoryConfig config, std::string root_dir);
 
-  const CategoryConfig& config() const { return config_; }
+  // Snapshot of the config. By value and mutex-guarded: SetNumBuckets
+  // mutates num_buckets concurrently with readers (monitoring threads,
+  // parallel pipeline workers).
+  CategoryConfig config() const;
   int num_buckets() const;
 
   Bucket* bucket(int i);
@@ -183,18 +187,38 @@ class Scribe {
 
 // A cursor over one bucket of one category. Each Tailer has an independent
 // offset: readers are fully decoupled from writers and from each other.
+//
+// The offset is atomic: Poll/Seek belong to the single consumer thread that
+// owns the cursor, but offset() and LagMessages() may be called concurrently
+// by monitoring threads (§6.4 lag sampling races a running pipeline round).
 class Tailer {
  public:
   Tailer(Scribe* scribe, std::string category, int bucket,
          uint64_t start_sequence = 0);
+
+  Tailer(const Tailer& other)
+      : scribe_(other.scribe_),
+        category_(other.category_),
+        bucket_(other.bucket_),
+        offset_(other.offset_.load(std::memory_order_relaxed)) {}
+  Tailer& operator=(const Tailer& other) {
+    scribe_ = other.scribe_;
+    category_ = other.category_;
+    bucket_ = other.bucket_;
+    offset_.store(other.offset_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    return *this;
+  }
 
   // Returns up to `max_messages` new messages and advances the offset.
   std::vector<Message> Poll(size_t max_messages = 1024);
 
   // Next sequence this tailer will read. Persisted by consumers as their
   // checkpoint offset.
-  uint64_t offset() const { return offset_; }
-  void Seek(uint64_t sequence) { offset_ = sequence; }
+  uint64_t offset() const { return offset_.load(std::memory_order_acquire); }
+  void Seek(uint64_t sequence) {
+    offset_.store(sequence, std::memory_order_release);
+  }
 
   const std::string& category() const { return category_; }
   int bucket() const { return bucket_; }
@@ -207,7 +231,7 @@ class Tailer {
   Scribe* scribe_;
   std::string category_;
   int bucket_;
-  uint64_t offset_;
+  std::atomic<uint64_t> offset_;
 };
 
 }  // namespace fbstream::scribe

@@ -34,7 +34,10 @@ class MonitoringTest : public ::testing::Test {
     config.num_buckets = 1;
     ASSERT_TRUE(scribe_->CreateCategory(config).ok());
     pipeline_ = std::make_unique<Pipeline>(scribe_.get(), &clock_);
+    ASSERT_TRUE(pipeline_->AddNode(WorkerConfig(dir_ + "/state")).ok());
+  }
 
+  NodeConfig WorkerConfig(const std::string& state_dir) {
     NodeConfig node;
     node.name = "worker";
     node.input_category = "in";
@@ -43,10 +46,10 @@ class MonitoringTest : public ::testing::Test {
       return std::make_unique<CountingProcessor>();
     };
     node.backend = StateBackend::kNone;
-    node.state_dir = dir_ + "/state";
+    node.state_dir = state_dir;
     node.checkpoint_every_events = 64;
     node.sink = std::make_shared<CollectingSink>();
-    ASSERT_TRUE(pipeline_->AddNode(node).ok());
+    return node;
   }
   void TearDown() override { ASSERT_TRUE(RemoveAll(dir_).ok()); }
 
@@ -152,6 +155,34 @@ TEST_F(MonitoringTest, AutoScalerRebucketsAfterSustainedLag) {
   EXPECT_TRUE(scaler.Evaluate().empty());
   EXPECT_TRUE(scaler.Evaluate().empty());
   EXPECT_TRUE(scaler.Evaluate().empty());
+  EXPECT_EQ(scribe_->NumBuckets("in"), 2);
+}
+
+TEST_F(MonitoringTest, AutoScalerForgetsStreaksOnReRegistration) {
+  MonitoringService monitoring(&clock_);
+  AutoScaler::Options options;
+  options.lag_threshold = 100;
+  options.sustained_samples = 3;
+  options.max_buckets = 8;
+  AutoScaler scaler(&monitoring, scribe_.get(), options);
+  scaler.RegisterPipeline("svc", pipeline_.get());
+
+  // Two bad samples against the original deployment: streak at 2 of 3.
+  WriteMessages(500);
+  EXPECT_TRUE(scaler.Evaluate().empty());
+  EXPECT_TRUE(scaler.Evaluate().empty());
+
+  // Redeploy the service: a fresh pipeline reuses the service/node key. The
+  // stale streak must not carry over, so a full sustained window of bad
+  // samples is required again before the scaler acts.
+  auto fresh = std::make_unique<Pipeline>(scribe_.get(), &clock_);
+  ASSERT_TRUE(fresh->AddNode(WorkerConfig(dir_ + "/state2")).ok());
+  scaler.RegisterPipeline("svc", fresh.get());
+  EXPECT_TRUE(scaler.Evaluate().empty());  // Streak 1, not 3.
+  EXPECT_TRUE(scaler.Evaluate().empty());
+  auto actions = scaler.Evaluate();
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(scaler.scale_ups(), 1);
   EXPECT_EQ(scribe_->NumBuckets("in"), 2);
 }
 

@@ -1,0 +1,385 @@
+// Tests for the parallel shard scheduler (ShardExecutor + Pipeline::Options):
+// serial-vs-parallel differential equivalence (identical per-shard
+// checkpoints and outputs across num_threads ∈ {1, 4}), monitoring and
+// auto-scaling racing a round that is in flight on the worker pool, and the
+// RunUntilQuiescent give-up status.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/serde.h"
+#include "core/monitoring.h"
+#include "core/node.h"
+#include "core/pipeline.h"
+#include "core/processor.h"
+#include "core/shard_executor.h"
+#include "core/sink.h"
+
+namespace fbstream::stylus {
+namespace {
+
+SchemaPtr EventSchema() {
+  return Schema::Make({{"ts", ValueType::kInt64}, {"k", ValueType::kString}});
+}
+
+SchemaPtr CountSchema() {
+  return Schema::Make({{"count", ValueType::kInt64}});
+}
+
+class PassthroughProcessor : public StatelessProcessor {
+ public:
+  void Process(const Event& event, std::vector<Row>* out) override {
+    out->push_back(event.row);
+  }
+};
+
+// Counts events; emits the running count at each checkpoint (Figure 6).
+class CounterProcessor : public StatefulProcessor {
+ public:
+  void Process(const Event& /*event*/, std::vector<Row>* /*out*/) override {
+    ++count_;
+  }
+  void OnCheckpoint(Micros /*now*/, std::vector<Row>* out) override {
+    out->push_back(Row(CountSchema(), {Value(count_)}));
+  }
+  std::string SerializeState() const override {
+    return std::to_string(count_);
+  }
+  Status RestoreState(std::string_view data) override {
+    count_ = strtoll(std::string(data).c_str(), nullptr, 10);
+    return Status::OK();
+  }
+
+ private:
+  int64_t count_ = 0;
+};
+
+TEST(ShardExecutorTest, RunsEveryTaskAcrossBatches) {
+  ShardExecutor executor(4);
+  EXPECT_EQ(executor.num_threads(), 4);
+  std::atomic<int> ran{0};
+  for (int batch = 0; batch < 10; ++batch) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 33; ++i) {
+      tasks.push_back([&ran] { ran.fetch_add(1); });
+    }
+    executor.RunBatch(std::move(tasks));
+  }
+  EXPECT_EQ(ran.load(), 330);
+  executor.RunBatch({});  // Empty batch is a no-op.
+  EXPECT_EQ(ran.load(), 330);
+}
+
+TEST(ShardExecutorTest, ConcurrentBatchesComplete) {
+  ShardExecutor executor(4);
+  std::atomic<int> ran{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&executor, &ran] {
+      std::vector<std::function<void()>> tasks;
+      for (int i = 0; i < 50; ++i) tasks.push_back([&ran] { ++ran; });
+      executor.RunBatch(std::move(tasks));
+    });
+  }
+  for (std::thread& s : submitters) s.join();
+  EXPECT_EQ(ran.load(), 150);
+}
+
+// Everything observable from one serial-vs-parallel differential run of a
+// two-node DAG: per-shard checkpoint counts, per-bucket placement of the
+// intermediate category, and the multiset of emitted rows.
+struct RunResult {
+  size_t total_processed = 0;
+  std::vector<uint64_t> upper_checkpoints;
+  std::vector<uint64_t> agg_checkpoints;
+  std::vector<uint64_t> mid_next_sequence;
+  std::vector<int64_t> counts;  // Sorted count rows from the agg node.
+};
+
+RunResult RunDifferentialWorkload(int num_threads, int buckets, int events) {
+  SimClock clock(1);
+  scribe::Scribe scribe(&clock);
+  const std::string dir =
+      MakeTempDir("parallel_diff_" + std::to_string(num_threads));
+
+  scribe::CategoryConfig in;
+  in.name = "in";
+  in.num_buckets = buckets;
+  EXPECT_TRUE(scribe.CreateCategory(in).ok());
+  scribe::CategoryConfig mid;
+  mid.name = "mid";
+  mid.num_buckets = buckets;
+  EXPECT_TRUE(scribe.CreateCategory(mid).ok());
+
+  TextRowCodec codec(EventSchema());
+  for (int i = 0; i < events; ++i) {
+    Row row(EventSchema(), {Value(i), Value("k" + std::to_string(i))});
+    EXPECT_TRUE(
+        scribe.WriteSharded("in", "k" + std::to_string(i), codec.Encode(row))
+            .ok());
+  }
+
+  Pipeline pipeline(&scribe, &clock, Pipeline::Options{num_threads});
+
+  NodeConfig upper;
+  upper.name = "upper";
+  upper.input_category = "in";
+  upper.input_schema = EventSchema();
+  upper.stateless_factory = [] {
+    return std::make_unique<PassthroughProcessor>();
+  };
+  upper.backend = StateBackend::kNone;
+  upper.state_dir = dir + "/upper";
+  upper.checkpoint_every_events = 64;
+  upper.sink = std::make_shared<ScribeSink>(&scribe, "mid", EventSchema(),
+                                            std::vector<std::string>{"k"});
+  EXPECT_TRUE(pipeline.AddNode(upper).ok());
+
+  auto collected = std::make_shared<CollectingSink>();
+  NodeConfig agg;
+  agg.name = "agg";
+  agg.input_category = "mid";
+  agg.input_schema = EventSchema();
+  agg.stateful_factory = [] { return std::make_unique<CounterProcessor>(); };
+  agg.state_semantics = StateSemantics::kExactlyOnce;
+  agg.output_semantics = OutputSemantics::kAtLeastOnce;
+  agg.backend = StateBackend::kLocal;
+  agg.state_dir = dir + "/agg";
+  agg.checkpoint_every_events = 64;
+  agg.sink = collected;
+  EXPECT_TRUE(pipeline.AddNode(agg).ok());
+
+  auto drained = pipeline.RunUntilQuiescent();
+  EXPECT_TRUE(drained.ok()) << drained.status();
+
+  RunResult result;
+  result.total_processed = drained.ok() ? drained.value() : 0;
+  for (NodeShard* shard : pipeline.Shards("upper")) {
+    result.upper_checkpoints.push_back(shard->checkpoints_completed());
+    EXPECT_EQ(shard->ProcessingLag(), 0u);
+  }
+  for (NodeShard* shard : pipeline.Shards("agg")) {
+    result.agg_checkpoints.push_back(shard->checkpoints_completed());
+    EXPECT_EQ(shard->ProcessingLag(), 0u);
+  }
+  for (int b = 0; b < buckets; ++b) {
+    auto next = scribe.NextSequence("mid", b);
+    EXPECT_TRUE(next.ok());
+    result.mid_next_sequence.push_back(next.ok() ? next.value() : 0);
+  }
+  for (const Row& row : collected->rows()) {
+    result.counts.push_back(row.Get("count").CoerceInt64());
+  }
+  std::sort(result.counts.begin(), result.counts.end());
+  EXPECT_TRUE(RemoveAll(dir).ok());
+  return result;
+}
+
+TEST(ParallelPipelineTest, SerialAndParallelRoundsAreEquivalent) {
+  const int kBuckets = 8;
+  const int kEvents = 2000;
+  RunResult serial = RunDifferentialWorkload(1, kBuckets, kEvents);
+  RunResult parallel = RunDifferentialWorkload(4, kBuckets, kEvents);
+
+  // Both modes processed every event at both nodes.
+  EXPECT_EQ(serial.total_processed, static_cast<size_t>(2 * kEvents));
+  EXPECT_EQ(parallel.total_processed, serial.total_processed);
+  // Identical per-shard checkpoint sequences: batching depends only on
+  // bucket contents, which WriteSharded fixes independent of threading.
+  EXPECT_EQ(parallel.upper_checkpoints, serial.upper_checkpoints);
+  EXPECT_EQ(parallel.agg_checkpoints, serial.agg_checkpoints);
+  // Identical per-bucket placement of the resharded intermediate stream.
+  EXPECT_EQ(parallel.mid_next_sequence, serial.mid_next_sequence);
+  // Identical emitted rows (as a multiset; only interleaving may differ).
+  EXPECT_EQ(parallel.counts, serial.counts);
+}
+
+TEST(ParallelPipelineTest, ParallelCrashRecoveryMatchesSerialSemantics) {
+  // A shard that crashes mid-round in parallel mode stays dead without
+  // failing the round, and recovers from its checkpoint — §4.2.2
+  // independence holds on the worker pool too.
+  SimClock clock(1);
+  scribe::Scribe scribe(&clock);
+  const std::string dir = MakeTempDir("parallel_crash");
+  scribe::CategoryConfig in;
+  in.name = "in";
+  in.num_buckets = 4;
+  ASSERT_TRUE(scribe.CreateCategory(in).ok());
+
+  TextRowCodec codec(EventSchema());
+  for (int i = 0; i < 400; ++i) {
+    Row row(EventSchema(), {Value(i), Value("k" + std::to_string(i))});
+    ASSERT_TRUE(
+        scribe.WriteSharded("in", "k" + std::to_string(i), codec.Encode(row))
+            .ok());
+  }
+
+  Pipeline pipeline(&scribe, &clock, Pipeline::Options{4});
+  auto collected = std::make_shared<CollectingSink>();
+  NodeConfig node;
+  node.name = "worker";
+  node.input_category = "in";
+  node.input_schema = EventSchema();
+  node.stateful_factory = [] { return std::make_unique<CounterProcessor>(); };
+  node.state_semantics = StateSemantics::kExactlyOnce;
+  node.output_semantics = OutputSemantics::kAtLeastOnce;
+  node.backend = StateBackend::kLocal;
+  node.state_dir = dir + "/state";
+  node.checkpoint_every_events = 32;
+  node.sink = collected;
+  ASSERT_TRUE(pipeline.AddNode(node).ok());
+
+  // Shard 2 crashes at its first checkpoint attempt.
+  std::atomic<bool> armed{true};
+  pipeline.Shard("worker", 2)->SetFailureInjector([&armed](FailurePoint p) {
+    return p == FailurePoint::kAfterProcessing && armed.exchange(false);
+  });
+
+  auto first = pipeline.RunUntilQuiescent();
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(pipeline.Shard("worker", 2)->alive());
+  // The crashed shard's bucket still has backlog; the others drained.
+  EXPECT_GT(pipeline.Shard("worker", 2)->ProcessingLag(), 0u);
+
+  ASSERT_TRUE(pipeline.RecoverAll().ok());
+  auto second = pipeline.RunUntilQuiescent();
+  ASSERT_TRUE(second.ok()) << second.status();
+  for (const auto& report : pipeline.GetProcessingLag()) {
+    EXPECT_EQ(report.lag_messages, 0u);
+  }
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+TEST(ParallelPipelineTest, AutoScalerReconcilesWhileRoundInFlight) {
+  SimClock clock(1);
+  scribe::Scribe scribe(&clock);
+  const std::string dir = MakeTempDir("parallel_scale");
+  scribe::CategoryConfig in;
+  in.name = "in";
+  in.num_buckets = 2;
+  ASSERT_TRUE(scribe.CreateCategory(in).ok());
+
+  Pipeline pipeline(&scribe, &clock, Pipeline::Options{4});
+  NodeConfig node;
+  node.name = "worker";
+  node.input_category = "in";
+  node.input_schema = EventSchema();
+  node.stateless_factory = [] {
+    return std::make_unique<PassthroughProcessor>();
+  };
+  node.backend = StateBackend::kNone;
+  node.state_dir = dir + "/state";
+  node.checkpoint_every_events = 64;
+  ASSERT_TRUE(pipeline.AddNode(node).ok());
+
+  MonitoringService monitoring(&clock);
+  monitoring.RegisterPipeline("svc", &pipeline);
+  AutoScaler::Options options;
+  options.lag_threshold = 1;
+  options.sustained_samples = 1;
+  options.max_buckets = 8;
+  AutoScaler scaler(&monitoring, &scribe, options);
+  scaler.RegisterPipeline("svc", &pipeline);
+
+  // Driver thread keeps rounds in flight on the worker pool while the main
+  // thread feeds input and runs monitoring + auto-scaling against it.
+  std::atomic<bool> stop{false};
+  std::atomic<bool> round_failed{false};
+  std::thread driver([&] {
+    while (!stop.load()) {
+      auto result = pipeline.RunRound();
+      if (!result.ok()) round_failed.store(true);
+    }
+  });
+
+  TextRowCodec codec(EventSchema());
+  int written = 0;
+  for (int iter = 0; iter < 1000 && scaler.scale_ups() < 2; ++iter) {
+    for (int i = 0; i < 500; ++i, ++written) {
+      ASSERT_TRUE(scribe
+                      .WriteSharded("in", "k" + std::to_string(written),
+                                    codec.Encode(Row(
+                                        EventSchema(),
+                                        {Value(written),
+                                         Value("k" + std::to_string(written))})))
+                      .ok());
+    }
+    monitoring.Sample();
+    scaler.Evaluate();
+  }
+  stop.store(true);
+  driver.join();
+
+  EXPECT_FALSE(round_failed.load());
+  EXPECT_GE(scaler.scale_ups(), 2);
+  const int buckets = scribe.NumBuckets("in");
+  EXPECT_GE(buckets, 8);
+  // Shards reconciled mid-flight match the bucket count and drain cleanly.
+  EXPECT_EQ(pipeline.Shards("worker").size(), static_cast<size_t>(buckets));
+  auto drained = pipeline.RunUntilQuiescent();
+  ASSERT_TRUE(drained.ok()) << drained.status();
+  for (const auto& report : pipeline.GetProcessingLag()) {
+    EXPECT_EQ(report.lag_messages, 0u);
+  }
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+TEST(ParallelPipelineTest, RunUntilQuiescentReportsGiveUp) {
+  // A node that feeds its own input never quiesces; the driver must be able
+  // to tell "gave up" from "drained".
+  SimClock clock(1);
+  scribe::Scribe scribe(&clock);
+  const std::string dir = MakeTempDir("parallel_loop");
+  scribe::CategoryConfig loop;
+  loop.name = "loop";
+  loop.num_buckets = 1;
+  ASSERT_TRUE(scribe.CreateCategory(loop).ok());
+
+  Pipeline pipeline(&scribe, &clock);
+  NodeConfig node;
+  node.name = "echo";
+  node.input_category = "loop";
+  node.input_schema = EventSchema();
+  node.stateless_factory = [] {
+    return std::make_unique<PassthroughProcessor>();
+  };
+  node.backend = StateBackend::kNone;
+  node.state_dir = dir + "/state";
+  node.sink = std::make_shared<ScribeSink>(&scribe, "loop", EventSchema(),
+                                           std::vector<std::string>{"k"});
+  ASSERT_TRUE(pipeline.AddNode(node).ok());
+
+  TextRowCodec codec(EventSchema());
+  ASSERT_TRUE(
+      scribe.Write("loop", 0,
+                   codec.Encode(Row(EventSchema(), {Value(0), Value("k")})))
+          .ok());
+
+  auto result = pipeline.RunUntilQuiescent(/*max_rounds=*/10);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status();
+
+  // An idle pipeline still reports a clean drain.
+  scribe::CategoryConfig other;
+  other.name = "other";
+  other.num_buckets = 1;
+  ASSERT_TRUE(scribe.CreateCategory(other).ok());
+  Pipeline idle(&scribe, &clock);
+  NodeConfig quiet = node;
+  quiet.name = "quiet";
+  quiet.input_category = "other";
+  quiet.sink = nullptr;
+  ASSERT_TRUE(idle.AddNode(quiet).ok());
+  auto ok = idle.RunUntilQuiescent(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 0u);
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+}  // namespace
+}  // namespace fbstream::stylus
