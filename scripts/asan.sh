@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Address+UB sanitizer run for the fault-injection and recovery paths: the
+# chaos soak (faults + crashes + degraded-mode resync), the layers whose
+# error-handling branches the fault registry exercises (scribe, lsm, hdfs,
+# zippydb), and the core node/checkpoint machinery.
+#
+# Usage: scripts/asan.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . -DFBSTREAM_ASAN=ON
+cmake --build "$BUILD_DIR" -j --target \
+  common_test scribe_test lsm_test hdfs_test zippydb_test stylus_test \
+  chaos_test
+
+for t in common_test scribe_test lsm_test hdfs_test zippydb_test \
+         stylus_test chaos_test; do
+  echo "== ASan: $t =="
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    "$BUILD_DIR/tests/$t"
+done
+echo "ASan suite passed."

@@ -12,9 +12,10 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DFBSTREAM_TSAN=ON
 cmake --build "$BUILD_DIR" -j --target \
-  scribe_test stylus_test monitoring_test parallel_pipeline_test
+  scribe_test stylus_test monitoring_test parallel_pipeline_test chaos_test
 
-for t in scribe_test stylus_test monitoring_test parallel_pipeline_test; do
+for t in scribe_test stylus_test monitoring_test parallel_pipeline_test \
+         chaos_test; do
   echo "== TSan: $t =="
   TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/$t"
 done

@@ -1,0 +1,124 @@
+#include "common/fault.h"
+
+namespace fbstream {
+
+FaultRegistry* FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return registry;
+}
+
+Status FaultRegistry::Hit(std::string_view site) {
+  if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    // Count hits even for sites nothing is armed against, so a chaos run
+    // can report coverage of the sites it chose not to fault.
+    sites_[std::string(site)].hits = 1;
+    return Status::OK();
+  }
+  SiteState& s = it->second;
+  ++s.hits;
+
+  // One-shot script has priority: it expresses an exact intent ("fail the
+  // next write") that must not be preempted by a probabilistic rule.
+  if (s.oneshot_remaining > 0) {
+    const uint64_t n = s.oneshot_hit++;
+    if (n >= s.oneshot_skip) {
+      --s.oneshot_remaining;
+      return FireLocked(it->first, &s, s.oneshot_code);
+    }
+  }
+  if (s.window_start < s.window_end) {
+    Clock* clock = clock_ != nullptr ? clock_ : SystemClock::Get();
+    const Micros now = clock->NowMicros();
+    if (now >= s.window_start && now < s.window_end) {
+      return FireLocked(it->first, &s, s.window_code);
+    }
+  }
+  if (s.probability > 0 && s.rng.Bernoulli(s.probability)) {
+    return FireLocked(it->first, &s, s.probability_code);
+  }
+  return Status::OK();
+}
+
+Status FaultRegistry::FireLocked(const std::string& site, SiteState* state,
+                                 StatusCode code) {
+  ++state->fires;
+  const std::string entry = site + "#" + std::to_string(state->hits - 1);
+  if (journal_.size() < kJournalCapacity) journal_.push_back(entry);
+  return Status(code, "injected fault at " + entry);
+}
+
+void FaultRegistry::FailNext(const std::string& site, StatusCode code,
+                             uint64_t count, uint64_t skip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& s = sites_[site];
+  s.oneshot_skip = skip;
+  s.oneshot_remaining = count;
+  s.oneshot_hit = 0;
+  s.oneshot_code = code;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultRegistry::FailWithProbability(const std::string& site, double p,
+                                        uint64_t seed, StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& s = sites_[site];
+  s.probability = p;
+  s.rng = Rng(seed);
+  s.probability_code = code;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultRegistry::SetUnavailableBetween(const std::string& site,
+                                          Micros start_micros,
+                                          Micros end_micros, StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& s = sites_[site];
+  s.window_start = start_micros;
+  s.window_end = end_micros;
+  s.window_code = code;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultRegistry::SetClock(Clock* clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = clock;
+}
+
+void FaultRegistry::Clear(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return;
+  SiteState& s = it->second;
+  s.oneshot_remaining = 0;
+  s.probability = 0;
+  s.window_start = s.window_end = 0;
+}
+
+void FaultRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  journal_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+uint64_t FaultRegistry::Hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultRegistry::Fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FaultRegistry::FiringJournal() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return journal_;
+}
+
+}  // namespace fbstream

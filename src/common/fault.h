@@ -1,0 +1,126 @@
+#ifndef FBSTREAM_COMMON_FAULT_H_
+#define FBSTREAM_COMMON_FAULT_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fbstream {
+
+// Process-wide fault-injection substrate (paper §4.4.2: the system is
+// designed so that "if HDFS is not available for writes, processing
+// continues without remote backup copies" — exercising that requires
+// injecting unavailability on demand).
+//
+// Every layer that can fail declares a named *fault site* and consults the
+// registry at that point:
+//
+//   FBSTREAM_RETURN_IF_ERROR(FaultRegistry::Global()->Hit("hdfs.write"));
+//
+// Sites currently wired: "hdfs.write", "hdfs.read", "scribe.append",
+// "lsm.wal.append", "lsm.wal.sync", "zippydb.write".
+//
+// Tests and the chaos harness arm rules against sites:
+//   - FailNext: scripted one-shot faults (fail hits [skip, skip+count)).
+//   - FailWithProbability: Bernoulli faults from a per-site seeded RNG, so
+//     a single-threaded driver gets an identical firing sequence for the
+//     same seed (the determinism the chaos soak test asserts).
+//   - SetUnavailableBetween: a timed unavailability window evaluated
+//     against the registry clock (a SimClock in tests), modeling a planned
+//     or measured outage.
+//
+// When no rule is armed the registry is a single relaxed atomic load per
+// hit, cheap enough to leave in release hot paths. Hit counters and the
+// firing journal are maintained only while rules are armed (since the
+// first Arm* call after the last Reset).
+//
+// Thread-safe: rules, counters, and the journal are mutex-guarded. Under a
+// multi-threaded driver the per-site RNG draws interleave in scheduling
+// order, so firing *sequences* are only deterministic for single-threaded
+// drivers; per-site hit/fire totals remain exact either way.
+class FaultRegistry {
+ public:
+  FaultRegistry() = default;
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+  // The instance every built-in fault site consults.
+  static FaultRegistry* Global();
+
+  // Consulted by fault sites. Returns OK, or the armed fault's status with
+  // a message like "injected fault at hdfs.write (hit 7)".
+  Status Hit(std::string_view site);
+
+  // Fails hits number [skip, skip+count) of `site` (0-indexed from the
+  // moment of arming). Replaces any previous one-shot rule for the site.
+  void FailNext(const std::string& site, StatusCode code = StatusCode::kUnavailable,
+                uint64_t count = 1, uint64_t skip = 0);
+
+  // Every hit fails independently with probability `p`, drawn from a
+  // per-site RNG seeded with `seed`. p <= 0 disarms.
+  void FailWithProbability(const std::string& site, double p, uint64_t seed,
+                           StatusCode code = StatusCode::kUnavailable);
+
+  // Hits fail while `start_micros <= now < end_micros` on the registry
+  // clock. Equal bounds disarm.
+  void SetUnavailableBetween(const std::string& site, Micros start_micros,
+                             Micros end_micros,
+                             StatusCode code = StatusCode::kUnavailable);
+
+  // Clock used to evaluate unavailability windows. Defaults to the system
+  // clock; tests install a SimClock. Pass nullptr to restore the default.
+  void SetClock(Clock* clock);
+
+  // Removes every rule for one site (its counters survive until Reset).
+  void Clear(const std::string& site);
+  // Removes all rules, counters, and the journal; keeps the clock.
+  void Reset();
+
+  // Total consultations / injected failures for a site since the last
+  // Reset (counted only while rules are armed).
+  uint64_t Hits(const std::string& site) const;
+  uint64_t Fires(const std::string& site) const;
+
+  // Firing journal: "<site>#<hit>" per injected fault, in firing order.
+  // Bounded at kJournalCapacity entries; later fires only bump Fires().
+  static constexpr size_t kJournalCapacity = 1 << 16;
+  std::vector<std::string> FiringJournal() const;
+
+ private:
+  struct SiteState {
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+    // One-shot script.
+    uint64_t oneshot_skip = 0;
+    uint64_t oneshot_remaining = 0;
+    uint64_t oneshot_hit = 0;  // Hits seen since FailNext armed.
+    StatusCode oneshot_code = StatusCode::kUnavailable;
+    // Probabilistic rule.
+    double probability = 0;
+    Rng rng{0};
+    StatusCode probability_code = StatusCode::kUnavailable;
+    // Unavailability window.
+    Micros window_start = 0;
+    Micros window_end = 0;
+    StatusCode window_code = StatusCode::kUnavailable;
+  };
+
+  Status FireLocked(const std::string& site, SiteState* state,
+                    StatusCode code);
+
+  mutable std::mutex mu_;
+  std::atomic<bool> armed_{false};
+  Clock* clock_ = nullptr;  // nullptr = SystemClock::Get().
+  std::map<std::string, SiteState, std::less<>> sites_;
+  std::vector<std::string> journal_;
+};
+
+}  // namespace fbstream
+
+#endif  // FBSTREAM_COMMON_FAULT_H_

@@ -1,5 +1,7 @@
 #include "common/fs.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -21,10 +23,54 @@ Status WriteFile(const std::string& path, const std::string& data) {
   return Status::OK();
 }
 
+namespace {
+
+// Writes `data` to `path` through a file descriptor and fsyncs it before
+// closing, so the rename that follows can only publish fully durable bytes.
+Status WriteFileDurable(const std::string& path, const std::string& data) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError("open for write: " + path);
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      return Status::IoError("write: " + path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IoError("fsync: " + path);
+  }
+  if (::close(fd) != 0) return Status::IoError("close: " + path);
+  return Status::OK();
+}
+
+// Fsyncs the directory containing `path` so a just-renamed entry survives
+// power loss. Best-effort: some filesystems reject O_RDONLY on directories.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
 Status WriteFileAtomic(const std::string& path, const std::string& data) {
   const std::string tmp = path + ".tmp";
-  FBSTREAM_RETURN_IF_ERROR(WriteFile(tmp, data));
-  return RenameFile(tmp, path);
+  Status st = WriteFileDurable(tmp, data);
+  if (st.ok()) st = RenameFile(tmp, path);
+  if (!st.ok()) {
+    RemoveFile(tmp);  // Best-effort: never leave a stale temp behind.
+    return st;
+  }
+  SyncParentDir(path);
+  return Status::OK();
 }
 
 Status AppendToFile(const std::string& path, const std::string& data) {
@@ -33,6 +79,15 @@ Status AppendToFile(const std::string& path, const std::string& data) {
   out.write(data.data(), static_cast<std::streamsize>(data.size()));
   out.flush();
   if (!out) return Status::IoError("append: " + path);
+  return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  std::error_code ec;
+  stdfs::resize_file(path, size, ec);
+  if (ec) {
+    return Status::IoError("truncate " + path + ": " + ec.message());
+  }
   return Status::OK();
 }
 

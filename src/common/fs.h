@@ -13,10 +13,17 @@ namespace fbstream {
 // blocks). All paths are plain strings; errors surface as Status.
 
 Status WriteFile(const std::string& path, const std::string& data);
-// Writes to `path + ".tmp"` then renames, so readers never observe a torn
-// file. Used for checkpoints and SST publication.
+// Crash-safe replace: writes to `path + ".tmp"`, fsyncs the data, renames
+// over `path`, and fsyncs the parent directory — so a crash at any point
+// leaves either the old intact file or the new intact file, never a torn
+// one, even across power loss (a plain rename can be reordered before the
+// data blocks reach disk). A failed attempt removes its temp file. Used for
+// checkpoints, SST publication, and the HDFS namespace image.
 Status WriteFileAtomic(const std::string& path, const std::string& data);
 Status AppendToFile(const std::string& path, const std::string& data);
+// Shrinks the file to `size` bytes (segment replay uses this to cut a
+// corrupt tail so later appends continue from an intact record boundary).
+Status TruncateFile(const std::string& path, uint64_t size);
 StatusOr<std::string> ReadFileToString(const std::string& path);
 Status CreateDirs(const std::string& path);
 Status RemoveAll(const std::string& path);

@@ -1,0 +1,51 @@
+#include "common/retry.h"
+
+#include <algorithm>
+
+namespace fbstream {
+
+RetryPolicy::RetryPolicy(Clock* clock, RetryOptions options)
+    : clock_(clock != nullptr ? clock : SystemClock::Get()),
+      options_(options),
+      rng_(options.jitter_seed) {}
+
+Micros RetryPolicy::BackoffForRetry(int retry) {
+  double backoff = static_cast<double>(options_.initial_backoff_micros);
+  for (int i = 0; i < retry; ++i) backoff *= options_.backoff_multiplier;
+  backoff = std::min(backoff, static_cast<double>(options_.max_backoff_micros));
+  if (options_.jitter > 0) {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    // Uniform in [1 - jitter, 1 + jitter).
+    backoff *= 1.0 + options_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+  }
+  return std::max<Micros>(0, static_cast<Micros>(backoff));
+}
+
+Status RetryPolicy::Run(std::string_view op_name,
+                        const std::function<Status()>& op) {
+  Status st;
+  for (int attempt = 0; attempt < std::max(1, options_.max_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      clock_->AdvanceMicros(BackoffForRetry(attempt - 1));
+    }
+    attempts_.fetch_add(1, std::memory_order_relaxed);
+    st = op();
+    if (st.ok() || !st.IsRetryable()) return st;
+  }
+  exhausted_.fetch_add(1, std::memory_order_relaxed);
+  return Status(st.code(), std::string(op_name) + " failed after " +
+                               std::to_string(std::max(1, options_.max_attempts)) +
+                               " attempts: " + st.message());
+}
+
+RetryPolicy::StatsSnapshot RetryPolicy::stats() const {
+  StatsSnapshot s;
+  s.attempts = attempts_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.exhausted = exhausted_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace fbstream

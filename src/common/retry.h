@@ -1,0 +1,75 @@
+#ifndef FBSTREAM_COMMON_RETRY_H_
+#define FBSTREAM_COMMON_RETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fbstream {
+
+// Exponential backoff with jitter for transient failures. Only statuses for
+// which Status::IsRetryable() holds (Unavailable, DeadlineExceeded) are
+// retried — everything else reflects a bug or a permanent condition and
+// surfaces immediately.
+struct RetryOptions {
+  int max_attempts = 3;                     // Total tries, including the first.
+  Micros initial_backoff_micros = 1'000;    // Sleep before the first retry.
+  double backoff_multiplier = 2.0;
+  Micros max_backoff_micros = 1'000'000;    // Cap per sleep.
+  double jitter = 0.1;                      // +/- fraction of the backoff.
+  uint64_t jitter_seed = 42;                // Jitter RNG seed (determinism).
+};
+
+// Runs an operation under a retry budget. Sleeps go through the injectable
+// Clock: a SystemClock really sleeps, a SimClock jumps — so backoff
+// sequencing is unit-testable and chaos runs with simulated time are
+// deterministic and instant.
+//
+// Thread-safe: concurrent Run calls share the stats counters (atomics) and
+// draw jitter from one mutex-guarded RNG.
+class RetryPolicy {
+ public:
+  // `clock` may be null, meaning SystemClock::Get().
+  explicit RetryPolicy(Clock* clock, RetryOptions options = {});
+
+  RetryPolicy(const RetryPolicy&) = delete;
+  RetryPolicy& operator=(const RetryPolicy&) = delete;
+
+  // Runs `op` up to max_attempts times, sleeping between attempts. Returns
+  // the first success, the first non-retryable error, or the last retryable
+  // error annotated with the attempt count.
+  Status Run(std::string_view op_name, const std::function<Status()>& op);
+
+  // The sleep before retry number `retry` (0-based), jitter included; each
+  // call draws one jitter sample. Exposed for backoff-sequencing tests.
+  Micros BackoffForRetry(int retry);
+
+  struct StatsSnapshot {
+    uint64_t attempts = 0;   // Operations started (first tries + retries).
+    uint64_t retries = 0;    // Sleeps taken.
+    uint64_t exhausted = 0;  // Runs that failed after the full budget.
+  };
+  StatsSnapshot stats() const;
+
+  const RetryOptions& options() const { return options_; }
+
+ private:
+  Clock* clock_;
+  RetryOptions options_;
+  std::mutex rng_mu_;
+  Rng rng_;
+  std::atomic<uint64_t> attempts_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> exhausted_{0};
+};
+
+}  // namespace fbstream
+
+#endif  // FBSTREAM_COMMON_RETRY_H_

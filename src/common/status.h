@@ -85,6 +85,14 @@ class Status {
     return code_ == StatusCode::kDeadlineExceeded;
   }
 
+  // True for transient conditions a caller may retry with backoff
+  // (RetryPolicy consults this): the peer was unavailable or the attempt
+  // timed out. Everything else is permanent or a bug.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kDeadlineExceeded;
+  }
+
   // Human-readable "Code: message" form.
   std::string ToString() const;
 

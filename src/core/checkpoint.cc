@@ -28,14 +28,22 @@ StatusOr<uint64_t> DecodeOffset(const std::string& s) {
 }  // namespace
 
 LocalStateStore::LocalStateStore(hdfs::HdfsCluster* hdfs,
-                                 std::string backup_prefix)
-    : hdfs_(hdfs), backup_prefix_(std::move(backup_prefix)) {}
+                                 std::string backup_prefix, Clock* clock)
+    : hdfs_(hdfs), backup_prefix_(std::move(backup_prefix)) {
+  // Short budget: a backup that cannot land after a couple of tries means a
+  // real outage, and the shard's degraded mode takes over from there.
+  RetryOptions retry;
+  retry.max_attempts = 2;
+  retry.initial_backoff_micros = 2000;
+  retry.max_backoff_micros = 100'000;
+  backup_retry_ = std::make_unique<RetryPolicy>(clock, retry);
+}
 
 StatusOr<std::unique_ptr<LocalStateStore>> LocalStateStore::Open(
     const std::string& dir, hdfs::HdfsCluster* hdfs,
-    const std::string& backup_prefix) {
+    const std::string& backup_prefix, Clock* clock) {
   std::unique_ptr<LocalStateStore> store(
-      new LocalStateStore(hdfs, backup_prefix));
+      new LocalStateStore(hdfs, backup_prefix, clock));
   FBSTREAM_ASSIGN_OR_RETURN(store->db_, lsm::Db::Open({}, dir));
   return store;
 }
@@ -122,7 +130,11 @@ Status LocalStateStore::BackupToHdfs() {
   }
   return db_->CreateBackup(
       [this](const std::string& name, const std::string& contents) {
-        return hdfs_->WriteFile(backup_prefix_ + "/" + name, contents);
+        // Re-uploading the same file is idempotent, so per-file retry is
+        // safe even when the backup dies halfway through.
+        return backup_retry_->Run("hdfs.backup", [&] {
+          return hdfs_->WriteFile(backup_prefix_ + "/" + name, contents);
+        });
       });
 }
 

@@ -4,6 +4,8 @@
 #include <memory>
 #include <string>
 
+#include "common/clock.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "core/failure.h"
 #include "core/semantics.h"
@@ -58,10 +60,11 @@ class StateStore {
 class LocalStateStore : public StateStore {
  public:
   // `hdfs` may be null (no remote backup). `backup_prefix` namespaces this
-  // shard's files inside HDFS.
+  // shard's files inside HDFS. `clock` paces backup retry backoff (null =
+  // system clock; tests pass a SimClock so backoffs are instant).
   static StatusOr<std::unique_ptr<LocalStateStore>> Open(
       const std::string& dir, hdfs::HdfsCluster* hdfs,
-      const std::string& backup_prefix);
+      const std::string& backup_prefix, Clock* clock = nullptr);
 
   Status SaveCheckpoint(StateSemantics semantics, const std::string& state,
                         uint64_t offset, const FailureInjector& crash) override;
@@ -70,9 +73,16 @@ class LocalStateStore : public StateStore {
                                   const lsm::WriteBatch& output) override;
 
   // Copies the local DB to HDFS ("copied asynchronously to HDFS at a larger
-  // interval using RocksDB's backup engine"). If HDFS is unavailable,
-  // returns Unavailable and processing continues without remote copies.
+  // interval using RocksDB's backup engine"). Each file upload runs under a
+  // short RetryPolicy to ride out blips; if HDFS stays unavailable, returns
+  // Unavailable and processing continues without remote copies — the owning
+  // shard queues the missed backup for resync (§4.4.2 degradation).
   Status BackupToHdfs();
+
+  // Retries spent on backup uploads (monitoring).
+  RetryPolicy::StatsSnapshot backup_retry_stats() const {
+    return backup_retry_->stats();
+  }
 
   // Machine-loss recovery: rebuilds `dir` from the HDFS backup. Use when
   // the local directory is gone.
@@ -83,10 +93,12 @@ class LocalStateStore : public StateStore {
   lsm::Db* db() { return db_.get(); }
 
  private:
-  LocalStateStore(hdfs::HdfsCluster* hdfs, std::string backup_prefix);
+  LocalStateStore(hdfs::HdfsCluster* hdfs, std::string backup_prefix,
+                  Clock* clock);
 
   hdfs::HdfsCluster* hdfs_;
   std::string backup_prefix_;
+  std::unique_ptr<RetryPolicy> backup_retry_;
   std::unique_ptr<lsm::Db> db_;
 };
 

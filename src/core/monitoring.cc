@@ -49,6 +49,28 @@ std::vector<MonitoringService::Alert> MonitoringService::ActiveAlerts(
   return alerts;
 }
 
+std::vector<MonitoringService::BackupAlert>
+MonitoringService::ActiveBackupAlerts() const {
+  const Micros now = clock_->NowMicros();
+  std::vector<BackupAlert> alerts;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [service, pipeline] : pipelines_) {
+    for (const Pipeline::BackupReport& r : pipeline->GetBackupHealth()) {
+      if (!r.health.degraded) continue;
+      BackupAlert alert;
+      alert.service = service;
+      alert.node = r.node;
+      alert.shard = r.shard;
+      alert.pending_backups = r.health.pending_backups;
+      if (r.health.degraded_since > 0 && now > r.health.degraded_since) {
+        alert.degraded_for_micros = now - r.health.degraded_since;
+      }
+      alerts.push_back(std::move(alert));
+    }
+  }
+  return alerts;
+}
+
 bool MonitoringService::IsFallingBehind(const std::string& service,
                                         const std::string& node, int shard,
                                         size_t window) const {

@@ -72,6 +72,19 @@ class MonitoringService {
   bool IsFallingBehind(const std::string& service, const std::string& node,
                        int shard, size_t window = 3) const;
 
+  // Shards currently running without remote backup copies (§4.4.2 degraded
+  // mode). Unlike lag alerts this reads live shard state, not samples: a
+  // shard that cannot back up should page immediately, not at the next
+  // sampling interval.
+  struct BackupAlert {
+    std::string service;
+    std::string node;
+    int shard = 0;
+    uint64_t pending_backups = 0;
+    Micros degraded_for_micros = 0;  // Length of the ongoing episode.
+  };
+  std::vector<BackupAlert> ActiveBackupAlerts() const;
+
  private:
   struct Key {
     std::string service;

@@ -11,7 +11,8 @@ NodeShard::NodeShard(NodeConfig config, scribe::Scribe* scribe, Clock* clock,
       scribe_(scribe),
       clock_(clock),
       bucket_(bucket),
-      tailer_(scribe, config_.input_category, bucket) {}
+      tailer_(scribe, config_.input_category, bucket),
+      checkpoint_retry_(std::make_unique<RetryPolicy>(clock)) {}
 
 StatusOr<std::unique_ptr<NodeShard>> NodeShard::Create(
     const NodeConfig& config, scribe::Scribe* scribe, Clock* clock,
@@ -85,7 +86,7 @@ Status NodeShard::OpenStateStore() {
   FBSTREAM_ASSIGN_OR_RETURN(
       store_,
       LocalStateStore::Open(config_.state_dir + "/" + ShardLabel(),
-                            config_.hdfs, "backup/" + ShardLabel()));
+                            config_.hdfs, "backup/" + ShardLabel(), clock_));
   return Status::OK();
 }
 
@@ -128,6 +129,13 @@ void NodeShard::Crash() {
   monoid_state_.reset();
   store_.reset();
   watermark_ = WatermarkEstimator();
+  // Degraded-mode tracking is in-memory too: close the episode (time counts
+  // up to the crash) and forget the pending queue. If HDFS is still down
+  // after recovery, the next scheduled backup re-detects it, and the first
+  // successful full-state upload covers whatever was pending.
+  ExitDegraded();
+  pending_backups_.clear();
+  pending_backup_count_.store(0, std::memory_order_release);
   alive_ = false;
 }
 
@@ -195,6 +203,10 @@ Status NodeShard::EmitRows(const std::vector<Row>& rows) {
 
 StatusOr<size_t> NodeShard::RunOnce() {
   if (!alive_) return Status::FailedPrecondition(ShardLabel() + " is down");
+  // Resync before processing, even when no events are pending: a recovered
+  // HDFS drains the backup backlog on the next round regardless of whether
+  // traffic is still flowing.
+  DrainPendingBackups();
   if (monoid_ != nullptr) return RunMonoid();
   return RunStatelessOrStateful();
 }
@@ -246,14 +258,20 @@ StatusOr<size_t> NodeShard::RunStatelessOrStateful() {
     lsm::WriteBatch output;
     FBSTREAM_RETURN_IF_ERROR(
         config_.sink->AppendToTransaction(buffered, &output));
-    FBSTREAM_RETURN_IF_ERROR(
-        store_->SaveCheckpointWithOutput(state, offset, output));
+    FBSTREAM_RETURN_IF_ERROR(checkpoint_retry_->Run("checkpoint.save", [&] {
+      return store_->SaveCheckpointWithOutput(state, offset, output);
+    }));
   } else {
-    const Status st =
-        store_->SaveCheckpoint(config_.state_semantics, state, offset,
-                               [this](FailurePoint point) {
-                                 return failure_ != nullptr && failure_(point);
-                               });
+    // Retrying a half-written checkpoint is safe: both writes are idempotent
+    // Puts of this interval's values. Injected crashes return Aborted, which
+    // is not retryable, so failure-semantics tests still observe them.
+    const Status st = checkpoint_retry_->Run("checkpoint.save", [&] {
+      return store_->SaveCheckpoint(config_.state_semantics, state, offset,
+                                    [this](FailurePoint point) {
+                                      return failure_ != nullptr &&
+                                             failure_(point);
+                                    });
+    });
     if (st.IsAborted()) {
       Crash();
       return st;
@@ -270,20 +288,97 @@ StatusOr<size_t> NodeShard::RunStatelessOrStateful() {
   }
 
   ++checkpoints_completed_;
-  if (config_.backend == StateBackend::kLocal && config_.hdfs != nullptr &&
-      config_.backup_every_checkpoints > 0 &&
-      checkpoints_completed_ %
-              static_cast<uint64_t>(config_.backup_every_checkpoints) ==
-          0) {
-    auto* local = static_cast<LocalStateStore*>(store_.get());
-    const Status st = local->BackupToHdfs();
-    if (!st.ok()) {
-      // "If HDFS is not available for writes, processing continues without
-      // remote backup copies."
-      FBSTREAM_LOG(Warning) << ShardLabel() << ": hdfs backup skipped: " << st;
-    }
-  }
+  MaybeBackup();
   return events.size();
+}
+
+bool NodeShard::BackupConfigured() const {
+  // Monoid nodes checkpoint remotely regardless of `backend`.
+  return config_.backend == StateBackend::kLocal && config_.hdfs != nullptr &&
+         config_.backup_every_checkpoints > 0 &&
+         config_.monoid_factory == nullptr;
+}
+
+void NodeShard::MaybeBackup() {
+  if (!BackupConfigured()) return;
+  const uint64_t generation =
+      checkpoints_completed_.load(std::memory_order_relaxed);
+  if (generation % static_cast<uint64_t>(config_.backup_every_checkpoints) !=
+      0) {
+    return;
+  }
+  if (!pending_backups_.empty()) {
+    // Already degraded. Queue this generation and leave the recovery probe
+    // to DrainPendingBackups — no point hammering a down HDFS once per
+    // checkpoint on the hot path.
+    EnqueuePendingBackup(generation);
+    return;
+  }
+  auto* local = static_cast<LocalStateStore*>(store_.get());
+  const Status st = local->BackupToHdfs();
+  if (st.ok()) {
+    backups_completed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // "If HDFS is not available for writes, processing continues without
+  // remote backup copies." The miss is queued for resync once it recovers.
+  FBSTREAM_LOG(Warning) << ShardLabel()
+                        << ": hdfs backup missed, degraded mode: " << st;
+  EnqueuePendingBackup(generation);
+  EnterDegraded();
+}
+
+void NodeShard::DrainPendingBackups() {
+  if (pending_backups_.empty() || !BackupConfigured()) return;
+  auto* local = static_cast<LocalStateStore*>(store_.get());
+  if (!local->BackupToHdfs().ok()) return;  // Still down; try next round.
+  // Backups are full-state copies, so one successful upload of the current
+  // DB covers every missed generation at once.
+  backups_resynced_.fetch_add(pending_backups_.size(),
+                              std::memory_order_relaxed);
+  FBSTREAM_LOG(Info) << ShardLabel() << ": hdfs recovered, resynced "
+                     << pending_backups_.size() << " pending backup(s)";
+  pending_backups_.clear();
+  pending_backup_count_.store(0, std::memory_order_release);
+  ExitDegraded();
+}
+
+void NodeShard::EnqueuePendingBackup(uint64_t generation) {
+  if (config_.max_pending_backups > 0 &&
+      pending_backups_.size() >= config_.max_pending_backups) {
+    pending_backups_.pop_front();
+    backups_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  pending_backups_.push_back(generation);
+  pending_backup_count_.store(pending_backups_.size(),
+                              std::memory_order_release);
+}
+
+void NodeShard::EnterDegraded() {
+  if (backup_degraded_.exchange(true, std::memory_order_acq_rel)) return;
+  degraded_since_.store(clock_->NowMicros(), std::memory_order_release);
+}
+
+void NodeShard::ExitDegraded() {
+  if (!backup_degraded_.exchange(false, std::memory_order_acq_rel)) return;
+  const Micros since = degraded_since_.exchange(0, std::memory_order_acq_rel);
+  if (since > 0) {
+    degraded_micros_total_.fetch_add(clock_->NowMicros() - since,
+                                     std::memory_order_relaxed);
+  }
+}
+
+BackupHealth NodeShard::GetBackupHealth() const {
+  BackupHealth h;
+  h.degraded = backup_degraded_.load(std::memory_order_acquire);
+  h.degraded_since = degraded_since_.load(std::memory_order_acquire);
+  h.degraded_micros_total =
+      degraded_micros_total_.load(std::memory_order_relaxed);
+  h.pending_backups = pending_backup_count_.load(std::memory_order_acquire);
+  h.backups_completed = backups_completed_.load(std::memory_order_relaxed);
+  h.backups_resynced = backups_resynced_.load(std::memory_order_relaxed);
+  h.backups_dropped = backups_dropped_.load(std::memory_order_relaxed);
+  return h;
 }
 
 StatusOr<size_t> NodeShard::RunMonoid() {

@@ -2,6 +2,7 @@
 #define FBSTREAM_CORE_NODE_H_
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -62,6 +63,12 @@ struct NodeConfig {
   std::string state_dir;  // Local backend root (per-shard subdirs).
   hdfs::HdfsCluster* hdfs = nullptr;
   int backup_every_checkpoints = 0;  // 0 = no HDFS backups.
+  // Degraded mode (§4.4.2: "if HDFS is not available for writes, processing
+  // continues without remote backup copies"): backups missed during an HDFS
+  // outage queue up for resync, at most this many. Beyond that the oldest
+  // pending entry is dropped (counted, not fatal — one successful backup
+  // after recovery covers the full current state anyway).
+  size_t max_pending_backups = 8;
   zippydb::Cluster* remote = nullptr;
   RemoteWriteMode remote_mode = RemoteWriteMode::kReadModifyWrite;
 
@@ -70,6 +77,22 @@ struct NodeConfig {
 
   // Watermark confidence used by the shard's estimator.
   double watermark_confidence = 0.99;
+};
+
+// Snapshot of a shard's backup/degradation state (§4.4.2 + §6.4
+// monitoring). All fields are read from atomics, so a snapshot may race a
+// running round; individual fields are exact, cross-field consistency is
+// best-effort — fine for dashboards and alerts.
+struct BackupHealth {
+  bool degraded = false;        // Currently running without remote backups.
+  Micros degraded_since = 0;    // Start of the current episode (0 if none).
+  // Total time spent degraded over the shard's lifetime, closed episodes
+  // only; add (now - degraded_since) for the ongoing one.
+  Micros degraded_micros_total = 0;
+  uint64_t pending_backups = 0;   // Missed backups queued for resync.
+  uint64_t backups_completed = 0; // Successful on-schedule uploads.
+  uint64_t backups_resynced = 0;  // Missed backups covered after recovery.
+  uint64_t backups_dropped = 0;   // Pending entries evicted by the bound.
 };
 
 // One running shard of a node: tailer -> processor -> sink, with
@@ -110,6 +133,9 @@ class NodeShard {
   // Monitoring (§6.4): messages behind the bucket head.
   uint64_t ProcessingLag() const;
 
+  // Degraded-mode snapshot; safe to call while RunOnce is in flight.
+  BackupHealth GetBackupHealth() const;
+
   const WatermarkEstimator& watermark() const { return watermark_; }
   Micros LowWatermark() const;
 
@@ -133,6 +159,18 @@ class NodeShard {
   StatusOr<std::vector<Event>> PollEvents();
   Status EmitRows(const std::vector<Row>& rows);
   bool MaybeCrash(FailurePoint point);
+  // True when this shard takes periodic HDFS backups of its local store.
+  bool BackupConfigured() const;
+  // Runs after each checkpoint: uploads on schedule, or queues the missed
+  // generation and enters degraded mode when HDFS is down.
+  void MaybeBackup();
+  // Re-uploads the current state if backups are pending; exits degraded
+  // mode on success. Called every RunOnce, even event-less ones, so queues
+  // drain as soon as HDFS recovers (not only while traffic flows).
+  void DrainPendingBackups();
+  void EnqueuePendingBackup(uint64_t generation);
+  void EnterDegraded();
+  void ExitDegraded();
 
   NodeConfig config_;
   scribe::Scribe* scribe_;
@@ -149,6 +187,22 @@ class NodeShard {
   FailureInjector failure_;
   std::atomic<bool> alive_{false};
   std::atomic<uint64_t> checkpoints_completed_{0};
+
+  // Transient checkpoint-write failures (full disk, injected WAL faults)
+  // retry before failing the round; Aborted (crash injection) is not
+  // retryable, so semantics tests still see their crashes.
+  std::unique_ptr<RetryPolicy> checkpoint_retry_;
+
+  // Degraded-mode backup state. The deque belongs to the single worker
+  // thread running the shard; the atomics mirror it for monitoring readers.
+  std::deque<uint64_t> pending_backups_;
+  std::atomic<bool> backup_degraded_{false};
+  std::atomic<Micros> degraded_since_{0};
+  std::atomic<Micros> degraded_micros_total_{0};
+  std::atomic<uint64_t> pending_backup_count_{0};
+  std::atomic<uint64_t> backups_completed_{0};
+  std::atomic<uint64_t> backups_resynced_{0};
+  std::atomic<uint64_t> backups_dropped_{0};
 };
 
 }  // namespace fbstream::stylus

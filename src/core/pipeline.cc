@@ -157,6 +157,18 @@ std::vector<Pipeline::LagReport> Pipeline::GetProcessingLag() const {
   return reports;
 }
 
+std::vector<Pipeline::BackupReport> Pipeline::GetBackupHealth() const {
+  std::vector<BackupReport> reports;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& name : node_order_) {
+    for (const auto& shard : nodes_.at(name)) {
+      reports.push_back(
+          BackupReport{name, shard->bucket(), shard->GetBackupHealth()});
+    }
+  }
+  return reports;
+}
+
 std::vector<Pipeline::LagReport> Pipeline::GetLagAlerts(
     uint64_t threshold_messages) const {
   std::vector<LagReport> alerts;

@@ -89,6 +89,16 @@ class Pipeline {
   std::vector<LagReport> GetProcessingLag() const;
   std::vector<LagReport> GetLagAlerts(uint64_t threshold_messages) const;
 
+  // Degraded-mode backup state for every shard (§4.4.2): which shards are
+  // running without remote backup copies, how many resyncs are queued, and
+  // cumulative time degraded. Safe to call concurrently with a running round.
+  struct BackupReport {
+    std::string node;
+    int shard = 0;
+    BackupHealth health;
+  };
+  std::vector<BackupReport> GetBackupHealth() const;
+
   int num_threads() const { return options_.num_threads; }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault.h"
 #include "common/fs.h"
 #include "common/hash.h"
 #include "common/logging.h"
@@ -50,8 +51,12 @@ void Bucket::PersistAppendLocked(const Message& m) {
   PutVarint64(&record, m.sequence);
   PutVarint64(&record, static_cast<uint64_t>(m.write_time));
   PutLengthPrefixed(&record, m.payload);
+  // Framed as length + checksum + body (same contract as lsm/wal.h): a
+  // torn or bit-flipped tail is detected on replay instead of decoding as
+  // garbage messages.
   std::string framed;
   PutVarint64(&framed, record.size());
+  PutFixed64(&framed, Fnv1a64(record));
   framed += record;
   const Status st = AppendToFile(active.path, framed);
   if (!st.ok()) FBSTREAM_LOG(Warning) << "scribe persist: " << st;
@@ -124,28 +129,59 @@ Status Bucket::RecoverFromDisk() {
   segments_.clear();
   bytes_ = 0;
   bool first = true;
+  bool tail_truncated = false;
   // ListDir sorts lexicographically; the zero-padded base sequence in the
   // file name makes that the append order.
   for (const std::string& name : *listing) {
     if (name.compare(0, 8, "segment-") != 0) continue;
     const std::string path = dir_ + "/" + name;
+    if (tail_truncated) {
+      // Everything past a corrupt record is untrusted (and would break the
+      // bucket's contiguous sequence numbering); drop later segments so the
+      // on-disk log matches the recovered state.
+      FBSTREAM_LOG(Warning) << "scribe recover: dropping post-corruption "
+                            << "segment " << path;
+      const Status st = RemoveFile(path);
+      if (!st.ok()) FBSTREAM_LOG(Warning) << "scribe recover: " << st;
+      continue;
+    }
     FBSTREAM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
     std::string_view view(data);
     SegmentMeta meta;
     meta.path = path;
     bool segment_first = true;
     while (!view.empty()) {
-      std::string_view record;
-      if (!GetLengthPrefixed(&view, &record)) {
-        // A torn trailing record (crash mid-append) is dropped; everything
-        // before it is intact.
-        break;
-      }
+      // Offset of this record's frame, for truncation if it proves corrupt.
+      const uint64_t record_start = data.size() - view.size();
+      uint64_t len = 0;
+      uint64_t checksum = 0;
       uint64_t seq = 0;
       uint64_t wt = 0;
       std::string_view payload;
-      if (!GetVarint64(&record, &seq) || !GetVarint64(&record, &wt) ||
-          !GetLengthPrefixed(&record, &payload)) {
+      std::string_view body;
+      bool ok = GetVarint64(&view, &len) && GetFixed64(&view, &checksum) &&
+                view.size() >= len;
+      if (ok) {
+        body = view.substr(0, len);
+        view.remove_prefix(len);
+        ok = Fnv1a64(body) == checksum;
+      }
+      if (ok) {
+        std::string_view cursor = body;
+        ok = GetVarint64(&cursor, &seq) && GetVarint64(&cursor, &wt) &&
+             GetLengthPrefixed(&cursor, &payload);
+      }
+      if (!ok) {
+        // Torn or corrupt record (crash mid-append, bit rot): truncate the
+        // segment back to its intact prefix and continue from there —
+        // everything before the bad record is preserved, and the next
+        // append lands on a clean record boundary instead of after garbage.
+        FBSTREAM_LOG(Warning)
+            << "scribe recover: corrupt record in " << path << " at offset "
+            << record_start << "; truncating";
+        const Status st = TruncateFile(path, record_start);
+        if (!st.ok()) FBSTREAM_LOG(Warning) << "scribe recover: " << st;
+        tail_truncated = true;
         break;
       }
       if (first) {
@@ -217,8 +253,24 @@ Status Category::SetNumBuckets(int n) {
   return Status::OK();
 }
 
+namespace {
+RetryOptions DefaultAppendRetry() {
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.initial_backoff_micros = 500;
+  options.max_backoff_micros = 50'000;
+  return options;
+}
+}  // namespace
+
 Scribe::Scribe(Clock* clock, std::string root_dir)
-    : clock_(clock), root_dir_(std::move(root_dir)) {}
+    : clock_(clock),
+      root_dir_(std::move(root_dir)),
+      retry_(std::make_unique<RetryPolicy>(clock, DefaultAppendRetry())) {}
+
+void Scribe::SetRetryOptions(const RetryOptions& options) {
+  retry_ = std::make_unique<RetryPolicy>(clock_, options);
+}
 
 Status Scribe::CreateCategory(const CategoryConfig& config) {
   if (config.name.empty()) {
@@ -277,8 +329,13 @@ Status Scribe::Write(const std::string& category, int bucket,
     return Status::OutOfRange("bucket " + std::to_string(bucket) + " of " +
                               category);
   }
-  b->Append(payload, clock_->NowMicros());
-  return Status::OK();
+  // A transient transport fault fails the append *before* the message is
+  // durable, so a retried attempt cannot duplicate it.
+  return retry_->Run("scribe.append", [&] {
+    FBSTREAM_RETURN_IF_ERROR(FaultRegistry::Global()->Hit("scribe.append"));
+    b->Append(payload, clock_->NowMicros());
+    return Status::OK();
+  });
 }
 
 Status Scribe::WriteSharded(const std::string& category,

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/retry.h"
 #include "common/status.h"
 
 namespace fbstream::scribe {
@@ -55,7 +56,10 @@ struct CategoryConfig {
 // Persistence uses rotated segment files (`segment-<base_seq>.log`): the
 // active segment rolls over every kSegmentMessages appends, and retention
 // trimming deletes whole expired segments from disk — the unit of deletion
-// in real log stores.
+// in real log stores. Each on-disk record carries a checksum (as in
+// lsm/wal.h); replay stops at the first torn or corrupt record and
+// truncates the segment back to its intact prefix so later appends resume
+// from a clean record boundary.
 class Bucket {
  public:
   static constexpr size_t kSegmentMessages = 4096;
@@ -134,6 +138,11 @@ class Category {
 };
 
 // The bus. Owns all categories. Thread-safe.
+//
+// Appends run under a RetryPolicy: the "scribe.append" fault site can make
+// an individual append fail transiently (a flaky aggregator hop), and the
+// writer retries with backoff before surfacing the error. With no faults
+// armed the policy never sleeps.
 class Scribe {
  public:
   // `root_dir` hosts persisted segments for categories that opt in; it may
@@ -176,11 +185,16 @@ class Scribe {
 
   int NumBuckets(const std::string& category) const;
 
+  // Append retry behavior (defaults: 3 attempts, 500us initial backoff).
+  void SetRetryOptions(const RetryOptions& options);
+  RetryPolicy::StatsSnapshot retry_stats() const { return retry_->stats(); }
+
  private:
   Category* Find(const std::string& name) const;
 
   Clock* clock_;
   std::string root_dir_;
+  std::unique_ptr<RetryPolicy> retry_;
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Category>> categories_;
 };

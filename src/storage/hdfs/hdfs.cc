@@ -1,5 +1,6 @@
 #include "storage/hdfs/hdfs.h"
 
+#include "common/fault.h"
 #include "common/fs.h"
 #include "common/logging.h"
 #include "common/serde.h"
@@ -36,6 +37,7 @@ Status HdfsCluster::WriteFile(const std::string& path,
                               const std::string& data) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!available_) return Status::Unavailable("hdfs down");
+  FBSTREAM_RETURN_IF_ERROR(FaultRegistry::Global()->Hit("hdfs.write"));
   INode inode;
   inode.length = data.size();
   size_t offset = 0;
@@ -63,6 +65,7 @@ Status HdfsCluster::WriteFile(const std::string& path,
 StatusOr<std::string> HdfsCluster::ReadFile(const std::string& path) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (!available_) return Status::Unavailable("hdfs down");
+  FBSTREAM_RETURN_IF_ERROR(FaultRegistry::Global()->Hit("hdfs.read"));
   auto it = namespace_.find(path);
   if (it == namespace_.end()) return Status::NotFound(path);
   std::string data;
@@ -143,6 +146,13 @@ Status HdfsCluster::PersistNamespaceLocked() const {
 
 Status HdfsCluster::RecoverNamespace() {
   const std::string path = root_ + "/" + kNamespaceImage;
+  // A crash between the temp write and the rename leaves `fsimage.tmp`
+  // behind; it is at best a duplicate of the real image and at worst torn,
+  // so it must never be consulted. Drop it.
+  if (FileExists(path + ".tmp")) {
+    const Status st = RemoveFile(path + ".tmp");
+    if (!st.ok()) FBSTREAM_LOG(Warning) << "hdfs stale fsimage.tmp: " << st;
+  }
   if (!FileExists(path)) return Status::OK();
   FBSTREAM_ASSIGN_OR_RETURN(std::string image, ReadFileToString(path));
   std::string_view view(image);

@@ -1,5 +1,6 @@
 #include "storage/lsm/wal.h"
 
+#include "common/fault.h"
 #include "common/fs.h"
 #include "common/hash.h"
 #include "common/serde.h"
@@ -18,6 +19,10 @@ Status WalWriter::Open(const std::string& path) {
 Status WalWriter::AddRecord(SequenceNumber first_sequence,
                             const WriteBatch& batch) {
   if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  // Before any bytes reach the file: an injected failure here models a full
+  // disk or an I/O stall, leaving the log exactly as it was (callers may
+  // retry the whole record).
+  FBSTREAM_RETURN_IF_ERROR(FaultRegistry::Global()->Hit("lsm.wal.append"));
   std::string body;
   PutVarint64(&body, first_sequence);
   const std::string payload = batch.Serialize();
@@ -36,6 +41,7 @@ Status WalWriter::AddRecord(SequenceNumber first_sequence,
 
 Status WalWriter::Sync() {
   if (file_ == nullptr) return Status::OK();
+  FBSTREAM_RETURN_IF_ERROR(FaultRegistry::Global()->Hit("lsm.wal.sync"));
   if (fflush(file_) != 0) return Status::IoError("wal flush");
   return Status::OK();
 }

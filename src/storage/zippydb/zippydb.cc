@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <set>
 
+#include "common/fault.h"
 #include "common/hash.h"
 
 namespace fbstream::zippydb {
 
-Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {}
+Cluster::Cluster(ClusterOptions options)
+    : options_(std::move(options)),
+      retry_(std::make_unique<RetryPolicy>(options_.clock, options_.retry)) {}
 
 StatusOr<std::unique_ptr<Cluster>> Cluster::Open(const ClusterOptions& options,
                                                  const std::string& dir) {
@@ -92,7 +95,23 @@ Status Cluster::CommitToShardLocked(int shard_index,
                                " replicas up)");
   }
   shard.log.push_back(batch);
-  return CatchUpLocked(&shard);
+  const Status st = CatchUpLocked(&shard);
+  if (!st.ok() && st.IsRetryable()) {
+    // The batch is already committed to the shard log; a replica that
+    // failed to apply it catches up on a later pass. Surfacing a retryable
+    // code here would let a client retry re-append the batch (double-
+    // applying merges), so demote it.
+    return Status::Internal("replica apply failed: " + st.message());
+  }
+  return st;
+}
+
+Status Cluster::WriteToShard(int shard_index, const lsm::WriteBatch& batch) {
+  return retry_->Run("zippydb.write", [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    FBSTREAM_RETURN_IF_ERROR(FaultRegistry::Global()->Hit("zippydb.write"));
+    return CommitToShardLocked(shard_index, batch);
+  });
 }
 
 StatusOr<lsm::Db*> Cluster::ReadReplicaLocked(int shard_index) {
@@ -121,10 +140,7 @@ StatusOr<std::string> Cluster::Get(std::string_view key) {
 Status Cluster::Put(std::string_view key, std::string_view value) {
   lsm::WriteBatch batch;
   batch.Put(key, value);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    FBSTREAM_RETURN_IF_ERROR(CommitToShardLocked(ShardOf(key), batch));
-  }
+  FBSTREAM_RETURN_IF_ERROR(WriteToShard(ShardOf(key), batch));
   ChargeWrite(key.size() + value.size());
   return Status::OK();
 }
@@ -132,10 +148,7 @@ Status Cluster::Put(std::string_view key, std::string_view value) {
 Status Cluster::Delete(std::string_view key) {
   lsm::WriteBatch batch;
   batch.Delete(key);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    FBSTREAM_RETURN_IF_ERROR(CommitToShardLocked(ShardOf(key), batch));
-  }
+  FBSTREAM_RETURN_IF_ERROR(WriteToShard(ShardOf(key), batch));
   ChargeWrite(key.size());
   return Status::OK();
 }
@@ -146,10 +159,7 @@ Status Cluster::Merge(std::string_view key, std::string_view operand) {
   }
   lsm::WriteBatch batch;
   batch.Merge(key, operand);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    FBSTREAM_RETURN_IF_ERROR(CommitToShardLocked(ShardOf(key), batch));
-  }
+  FBSTREAM_RETURN_IF_ERROR(WriteToShard(ShardOf(key), batch));
   stats_.merges.fetch_add(1);
   stats_.bytes.fetch_add(key.size() + operand.size());
   if (options_.simulate_latency) {
@@ -215,15 +225,14 @@ Status Cluster::WriteBatch(const lsm::WriteBatch& batch) {
     }
     bytes += op.key.size() + op.value.size();
   }
+  // Per-shard commits retry independently: a shard that already committed
+  // is never re-sent when a later shard's attempt has to back off.
   int touched = 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (size_t i = 0; i < per_shard.size(); ++i) {
-      if (per_shard[i].empty()) continue;
-      ++touched;
-      FBSTREAM_RETURN_IF_ERROR(
-          CommitToShardLocked(static_cast<int>(i), per_shard[i]));
-    }
+  for (size_t i = 0; i < per_shard.size(); ++i) {
+    if (per_shard[i].empty()) continue;
+    ++touched;
+    FBSTREAM_RETURN_IF_ERROR(
+        WriteToShard(static_cast<int>(i), per_shard[i]));
   }
   stats_.writes.fetch_add(static_cast<uint64_t>(touched));
   stats_.bytes.fetch_add(bytes);
@@ -257,10 +266,14 @@ Status Cluster::CommitTransaction(const lsm::WriteBatch& batch) {
     }
     bytes += op.key.size() + op.value.size();
   }
-  {
+  // Prepare failures commit nothing, so the whole transaction is safe to
+  // retry; commit-phase failures surface as non-retryable (the batches are
+  // in the shard logs already).
+  FBSTREAM_RETURN_IF_ERROR(retry_->Run("zippydb.txn", [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    FBSTREAM_RETURN_IF_ERROR(FaultRegistry::Global()->Hit("zippydb.write"));
     // Prepare: every participant must have a write quorum, checked before
     // anything is applied (atomicity on failure).
-    std::lock_guard<std::mutex> lock(mu_);
     for (const int shard_index : participants) {
       const Shard& shard = shards_[static_cast<size_t>(shard_index)];
       int live = 0;
@@ -277,7 +290,8 @@ Status Cluster::CommitTransaction(const lsm::WriteBatch& batch) {
       FBSTREAM_RETURN_IF_ERROR(
           CommitToShardLocked(static_cast<int>(i), per_shard[i]));
     }
-  }
+    return Status::OK();
+  }));
   if (options_.simulate_latency) {
     // Prepare + commit rounds, serialized across participants (the
     // "high-latency distributed transaction" of §4.3.2).

@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/cost.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "storage/lsm/db.h"
 #include "storage/lsm/merge_operator.h"
@@ -44,6 +46,13 @@ struct ClusterOptions {
   // Disable to make unit tests instant; benches keep it on.
   bool simulate_latency = true;
   std::shared_ptr<const lsm::MergeOperator> merge_operator;
+  // Client-side retry for shard writes (transient quorum loss and injected
+  // "zippydb.write" faults). max_attempts = 1 (the default) preserves the
+  // fail-fast seed behavior. Backoff sleeps go through `clock` (null =
+  // system clock); tests install a SimClock so a flapping shard's outage
+  // can pass during a simulated backoff.
+  RetryOptions retry{.max_attempts = 1};
+  Clock* clock = nullptr;
 };
 
 class Cluster {
@@ -95,6 +104,7 @@ class Cluster {
 
   OpStats& stats() { return stats_; }
   const ClusterOptions& options() const { return options_; }
+  RetryPolicy::StatsSnapshot retry_stats() const { return retry_->stats(); }
 
   // Flushes every live replica's memtable (used by tests around restart).
   Status FlushAll();
@@ -114,6 +124,10 @@ class Cluster {
 
   void ChargeRead(size_t bytes);
   void ChargeWrite(size_t bytes);
+  // Retryable unit for one shard write: consults the "zippydb.write" fault
+  // site and commits under the cluster lock. Safe to retry — any failure
+  // surfaced as retryable happens before the batch enters the shard log.
+  Status WriteToShard(int shard_index, const lsm::WriteBatch& batch);
   // Replays pending log entries to every live replica; prunes the log
   // prefix all replicas have applied.
   Status CatchUpLocked(Shard* shard);
@@ -124,6 +138,7 @@ class Cluster {
   StatusOr<lsm::Db*> ReadReplicaLocked(int shard_index);
 
   ClusterOptions options_;
+  std::unique_ptr<RetryPolicy> retry_;
   std::vector<Shard> shards_;
   mutable std::mutex mu_;
   OpStats stats_;

@@ -1,14 +1,17 @@
 // Unit and property tests for src/common: status, values/rows, serde,
-// clocks, rng, HyperLogLog, filesystem helpers.
+// clocks, rng, HyperLogLog, filesystem helpers, fault injection, retries.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
 #include "common/clock.h"
 #include "common/cost.h"
+#include "common/fault.h"
 #include "common/fs.h"
+#include "common/retry.h"
 #include "common/hash.h"
 #include "common/hll.h"
 #include "common/rng.h"
@@ -31,6 +34,16 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
   EXPECT_TRUE(s.IsNotFound());
   EXPECT_EQ(s.code(), StatusCode::kNotFound);
   EXPECT_EQ(s.ToString(), "NotFound: key k1");
+}
+
+TEST(StatusTest, RetryableCodes) {
+  EXPECT_TRUE(Status::Unavailable("transient").IsRetryable());
+  EXPECT_TRUE(Status::DeadlineExceeded("slow").IsRetryable());
+  EXPECT_FALSE(Status().IsRetryable());
+  EXPECT_FALSE(Status::Aborted("crash").IsRetryable());
+  EXPECT_FALSE(Status::Internal("bug").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("gone").IsRetryable());
+  EXPECT_FALSE(Status::IoError("disk").IsRetryable());
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
@@ -397,6 +410,178 @@ TEST(FsTest, ListDirSorted) {
 TEST(FsTest, MissingFileIsError) {
   EXPECT_FALSE(ReadFileToString("/nonexistent/nope").ok());
   EXPECT_FALSE(FileExists("/nonexistent/nope"));
+}
+
+TEST(FaultTest, UnarmedRegistryIsTransparent) {
+  FaultRegistry reg;
+  EXPECT_TRUE(reg.Hit("any.site").ok());
+  EXPECT_EQ(reg.Hits("any.site"), 0u);  // Not even counted while unarmed.
+}
+
+TEST(FaultTest, FailNextFiresScriptedHits) {
+  FaultRegistry reg;
+  // Fail hits 1 and 2 (0-indexed), skipping hit 0.
+  reg.FailNext("db.write", StatusCode::kIoError, /*count=*/2, /*skip=*/1);
+  EXPECT_TRUE(reg.Hit("db.write").ok());
+  const Status first = reg.Hit("db.write");
+  EXPECT_EQ(first.code(), StatusCode::kIoError);
+  EXPECT_NE(first.message().find("db.write#1"), std::string::npos);
+  EXPECT_FALSE(reg.Hit("db.write").ok());
+  EXPECT_TRUE(reg.Hit("db.write").ok());  // Script exhausted.
+  EXPECT_EQ(reg.Hits("db.write"), 4u);
+  EXPECT_EQ(reg.Fires("db.write"), 2u);
+}
+
+TEST(FaultTest, ProbabilisticFiringIsDeterministicForSeed) {
+  constexpr int kHits = 500;
+  auto firing_pattern = [](uint64_t seed) {
+    FaultRegistry reg;
+    reg.FailWithProbability("s", 0.3, seed);
+    std::string pattern;
+    for (int i = 0; i < kHits; ++i) {
+      pattern += reg.Hit("s").ok() ? '.' : 'X';
+    }
+    return pattern;
+  };
+  const std::string a = firing_pattern(7);
+  EXPECT_EQ(a, firing_pattern(7));
+  EXPECT_NE(a, firing_pattern(8));
+  // Roughly 30% of hits fire.
+  const auto fired = std::count(a.begin(), a.end(), 'X');
+  EXPECT_GT(fired, kHits / 5);
+  EXPECT_LT(fired, kHits / 2);
+}
+
+TEST(FaultTest, UnavailabilityWindowFollowsClock) {
+  SimClock clock(0);
+  FaultRegistry reg;
+  reg.SetClock(&clock);
+  reg.SetUnavailableBetween("hdfs", 100, 200);
+  EXPECT_TRUE(reg.Hit("hdfs").ok());  // Before the window.
+  clock.SetMicros(100);
+  EXPECT_TRUE(reg.Hit("hdfs").IsUnavailable());
+  clock.SetMicros(199);
+  EXPECT_FALSE(reg.Hit("hdfs").ok());
+  clock.SetMicros(200);
+  EXPECT_TRUE(reg.Hit("hdfs").ok());  // Window is half-open.
+}
+
+TEST(FaultTest, OneShotHasPriorityOverProbability) {
+  FaultRegistry reg;
+  reg.FailWithProbability("s", 1.0, 1, StatusCode::kUnavailable);
+  reg.FailNext("s", StatusCode::kAborted, /*count=*/1);
+  EXPECT_TRUE(reg.Hit("s").IsAborted());       // Script wins.
+  EXPECT_TRUE(reg.Hit("s").IsUnavailable());   // Then probability applies.
+}
+
+TEST(FaultTest, JournalRecordsFiringOrderAcrossSites) {
+  FaultRegistry reg;
+  reg.FailNext("a", StatusCode::kUnavailable, /*count=*/1);
+  reg.FailNext("b", StatusCode::kUnavailable, /*count=*/1, /*skip=*/1);
+  EXPECT_FALSE(reg.Hit("a").ok());
+  EXPECT_TRUE(reg.Hit("b").ok());
+  EXPECT_FALSE(reg.Hit("b").ok());
+  EXPECT_EQ(reg.FiringJournal(),
+            (std::vector<std::string>{"a#0", "b#1"}));
+  reg.Reset();
+  EXPECT_TRUE(reg.FiringJournal().empty());
+  EXPECT_EQ(reg.Hits("a"), 0u);
+}
+
+TEST(FaultTest, ClearDisarmsOneSiteOnly) {
+  FaultRegistry reg;
+  reg.FailNext("x", StatusCode::kUnavailable, /*count=*/10);
+  reg.FailNext("y", StatusCode::kUnavailable, /*count=*/10);
+  reg.Clear("x");
+  EXPECT_TRUE(reg.Hit("x").ok());
+  EXPECT_FALSE(reg.Hit("y").ok());
+}
+
+TEST(RetryTest, FirstTrySuccessDoesNotSleep) {
+  SimClock clock(0);
+  RetryPolicy policy(&clock);
+  int calls = 0;
+  EXPECT_TRUE(policy.Run("op", [&] {
+                      ++calls;
+                      return Status::OK();
+                    }).ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(clock.NowMicros(), 0);
+  EXPECT_EQ(policy.stats().retries, 0u);
+}
+
+TEST(RetryTest, RetriesTransientFailureUntilSuccess) {
+  SimClock clock(0);
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.jitter = 0;
+  RetryPolicy policy(&clock, options);
+  int calls = 0;
+  const Status st = policy.Run("op", [&] {
+    return ++calls < 3 ? Status::Unavailable("blip") : Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  // Slept 1ms then 2ms (exponential, no jitter) on the SimClock.
+  EXPECT_EQ(clock.NowMicros(), 3000);
+  EXPECT_EQ(policy.stats().attempts, 3u);
+  EXPECT_EQ(policy.stats().retries, 2u);
+  EXPECT_EQ(policy.stats().exhausted, 0u);
+}
+
+TEST(RetryTest, NonRetryableErrorSurfacesImmediately) {
+  SimClock clock(0);
+  RetryPolicy policy(&clock);
+  int calls = 0;
+  const Status st = policy.Run("op", [&] {
+    ++calls;
+    return Status::Corruption("bad bytes");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(clock.NowMicros(), 0);
+}
+
+TEST(RetryTest, ExhaustedBudgetAnnotatesError) {
+  SimClock clock(0);
+  RetryOptions options;
+  options.max_attempts = 3;
+  RetryPolicy policy(&clock, options);
+  const Status st =
+      policy.Run("flaky_op", [] { return Status::Unavailable("down"); });
+  EXPECT_TRUE(st.IsUnavailable());  // Original code is preserved.
+  EXPECT_NE(st.message().find("flaky_op failed after 3 attempts"),
+            std::string::npos);
+  EXPECT_EQ(policy.stats().exhausted, 1u);
+}
+
+TEST(RetryTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryOptions options;
+  options.initial_backoff_micros = 1000;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_micros = 5000;
+  options.jitter = 0;
+  RetryPolicy policy(nullptr, options);
+  EXPECT_EQ(policy.BackoffForRetry(0), 1000);
+  EXPECT_EQ(policy.BackoffForRetry(1), 2000);
+  EXPECT_EQ(policy.BackoffForRetry(2), 4000);
+  EXPECT_EQ(policy.BackoffForRetry(3), 5000);  // Capped.
+  EXPECT_EQ(policy.BackoffForRetry(10), 5000);
+}
+
+TEST(RetryTest, JitterBoundedAndDeterministicForSeed) {
+  RetryOptions options;
+  options.initial_backoff_micros = 10000;
+  options.jitter = 0.5;
+  options.jitter_seed = 99;
+  RetryPolicy a(nullptr, options);
+  RetryPolicy b(nullptr, options);
+  for (int i = 0; i < 50; ++i) {
+    const Micros backoff = a.BackoffForRetry(0);
+    EXPECT_EQ(backoff, b.BackoffForRetry(0));  // Same seed, same draws.
+    EXPECT_GE(backoff, 5000);
+    EXPECT_LT(backoff, 15000);
+  }
 }
 
 TEST(CostTest, SpinWaitWaitsRoughly) {

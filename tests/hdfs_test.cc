@@ -1,8 +1,9 @@
 // Tests for the simulated HDFS cluster: namespace, blocks, persistence,
-// availability injection.
+// availability injection, fsimage crash-safety, fault sites.
 
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "common/fs.h"
 #include "storage/hdfs/hdfs.h"
 
@@ -113,6 +114,40 @@ TEST_F(HdfsTest, EmptyFileIsValid) {
   auto read = hdfs.ReadFile("/empty");
   ASSERT_TRUE(read.ok());
   EXPECT_TRUE(read->empty());
+}
+
+TEST_F(HdfsTest, StaleFsimageTmpIsIgnoredAndCleaned) {
+  {
+    HdfsCluster hdfs(root_);
+    ASSERT_TRUE(hdfs.WriteFile("/keep/me", "good").ok());
+  }
+  // Simulate a crash between the temp write and the rename: a torn tmp file
+  // next to the committed image. Recovery must consult only the image.
+  ASSERT_TRUE(WriteFile(root_ + "/fsimage.tmp", "torn garbage \xff\x01").ok());
+  HdfsCluster hdfs(root_);
+  auto read = hdfs.ReadFile("/keep/me");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "good");
+  EXPECT_FALSE(FileExists(root_ + "/fsimage.tmp"));
+  // And the next persisted namespace still round-trips.
+  ASSERT_TRUE(hdfs.WriteFile("/keep/more", "v").ok());
+  HdfsCluster again(root_);
+  EXPECT_TRUE(again.Exists("/keep/me"));
+  EXPECT_TRUE(again.Exists("/keep/more"));
+}
+
+TEST_F(HdfsTest, WriteFaultSiteInjectsFailure) {
+  FaultRegistry::Global()->Reset();
+  HdfsCluster hdfs(root_);
+  FaultRegistry::Global()->FailNext("hdfs.write");
+  EXPECT_TRUE(hdfs.WriteFile("/f", "v").IsUnavailable());
+  ASSERT_TRUE(hdfs.WriteFile("/f", "v").ok());  // One-shot: next succeeds.
+  FaultRegistry::Global()->FailNext("hdfs.read");
+  EXPECT_TRUE(hdfs.ReadFile("/f").status().IsUnavailable());
+  auto read = hdfs.ReadFile("/f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "v");
+  FaultRegistry::Global()->Reset();
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "core/pipeline.h"
 #include "core/processor.h"
 #include "core/sink.h"
+#include "storage/hdfs/hdfs.h"
 
 namespace fbstream::stylus {
 namespace {
@@ -22,6 +23,20 @@ SchemaPtr InputSchema() {
 class CountingProcessor : public StatelessProcessor {
  public:
   void Process(const Event&, std::vector<Row>*) override {}
+};
+
+class TallyProcessor : public StatefulProcessor {
+ public:
+  void Process(const Event&, std::vector<Row>*) override { ++n_; }
+  void OnCheckpoint(Micros, std::vector<Row>*) override {}
+  std::string SerializeState() const override { return std::to_string(n_); }
+  Status RestoreState(std::string_view data) override {
+    n_ = strtoll(std::string(data).c_str(), nullptr, 10);
+    return Status::OK();
+  }
+
+ private:
+  int64_t n_ = 0;
 };
 
 class MonitoringTest : public ::testing::Test {
@@ -184,6 +199,42 @@ TEST_F(MonitoringTest, AutoScalerForgetsStreaksOnReRegistration) {
   ASSERT_EQ(actions.size(), 1u);
   EXPECT_EQ(scaler.scale_ups(), 1);
   EXPECT_EQ(scribe_->NumBuckets("in"), 2);
+}
+
+TEST_F(MonitoringTest, BackupAlertsTrackDegradedShards) {
+  hdfs::HdfsCluster hdfs(dir_ + "/hdfs");
+  NodeConfig node = WorkerConfig(dir_ + "/tally-state");
+  node.name = "tally";
+  node.stateless_factory = nullptr;
+  node.stateful_factory = [] { return std::make_unique<TallyProcessor>(); };
+  node.backend = StateBackend::kLocal;
+  node.checkpoint_every_events = 10;
+  node.hdfs = &hdfs;
+  node.backup_every_checkpoints = 1;
+  auto pipeline = std::make_unique<Pipeline>(scribe_.get(), &clock_);
+  ASSERT_TRUE(pipeline->AddNode(node).ok());
+
+  MonitoringService monitoring(&clock_);
+  monitoring.RegisterPipeline("svc", pipeline.get());
+  EXPECT_TRUE(monitoring.ActiveBackupAlerts().empty());
+
+  // HDFS outage: the shard keeps processing but pages via a backup alert
+  // that reads live shard state, not samples.
+  hdfs.SetAvailable(false);
+  WriteMessages(20);
+  ASSERT_TRUE(pipeline->RunUntilQuiescent().ok());
+  clock_.AdvanceMicros(5'000'000);
+  auto alerts = monitoring.ActiveBackupAlerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].service, "svc");
+  EXPECT_EQ(alerts[0].node, "tally");
+  EXPECT_GE(alerts[0].pending_backups, 1u);
+  EXPECT_GE(alerts[0].degraded_for_micros, 5'000'000);
+
+  // Recovery: the next quiescent pass resyncs and the alert clears.
+  hdfs.SetAvailable(true);
+  ASSERT_TRUE(pipeline->RunUntilQuiescent().ok());
+  EXPECT_TRUE(monitoring.ActiveBackupAlerts().empty());
 }
 
 TEST_F(MonitoringTest, AutoScalerRespectsMaxBuckets) {

@@ -1,12 +1,13 @@
 // Tests for the Scribe message bus: categories/buckets, offsets and replay,
 // reader decoupling, sharding, retention, delivery latency, persistence,
-// and dynamic re-bucketing.
+// torn-tail recovery, append retries, and dynamic re-bucketing.
 
 #include <gtest/gtest.h>
 
 #include <set>
 #include <thread>
 
+#include "common/fault.h"
 #include "common/fs.h"
 #include "scribe/scribe.h"
 
@@ -367,6 +368,167 @@ TEST(ScribeSegmentTest, RecoveryAcrossSegments) {
   EXPECT_EQ(read, total);
   EXPECT_EQ(last, std::to_string(total - 1));
   ASSERT_TRUE(RemoveAll(root).ok());
+}
+
+namespace {
+std::vector<std::string> ReadAllPayloads(Scribe* scribe) {
+  Tailer tailer(scribe, "seg", 0);
+  std::vector<std::string> payloads;
+  while (true) {
+    auto batch = tailer.Poll(1024);
+    if (batch.empty()) break;
+    for (auto& m : batch) payloads.push_back(m.payload);
+  }
+  return payloads;
+}
+}  // namespace
+
+TEST(ScribeCorruptionTest, TornTailTruncatedAndAppendsContinue) {
+  const std::string root = MakeTempDir("scribe_torn");
+  SimClock clock(1);
+  CategoryConfig config;
+  config.name = "seg";
+  config.persist_to_disk = true;
+  {
+    Scribe scribe(&clock, root);
+    ASSERT_TRUE(scribe.CreateCategory(config).ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(scribe.Write("seg", 0, "m" + std::to_string(i)).ok());
+    }
+  }
+  // Tear the tail: drop the last 3 bytes of the active segment, as a crash
+  // mid-append would.
+  const std::string segment = root + "/seg/bucket-0/segment-000000000000.log";
+  auto data = ReadFileToString(segment);
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(WriteFile(segment, data->substr(0, data->size() - 3)).ok());
+
+  {
+    Scribe scribe(&clock, root);
+    ASSERT_TRUE(scribe.CreateCategory(config).ok());
+    // The intact prefix survives; the torn record is gone.
+    EXPECT_EQ(ReadAllPayloads(&scribe),
+              (std::vector<std::string>{"m0", "m1", "m2", "m3"}));
+    // The file was truncated back to a record boundary, so a new append
+    // lands cleanly and takes the torn record's sequence number.
+    ASSERT_TRUE(scribe.Write("seg", 0, "m4-again").ok());
+    auto msgs = scribe.Read("seg", 0, 4, 10);
+    ASSERT_TRUE(msgs.ok());
+    ASSERT_EQ(msgs->size(), 1u);
+    EXPECT_EQ((*msgs)[0].sequence, 4u);
+  }
+  // A second restart sees a fully clean log.
+  Scribe scribe(&clock, root);
+  ASSERT_TRUE(scribe.CreateCategory(config).ok());
+  EXPECT_EQ(ReadAllPayloads(&scribe),
+            (std::vector<std::string>{"m0", "m1", "m2", "m3", "m4-again"}));
+  ASSERT_TRUE(RemoveAll(root).ok());
+}
+
+TEST(ScribeCorruptionTest, BitFlipDetectedByChecksum) {
+  const std::string root = MakeTempDir("scribe_flip");
+  SimClock clock(1);
+  CategoryConfig config;
+  config.name = "seg";
+  config.persist_to_disk = true;
+  {
+    Scribe scribe(&clock, root);
+    ASSERT_TRUE(scribe.CreateCategory(config).ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(scribe.Write("seg", 0, "payload-" + std::to_string(i)).ok());
+    }
+  }
+  // Flip one bit inside the last record's body (bit rot): the length
+  // prefix still parses, but the checksum must catch it.
+  const std::string segment = root + "/seg/bucket-0/segment-000000000000.log";
+  auto data = ReadFileToString(segment);
+  ASSERT_TRUE(data.ok());
+  std::string bytes = *data;
+  bytes[bytes.size() - 2] = static_cast<char>(bytes[bytes.size() - 2] ^ 0x40);
+  ASSERT_TRUE(WriteFile(segment, bytes).ok());
+
+  Scribe scribe(&clock, root);
+  ASSERT_TRUE(scribe.CreateCategory(config).ok());
+  EXPECT_EQ(ReadAllPayloads(&scribe),
+            (std::vector<std::string>{"payload-0", "payload-1"}));
+  ASSERT_TRUE(RemoveAll(root).ok());
+}
+
+TEST(ScribeCorruptionTest, CorruptionDropsLaterSegments) {
+  const std::string root = MakeTempDir("scribe_multi");
+  SimClock clock(1);
+  CategoryConfig config;
+  config.name = "seg";
+  config.persist_to_disk = true;
+  const size_t total = Bucket::kSegmentMessages + 5;  // Two segments.
+  {
+    Scribe scribe(&clock, root);
+    ASSERT_TRUE(scribe.CreateCategory(config).ok());
+    for (size_t i = 0; i < total; ++i) {
+      ASSERT_TRUE(scribe.Write("seg", 0, std::to_string(i)).ok());
+    }
+  }
+  auto files = ListDir(root + "/seg/bucket-0");
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), 2u);
+  // Corrupt the tail of the *first* segment: its suffix and the entire
+  // second segment are untrusted (contiguous sequences would break).
+  const std::string first_segment = root + "/seg/bucket-0/" + (*files)[0];
+  auto data = ReadFileToString(first_segment);
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(
+      WriteFile(first_segment, data->substr(0, data->size() - 1)).ok());
+
+  Scribe scribe(&clock, root);
+  ASSERT_TRUE(scribe.CreateCategory(config).ok());
+  const std::vector<std::string> payloads = ReadAllPayloads(&scribe);
+  EXPECT_EQ(payloads.size(), Bucket::kSegmentMessages - 1);
+  EXPECT_EQ(payloads.back(),
+            std::to_string(Bucket::kSegmentMessages - 2));
+  files = ListDir(root + "/seg/bucket-0");
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->size(), 1u);  // Post-corruption segment deleted.
+  ASSERT_TRUE(RemoveAll(root).ok());
+}
+
+TEST(ScribeRetryTest, TransientAppendFaultIsRetried) {
+  FaultRegistry::Global()->Reset();
+  SimClock clock(1);
+  Scribe scribe(&clock);
+  CategoryConfig config;
+  config.name = "flaky";
+  ASSERT_TRUE(scribe.CreateCategory(config).ok());
+  FaultRegistry::Global()->FailNext("scribe.append");
+  ASSERT_TRUE(scribe.Write("flaky", 0, "survives").ok());
+  EXPECT_GE(scribe.retry_stats().retries, 1u);
+  EXPECT_EQ(scribe.retry_stats().exhausted, 0u);
+  auto msgs = scribe.Read("flaky", 0, 0, 10);
+  ASSERT_TRUE(msgs.ok());
+  ASSERT_EQ(msgs->size(), 1u);
+  EXPECT_EQ((*msgs)[0].payload, "survives");
+  FaultRegistry::Global()->Reset();
+}
+
+TEST(ScribeRetryTest, PersistentAppendFaultExhaustsBudget) {
+  FaultRegistry::Global()->Reset();
+  SimClock clock(1);
+  Scribe scribe(&clock);
+  CategoryConfig config;
+  config.name = "down";
+  ASSERT_TRUE(scribe.CreateCategory(config).ok());
+  // Outlast the default 3-attempt budget.
+  FaultRegistry::Global()->FailNext("scribe.append",
+                                    StatusCode::kUnavailable,
+                                    /*count=*/100);
+  const Status st = scribe.Write("down", 0, "lost");
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_NE(st.message().find("failed after"), std::string::npos);
+  EXPECT_GE(scribe.retry_stats().exhausted, 1u);
+  // Nothing was appended: the fault fires before the bucket mutates.
+  auto msgs = scribe.Read("down", 0, 0, 10);
+  ASSERT_TRUE(msgs.ok());
+  EXPECT_TRUE(msgs->empty());
+  FaultRegistry::Global()->Reset();
 }
 
 }  // namespace

@@ -795,6 +795,65 @@ TEST_F(NodeTest, HdfsBackupDuringProcessingAndMachineLoss) {
   EXPECT_GE(FinalCount(), 120);
 }
 
+TEST_F(NodeTest, DegradedModeQueuesBackupsAndResyncsOnRecovery) {
+  hdfs::HdfsCluster hdfs(dir_ + "/hdfs");
+  NodeConfig config = CounterConfig(StateSemantics::kAtLeastOnce,
+                                    OutputSemantics::kAtLeastOnce);
+  config.hdfs = &hdfs;
+  config.backup_every_checkpoints = 1;
+  config.max_pending_backups = 2;
+  {
+    auto shard_or = NodeShard::Create(config, scribe_.get(), &clock_, 0);
+    ASSERT_TRUE(shard_or.ok());
+    NodeShard* shard = shard_or->get();
+
+    WriteEvents(0, 20);  // Two checkpoints, two on-schedule backups.
+    RunToCompletion(shard);
+    BackupHealth h = shard->GetBackupHealth();
+    EXPECT_FALSE(h.degraded);
+    EXPECT_EQ(h.backups_completed, 2u);
+    EXPECT_EQ(h.pending_backups, 0u);
+
+    // HDFS outage (§4.4.2): processing continues, missed backups accumulate
+    // in the bounded pending queue.
+    hdfs.SetAvailable(false);
+    WriteEvents(20, 70);  // Five checkpoints, all missing their backups.
+    EXPECT_EQ(RunToCompletion(shard), 70);  // No events lost to the outage.
+    h = shard->GetBackupHealth();
+    EXPECT_TRUE(h.degraded);
+    EXPECT_GT(h.degraded_since, 0);
+    EXPECT_EQ(h.pending_backups, 2u);  // Bounded by max_pending_backups.
+    EXPECT_EQ(h.backups_dropped, 3u);
+    EXPECT_EQ(h.backups_completed, 2u);
+
+    // HDFS recovers: the next (event-less) round resyncs the pending queue.
+    hdfs.SetAvailable(true);
+    clock_.AdvanceMicros(1000);
+    auto drained = shard->RunOnce();
+    ASSERT_TRUE(drained.ok());
+    EXPECT_EQ(drained.value(), 0u);
+    h = shard->GetBackupHealth();
+    EXPECT_FALSE(h.degraded);
+    EXPECT_EQ(h.degraded_since, 0);
+    EXPECT_GT(h.degraded_micros_total, 0);
+    EXPECT_EQ(h.pending_backups, 0u);
+    EXPECT_EQ(h.backups_resynced, 2u);
+  }
+
+  // The resynced backup is complete: machine loss + restore-from-HDFS
+  // yields the full post-outage state (count 70 at offset 70).
+  ASSERT_TRUE(RemoveAll(config.state_dir).ok());
+  ASSERT_TRUE(LocalStateStore::RestoreFromHdfs(
+                  &hdfs, "backup/counter/shard-0",
+                  config.state_dir + "/counter/shard-0")
+                  .ok());
+  auto restored = NodeShard::Create(config, scribe_.get(), &clock_, 0);
+  ASSERT_TRUE(restored.ok());
+  WriteEvents(70, 80);
+  RunToCompletion(restored->get());
+  EXPECT_GE(FinalCount(), 80);
+}
+
 TEST_F(NodeTest, MonoidNodeCountsPerTopic) {
   zippydb::ClusterOptions zopt;
   zopt.simulate_latency = false;

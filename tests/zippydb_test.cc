@@ -1,11 +1,13 @@
 // Tests for the ZippyDB cluster: sharding, CRUD, merge operators, batched
-// ops, cross-shard transactions, failure injection, op accounting.
+// ops, cross-shard transactions, failure injection, retry/backoff under
+// flapping shards, op accounting.
 
 #include <gtest/gtest.h>
 
 #include <map>
 #include <set>
 
+#include "common/fault.h"
 #include "common/fs.h"
 #include "common/rng.h"
 #include "storage/zippydb/zippydb.h"
@@ -281,6 +283,90 @@ TEST_F(ZippyDbTest, ReplicasConvergeAfterChurn) {
   EXPECT_EQ(views[0], views[1]);
   EXPECT_EQ(views[1], views[2]);
   EXPECT_FALSE(views[0].empty());
+}
+
+class ZippyDbRetryTest : public ZippyDbTest {
+ protected:
+  void SetUp() override {
+    ZippyDbTest::SetUp();
+    FaultRegistry::Global()->Reset();
+  }
+  void TearDown() override {
+    FaultRegistry::Global()->Reset();
+    FaultRegistry::Global()->SetClock(nullptr);
+    ZippyDbTest::TearDown();
+  }
+
+  std::unique_ptr<Cluster> OpenRetryCluster(SimClock* clock,
+                                            int max_attempts) {
+    ClusterOptions options;
+    options.num_shards = 2;
+    options.simulate_latency = false;
+    options.retry.max_attempts = max_attempts;
+    options.retry.initial_backoff_micros = 100'000;
+    options.clock = clock;
+    auto cluster = Cluster::Open(options, dir_ + "/retry");
+    EXPECT_TRUE(cluster.ok()) << cluster.status();
+    return std::move(cluster).value();
+  }
+};
+
+TEST_F(ZippyDbRetryTest, TransientWriteFaultsAreRetried) {
+  SimClock clock(0);
+  auto cluster = OpenRetryCluster(&clock, /*max_attempts=*/4);
+  // Two consecutive injected failures: attempts 1 and 2 fail, attempt 3
+  // lands. The fault fires before the batch enters the shard log, so the
+  // retries cannot double-apply.
+  FaultRegistry::Global()->FailNext("zippydb.write",
+                                    StatusCode::kUnavailable, /*count=*/2);
+  ASSERT_TRUE(cluster->Put("k", "v").ok());
+  EXPECT_EQ(cluster->retry_stats().retries, 2u);
+  EXPECT_EQ(cluster->retry_stats().exhausted, 0u);
+  auto got = cluster->Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "v");
+}
+
+TEST_F(ZippyDbRetryTest, FlappingOutageWindowPassesDuringBackoff) {
+  // Fault schedule: the write path is down for the first 50ms of simulated
+  // time. The first attempt hits the window; the ~100ms backoff advances
+  // the shared SimClock past the outage, so the retry succeeds — a
+  // flapping shard recovered before the budget ran out.
+  SimClock clock(0);
+  FaultRegistry::Global()->SetClock(&clock);
+  auto cluster = OpenRetryCluster(&clock, /*max_attempts=*/5);
+  FaultRegistry::Global()->SetUnavailableBetween("zippydb.write", 0, 50'000);
+  ASSERT_TRUE(cluster->Put("k", "v").ok());
+  EXPECT_GE(cluster->retry_stats().retries, 1u);
+  EXPECT_GE(clock.NowMicros(), 50'000);
+  auto got = cluster->Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "v");
+}
+
+TEST_F(ZippyDbRetryTest, PermanentlyDownShardFailsCleanlyAfterBudget) {
+  SimClock clock(0);
+  auto cluster = OpenRetryCluster(&clock, /*max_attempts=*/3);
+  std::string key0;
+  std::string key1;
+  for (int i = 0; i < 100 && (key0.empty() || key1.empty()); ++i) {
+    const std::string k = "probe" + std::to_string(i);
+    if (cluster->ShardOf(k) == 0 && key0.empty()) key0 = k;
+    if (cluster->ShardOf(k) == 1 && key1.empty()) key1 = k;
+  }
+  ASSERT_FALSE(key0.empty());
+  ASSERT_FALSE(key1.empty());
+  cluster->SetShardAvailable(0, false);
+  // The budget is exhausted against real quorum loss: a clean, annotated
+  // Unavailable comes back (no hang — backoffs jump the SimClock).
+  const Status st = cluster->Put(key0, "v");
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_NE(st.message().find("failed after 3 attempts"), std::string::npos);
+  EXPECT_EQ(cluster->retry_stats().exhausted, 1u);
+  // The healthy shard is untouched by the other shard's retries.
+  ASSERT_TRUE(cluster->Put(key1, "v").ok());
+  cluster->SetShardAvailable(0, true);
+  ASSERT_TRUE(cluster->Put(key0, "v").ok());
 }
 
 }  // namespace
