@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Doc drift check, run by the `docs-check` CMake target:
+#  1. every source module (a directory under src/ with its own CMakeLists)
+#     appears in README.md's module map;
+#  2. every bench binary (bench/bench_*.cc) appears in EXPERIMENTS.md;
+#  3. OBSERVABILITY.md is linked from README.md and DESIGN.md.
+# (The metric inventory inside OBSERVABILITY.md is checked against the live
+# registry by tests/observability_test.cc, not here.)
+#
+# Usage: scripts/check_docs.sh   (from anywhere inside the repo)
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+failures=0
+fail() {
+  echo "check_docs: $1" >&2
+  failures=$((failures + 1))
+}
+
+# 1. Module map coverage: src/<path>/CMakeLists.txt -> "src/<path>" mentioned
+# in README.md (src itself is just the aggregator).
+while IFS= read -r cmakelists; do
+  module_dir="$(dirname "$cmakelists")"
+  [ "$module_dir" = "src" ] && continue
+  if ! grep -qF "$module_dir" README.md; then
+    fail "module $module_dir missing from README.md module map"
+  fi
+done < <(find src -name CMakeLists.txt | sort)
+
+# 2. Experiment coverage: every bench binary documented.
+for bench_src in bench/bench_*.cc; do
+  bench_name="$(basename "$bench_src" .cc)"
+  if ! grep -qF "$bench_name" EXPERIMENTS.md; then
+    fail "bench binary $bench_name missing from EXPERIMENTS.md"
+  fi
+done
+
+# 3. The observability story is discoverable from the entry-point docs.
+for doc in README.md DESIGN.md; do
+  if ! grep -qF "OBSERVABILITY.md" "$doc"; then
+    fail "$doc does not link OBSERVABILITY.md"
+  fi
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_docs: $failures problem(s) found." >&2
+  exit 1
+fi
+echo "check_docs: README module map, EXPERIMENTS coverage, and observability links OK."

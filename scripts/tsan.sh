@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # ThreadSanitizer run for the layers the parallel shard scheduler touches:
 # scribe (bucket logs + tailer cursors), core (pipeline/node/checkpoint),
-# monitoring (sampler + auto-scaler racing live rounds), and the
-# serial-vs-parallel differential suite.
+# monitoring (sampler + auto-scaler racing live rounds), the
+# serial-vs-parallel differential suite, and observability (lock-free
+# histogram recorders + the telemetry exporter racing instrumented rounds).
 #
 # Usage: scripts/tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -12,10 +13,11 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DFBSTREAM_TSAN=ON
 cmake --build "$BUILD_DIR" -j --target \
-  scribe_test stylus_test monitoring_test parallel_pipeline_test chaos_test
+  scribe_test stylus_test monitoring_test parallel_pipeline_test chaos_test \
+  observability_test
 
 for t in scribe_test stylus_test monitoring_test parallel_pipeline_test \
-         chaos_test; do
+         chaos_test observability_test; do
   echo "== TSan: $t =="
   TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/$t"
 done

@@ -1,5 +1,7 @@
 #include "common/fault.h"
 
+#include "common/metrics.h"
+
 namespace fbstream {
 
 FaultRegistry* FaultRegistry::Global() {
@@ -45,6 +47,9 @@ Status FaultRegistry::Hit(std::string_view site) {
 Status FaultRegistry::FireLocked(const std::string& site, SiteState* state,
                                  StatusCode code) {
   ++state->fires;
+  // Fires are rare by construction, so a registry lookup per fire is fine
+  // (node label = fault site, e.g. "scribe.append").
+  MetricsRegistry::Global()->GetCounter("fault.fires", site)->Add();
   const std::string entry = site + "#" + std::to_string(state->hits - 1);
   if (journal_.size() < kJournalCapacity) journal_.push_back(entry);
   return Status(code, "injected fault at " + entry);

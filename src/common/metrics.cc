@@ -1,0 +1,232 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <set>
+
+namespace fbstream {
+
+const char* MetricKindToString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  const int width = std::bit_width(value);
+  return width < kNumBuckets ? width : kNumBuckets - 1;
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= kNumBuckets - 1) return ~uint64_t{0};
+  return (uint64_t{1} << bucket) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Snapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile among `count` samples, 1-based.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(q * double(count) + 0.5));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // The top bucket's nominal bound is 2^64-1; report the observed max
+      // instead so outliers don't render as infinity.
+      const uint64_t bound = BucketUpperBound(i);
+      return std::min(bound, max);
+    }
+  }
+  return max;
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::Reset() {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& node, int shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[Key{name, node, shard}];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& node, int shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[Key{name, node, shard}];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& node, int shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[Key{name, node, shard}];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [key, counter] : counters_) {
+    MetricSnapshot s;
+    s.name = key.name;
+    s.node = key.node;
+    s.shard = key.shard;
+    s.kind = MetricKind::kCounter;
+    s.value = static_cast<double>(counter->value());
+    s.count = counter->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    MetricSnapshot s;
+    s.name = key.name;
+    s.node = key.node;
+    s.shard = key.shard;
+    s.kind = MetricKind::kGauge;
+    s.value = static_cast<double>(gauge->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    const Histogram::Snapshot h = histogram->GetSnapshot();
+    MetricSnapshot s;
+    s.name = key.name;
+    s.node = key.node;
+    s.shard = key.shard;
+    s.kind = MetricKind::kHistogram;
+    s.value = static_cast<double>(h.sum);
+    s.count = h.count;
+    s.p50 = static_cast<double>(h.Percentile(0.5));
+    s.p99 = static_cast<double>(h.Percentile(0.99));
+    s.max = static_cast<double>(h.max);
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              if (a.name != b.name) return a.name < b.name;
+              if (a.node != b.node) return a.node < b.node;
+              return a.shard < b.shard;
+            });
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<std::string> names;
+  for (const auto& [key, unused] : counters_) names.insert(key.name);
+  for (const auto& [key, unused] : gauges_) names.insert(key.name);
+  for (const auto& [key, unused] : histograms_) names.insert(key.name);
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, counter] : counters_) counter->Reset();
+  for (auto& [key, gauge] : gauges_) gauge->Reset();
+  for (auto& [key, histogram] : histograms_) histogram->Reset();
+}
+
+Tracer* Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return tracer;
+}
+
+void Tracer::SetSampleEvery(uint64_t n) {
+  sample_every_.store(n, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::MaybeStartTrace() {
+  const uint64_t every = sample_every_.load(std::memory_order_relaxed);
+  if (every == 0) return 0;
+  const uint64_t n = appends_.fetch_add(1, std::memory_order_relaxed);
+  if (n % every != 0) return 0;
+  return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::RecordSpan(SpanRecord span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxBufferedSpans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(std::move(span));
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::DrainSpans() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.swap(spans_);
+  return out;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sample_every_.store(0, std::memory_order_relaxed);
+  appends_.store(0, std::memory_order_relaxed);
+  next_trace_id_.store(1, std::memory_order_relaxed);
+  recorded_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  spans_.clear();
+}
+
+ScopedLatencyTimer::ScopedLatencyTimer(Histogram* histogram)
+    : histogram_(histogram),
+      start_ns_(std::chrono::steady_clock::now().time_since_epoch().count()) {}
+
+uint64_t ScopedLatencyTimer::ElapsedMicros() const {
+  const int64_t now_ns =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  const int64_t elapsed = now_ns - start_ns_;
+  return elapsed > 0 ? static_cast<uint64_t>(elapsed) / 1000 : 0;
+}
+
+ScopedLatencyTimer::~ScopedLatencyTimer() {
+  if (histogram_ != nullptr) histogram_->Record(ElapsedMicros());
+}
+
+}  // namespace fbstream

@@ -1,0 +1,258 @@
+#ifndef FBSTREAM_COMMON_METRICS_H_
+#define FBSTREAM_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace fbstream {
+
+// Process-wide observability substrate (paper §5 Scuba / §6.4): named
+// counters, gauges, and fixed-bucket latency histograms, registered once and
+// updated lock-free on the hot path. The paper's operational lesson is that
+// Facebook monitors its streaming apps *with the same realtime stack* — lag
+// dashboards and alerts are Scuba queries over Scribe-ingested telemetry.
+// This registry is the source of that telemetry: every instrumented layer
+// (Scribe appends, LSM flushes, HDFS backups, Stylus rounds) bumps metrics
+// here, and core/telemetry.h periodically flattens the registry into rows on
+// a dedicated Scribe category that Scuba tails (see OBSERVABILITY.md).
+//
+// Naming scheme: "<module>.<subsystem>.<metric>[_<unit>]", lowercase, dots
+// between levels — e.g. "scribe.append.messages", "lsm.flush.latency_us".
+// Metrics are additionally labeled by (node, shard): node holds the logical
+// instance (a pipeline node name, a Scribe category, a fault site), shard
+// the bucket index, or -1 for unsharded metrics. The full inventory lives in
+// OBSERVABILITY.md and is spot-checked against the registry by a test.
+//
+// Threading / lifetime contract:
+//  - Registration (Get*) takes the registry mutex; instrumented call sites
+//    look a metric up once and cache the pointer (member field or
+//    function-local static).
+//  - Updates (Add / Set / Record) are single atomic RMW ops — safe from any
+//    thread, cheap enough for release hot paths.
+//  - Registered metrics are immortal: ResetValues() zeroes them but never
+//    deallocates, so cached pointers can't dangle (mirrors FaultRegistry's
+//    arm/Reset contract).
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* MetricKindToString(MetricKind kind);
+
+// Monotonic event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket latency histogram: power-of-two buckets (bucket i counts
+// values whose bit width is i, i.e. [2^(i-1), 2^i); bucket 0 counts zeros),
+// covering 1µs .. ~2^38µs (~3 days) with 40 buckets. Recording is three
+// relaxed atomic RMWs plus a CAS loop for the max — no locks, so concurrent
+// recorders never serialize (the -DFBSTREAM_TSAN concurrency test hammers
+// one histogram from many threads).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 40;
+
+  void Record(uint64_t value);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    uint64_t buckets[kNumBuckets] = {};
+
+    double mean() const {
+      return count > 0 ? static_cast<double>(sum) / double(count) : 0;
+    }
+    // Upper bound of the bucket containing the q-quantile rank (exact to
+    // within one power of two; good enough for "where did the seconds go").
+    uint64_t Percentile(double q) const;
+  };
+  // Buckets/count/sum are read individually (each exact); a snapshot racing
+  // concurrent Record calls is cross-field best-effort, like BackupHealth.
+  Snapshot GetSnapshot() const;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset();
+
+  // Bucket index for a value (std::bit_width, capped); exposed for tests.
+  static int BucketFor(uint64_t value);
+  // Inclusive upper bound of bucket i.
+  static uint64_t BucketUpperBound(int bucket);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+// One flattened registry entry, the unit the telemetry exporter turns into a
+// Scuba row.
+struct MetricSnapshot {
+  std::string name;
+  std::string node;
+  int shard = -1;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0;     // Counter/gauge value; histogram sum.
+  uint64_t count = 0;   // Histogram sample count (counters: == value).
+  double p50 = 0;       // Histograms only.
+  double p99 = 0;
+  double max = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The instance every built-in instrumentation site uses.
+  static MetricsRegistry* Global();
+
+  // Returns the metric registered under (name, node, shard), creating it on
+  // first use. The returned pointer is valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name, const std::string& node = "",
+                      int shard = -1);
+  Gauge* GetGauge(const std::string& name, const std::string& node = "",
+                  int shard = -1);
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& node = "", int shard = -1);
+
+  // Flattens every registered metric, ordered by (name, node, shard).
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  // Sorted distinct metric names (no labels) across all kinds — what the
+  // OBSERVABILITY.md inventory is checked against.
+  std::vector<std::string> Names() const;
+
+  // Zeroes every metric value; registered objects (and cached pointers to
+  // them) stay valid. Benches and tests call this between phases.
+  void ResetValues();
+
+ private:
+  struct Key {
+    std::string name;
+    std::string node;
+    int shard;
+    bool operator<(const Key& other) const {
+      if (name != other.name) return name < other.name;
+      if (node != other.node) return node < other.node;
+      return shard < other.shard;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Lightweight event tracing (§4.2.1: "we can identify connection points
+// where seconds of latency are introduced"). A trace id is minted for a
+// sampled fraction of Scribe appends, carried on the message through engine
+// nodes to storage sinks, and each hop records a span. The telemetry
+// exporter drains spans into the same Scuba table as the metrics, so the
+// per-hop breakdown (Scribe batching vs processing vs storage commit) is a
+// slice-and-dice query away.
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  std::string hop;   // "scribe.deliver", "engine.process", "storage.commit".
+  std::string node;  // Pipeline node that recorded the span.
+  int shard = -1;
+  Micros start_time = 0;       // Stream-time at span start.
+  Micros duration_micros = 0;  // See OBSERVABILITY.md for hop time bases.
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer* Global();
+
+  // Sampling policy: every Nth append starts a trace; 0 (default) disables
+  // tracing entirely — the hot-path cost is then one relaxed atomic load.
+  void SetSampleEvery(uint64_t n);
+  bool enabled() const {
+    return sample_every_.load(std::memory_order_relaxed) > 0;
+  }
+
+  // Called at Scribe append: returns a fresh trace id for sampled messages,
+  // 0 otherwise.
+  uint64_t MaybeStartTrace();
+
+  // Buffers a span; drops (and counts) beyond kMaxBufferedSpans so a stalled
+  // exporter can't grow memory without bound.
+  static constexpr size_t kMaxBufferedSpans = 1 << 16;
+  void RecordSpan(SpanRecord span);
+
+  // Removes and returns all buffered spans (exporter hot loop).
+  std::vector<SpanRecord> DrainSpans();
+
+  uint64_t spans_recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  uint64_t spans_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // Disables sampling and forgets buffered spans and counters.
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> sample_every_{0};
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+// RAII latency probe: records elapsed wall time (steady clock) into a
+// histogram at scope exit. Null histogram = no-op.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* histogram);
+  ~ScopedLatencyTimer();
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+  // Elapsed micros so far (monotonic).
+  uint64_t ElapsedMicros() const;
+
+ private:
+  Histogram* histogram_;
+  int64_t start_ns_;
+};
+
+}  // namespace fbstream
+
+#endif  // FBSTREAM_COMMON_METRICS_H_

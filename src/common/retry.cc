@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace fbstream {
 
 RetryPolicy::RetryPolicy(Clock* clock, RetryOptions options)
@@ -28,6 +30,13 @@ Status RetryPolicy::Run(std::string_view op_name,
        ++attempt) {
     if (attempt > 0) {
       retries_.fetch_add(1, std::memory_order_relaxed);
+      // Off the happy path (a retry implies a failure + backoff), so the
+      // registry lookup cost is irrelevant. First attempts are deliberately
+      // NOT counted here: per-attempt totals stay in the lock-free
+      // attempts_/stats() atomics.
+      MetricsRegistry::Global()
+          ->GetCounter("retry.retries", std::string(op_name))
+          ->Add();
       clock_->AdvanceMicros(BackoffForRetry(attempt - 1));
     }
     attempts_.fetch_add(1, std::memory_order_relaxed);
@@ -35,6 +44,9 @@ Status RetryPolicy::Run(std::string_view op_name,
     if (st.ok() || !st.IsRetryable()) return st;
   }
   exhausted_.fetch_add(1, std::memory_order_relaxed);
+  MetricsRegistry::Global()
+      ->GetCounter("retry.exhausted", std::string(op_name))
+      ->Add();
   return Status(st.code(), std::string(op_name) + " failed after " +
                                std::to_string(std::max(1, options_.max_attempts)) +
                                " attempts: " + st.message());

@@ -1,6 +1,7 @@
 #include "core/checkpoint.h"
 
 #include "common/fs.h"
+#include "common/metrics.h"
 #include "common/serde.h"
 
 namespace fbstream::stylus {
@@ -128,7 +129,16 @@ Status LocalStateStore::BackupToHdfs() {
   if (hdfs_ == nullptr) {
     return Status::FailedPrecondition("no HDFS configured");
   }
-  return db_->CreateBackup(
+  static Histogram* backup_latency =
+      MetricsRegistry::Global()->GetHistogram("hdfs.backup.latency_us");
+  static Counter* backup_completed =
+      MetricsRegistry::Global()->GetCounter("hdfs.backup.completed");
+  static Counter* backup_failed =
+      MetricsRegistry::Global()->GetCounter("hdfs.backup.failed");
+  // Latency covers the whole multi-file upload including per-file retries —
+  // the figure that matters for how long a shard's backup lags its state.
+  ScopedLatencyTimer timer(backup_latency);
+  const Status st = db_->CreateBackup(
       [this](const std::string& name, const std::string& contents) {
         // Re-uploading the same file is idempotent, so per-file retry is
         // safe even when the backup dies halfway through.
@@ -136,6 +146,8 @@ Status LocalStateStore::BackupToHdfs() {
           return hdfs_->WriteFile(backup_prefix_ + "/" + name, contents);
         });
       });
+  (st.ok() ? backup_completed : backup_failed)->Add();
+  return st;
 }
 
 Status LocalStateStore::RestoreFromHdfs(hdfs::HdfsCluster* hdfs,

@@ -17,6 +17,9 @@ struct Event {
   Micros event_time = 0;
   Micros arrival_time = 0;
   uint64_t sequence = 0;
+  // Propagated from the Scribe message; nonzero only for tracer-sampled
+  // events (§4.2.1 per-hop latency analysis).
+  uint64_t trace_id = 0;
 };
 
 }  // namespace fbstream::stylus

@@ -15,14 +15,34 @@ void MonitoringService::RegisterPipeline(const std::string& service,
 
 void MonitoringService::Sample() {
   const Micros now = clock_->NowMicros();
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [service, pipeline] : pipelines_) {
+  // Snapshot registrations, then walk pipelines with mu_ RELEASED:
+  // GetProcessingLag takes each pipeline's own lock, and holding mu_ across
+  // the walk would stall History/ActiveAlerts readers (and any worker round
+  // contending on a pipeline lock would transitively block them too).
+  std::map<std::string, Pipeline*> pipelines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pipelines = pipelines_;
+  }
+  struct Observation {
+    Key key;
+    uint64_t lag_messages;
+  };
+  std::vector<Observation> observed;
+  for (const auto& [service, pipeline] : pipelines) {
     for (const Pipeline::LagReport& report : pipeline->GetProcessingLag()) {
-      auto& series =
-          samples_[Key{service, report.node, report.shard}];
-      series.push_back(LagSample{now, report.lag_messages});
-      if (series.size() > history_) series.pop_front();
+      observed.push_back(
+          Observation{Key{service, report.node, report.shard},
+                      report.lag_messages});
     }
+  }
+  // Re-acquire only to append: the critical section is now O(samples), with
+  // no pipeline or Scribe locks held inside it.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Observation& o : observed) {
+    auto& series = samples_[std::move(o.key)];
+    series.push_back(LagSample{now, o.lag_messages});
+    if (series.size() > history_) series.pop_front();
   }
 }
 
@@ -52,9 +72,14 @@ std::vector<MonitoringService::Alert> MonitoringService::ActiveAlerts(
 std::vector<MonitoringService::BackupAlert>
 MonitoringService::ActiveBackupAlerts() const {
   const Micros now = clock_->NowMicros();
+  // Same discipline as Sample(): never hold mu_ while taking pipeline locks.
+  std::map<std::string, Pipeline*> pipelines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pipelines = pipelines_;
+  }
   std::vector<BackupAlert> alerts;
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [service, pipeline] : pipelines_) {
+  for (const auto& [service, pipeline] : pipelines) {
     for (const Pipeline::BackupReport& r : pipeline->GetBackupHealth()) {
       if (!r.health.degraded) continue;
       BackupAlert alert;
@@ -98,65 +123,97 @@ void AutoScaler::RegisterPipeline(const std::string& service,
 }
 
 std::vector<std::string> AutoScaler::Evaluate() {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<std::string> actions;
+  // Phase 1 — read pressure with mu_ RELEASED. Lag reads are atomic shard
+  // counters behind the pipeline's own lock; holding mu_ here used to block
+  // RegisterPipeline (deployments) for the whole walk.
+  std::map<std::string, Pipeline*> pipelines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pipelines = pipelines_;
+  }
+  struct Pressure {
+    std::string key;
+    Pipeline* pipeline = nullptr;
+    std::string category;
+    uint64_t worst_lag = 0;
+    bool has_shards = false;
+  };
+  std::vector<Pressure> nodes;
   std::set<std::string> live_keys;
-  for (const auto& [service, pipeline] : pipelines_) {
+  for (const auto& [service, pipeline] : pipelines) {
     for (const std::string& node : pipeline->NodeNames()) {
-      const std::string key = service + "/" + node;
-      live_keys.insert(key);
-      const std::vector<NodeShard*> shards = pipeline->Shards(node);
-      if (shards.empty()) {
-        // No shards means no lag and no input category to rebucket.
-        bad_streak_.erase(key);
-        continue;
-      }
+      Pressure p;
+      p.key = service + "/" + node;
+      p.pipeline = pipeline;
+      live_keys.insert(p.key);
       // A node's pressure is the worst lag across its shards.
-      uint64_t worst = 0;
+      const std::vector<NodeShard*> shards = pipeline->Shards(node);
+      p.has_shards = !shards.empty();
       for (NodeShard* shard : shards) {
-        worst = std::max(worst, shard->ProcessingLag());
+        p.worst_lag = std::max(p.worst_lag, shard->ProcessingLag());
       }
-      const std::string category = shards[0]->config().input_category;
-      if (worst >= options_.lag_threshold) {
-        ++bad_streak_[key];
-      } else {
-        bad_streak_[key] = 0;
-        continue;
-      }
-      if (bad_streak_[key] < options_.sustained_samples) continue;
-      bad_streak_[key] = 0;
-
-      const int buckets = scribe_->NumBuckets(category);
-      if (buckets >= options_.max_buckets) {
-        FBSTREAM_LOG(Warning)
-            << "autoscaler: " << key << " at max buckets " << buckets;
-        continue;
-      }
-      const int target = std::min(options_.max_buckets, buckets * 2);
-      const Status st = scribe_->SetNumBuckets(category, target);
-      if (!st.ok()) {
-        FBSTREAM_LOG(Warning) << "autoscaler rebucket: " << st;
-        continue;
-      }
-      const Status reconcile = pipeline->ReconcileShards();
-      if (!reconcile.ok()) {
-        FBSTREAM_LOG(Warning) << "autoscaler reconcile: " << reconcile;
-        continue;
-      }
-      ++scale_ups_;
-      actions.push_back(key + ": rebucketed " + category + " " +
-                        std::to_string(buckets) + " -> " +
-                        std::to_string(target));
+      if (p.has_shards) p.category = shards[0]->config().input_category;
+      nodes.push_back(std::move(p));
     }
   }
-  // Prune streaks whose node vanished (pipeline replaced or unregistered):
-  // a fresh node that later reuses the key must not inherit them.
-  for (auto it = bad_streak_.begin(); it != bad_streak_.end();) {
-    if (live_keys.count(it->first) == 0) {
-      it = bad_streak_.erase(it);
-    } else {
-      ++it;
+
+  // Phase 2 — streak bookkeeping under mu_. Pure map updates: nothing in
+  // this section takes pipeline or Scribe locks.
+  std::vector<Pressure> to_scale;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Pressure& p : nodes) {
+      if (!p.has_shards) {
+        // No shards means no lag and no input category to rebucket.
+        bad_streak_.erase(p.key);
+        continue;
+      }
+      if (p.worst_lag >= options_.lag_threshold) {
+        ++bad_streak_[p.key];
+      } else {
+        bad_streak_[p.key] = 0;
+        continue;
+      }
+      if (bad_streak_[p.key] < options_.sustained_samples) continue;
+      bad_streak_[p.key] = 0;
+      to_scale.push_back(std::move(p));
     }
+    // Prune streaks whose node vanished (pipeline replaced or unregistered):
+    // a fresh node that later reuses the key must not inherit them.
+    for (auto it = bad_streak_.begin(); it != bad_streak_.end();) {
+      if (live_keys.count(it->first) == 0) {
+        it = bad_streak_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Phase 3 — act with mu_ RELEASED again: rebucketing and reconciling take
+  // Scribe and pipeline locks and create shards, which can be slow.
+  std::vector<std::string> actions;
+  for (const Pressure& p : to_scale) {
+    const int buckets = scribe_->NumBuckets(p.category);
+    if (buckets >= options_.max_buckets) {
+      FBSTREAM_LOG(Warning)
+          << "autoscaler: " << p.key << " at max buckets " << buckets;
+      continue;
+    }
+    const int target = std::min(options_.max_buckets, buckets * 2);
+    const Status st = scribe_->SetNumBuckets(p.category, target);
+    if (!st.ok()) {
+      FBSTREAM_LOG(Warning) << "autoscaler rebucket: " << st;
+      continue;
+    }
+    const Status reconcile = p.pipeline->ReconcileShards();
+    if (!reconcile.ok()) {
+      FBSTREAM_LOG(Warning) << "autoscaler reconcile: " << reconcile;
+      continue;
+    }
+    ++scale_ups_;
+    actions.push_back(p.key + ": rebucketed " + p.category + " " +
+                      std::to_string(buckets) + " -> " +
+                      std::to_string(target));
   }
   return actions;
 }

@@ -1,5 +1,7 @@
 #include "core/node.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/serde.h"
 
@@ -12,7 +14,21 @@ NodeShard::NodeShard(NodeConfig config, scribe::Scribe* scribe, Clock* clock,
       clock_(clock),
       bucket_(bucket),
       tailer_(scribe, config_.input_category, bucket),
-      checkpoint_retry_(std::make_unique<RetryPolicy>(clock)) {}
+      checkpoint_retry_(std::make_unique<RetryPolicy>(clock)) {
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  events_processed_metric_ =
+      metrics->GetCounter("stylus.events.processed", config_.name, bucket_);
+  checkpoints_metric_ = metrics->GetCounter("stylus.checkpoints.completed",
+                                            config_.name, bucket_);
+  runonce_latency_metric_ =
+      metrics->GetHistogram("stylus.runonce.latency_us", config_.name, bucket_);
+  hop_scribe_metric_ =
+      metrics->GetHistogram("hop.scribe.deliver_us", config_.name, bucket_);
+  hop_engine_metric_ =
+      metrics->GetHistogram("hop.engine.process_us", config_.name, bucket_);
+  hop_storage_metric_ =
+      metrics->GetHistogram("hop.storage.commit_us", config_.name, bucket_);
+}
 
 StatusOr<std::unique_ptr<NodeShard>> NodeShard::Create(
     const NodeConfig& config, scribe::Scribe* scribe, Clock* clock,
@@ -187,6 +203,17 @@ StatusOr<std::vector<Event>> NodeShard::PollEvents() {
                        ? now
                        : e.row.Get(config_.event_time_column).CoerceInt64();
     e.sequence = m.sequence;
+    e.trace_id = m.trace_id;
+    if (e.trace_id != 0) {
+      // Scribe hop: batching + delivery delay, measured in *stream* time
+      // (write -> arrival) — the seconds-scale figure of §4.2.1, visible
+      // under SimClock as well as wall clock.
+      const Micros deliver = std::max<Micros>(0, now - m.write_time);
+      hop_scribe_metric_->Record(static_cast<uint64_t>(deliver));
+      Tracer::Global()->RecordSpan(SpanRecord{e.trace_id, "scribe.deliver",
+                                              config_.name, bucket_,
+                                              m.write_time, deliver});
+    }
     watermark_.Observe(e.event_time, e.arrival_time);
     events.push_back(std::move(e));
   }
@@ -214,10 +241,23 @@ StatusOr<size_t> NodeShard::RunOnce() {
 StatusOr<size_t> NodeShard::RunStatelessOrStateful() {
   FBSTREAM_ASSIGN_OR_RETURN(std::vector<Event> events, PollEvents());
   if (events.empty()) return size_t{0};
+  // Only non-empty rounds are recorded, so the histogram reflects real
+  // processing intervals rather than idle polls.
+  ScopedLatencyTimer round_timer(runonce_latency_metric_);
+
+  // Sampled events present in this batch; the batch-level engine/storage
+  // durations below are attributed to each of them (sampled profiling).
+  std::vector<uint64_t> traced;
+  if (Tracer::Global()->enabled()) {
+    for (const Event& e : events) {
+      if (e.trace_id != 0) traced.push_back(e.trace_id);
+    }
+  }
 
   const bool emit_immediately =
       config_.output_semantics == OutputSemantics::kAtLeastOnce;
   std::vector<Row> buffered;
+  ScopedLatencyTimer process_timer(nullptr);
 
   // §4.3.1 activity 1+2: process input events (side-effect-free w.r.t. the
   // checkpoint) and generate output. With at-least-once output, emission
@@ -246,10 +286,22 @@ StatusOr<size_t> NodeShard::RunStatelessOrStateful() {
     }
   }
 
+  const uint64_t process_us = process_timer.ElapsedMicros();
+  if (!traced.empty()) {
+    const Micros now = clock_->NowMicros();
+    for (const uint64_t id : traced) {
+      hop_engine_metric_->Record(process_us);
+      Tracer::Global()->RecordSpan(SpanRecord{
+          id, "engine.process", config_.name, bucket_, now,
+          static_cast<Micros>(process_us)});
+    }
+  }
+
   if (MaybeCrash(FailurePoint::kAfterProcessing)) {
     return Status::Aborted("injected crash after processing");
   }
 
+  ScopedLatencyTimer commit_timer(nullptr);
   const std::string state =
       stateful_ != nullptr ? stateful_->SerializeState() : std::string();
   const uint64_t offset = tailer_.offset();
@@ -287,7 +339,20 @@ StatusOr<size_t> NodeShard::RunStatelessOrStateful() {
     }
   }
 
+  const uint64_t commit_us = commit_timer.ElapsedMicros();
+  if (!traced.empty()) {
+    const Micros now = clock_->NowMicros();
+    for (const uint64_t id : traced) {
+      hop_storage_metric_->Record(commit_us);
+      Tracer::Global()->RecordSpan(SpanRecord{
+          id, "storage.commit", config_.name, bucket_, now,
+          static_cast<Micros>(commit_us)});
+    }
+  }
+
   ++checkpoints_completed_;
+  checkpoints_metric_->Add();
+  events_processed_metric_->Add(events.size());
   MaybeBackup();
   return events.size();
 }
@@ -384,13 +449,32 @@ BackupHealth NodeShard::GetBackupHealth() const {
 StatusOr<size_t> NodeShard::RunMonoid() {
   FBSTREAM_ASSIGN_OR_RETURN(std::vector<Event> events, PollEvents());
   if (events.empty()) return size_t{0};
+  ScopedLatencyTimer round_timer(runonce_latency_metric_);
 
+  std::vector<uint64_t> traced;
+  if (Tracer::Global()->enabled()) {
+    for (const Event& e : events) {
+      if (e.trace_id != 0) traced.push_back(e.trace_id);
+    }
+  }
+
+  ScopedLatencyTimer process_timer(nullptr);
   std::vector<MonoidProcessor::Contribution> contributions;
   for (const Event& event : events) {
     contributions.clear();
     monoid_->Process(event, &contributions);
     for (auto& [key, partial] : contributions) {
       monoid_state_->Append(key, partial);
+    }
+  }
+  const uint64_t process_us = process_timer.ElapsedMicros();
+  if (!traced.empty()) {
+    const Micros now = clock_->NowMicros();
+    for (const uint64_t id : traced) {
+      hop_engine_metric_->Record(process_us);
+      Tracer::Global()->RecordSpan(SpanRecord{
+          id, "engine.process", config_.name, bucket_, now,
+          static_cast<Micros>(process_us)});
     }
   }
 
@@ -400,13 +484,26 @@ StatusOr<size_t> NodeShard::RunMonoid() {
 
   // Flush partials, then save the offset: at-least-once state semantics (a
   // crash between the two replays and re-merges this interval).
+  ScopedLatencyTimer commit_timer(nullptr);
   FBSTREAM_RETURN_IF_ERROR(monoid_state_->Flush());
   if (MaybeCrash(FailurePoint::kBetweenCheckpointWrites)) {
     return Status::Aborted("injected crash before offset save");
   }
   FBSTREAM_RETURN_IF_ERROR(store_->SaveCheckpoint(
       StateSemantics::kAtLeastOnce, "", tailer_.offset(), nullptr));
+  const uint64_t commit_us = commit_timer.ElapsedMicros();
+  if (!traced.empty()) {
+    const Micros now = clock_->NowMicros();
+    for (const uint64_t id : traced) {
+      hop_storage_metric_->Record(commit_us);
+      Tracer::Global()->RecordSpan(SpanRecord{
+          id, "storage.commit", config_.name, bucket_, now,
+          static_cast<Micros>(commit_us)});
+    }
+  }
   ++checkpoints_completed_;
+  checkpoints_metric_->Add();
+  events_processed_metric_->Add(events.size());
   return events.size();
 }
 

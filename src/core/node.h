@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "core/checkpoint.h"
 #include "core/failure.h"
@@ -187,6 +188,18 @@ class NodeShard {
   FailureInjector failure_;
   std::atomic<bool> alive_{false};
   std::atomic<uint64_t> checkpoints_completed_{0};
+
+  // Per-shard metric handles (node = name, shard = bucket), looked up once
+  // in the constructor; registry entries are immortal so they can't dangle.
+  Counter* events_processed_metric_ = nullptr;
+  Counter* checkpoints_metric_ = nullptr;
+  Histogram* runonce_latency_metric_ = nullptr;
+  // Per-hop latency histograms fed by tracer-sampled events. The Scribe hop
+  // is measured in stream time (write -> arrival: batching + delivery
+  // delay); engine/storage hops are wall time spent in this process.
+  Histogram* hop_scribe_metric_ = nullptr;
+  Histogram* hop_engine_metric_ = nullptr;
+  Histogram* hop_storage_metric_ = nullptr;
 
   // Transient checkpoint-write failures (full disk, injected WAL faults)
   // retry before failing the round; Aborted (crash injection) is not

@@ -1,5 +1,7 @@
 #include "core/shard_executor.h"
 
+#include "common/metrics.h"
+
 namespace fbstream::stylus {
 
 ShardExecutor::ShardExecutor(int num_threads) {
@@ -41,6 +43,14 @@ void ShardExecutor::WorkerLoop() {
 
 void ShardExecutor::RunBatch(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
+  static Counter* batches =
+      MetricsRegistry::Global()->GetCounter("stylus.executor.batches");
+  static Histogram* batch_latency =
+      MetricsRegistry::Global()->GetHistogram("stylus.executor.batch_us");
+  batches->Add();
+  // Wall time from submission until the last task finishes — the round's
+  // critical-path length under the parallel scheduler.
+  ScopedLatencyTimer timer(batch_latency);
   auto batch = std::make_shared<Batch>();
   batch->remaining = tasks.size();
   {

@@ -1,0 +1,230 @@
+#include "core/telemetry.h"
+
+#include <limits>
+
+namespace fbstream::stylus {
+
+SchemaPtr TelemetrySchema() {
+  static SchemaPtr schema = Schema::Make({
+      {"time", ValueType::kInt64},
+      {"kind", ValueType::kString},
+      {"name", ValueType::kString},
+      {"service", ValueType::kString},
+      {"node", ValueType::kString},
+      {"shard", ValueType::kInt64},
+      {"value", ValueType::kDouble},
+      {"count", ValueType::kInt64},
+      {"p50", ValueType::kDouble},
+      {"p99", ValueType::kDouble},
+      {"max", ValueType::kDouble},
+      {"trace_id", ValueType::kInt64},
+  });
+  return schema;
+}
+
+TelemetryExporter::TelemetryExporter(scribe::Scribe* scribe, Options options)
+    : scribe_(scribe),
+      options_(std::move(options)),
+      schema_(TelemetrySchema()),
+      registry_(MetricsRegistry::Global()),
+      tracer_(Tracer::Global()),
+      rows_exported_metric_(
+          registry_->GetCounter("telemetry.rows.exported")) {}
+
+Status TelemetryExporter::Init() {
+  if (scribe_->HasCategory(options_.category)) return Status::OK();
+  scribe::CategoryConfig config;
+  config.name = options_.category;
+  config.num_buckets = options_.num_buckets;
+  config.retention_micros = options_.retention_micros;
+  const Status st = scribe_->CreateCategory(config);
+  // A concurrent Init won the race; the category exists either way.
+  if (st.code() == StatusCode::kAlreadyExists) return Status::OK();
+  return st;
+}
+
+void TelemetryExporter::RegisterPipeline(const std::string& service,
+                                         Pipeline* pipeline) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pipelines_[service] = pipeline;
+}
+
+Status TelemetryExporter::AttachToScuba(scuba::Scuba* scuba,
+                                        const std::string& table) {
+  FBSTREAM_RETURN_IF_ERROR(Init());
+  if (scuba->GetTable(table) == nullptr) {
+    FBSTREAM_RETURN_IF_ERROR(scuba->CreateTable(table, schema_));
+  }
+  return scuba->AttachCategory(table, options_.category);
+}
+
+Status TelemetryExporter::WriteRow(const Row& row) {
+  TextRowCodec codec(schema_);
+  // Shard by metric identity so one hot metric cannot serialize the whole
+  // category when the telemetry stream itself is multi-bucket.
+  const std::string key =
+      row.Get("name").CoerceString() + "/" + row.Get("node").CoerceString();
+  return scribe_->WriteSharded(options_.category, key, codec.Encode(row));
+}
+
+Status TelemetryExporter::ExportOnce() {
+  const Micros now = scribe_->clock()->NowMicros();
+  uint64_t written = 0;
+  Status first_error = Status::OK();
+  // Export is best-effort: keep going past individual append failures and
+  // report the first one (a lossy telemetry tick must not wedge the rest).
+  auto write = [&](const Row& row) {
+    const Status st = WriteRow(row);
+    if (st.ok()) {
+      ++written;
+    } else if (first_error.ok()) {
+      first_error = st;
+    }
+  };
+
+  for (const MetricSnapshot& m : registry_->Snapshot()) {
+    Row row(schema_);
+    row.Set("time", Value(static_cast<int64_t>(now)));
+    row.Set("kind", Value(MetricKindToString(m.kind)));
+    row.Set("name", Value(m.name));
+    row.Set("service", Value(std::string()));
+    row.Set("node", Value(m.node));
+    row.Set("shard", Value(static_cast<int64_t>(m.shard)));
+    row.Set("value", Value(m.value));
+    row.Set("count", Value(static_cast<int64_t>(m.count)));
+    row.Set("p50", Value(m.p50));
+    row.Set("p99", Value(m.p99));
+    row.Set("max", Value(m.max));
+    row.Set("trace_id", Value(static_cast<int64_t>(0)));
+    write(row);
+  }
+
+  std::map<std::string, Pipeline*> pipelines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pipelines = pipelines_;
+  }
+  for (const auto& [service, pipeline] : pipelines) {
+    for (const Pipeline::LagReport& r : pipeline->GetProcessingLag()) {
+      Row row(schema_);
+      row.Set("time", Value(static_cast<int64_t>(now)));
+      row.Set("kind", Value("lag"));
+      row.Set("name", Value(kLagMetricName));
+      row.Set("service", Value(service));
+      row.Set("node", Value(r.node));
+      row.Set("shard", Value(static_cast<int64_t>(r.shard)));
+      row.Set("value", Value(static_cast<double>(r.lag_messages)));
+      row.Set("count", Value(static_cast<int64_t>(0)));
+      row.Set("p50", Value(0.0));
+      row.Set("p99", Value(0.0));
+      row.Set("max", Value(0.0));
+      row.Set("trace_id", Value(static_cast<int64_t>(0)));
+      write(row);
+    }
+  }
+
+  for (const SpanRecord& s : tracer_->DrainSpans()) {
+    Row row(schema_);
+    // Span rows are timestamped at span start, so per-hop queries bucket by
+    // when the latency was incurred, not when the exporter ran.
+    row.Set("time", Value(static_cast<int64_t>(s.start_time)));
+    row.Set("kind", Value("span"));
+    row.Set("name", Value(s.hop));
+    row.Set("service", Value(std::string()));
+    row.Set("node", Value(s.node));
+    row.Set("shard", Value(static_cast<int64_t>(s.shard)));
+    row.Set("value", Value(static_cast<double>(s.duration_micros)));
+    row.Set("count", Value(static_cast<int64_t>(0)));
+    row.Set("p50", Value(0.0));
+    row.Set("p99", Value(0.0));
+    row.Set("max", Value(0.0));
+    row.Set("trace_id", Value(static_cast<int64_t>(s.trace_id)));
+    write(row);
+  }
+
+  rows_exported_.fetch_add(written, std::memory_order_relaxed);
+  rows_exported_metric_->Add(written);
+  return first_error;
+}
+
+namespace {
+
+scuba::Query LagSeriesQuery(const std::string& service,
+                            const std::string& node, int shard) {
+  scuba::Query q;
+  q.filters = {
+      {"kind", scuba::FilterOp::kEq, Value("lag")},
+      {"service", scuba::FilterOp::kEq, Value(service)},
+      {"node", scuba::FilterOp::kEq, Value(node)},
+      {"shard", scuba::FilterOp::kEq, Value(static_cast<int64_t>(shard))},
+  };
+  q.aggregates = {scuba::Aggregate{scuba::AggKind::kMax, "value"}};
+  // One point per export tick: ticks are distinct microsecond timestamps,
+  // and kMax collapses duplicate rows within a tick (a re-exported tick
+  // reports the same lag, so max is exact, not an approximation).
+  q.time_column = "time";
+  q.bucket_micros = 1;
+  // No group_by, so the dashboard's top-7 series cut does not apply.
+  return q;
+}
+
+}  // namespace
+
+std::vector<LagSample> ScubaLagView::History(const std::string& service,
+                                             const std::string& node,
+                                             int shard) const {
+  auto result = table_->Run(LagSeriesQuery(service, node, shard));
+  if (!result.ok()) return {};
+  std::vector<LagSample> out;
+  out.reserve(result->rows.size());
+  for (const scuba::ResultRow& r : result->rows) {
+    out.push_back(LagSample{
+        r.bucket, static_cast<uint64_t>(r.aggregates.empty() ? 0
+                                                             : r.aggregates[0])});
+  }
+  return out;
+}
+
+std::vector<MonitoringService::Alert> ScubaLagView::ActiveAlerts(
+    uint64_t lag_threshold) const {
+  // Pass 1: enumerate every (service, node, shard) present in the lag data.
+  // The limit must be effectively unbounded — alerting walks every shard,
+  // not a dashboard's top-7 series.
+  scuba::Query groups;
+  groups.filters = {{"kind", scuba::FilterOp::kEq, Value("lag")}};
+  groups.group_by = {"service", "node", "shard"};
+  groups.aggregates = {scuba::Aggregate{scuba::AggKind::kCount}};
+  groups.limit = std::numeric_limits<size_t>::max();
+  auto result = table_->Run(groups);
+  if (!result.ok()) return {};
+
+  // Pass 2: per shard, the latest point decides (same contract as
+  // MonitoringService::ActiveAlerts).
+  std::vector<MonitoringService::Alert> alerts;
+  for (const scuba::ResultRow& g : result->rows) {
+    if (g.group.size() != 3) continue;
+    const std::string service = g.group[0].CoerceString();
+    const std::string node = g.group[1].CoerceString();
+    const int shard = static_cast<int>(g.group[2].CoerceInt64());
+    const std::vector<LagSample> series = History(service, node, shard);
+    if (series.empty()) continue;
+    if (series.back().lag_messages >= lag_threshold) {
+      alerts.push_back(MonitoringService::Alert{service, node, shard,
+                                                series.back().lag_messages});
+    }
+  }
+  return alerts;
+}
+
+bool ScubaLagView::IsFallingBehind(const std::string& service,
+                                   const std::string& node, int shard,
+                                   size_t window) const {
+  const std::vector<LagSample> series = History(service, node, shard);
+  if (series.size() < window + 1) return false;
+  for (size_t i = series.size() - window; i < series.size(); ++i) {
+    if (series[i].lag_messages <= series[i - 1].lag_messages) return false;
+  }
+  return true;
+}
+
+}  // namespace fbstream::stylus

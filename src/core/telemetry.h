@@ -1,0 +1,125 @@
+#ifndef FBSTREAM_CORE_TELEMETRY_H_
+#define FBSTREAM_CORE_TELEMETRY_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/serde.h"
+#include "core/monitoring.h"
+#include "core/pipeline.h"
+#include "scribe/scribe.h"
+#include "storage/scuba/scuba.h"
+
+namespace fbstream::stylus {
+
+// Self-hosted telemetry (§5, §6.4): fbstream observes itself with the same
+// realtime stack it implements. The TelemetryExporter flattens the metrics
+// registry, per-shard processing lag, and sampled trace spans into rows on a
+// dedicated Scribe category; Scuba tails that category like any other
+// stream, and lag/latency dashboards become ordinary slice-and-dice queries
+// (see OBSERVABILITY.md for the query guide).
+//
+// Row kinds in the telemetry table (one schema, discriminated by `kind`):
+//   "counter" / "gauge"  — value holds the metric value.
+//   "histogram"          — value = sum; count/p50/p99/max filled in.
+//   "lag"                — name = "stylus.lag_messages", service/node/shard
+//                          identify the pipeline shard, value = messages
+//                          behind the bucket head at export time.
+//   "span"               — name = hop ("scribe.deliver", "engine.process",
+//                          "storage.commit"), time = span start,
+//                          value = duration in micros, trace_id nonzero.
+
+// Column layout shared by the Scribe payloads and the Scuba table.
+SchemaPtr TelemetrySchema();
+
+inline constexpr char kDefaultTelemetryCategory[] = "fbstream_telemetry";
+// The `name` column of "lag" rows.
+inline constexpr char kLagMetricName[] = "stylus.lag_messages";
+
+class TelemetryExporter {
+ public:
+  struct Options {
+    std::string category = kDefaultTelemetryCategory;
+    int num_buckets = 1;
+    // Telemetry is small and dashboards look at recent data.
+    Micros retention_micros = kMicrosPerDay;
+  };
+
+  TelemetryExporter(scribe::Scribe* scribe, Options options);
+  // Inline so Options' defaults are parsed in complete-class context (a
+  // `= {}` default argument here would not be).
+  explicit TelemetryExporter(scribe::Scribe* scribe)
+      : TelemetryExporter(scribe, Options()) {}
+
+  // Creates the telemetry category (idempotent).
+  Status Init();
+
+  // Registers a pipeline for per-shard lag rows. Give it the same service
+  // name it has in MonitoringService so the Scuba-backed lag series lines up
+  // with the directly-polled one.
+  void RegisterPipeline(const std::string& service, Pipeline* pipeline);
+
+  // Creates `table` with the telemetry schema and tails the exporter's
+  // category into it. Call Scuba::PollAll() after each ExportOnce (or on its
+  // own cadence) to move rows from Scribe into the table.
+  Status AttachToScuba(scuba::Scuba* scuba, const std::string& table);
+
+  // One export tick: a metric row per registry entry, a lag row per shard of
+  // every registered pipeline, and a span row per buffered trace span. The
+  // exporter's own writes are themselves metered (telemetry.rows.exported,
+  // plus scribe.append.* for the telemetry category) — the telemetry stream
+  // shows up on its own dashboard like any other stream.
+  Status ExportOnce();
+
+  uint64_t rows_exported() const {
+    return rows_exported_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Status WriteRow(const Row& row);
+
+  scribe::Scribe* scribe_;
+  Options options_;
+  SchemaPtr schema_;
+  MetricsRegistry* registry_;
+  Tracer* tracer_;
+  Counter* rows_exported_metric_;
+  std::atomic<uint64_t> rows_exported_{0};
+  mutable std::mutex mu_;
+  std::map<std::string, Pipeline*> pipelines_;
+};
+
+// Scuba-backed counterpart of MonitoringService's lag dashboard/alerts
+// (§6.4): answers the same questions by querying the self-ingested telemetry
+// table instead of polling pipelines directly. The differential test checks
+// that both modes agree on the same seeded lag scenario.
+class ScubaLagView {
+ public:
+  explicit ScubaLagView(const scuba::ScubaTable* table) : table_(table) {}
+
+  // Lag time series for one shard, oldest first. Each export tick becomes
+  // one point (time bucket = 1us, so distinct ticks stay distinct).
+  std::vector<LagSample> History(const std::string& service,
+                                 const std::string& node, int shard) const;
+
+  // Shards whose latest exported lag meets the threshold; same contract as
+  // MonitoringService::ActiveAlerts.
+  std::vector<MonitoringService::Alert> ActiveAlerts(
+      uint64_t lag_threshold) const;
+
+  // Monotone-growth check over the last `window` points; same contract as
+  // MonitoringService::IsFallingBehind.
+  bool IsFallingBehind(const std::string& service, const std::string& node,
+                       int shard, size_t window = 3) const;
+
+ private:
+  const scuba::ScubaTable* table_;
+};
+
+}  // namespace fbstream::stylus
+
+#endif  // FBSTREAM_CORE_TELEMETRY_H_

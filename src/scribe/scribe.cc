@@ -4,6 +4,7 @@
 
 #include "common/fault.h"
 #include "common/fs.h"
+#include "common/metrics.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/serde.h"
@@ -28,12 +29,14 @@ std::string Bucket::SegmentPath(uint64_t base_sequence) const {
   return dir_ + buf;
 }
 
-uint64_t Bucket::Append(const std::string& payload, Micros now) {
+uint64_t Bucket::Append(const std::string& payload, Micros now,
+                        uint64_t trace_id) {
   std::lock_guard<std::mutex> lock(mu_);
   Message m;
   m.sequence = base_sequence_ + messages_.size();
   m.write_time = now;
   m.payload = payload;
+  m.trace_id = trace_id;
   bytes_ += payload.size();
   if (persist_) PersistAppendLocked(m);
   messages_.push_back(std::move(m));
@@ -51,6 +54,10 @@ void Bucket::PersistAppendLocked(const Message& m) {
   PutVarint64(&record, m.sequence);
   PutVarint64(&record, static_cast<uint64_t>(m.write_time));
   PutLengthPrefixed(&record, m.payload);
+  // Trace id rides after the payload. Pre-tracing segments simply lack the
+  // trailing varint (recovery treats it as optional), so old segments stay
+  // readable and the record checksum still covers the whole body.
+  PutVarint64(&record, m.trace_id);
   // Framed as length + checksum + body (same contract as lsm/wal.h): a
   // torn or bit-flipped tail is detected on replay instead of decoding as
   // garbage messages.
@@ -166,10 +173,13 @@ Status Bucket::RecoverFromDisk() {
         view.remove_prefix(len);
         ok = Fnv1a64(body) == checksum;
       }
+      uint64_t trace_id = 0;
       if (ok) {
         std::string_view cursor = body;
         ok = GetVarint64(&cursor, &seq) && GetVarint64(&cursor, &wt) &&
              GetLengthPrefixed(&cursor, &payload);
+        // Optional trailing trace id (absent in pre-tracing segments).
+        if (ok && !cursor.empty()) GetVarint64(&cursor, &trace_id);
       }
       if (!ok) {
         // Torn or corrupt record (crash mid-append, bit rot): truncate the
@@ -196,6 +206,7 @@ Status Bucket::RecoverFromDisk() {
       m.sequence = seq;
       m.write_time = static_cast<Micros>(wt);
       m.payload = std::string(payload);
+      m.trace_id = trace_id;
       bytes_ += m.payload.size();
       meta.newest_time = std::max(meta.newest_time, m.write_time);
       ++meta.messages;
@@ -209,6 +220,16 @@ Status Bucket::RecoverFromDisk() {
 Category::Category(CategoryConfig config, std::string root_dir)
     : config_(std::move(config)),
       root_dir_(std::move(root_dir)),
+      append_messages_(MetricsRegistry::Global()->GetCounter(
+          "scribe.append.messages", config_.name)),
+      append_bytes_(MetricsRegistry::Global()->GetCounter(
+          "scribe.append.bytes", config_.name)),
+      append_latency_(MetricsRegistry::Global()->GetHistogram(
+          "scribe.append.latency_us", config_.name)),
+      read_messages_(MetricsRegistry::Global()->GetCounter(
+          "scribe.read.messages", config_.name)),
+      read_batches_(MetricsRegistry::Global()->GetCounter(
+          "scribe.read.batches", config_.name)),
       active_buckets_(config_.num_buckets) {
   for (int i = 0; i < config_.num_buckets; ++i) {
     buckets_.push_back(std::make_unique<Bucket>(
@@ -329,13 +350,24 @@ Status Scribe::Write(const std::string& category, int bucket,
     return Status::OutOfRange("bucket " + std::to_string(bucket) + " of " +
                               category);
   }
+  // Sampled appends mint a trace id here — the start of the event's journey
+  // through the stack (§4.2.1).
+  const uint64_t trace_id = Tracer::Global()->MaybeStartTrace();
+  // Latency includes retry backoff: the histogram reports what a producer
+  // actually experiences, not just the happy-path append.
+  ScopedLatencyTimer timer(c->append_latency());
   // A transient transport fault fails the append *before* the message is
   // durable, so a retried attempt cannot duplicate it.
-  return retry_->Run("scribe.append", [&] {
+  const Status st = retry_->Run("scribe.append", [&] {
     FBSTREAM_RETURN_IF_ERROR(FaultRegistry::Global()->Hit("scribe.append"));
-    b->Append(payload, clock_->NowMicros());
+    b->Append(payload, clock_->NowMicros(), trace_id);
     return Status::OK();
   });
+  if (st.ok()) {
+    c->append_messages()->Add();
+    c->append_bytes()->Add(payload.size());
+  }
+  return st;
 }
 
 Status Scribe::WriteSharded(const std::string& category,
@@ -362,6 +394,8 @@ StatusOr<std::vector<Message>> Scribe::Read(const std::string& category,
   std::vector<Message> out;
   b->Read(from_sequence, max_messages, clock_->NowMicros(),
           c->config().delivery_latency_micros, &out);
+  c->read_batches()->Add();
+  c->read_messages()->Add(out.size());
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/retry.h"
 #include "common/status.h"
 
@@ -35,6 +36,10 @@ struct Message {
   uint64_t sequence = 0;
   Micros write_time = 0;  // When the writer appended it.
   std::string payload;
+  // Nonzero for the sampled fraction of appends the Tracer picked (§4.2.1
+  // latency analysis). Carried through the engine to storage sinks; persisted
+  // with the message so replayed events keep their trace identity.
+  uint64_t trace_id = 0;
 };
 
 struct CategoryConfig {
@@ -66,8 +71,10 @@ class Bucket {
 
   Bucket(std::string dir, bool persist);
 
-  // Appends a payload; returns its sequence number.
-  uint64_t Append(const std::string& payload, Micros now);
+  // Appends a payload; returns its sequence number. `trace_id` is nonzero
+  // only for tracer-sampled messages.
+  uint64_t Append(const std::string& payload, Micros now,
+                  uint64_t trace_id = 0);
 
   // Reads up to `max_messages` messages with sequence >= from_sequence that
   // are visible at time `now` (write_time + delivery_latency <= now).
@@ -129,9 +136,23 @@ class Category {
   // routing to them, readers can still drain retained data.
   Status SetNumBuckets(int n);
 
+  // Per-category metric handles (node label = category name), looked up once
+  // at construction so the append/read hot paths never touch the registry
+  // mutex. Registry entries are immortal, so the pointers can't dangle.
+  Counter* append_messages() const { return append_messages_; }
+  Counter* append_bytes() const { return append_bytes_; }
+  Histogram* append_latency() const { return append_latency_; }
+  Counter* read_messages() const { return read_messages_; }
+  Counter* read_batches() const { return read_batches_; }
+
  private:
   CategoryConfig config_;
   std::string root_dir_;
+  Counter* append_messages_;
+  Counter* append_bytes_;
+  Histogram* append_latency_;
+  Counter* read_messages_;
+  Counter* read_batches_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Bucket>> buckets_;
   int active_buckets_;

@@ -3,6 +3,7 @@
 #include "common/fault.h"
 #include "common/fs.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/serde.h"
 
 namespace fbstream::hdfs {
@@ -59,6 +60,12 @@ Status HdfsCluster::WriteFile(const std::string& path,
     const Status st = RemoveFile(BlockPath(id));
     if (!st.ok()) FBSTREAM_LOG(Warning) << "hdfs gc: " << st;
   }
+  static Counter* write_files =
+      MetricsRegistry::Global()->GetCounter("hdfs.write.files");
+  static Counter* write_bytes =
+      MetricsRegistry::Global()->GetCounter("hdfs.write.bytes");
+  write_files->Add();
+  write_bytes->Add(data.size());
   return Status::OK();
 }
 
@@ -75,6 +82,9 @@ StatusOr<std::string> HdfsCluster::ReadFile(const std::string& path) const {
                               ReadFileToString(BlockPath(id)));
     data += block;
   }
+  static Counter* read_files =
+      MetricsRegistry::Global()->GetCounter("hdfs.read.files");
+  read_files->Add();
   return data;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/fs.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/serde.h"
 
 namespace fbstream::lsm {
@@ -132,13 +133,23 @@ Status Db::Write(const WriteBatch& batch) {
 
 Status Db::WriteLocked(const WriteBatch& batch) {
   if (batch.empty()) return Status::OK();
+  // LSM metrics are process-global (a node may own many shard-local Dbs;
+  // the interesting signal is aggregate flush/compaction pressure).
+  static Counter* wal_appends =
+      MetricsRegistry::Global()->GetCounter("lsm.wal.appends");
+  static Counter* wal_bytes =
+      MetricsRegistry::Global()->GetCounter("lsm.wal.bytes");
   const SequenceNumber first = last_sequence_ + 1;
   FBSTREAM_RETURN_IF_ERROR(wal_.AddRecord(first, batch));
   SequenceNumber seq = first;
+  uint64_t bytes = 0;
   for (const WriteBatch::Op& op : batch.ops()) {
     memtable_.Add(seq, op.type, op.key, op.value);
+    bytes += op.key.size() + op.value.size();
     ++seq;
   }
+  wal_appends->Add();
+  wal_bytes->Add(bytes);
   last_sequence_ = seq - 1;
   if (memtable_.ApproximateBytes() >= options_.memtable_bytes) {
     return FlushLocked();
@@ -210,19 +221,29 @@ Status Db::Flush() {
 
 Status Db::FlushLocked() {
   if (memtable_.empty()) return Status::OK();
-  const uint64_t number = next_file_number_++;
-  SstWriter writer;
-  for (const Entry& e : memtable_.Snapshot()) writer.Add(e);
-  FBSTREAM_RETURN_IF_ERROR(writer.Finish(SstPath(number)));
-  FBSTREAM_ASSIGN_OR_RETURN(auto reader, SstReader::Open(SstPath(number)));
-  level0_.push_back(FileMeta{number, std::move(reader)});
-  FBSTREAM_RETURN_IF_ERROR(PersistManifestLocked());
-  memtable_.Clear();
-  // The WAL's contents are now durable in the SST; start a fresh log.
-  wal_.Close();
-  FBSTREAM_RETURN_IF_ERROR(RemoveFile(dir_ + "/" + kWalFile));
-  FBSTREAM_RETURN_IF_ERROR(wal_.Open(dir_ + "/" + kWalFile));
-  ++flushes_;
+  static Counter* flush_count =
+      MetricsRegistry::Global()->GetCounter("lsm.flush.count");
+  static Histogram* flush_latency =
+      MetricsRegistry::Global()->GetHistogram("lsm.flush.latency_us");
+  {
+    // Scoped so a flush-triggered compaction below is not billed as flush
+    // time (it has its own histogram).
+    ScopedLatencyTimer timer(flush_latency);
+    const uint64_t number = next_file_number_++;
+    SstWriter writer;
+    for (const Entry& e : memtable_.Snapshot()) writer.Add(e);
+    FBSTREAM_RETURN_IF_ERROR(writer.Finish(SstPath(number)));
+    FBSTREAM_ASSIGN_OR_RETURN(auto reader, SstReader::Open(SstPath(number)));
+    level0_.push_back(FileMeta{number, std::move(reader)});
+    FBSTREAM_RETURN_IF_ERROR(PersistManifestLocked());
+    memtable_.Clear();
+    // The WAL's contents are now durable in the SST; start a fresh log.
+    wal_.Close();
+    FBSTREAM_RETURN_IF_ERROR(RemoveFile(dir_ + "/" + kWalFile));
+    FBSTREAM_RETURN_IF_ERROR(wal_.Open(dir_ + "/" + kWalFile));
+    ++flushes_;
+    flush_count->Add();
+  }
   if (static_cast<int>(level0_.size()) >= options_.l0_compaction_trigger) {
     return CompactLocked();
   }
@@ -241,6 +262,11 @@ SequenceNumber Db::OldestLiveSnapshotLocked() const {
 
 Status Db::CompactLocked() {
   if (level0_.empty() && level1_.size() <= 1) return Status::OK();
+  static Counter* compaction_count =
+      MetricsRegistry::Global()->GetCounter("lsm.compaction.count");
+  static Histogram* compaction_latency =
+      MetricsRegistry::Global()->GetHistogram("lsm.compaction.latency_us");
+  ScopedLatencyTimer timer(compaction_latency);
 
   // Merge every L0 and L1 file (a full compaction into the bottom level;
   // our two-level scheme keeps range bookkeeping trivial at this scale).
@@ -395,6 +421,7 @@ Status Db::CompactLocked() {
     if (!st.ok()) FBSTREAM_LOG(Warning) << "gc " << SstPath(n) << ": " << st;
   }
   ++compactions_;
+  compaction_count->Add();
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/hll.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/serde.h"
 
 namespace fbstream::scuba {
@@ -262,6 +263,10 @@ size_t Scuba::PollAll() {
   for (Attachment& att : attachments_) {
     ScubaTable* table = GetTable(att.table);
     if (table == nullptr) continue;
+    // Once per attachment per poll, not per row — off the row hot loop.
+    Counter* rows_ingested =
+        MetricsRegistry::Global()->GetCounter("scuba.rows.ingested", att.table);
+    size_t table_rows = 0;
     for (scribe::Tailer& tailer : att.tailers) {
       while (true) {
         auto messages = tailer.Poll();
@@ -269,13 +274,15 @@ size_t Scuba::PollAll() {
         for (const scribe::Message& m : messages) {
           const Status st = table->IngestPayload(m.payload);
           if (st.ok()) {
-            ++ingested;
+            ++table_rows;
           } else {
             FBSTREAM_LOG(Warning) << "scuba ingest: " << st;
           }
         }
       }
     }
+    rows_ingested->Add(table_rows);
+    ingested += table_rows;
   }
   return ingested;
 }
