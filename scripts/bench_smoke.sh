@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI-sized sanity run of the canonical LSM mixed workload: small preload,
+# one-second phases, JSON to a scratch path. Verifies the harness still
+# runs end to end and emits well-formed output; real numbers come from the
+# full run (`bench_lsm --mixed`), recorded in BENCH_LSM.json.
+#
+# Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT="$(mktemp -t bench_lsm_smoke.XXXXXX.json)"
+trap 'rm -f "$OUT"' EXIT
+
+cmake --build "$BUILD_DIR" -j --target bench_lsm
+"$BUILD_DIR/bench/bench_lsm" --mixed --smoke --out "$OUT"
+
+# Well-formed and carries both engines' numbers.
+grep -q '"baseline_single_mutex"' "$OUT"
+grep -q '"concurrent_lsm"' "$OUT"
+grep -q '"block_cache"' "$OUT"
+echo "bench smoke passed ($OUT)"

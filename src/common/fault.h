@@ -24,7 +24,8 @@ namespace fbstream {
 //   FBSTREAM_RETURN_IF_ERROR(FaultRegistry::Global()->Hit("hdfs.write"));
 //
 // Sites currently wired: "hdfs.write", "hdfs.read", "scribe.append",
-// "lsm.wal.append", "lsm.wal.sync", "zippydb.write".
+// "lsm.wal.append", "lsm.wal.sync", "lsm.flush", "lsm.compaction",
+// "zippydb.write".
 //
 // Tests and the chaos harness arm rules against sites:
 //   - FailNext: scripted one-shot faults (fail hits [skip, skip+count)).

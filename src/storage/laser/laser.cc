@@ -42,7 +42,7 @@ StatusOr<std::unique_ptr<LaserApp>> LaserApp::Create(
     }
   }
   std::unique_ptr<LaserApp> app(new LaserApp(config, clock));
-  FBSTREAM_ASSIGN_OR_RETURN(app->db_, lsm::Db::Open({}, dir));
+  FBSTREAM_ASSIGN_OR_RETURN(app->db_, lsm::Db::Open(config.db_options, dir));
   if (!config.scribe_category.empty()) {
     if (scribe == nullptr || !scribe->HasCategory(config.scribe_category)) {
       return Status::InvalidArgument("unknown scribe category " +

@@ -42,6 +42,11 @@ struct LaserAppConfig {
   // Redundant serving tiers (§4.2.2 "we can run multiple ... Laser tiers");
   // accounted for capacity, all served from the same store here.
   int num_datacenters = 1;
+  // Storage tuning for the app's embedded lsm::Db. Apps on one node share
+  // the default process-wide block cache unless db_options.block_cache is
+  // set; merge_operator here would be overwritten per-app internals, so
+  // callers only set storage knobs (memtable size, cache, block size).
+  lsm::DbOptions db_options;
 };
 
 // One deployed Laser app: a KV view over a stream.

@@ -1,7 +1,9 @@
 #include "storage/lsm/db.h"
 
 #include <algorithm>
+#include <set>
 
+#include "common/fault.h"
 #include "common/fs.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -11,7 +13,9 @@ namespace fbstream::lsm {
 
 namespace {
 constexpr char kManifestFile[] = "MANIFEST";
-constexpr char kWalFile[] = "wal.log";
+// Writer groups are capped so one giant batch cannot starve followers of
+// latency behind a single enormous fwrite.
+constexpr size_t kMaxGroupBytes = 1u << 20;
 
 std::string ManifestEncode(SequenceNumber last_sequence,
                            uint64_t next_file_number,
@@ -49,25 +53,61 @@ Status ManifestDecode(std::string_view data, SequenceNumber* last_sequence,
   }
   return Status::OK();
 }
+
+// All-digits check for recovery-time filename parsing.
+bool ParseNumber(std::string_view digits, uint64_t* out) {
+  if (digits.empty()) return false;
+  uint64_t n = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+    n = n * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = n;
+  return true;
+}
 }  // namespace
 
 Db::Db(DbOptions options, std::string dir)
-    : options_(std::move(options)), dir_(std::move(dir)) {}
+    : options_(std::move(options)),
+      dir_(std::move(dir)),
+      cache_(options_.block_cache != nullptr ? options_.block_cache
+                                             : BlockCache::Default()) {}
 
-Db::~Db() { wal_.Close(); }
+Db::~Db() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  if (bg_thread_.joinable()) bg_thread_.join();
+  // An unflushed memtable (and any abandoned imm_) is recovered from its
+  // retained WAL files on the next Open.
+}
 
 StatusOr<std::unique_ptr<Db>> Db::Open(const DbOptions& options,
                                        const std::string& dir) {
   FBSTREAM_RETURN_IF_ERROR(CreateDirs(dir));
   std::unique_ptr<Db> db(new Db(options, dir));
-  std::lock_guard<std::mutex> lock(db->mu_);
-  FBSTREAM_RETURN_IF_ERROR(db->RecoverLocked());
+  {
+    std::lock_guard<std::mutex> lock(db->mu_);
+    FBSTREAM_RETURN_IF_ERROR(db->RecoverLocked());
+  }
+  db->bg_thread_ = std::thread(&Db::BackgroundThread, db.get());
   return db;
 }
 
 std::string Db::SstPath(uint64_t number) const {
   char buf[32];
   snprintf(buf, sizeof(buf), "/%06llu.sst",
+           static_cast<unsigned long long>(number));
+  return dir_ + buf;
+}
+
+std::string Db::WalPath(uint64_t number) const {
+  // Number 0 is the legacy single-log name from before per-memtable WALs.
+  if (number == 0) return dir_ + "/wal.log";
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/wal-%06llu.log",
            static_cast<unsigned long long>(number));
   return dir_ + buf;
 }
@@ -80,29 +120,105 @@ Status Db::RecoverLocked() {
     std::vector<uint64_t> l0;
     std::vector<uint64_t> l1;
     FBSTREAM_RETURN_IF_ERROR(
-        ManifestDecode(data, &last_sequence_, &next_file_number_, &l0, &l1));
+        ManifestDecode(data, &last_allocated_, &next_file_number_, &l0, &l1));
     for (const uint64_t n : l0) {
-      FBSTREAM_ASSIGN_OR_RETURN(auto reader, SstReader::Open(SstPath(n)));
+      FBSTREAM_ASSIGN_OR_RETURN(auto reader,
+                                SstReader::Open(SstPath(n), cache_));
       level0_.push_back(FileMeta{n, std::move(reader)});
     }
     for (const uint64_t n : l1) {
-      FBSTREAM_ASSIGN_OR_RETURN(auto reader, SstReader::Open(SstPath(n)));
+      FBSTREAM_ASSIGN_OR_RETURN(auto reader,
+                                SstReader::Open(SstPath(n), cache_));
       level1_.push_back(FileMeta{n, std::move(reader)});
     }
   }
-  // Replay the WAL into the memtable: these are writes that were
-  // acknowledged but not yet flushed when the process stopped.
-  const std::string wal_path = dir_ + "/" + kWalFile;
-  FBSTREAM_RETURN_IF_ERROR(ReplayWal(
-      wal_path, [this](SequenceNumber first, const WriteBatch& batch) {
-        SequenceNumber seq = first;
-        for (const WriteBatch::Op& op : batch.ops()) {
-          memtable_.Add(seq, op.type, op.key, op.value);
-          last_sequence_ = std::max(last_sequence_, seq);
-          ++seq;
-        }
-      }));
-  return wal_.Open(wal_path);
+
+  FBSTREAM_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir_));
+  std::vector<uint64_t> wal_numbers;
+  for (const std::string& name : names) {
+    if (name == "wal.log") {
+      wal_numbers.push_back(0);
+      continue;
+    }
+    uint64_t n = 0;
+    if (name.size() > 8 && name.rfind("wal-", 0) == 0 &&
+        name.compare(name.size() - 4, 4, ".log") == 0 &&
+        ParseNumber(std::string_view(name).substr(4, name.size() - 8), &n)) {
+      wal_numbers.push_back(n);
+    }
+  }
+  std::sort(wal_numbers.begin(), wal_numbers.end());
+
+  // Replay every WAL in write order into a fresh memtable: these are writes
+  // that were acknowledged but not yet flushed when the process stopped.
+  mem_ = std::make_shared<MemTable>();
+  for (const uint64_t n : wal_numbers) {
+    FBSTREAM_RETURN_IF_ERROR(ReplayWal(
+        WalPath(n), [this](SequenceNumber first, const WriteBatch& batch) {
+          SequenceNumber seq = first;
+          for (const WriteBatch::Op& op : batch.ops()) {
+            mem_->Add(seq, op.type, op.key, op.value);
+            last_allocated_ = std::max(last_allocated_, seq);
+            ++seq;
+          }
+        }));
+  }
+  if (!wal_numbers.empty()) {
+    next_file_number_ = std::max(next_file_number_, wal_numbers.back() + 1);
+  }
+
+  // Remove SSTs orphaned by an interrupted flush or compaction (written to
+  // disk but never committed to the MANIFEST; their data is still covered
+  // by the retained WALs or the input files).
+  std::set<uint64_t> live;
+  for (const FileMeta& f : level0_) live.insert(f.number);
+  for (const FileMeta& f : level1_) live.insert(f.number);
+  for (const std::string& name : names) {
+    uint64_t n = 0;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".sst") == 0 &&
+        ParseNumber(std::string_view(name).substr(0, name.size() - 4), &n) &&
+        live.count(n) == 0) {
+      const Status st = RemoveFile(dir_ + "/" + name);
+      if (!st.ok()) FBSTREAM_LOG(Warning) << "orphan gc " << name << ": " << st;
+    }
+  }
+
+  // Fresh active WAL. The replayed memtable stays covered by the old WAL
+  // files until its first flush retires them.
+  const uint64_t wal_number = next_file_number_++;
+  wal_ = std::make_unique<WalWriter>();
+  FBSTREAM_RETURN_IF_ERROR(wal_->Open(WalPath(wal_number)));
+  mem_wals_.clear();
+  if (mem_->empty()) {
+    for (const uint64_t n : wal_numbers) {
+      const Status st = RemoveFile(WalPath(n));
+      if (!st.ok()) {
+        FBSTREAM_LOG(Warning) << "wal gc " << WalPath(n) << ": " << st;
+      }
+    }
+  } else {
+    mem_wals_ = wal_numbers;
+  }
+  mem_wals_.push_back(wal_number);
+
+  visible_sequence_.store(last_allocated_, std::memory_order_release);
+  PublishVersionLocked();
+  return Status::OK();
+}
+
+void Db::PublishVersionLocked() {
+  auto v = std::make_shared<Version>();
+  v->mem = mem_;
+  v->imm = imm_;
+  v->level0 = level0_;
+  v->level1 = level1_;
+  std::unique_lock<std::shared_mutex> lock(version_mu_);
+  current_ = std::move(v);
+}
+
+std::shared_ptr<const Version> Db::CurrentVersion() const {
+  std::shared_lock<std::shared_mutex> lock(version_mu_);
+  return current_;
 }
 
 Status Db::Put(std::string_view key, std::string_view value) {
@@ -127,180 +243,346 @@ Status Db::Merge(std::string_view key, std::string_view operand) {
 }
 
 Status Db::Write(const WriteBatch& batch) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return WriteLocked(batch);
+  if (batch.empty()) return Status::OK();
+  return WriteImpl(&batch);
 }
 
-Status Db::WriteLocked(const WriteBatch& batch) {
-  if (batch.empty()) return Status::OK();
+Status Db::WriteImpl(const WriteBatch* batch) {
   // LSM metrics are process-global (a node may own many shard-local Dbs;
   // the interesting signal is aggregate flush/compaction pressure).
   static Counter* wal_appends =
       MetricsRegistry::Global()->GetCounter("lsm.wal.appends");
   static Counter* wal_bytes =
       MetricsRegistry::Global()->GetCounter("lsm.wal.bytes");
-  const SequenceNumber first = last_sequence_ + 1;
-  FBSTREAM_RETURN_IF_ERROR(wal_.AddRecord(first, batch));
-  SequenceNumber seq = first;
-  uint64_t bytes = 0;
-  for (const WriteBatch::Op& op : batch.ops()) {
-    memtable_.Add(seq, op.type, op.key, op.value);
-    bytes += op.key.size() + op.value.size();
-    ++seq;
+
+  Writer w(batch);
+  std::unique_lock<std::mutex> lk(mu_);
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) w.cv.wait(lk);
+  if (w.done) return w.status;  // A previous leader committed us.
+
+  // This writer leads: make room, then commit a group of queued batches
+  // with one WAL append (group commit).
+  Status st = MakeRoomForWriteLocked(lk, /*force=*/batch == nullptr);
+
+  std::vector<Writer*> group;
+  group.push_back(&w);
+  size_t total_ops = 0;
+  uint64_t group_bytes = 0;
+  if (batch != nullptr) {
+    total_ops = batch->ops().size();
+    for (const WriteBatch::Op& op : batch->ops()) {
+      group_bytes += op.key.size() + op.value.size();
+    }
+    for (auto it = writers_.begin() + 1; it != writers_.end(); ++it) {
+      Writer* cand = *it;
+      // Memtable-seal requests and oversized groups end the batch window.
+      if (cand->batch == nullptr || group_bytes >= kMaxGroupBytes) break;
+      group.push_back(cand);
+      total_ops += cand->batch->ops().size();
+      for (const WriteBatch::Op& op : cand->batch->ops()) {
+        group_bytes += op.key.size() + op.value.size();
+      }
+    }
   }
-  wal_appends->Add();
-  wal_bytes->Add(bytes);
-  last_sequence_ = seq - 1;
-  if (memtable_.ApproximateBytes() >= options_.memtable_bytes) {
-    return FlushLocked();
+
+  if (st.ok() && total_ops > 0) {
+    const SequenceNumber first = last_allocated_ + 1;
+    last_allocated_ += total_ops;
+    // Safe to touch unlocked: only the queue leader (us) appends to the
+    // active WAL or memtable, and only the leader can switch them.
+    MemTable* mem = mem_.get();
+    WalWriter* wal = wal_.get();
+    lk.unlock();
+
+    std::vector<WalRecord> records;
+    records.reserve(group.size());
+    SequenceNumber seq = first;
+    for (Writer* g : group) {
+      records.push_back(WalRecord{seq, g->batch});
+      seq += g->batch->ops().size();
+    }
+    st = wal->AddRecords(records);
+    if (st.ok()) {
+      seq = first;
+      for (Writer* g : group) {
+        for (const WriteBatch::Op& op : g->batch->ops()) {
+          mem->Add(seq, op.type, op.key, op.value);
+          ++seq;
+        }
+      }
+      // Publish after every entry of the group is inserted: readers loading
+      // this sequence see all of it (atomicity of each batch, and of the
+      // group, from the reader's perspective).
+      visible_sequence_.store(first + total_ops - 1,
+                              std::memory_order_release);
+      wal_appends->Add(static_cast<uint64_t>(records.size()));
+      wal_bytes->Add(group_bytes);
+    }
+
+    lk.lock();
+    if (!st.ok()) {
+      // WAL append failed before anything was applied; release the
+      // sequences (no newer allocation can exist — we were the leader).
+      last_allocated_ = first - 1;
+    }
   }
+
+  for (Writer* g : group) {
+    writers_.pop_front();
+    if (g != &w) {
+      g->status = st;
+      g->done = true;
+      g->cv.notify_one();
+    }
+  }
+  if (!writers_.empty()) writers_.front()->cv.notify_one();
+  return st;
+}
+
+Status Db::MakeRoomForWriteLocked(std::unique_lock<std::mutex>& lk,
+                                  bool force) {
+  static Counter* stall_count =
+      MetricsRegistry::Global()->GetCounter("lsm.write.stalls");
+  while (true) {
+    if (!bg_error_.ok()) return bg_error_;
+    if (!force && mem_->ApproximateBytes() < options_.memtable_bytes) {
+      return Status::OK();
+    }
+    if (force && mem_->empty()) return Status::OK();  // Nothing to seal.
+    if (imm_ != nullptr) {
+      // Flush is behind; apply backpressure instead of queueing unbounded
+      // immutable memtables.
+      ++write_stalls_;
+      stall_count->Add();
+      done_cv_.wait(lk);
+      continue;
+    }
+    if (static_cast<int>(level0_.size()) >= options_.l0_stall_files &&
+        CompactionPendingLocked()) {
+      ++write_stalls_;
+      stall_count->Add();
+      done_cv_.wait(lk);
+      continue;
+    }
+    FBSTREAM_RETURN_IF_ERROR(SwitchMemtableLocked());
+    force = false;  // The fresh memtable satisfies the next loop check.
+  }
+}
+
+Status Db::SwitchMemtableLocked() {
+  const uint64_t wal_number = next_file_number_++;
+  auto new_wal = std::make_unique<WalWriter>();
+  FBSTREAM_RETURN_IF_ERROR(new_wal->Open(WalPath(wal_number)));
+  wal_ = std::move(new_wal);
+  imm_ = mem_;
+  imm_wals_ = std::move(mem_wals_);
+  mem_ = std::make_shared<MemTable>();
+  mem_wals_ = {wal_number};
+  PublishVersionLocked();
+  work_cv_.notify_one();
   return Status::OK();
 }
 
-StatusOr<std::string> Db::Get(std::string_view key) const {
-  return Get(key, nullptr);
+bool Db::CompactionPendingLocked() const {
+  return static_cast<int>(level0_.size()) >= options_.l0_compaction_trigger;
 }
 
-StatusOr<std::string> Db::Get(std::string_view key,
-                              const DbSnapshot* snapshot) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const SequenceNumber read_seq =
-      snapshot != nullptr ? snapshot->sequence() : last_sequence_;
-  return GetLocked(key, read_seq);
+bool Db::MaintenanceIdleLocked() const {
+  return imm_ == nullptr && !bg_active_ && !force_compact_ &&
+         !CompactionPendingLocked();
 }
 
-StatusOr<std::string> Db::GetLocked(std::string_view key,
-                                    SequenceNumber read_seq) const {
-  LookupState state;
-  memtable_.Get(key, read_seq, &state);
-  if (!state.found_base) {
-    // L0 files can overlap; newest file (appended last) wins.
-    for (auto it = level0_.rbegin(); it != level0_.rend(); ++it) {
-      it->reader->Get(key, read_seq, &state);
-      if (state.found_base) break;
+void Db::BackgroundThread() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    work_cv_.wait(lk, [this] {
+      return shutdown_ ||
+             (bg_error_.ok() && (imm_ != nullptr || force_compact_ ||
+                                 CompactionPendingLocked()));
+    });
+    if (shutdown_) break;
+    if (imm_ != nullptr) {
+      BackgroundFlushLocked(lk);
+    } else {
+      BackgroundCompactLocked(lk);
     }
+    done_cv_.notify_all();
   }
-  if (!state.found_base && !level1_.empty()) {
-    // L1 ranges are disjoint: binary search the file covering `key`.
-    auto it = std::lower_bound(level1_.begin(), level1_.end(), key,
-                               [](const FileMeta& f, std::string_view k) {
-                                 return f.reader->largest() < k;
-                               });
-    if (it != level1_.end() && it->reader->smallest() <= std::string(key)) {
-      it->reader->Get(key, read_seq, &state);
-    }
-  }
-  return ResolveLookup(key, state);
 }
 
-StatusOr<std::string> Db::ResolveLookup(std::string_view key,
-                                        const LookupState& state) const {
-  if (state.operands.empty()) {
-    if (!state.found_base || state.base_is_delete) {
-      return Status::NotFound(std::string(key));
-    }
-    return state.base_value;
-  }
-  if (options_.merge_operator == nullptr) {
-    return Status::Corruption("merge operands but no merge operator");
-  }
-  const std::string* existing =
-      state.found_base && !state.base_is_delete ? &state.base_value : nullptr;
-  std::string result;
-  if (!options_.merge_operator->FullMerge(key, existing, state.operands,
-                                          &result)) {
-    return Status::Corruption("merge failed for key " + std::string(key));
-  }
-  return result;
-}
-
-Status Db::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return FlushLocked();
-}
-
-Status Db::FlushLocked() {
-  if (memtable_.empty()) return Status::OK();
+void Db::BackgroundFlushLocked(std::unique_lock<std::mutex>& lk) {
   static Counter* flush_count =
       MetricsRegistry::Global()->GetCounter("lsm.flush.count");
   static Histogram* flush_latency =
       MetricsRegistry::Global()->GetHistogram("lsm.flush.latency_us");
+
+  const std::shared_ptr<const MemTable> imm = imm_;
+  const std::vector<uint64_t> retired_wals = imm_wals_;
+  const uint64_t number = next_file_number_++;
+  bg_active_ = true;
+  lk.unlock();
+
+  // Injected failures here model a full disk mid-flush; the error is sticky
+  // and the immutable memtable is retained (its WALs recover it on reopen).
+  Status st = FaultRegistry::Global()->Hit("lsm.flush");
+  std::shared_ptr<SstReader> reader;
   {
-    // Scoped so a flush-triggered compaction below is not billed as flush
-    // time (it has its own histogram).
     ScopedLatencyTimer timer(flush_latency);
-    const uint64_t number = next_file_number_++;
-    SstWriter writer;
-    for (const Entry& e : memtable_.Snapshot()) writer.Add(e);
-    FBSTREAM_RETURN_IF_ERROR(writer.Finish(SstPath(number)));
-    FBSTREAM_ASSIGN_OR_RETURN(auto reader, SstReader::Open(SstPath(number)));
-    level0_.push_back(FileMeta{number, std::move(reader)});
-    FBSTREAM_RETURN_IF_ERROR(PersistManifestLocked());
-    memtable_.Clear();
-    // The WAL's contents are now durable in the SST; start a fresh log.
-    wal_.Close();
-    FBSTREAM_RETURN_IF_ERROR(RemoveFile(dir_ + "/" + kWalFile));
-    FBSTREAM_RETURN_IF_ERROR(wal_.Open(dir_ + "/" + kWalFile));
-    ++flushes_;
-    flush_count->Add();
+    if (st.ok()) {
+      SstWriter writer(options_.block_bytes);
+      for (const Entry& e : imm->Snapshot()) writer.Add(e);
+      st = writer.Finish(SstPath(number));
+    }
+    if (st.ok()) {
+      auto reader_or = SstReader::Open(SstPath(number), cache_);
+      if (reader_or.ok()) {
+        reader = std::move(reader_or).value();
+      } else {
+        st = reader_or.status();
+      }
+    }
   }
-  if (static_cast<int>(level0_.size()) >= options_.l0_compaction_trigger) {
-    return CompactLocked();
+
+  lk.lock();
+  bg_active_ = false;
+  if (!st.ok()) {
+    FBSTREAM_LOG(Error) << "lsm flush failed: " << st;
+    bg_error_ = st;
+    return;
   }
-  return Status::OK();
+  level0_.push_back(FileMeta{number, std::move(reader)});
+  imm_.reset();
+  imm_wals_.clear();
+  ++flushes_;
+  flush_count->Add();
+  PublishVersionLocked();
+  const Status mst = PersistManifestLocked();
+  if (!mst.ok()) {
+    // WALs are retained, so the flushed data is still recoverable; the SST
+    // becomes an orphan cleaned up on reopen.
+    FBSTREAM_LOG(Error) << "lsm manifest persist failed: " << mst;
+    bg_error_ = mst;
+    return;
+  }
+  // The flushed data is durable in the SST + MANIFEST; retire its WALs.
+  for (const uint64_t n : retired_wals) {
+    const Status rst = RemoveFile(WalPath(n));
+    if (!rst.ok()) {
+      FBSTREAM_LOG(Warning) << "wal gc " << WalPath(n) << ": " << rst;
+    }
+  }
 }
 
-Status Db::CompactAll() {
+uint64_t Db::AllocFileNumber() {
   std::lock_guard<std::mutex> lock(mu_);
-  FBSTREAM_RETURN_IF_ERROR(FlushLocked());
-  return CompactLocked();
+  return next_file_number_++;
 }
 
-SequenceNumber Db::OldestLiveSnapshotLocked() const {
-  return live_snapshots_.empty() ? kMaxSequence : *live_snapshots_.begin();
-}
-
-Status Db::CompactLocked() {
-  if (level0_.empty() && level1_.size() <= 1) return Status::OK();
+void Db::BackgroundCompactLocked(std::unique_lock<std::mutex>& lk) {
+  if (level0_.empty() && level1_.size() <= 1) {
+    force_compact_ = false;  // Nothing to merge.
+    return;
+  }
   static Counter* compaction_count =
       MetricsRegistry::Global()->GetCounter("lsm.compaction.count");
   static Histogram* compaction_latency =
       MetricsRegistry::Global()->GetHistogram("lsm.compaction.latency_us");
-  ScopedLatencyTimer timer(compaction_latency);
 
-  // Merge every L0 and L1 file (a full compaction into the bottom level;
-  // our two-level scheme keeps range bookkeeping trivial at this scale).
+  // Inputs are pinned by shared_ptr; flushes may append new L0 files while
+  // the merge runs and those are reconciled at publish below.
+  const std::vector<FileMeta> inputs0 = level0_;
+  const std::vector<FileMeta> inputs1 = level1_;
+  const bool snapshots_live = !live_snapshots_.empty();
+  bg_active_ = true;
+  lk.unlock();
+
+  Status st = FaultRegistry::Global()->Hit("lsm.compaction");
+  std::vector<FileMeta> new_level1;
+  {
+    ScopedLatencyTimer timer(compaction_latency);
+    if (st.ok()) {
+      st = MergeToL1(inputs0, inputs1, snapshots_live, &new_level1);
+    }
+  }
+
+  lk.lock();
+  bg_active_ = false;
+  force_compact_ = false;
+  if (!st.ok()) {
+    // Partial outputs become orphans cleaned up on reopen; inputs are
+    // untouched so no data is lost.
+    FBSTREAM_LOG(Error) << "lsm compaction failed: " << st;
+    bg_error_ = st;
+    return;
+  }
+  // Drop exactly the input files from L0 (newer flushes appended behind
+  // them and survive).
+  std::set<uint64_t> merged;
+  for (const FileMeta& f : inputs0) merged.insert(f.number);
+  std::vector<FileMeta> remaining;
+  for (const FileMeta& f : level0_) {
+    if (merged.count(f.number) == 0) remaining.push_back(f);
+  }
+  level0_ = std::move(remaining);
+  level1_ = std::move(new_level1);
+  ++compactions_;
+  compaction_count->Add();
+  PublishVersionLocked();
+  const Status mst = PersistManifestLocked();
+  if (!mst.ok()) {
+    FBSTREAM_LOG(Error) << "lsm manifest persist failed: " << mst;
+    bg_error_ = mst;
+    return;
+  }
+  // Unlink inputs; readers holding an older Version keep them alive via
+  // open file descriptors until they drop the reference.
+  for (const FileMeta& f : inputs0) {
+    const Status rst = RemoveFile(SstPath(f.number));
+    if (!rst.ok()) {
+      FBSTREAM_LOG(Warning) << "gc " << SstPath(f.number) << ": " << rst;
+    }
+  }
+  for (const FileMeta& f : inputs1) {
+    const Status rst = RemoveFile(SstPath(f.number));
+    if (!rst.ok()) {
+      FBSTREAM_LOG(Warning) << "gc " << SstPath(f.number) << ": " << rst;
+    }
+  }
+}
+
+Status Db::MergeToL1(const std::vector<FileMeta>& inputs0,
+                     const std::vector<FileMeta>& inputs1, bool snapshots_live,
+                     std::vector<FileMeta>* new_level1) {
+  // Merge every input file (a full compaction into the bottom level; our
+  // two-level scheme keeps range bookkeeping trivial at this scale).
   struct Source {
     SstReader::Iterator it;
     // Tie-break: newer files (higher number) win on equal internal keys.
     uint64_t number;
   };
   std::vector<Source> sources;
-  std::vector<uint64_t> obsolete;
-  for (const FileMeta& f : level0_) {
+  for (const FileMeta& f : inputs0) {
     sources.push_back(Source{f.reader->NewIterator(), f.number});
-    obsolete.push_back(f.number);
   }
-  for (const FileMeta& f : level1_) {
+  for (const FileMeta& f : inputs1) {
     sources.push_back(Source{f.reader->NewIterator(), f.number});
-    obsolete.push_back(f.number);
   }
   for (Source& s : sources) s.it.SeekToFirst();
 
-  const bool snapshots_live = !live_snapshots_.empty();
   const MergeOperator* merge_op = options_.merge_operator.get();
 
-  std::vector<FileMeta> new_level1;
-  SstWriter writer;
+  SstWriter writer(options_.block_bytes);
   auto maybe_roll = [&]() -> Status {
     if (writer.ApproximateBytes() < options_.target_sst_bytes) {
       return Status::OK();
     }
-    const uint64_t number = next_file_number_++;
+    const uint64_t number = AllocFileNumber();
     FBSTREAM_RETURN_IF_ERROR(writer.Finish(SstPath(number)));
-    FBSTREAM_ASSIGN_OR_RETURN(auto reader, SstReader::Open(SstPath(number)));
-    new_level1.push_back(FileMeta{number, std::move(reader)});
-    writer = SstWriter();
+    FBSTREAM_ASSIGN_OR_RETURN(auto reader,
+                              SstReader::Open(SstPath(number), cache_));
+    new_level1->push_back(FileMeta{number, std::move(reader)});
+    writer = SstWriter(options_.block_bytes);
     return Status::OK();
   };
 
@@ -313,8 +595,10 @@ Status Db::CompactLocked() {
         continue;
       }
       const int c = sources[i].it.entry().key.Compare(
-          sources[best].it.entry().key);
-      if (c < 0 || (c == 0 && sources[i].number > sources[best].number)) {
+          sources[static_cast<size_t>(best)].it.entry().key);
+      if (c < 0 ||
+          (c == 0 &&
+           sources[i].number > sources[static_cast<size_t>(best)].number)) {
         best = static_cast<int>(i);
       }
     }
@@ -406,23 +690,77 @@ Status Db::CompactLocked() {
     }
   }
 
-  if (writer.num_entries() > 0) {
-    const uint64_t number = next_file_number_++;
-    FBSTREAM_RETURN_IF_ERROR(writer.Finish(SstPath(number)));
-    FBSTREAM_ASSIGN_OR_RETURN(auto reader, SstReader::Open(SstPath(number)));
-    new_level1.push_back(FileMeta{number, std::move(reader)});
+  // A lazily loading source that hit an I/O error looks merely exhausted;
+  // check explicitly so a truncated merge never silently drops data.
+  for (Source& s : sources) {
+    FBSTREAM_RETURN_IF_ERROR(s.it.status());
   }
 
-  level0_.clear();
-  level1_ = std::move(new_level1);
-  FBSTREAM_RETURN_IF_ERROR(PersistManifestLocked());
-  for (const uint64_t n : obsolete) {
-    const Status st = RemoveFile(SstPath(n));
-    if (!st.ok()) FBSTREAM_LOG(Warning) << "gc " << SstPath(n) << ": " << st;
+  if (writer.num_entries() > 0) {
+    const uint64_t number = AllocFileNumber();
+    FBSTREAM_RETURN_IF_ERROR(writer.Finish(SstPath(number)));
+    FBSTREAM_ASSIGN_OR_RETURN(auto reader,
+                              SstReader::Open(SstPath(number), cache_));
+    new_level1->push_back(FileMeta{number, std::move(reader)});
   }
-  ++compactions_;
-  compaction_count->Add();
   return Status::OK();
+}
+
+StatusOr<std::string> Db::Get(std::string_view key) const {
+  return Get(key, nullptr);
+}
+
+StatusOr<std::string> Db::Get(std::string_view key,
+                              const DbSnapshot* snapshot) const {
+  // Sequence FIRST, then version: the version published before this
+  // sequence became visible is covered by any version loaded after it.
+  const SequenceNumber read_seq =
+      snapshot != nullptr ? snapshot->sequence()
+                          : visible_sequence_.load(std::memory_order_acquire);
+  const std::shared_ptr<const Version> v = CurrentVersion();
+  LookupState state;
+  v->Get(key, read_seq, &state);
+  return ResolveLookup(key, state);
+}
+
+StatusOr<std::string> Db::ResolveLookup(std::string_view key,
+                                        const LookupState& state) const {
+  if (state.operands.empty()) {
+    if (!state.found_base || state.base_is_delete) {
+      return Status::NotFound(std::string(key));
+    }
+    return state.base_value;
+  }
+  if (options_.merge_operator == nullptr) {
+    return Status::Corruption("merge operands but no merge operator");
+  }
+  const std::string* existing =
+      state.found_base && !state.base_is_delete ? &state.base_value : nullptr;
+  std::string result;
+  if (!options_.merge_operator->FullMerge(key, existing, state.operands,
+                                          &result)) {
+    return Status::Corruption("merge failed for key " + std::string(key));
+  }
+  return result;
+}
+
+Status Db::Flush() {
+  // Seal the memtable through the writer queue (only the queue leader may
+  // switch memtables), then wait for maintenance to drain.
+  FBSTREAM_RETURN_IF_ERROR(WriteImpl(nullptr));
+  std::unique_lock<std::mutex> lk(mu_);
+  while (bg_error_.ok() && !MaintenanceIdleLocked()) done_cv_.wait(lk);
+  return bg_error_;
+}
+
+Status Db::CompactAll() {
+  FBSTREAM_RETURN_IF_ERROR(WriteImpl(nullptr));
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!bg_error_.ok()) return bg_error_;
+  force_compact_ = true;
+  work_cv_.notify_one();
+  while (bg_error_.ok() && !MaintenanceIdleLocked()) done_cv_.wait(lk);
+  return bg_error_;
 }
 
 Status Db::PersistManifestLocked() {
@@ -432,13 +770,16 @@ Status Db::PersistManifestLocked() {
   for (const FileMeta& f : level1_) l1.push_back(f.number);
   return WriteFileAtomic(
       dir_ + "/" + kManifestFile,
-      ManifestEncode(last_sequence_, next_file_number_, l0, l1));
+      ManifestEncode(visible_sequence_.load(std::memory_order_acquire),
+                     next_file_number_, l0, l1));
 }
 
 const DbSnapshot* Db::GetSnapshot() {
   std::lock_guard<std::mutex> lock(mu_);
-  live_snapshots_.insert(last_sequence_);
-  return new DbSnapshot(last_sequence_);
+  const SequenceNumber seq =
+      visible_sequence_.load(std::memory_order_acquire);
+  live_snapshots_.insert(seq);
+  return new DbSnapshot(seq);
 }
 
 void Db::ReleaseSnapshot(const DbSnapshot* snapshot) {
@@ -450,64 +791,95 @@ void Db::ReleaseSnapshot(const DbSnapshot* snapshot) {
 }
 
 SequenceNumber Db::LatestSequence() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return last_sequence_;
+  return visible_sequence_.load(std::memory_order_acquire);
 }
 
-Db::Iterator Db::NewIterator(const DbSnapshot* snapshot) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const SequenceNumber read_seq =
-      snapshot != nullptr ? snapshot->sequence() : last_sequence_;
-  std::vector<Iterator::Source> sources;
-  {
-    Iterator::Source s;
-    s.entries = memtable_.Snapshot();
-    sources.push_back(std::move(s));
-  }
-  auto add_file = [&sources](const FileMeta& f) {
-    Iterator::Source s;
-    s.entries.reserve(f.reader->num_entries());
-    for (auto it = f.reader->NewIterator(); it.Valid(); it.Next()) {
-      s.entries.push_back(it.entry());
-    }
-    sources.push_back(std::move(s));
-  };
-  for (const FileMeta& f : level0_) add_file(f);
-  for (const FileMeta& f : level1_) add_file(f);
-  return Iterator(std::move(sources), read_seq,
-                  options_.merge_operator.get());
-}
+// ---------------------------------------------------------------------------
+// Iterator
 
-Db::Iterator::Iterator(std::vector<Source> sources, SequenceNumber read_seq,
-                       const MergeOperator* merge_op)
-    : sources_(std::move(sources)), read_seq_(read_seq), merge_op_(merge_op) {
-  ResolveNext();
-}
+// Polymorphic cursor over one layer of a pinned Version. Lazily streams
+// from its underlying table; nothing is materialized upfront.
+struct Db::Iterator::Source {
+  virtual ~Source() = default;
+  virtual bool Valid() const = 0;
+  virtual const Entry& entry() const = 0;
+  virtual void Next() = 0;
+  virtual void Seek(std::string_view target) = 0;
+  virtual void SeekToFirst() = 0;
+};
 
-const Entry* Db::Iterator::PeekSmallest(int* source_index) const {
+namespace {
+struct MemSource final : Db::Iterator::Source {
+  explicit MemSource(const MemTable* mem) : it(mem->NewIterator()) {}
+  bool Valid() const override { return it.Valid(); }
+  const Entry& entry() const override { return it.entry(); }
+  void Next() override { it.Next(); }
+  void Seek(std::string_view target) override { it.Seek(target); }
+  void SeekToFirst() override { it.SeekToFirst(); }
+  MemTable::Iterator it;
+};
+
+struct SstSource final : Db::Iterator::Source {
+  explicit SstSource(const SstReader* reader) : it(reader->NewIterator()) {}
+  bool Valid() const override { return it.Valid(); }
+  const Entry& entry() const override { return it.entry(); }
+  void Next() override { it.Next(); }
+  void Seek(std::string_view target) override { it.Seek(target); }
+  void SeekToFirst() override { it.SeekToFirst(); }
+  SstReader::Iterator it;
+};
+
+const Entry* PeekSmallest(
+    const std::vector<std::unique_ptr<Db::Iterator::Source>>& sources,
+    int* source_index) {
   int best = -1;
-  for (size_t i = 0; i < sources_.size(); ++i) {
-    const Source& s = sources_[i];
-    if (s.pos >= s.entries.size()) continue;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (!sources[i]->Valid()) continue;
     if (best < 0 ||
-        s.entries[s.pos].key.Compare(
-            sources_[static_cast<size_t>(best)]
-                .entries[sources_[static_cast<size_t>(best)].pos]
-                .key) < 0) {
+        sources[i]->entry().key.Compare(
+            sources[static_cast<size_t>(best)]->entry().key) < 0) {
       best = static_cast<int>(i);
     }
   }
   if (best < 0) return nullptr;
   *source_index = best;
-  return &sources_[static_cast<size_t>(best)]
-              .entries[sources_[static_cast<size_t>(best)].pos];
+  return &sources[static_cast<size_t>(best)]->entry();
 }
+}  // namespace
+
+Db::Iterator Db::NewIterator(const DbSnapshot* snapshot) const {
+  const SequenceNumber read_seq =
+      snapshot != nullptr ? snapshot->sequence()
+                          : visible_sequence_.load(std::memory_order_acquire);
+  std::shared_ptr<const Version> v = CurrentVersion();
+  return Iterator(std::move(v), read_seq, options_.merge_operator.get());
+}
+
+Db::Iterator::Iterator(std::shared_ptr<const Version> version,
+                       SequenceNumber read_seq, const MergeOperator* merge_op)
+    : version_(std::move(version)), read_seq_(read_seq), merge_op_(merge_op) {
+  sources_.push_back(std::make_unique<MemSource>(version_->mem.get()));
+  if (version_->imm != nullptr) {
+    sources_.push_back(std::make_unique<MemSource>(version_->imm.get()));
+  }
+  for (const FileMeta& f : version_->level0) {
+    sources_.push_back(std::make_unique<SstSource>(f.reader.get()));
+  }
+  for (const FileMeta& f : version_->level1) {
+    sources_.push_back(std::make_unique<SstSource>(f.reader.get()));
+  }
+  SeekToFirst();
+}
+
+Db::Iterator::~Iterator() = default;
+Db::Iterator::Iterator(Iterator&&) noexcept = default;
+Db::Iterator& Db::Iterator::operator=(Iterator&&) noexcept = default;
 
 void Db::Iterator::ResolveNext() {
   valid_ = false;
   while (true) {
     int idx = -1;
-    const Entry* first = PeekSmallest(&idx);
+    const Entry* first = PeekSmallest(sources_, &idx);
     if (first == nullptr) return;
     const std::string user_key = first->key.user_key;
 
@@ -519,10 +891,10 @@ void Db::Iterator::ResolveNext() {
     SequenceNumber last_seen_seq = kMaxSequence;
     while (true) {
       int i = -1;
-      const Entry* e = PeekSmallest(&i);
+      const Entry* e = PeekSmallest(sources_, &i);
       if (e == nullptr || e->key.user_key != user_key) break;
       const Entry entry = *e;
-      sources_[static_cast<size_t>(i)].pos++;  // Consume.
+      sources_[static_cast<size_t>(i)]->Next();  // Consume.
       if (entry.key.sequence > read_seq_) continue;  // Invisible version.
       if (chain_done) continue;  // Shadowed by a newer base.
       if (entry.key.sequence == last_seen_seq) continue;  // Duplicate.
@@ -566,26 +938,25 @@ void Db::Iterator::Next() {
 }
 
 void Db::Iterator::Seek(std::string_view target) {
-  for (Source& s : sources_) {
-    auto it = std::lower_bound(s.entries.begin(), s.entries.end(), target,
-                               [](const Entry& e, std::string_view k) {
-                                 return e.key.user_key < k;
-                               });
-    s.pos = static_cast<size_t>(it - s.entries.begin());
-  }
+  for (auto& s : sources_) s->Seek(target);
   ResolveNext();
 }
 
 void Db::Iterator::SeekToFirst() {
-  for (Source& s : sources_) s.pos = 0;
+  for (auto& s : sources_) s->SeekToFirst();
   ResolveNext();
 }
+
+// ---------------------------------------------------------------------------
+// Backup
 
 Status Db::CreateBackup(
     const std::function<Status(const std::string& name,
                                const std::string& contents)>& sink) {
+  FBSTREAM_RETURN_IF_ERROR(Flush());
+  // Holding mu_ freezes the file set: the background thread deletes
+  // obsolete files only under mu_, so everything listed stays readable.
   std::lock_guard<std::mutex> lock(mu_);
-  FBSTREAM_RETURN_IF_ERROR(FlushLocked());
   // An empty database may never have flushed; make sure the MANIFEST exists
   // so the backup is openable.
   FBSTREAM_RETURN_IF_ERROR(PersistManifestLocked());
@@ -642,12 +1013,13 @@ Status Db::RestoreBackupFromDir(const std::string& backup_dir,
 Db::Stats Db::GetStats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats stats;
-  stats.memtable_bytes = memtable_.ApproximateBytes();
-  stats.memtable_entries = memtable_.num_entries();
+  stats.memtable_bytes = mem_->ApproximateBytes();
+  stats.memtable_entries = mem_->num_entries();
   stats.l0_files = static_cast<int>(level0_.size());
   stats.l1_files = static_cast<int>(level1_.size());
   stats.flushes = flushes_;
   stats.compactions = compactions_;
+  stats.write_stalls = write_stalls_;
   return stats;
 }
 

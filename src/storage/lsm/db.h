@@ -1,18 +1,25 @@
 #ifndef FBSTREAM_STORAGE_LSM_DB_H_
 #define FBSTREAM_STORAGE_LSM_DB_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "storage/lsm/block_cache.h"
 #include "storage/lsm/internal_key.h"
 #include "storage/lsm/memtable.h"
 #include "storage/lsm/merge_operator.h"
 #include "storage/lsm/sstable.h"
+#include "storage/lsm/version.h"
 #include "storage/lsm/wal.h"
 #include "storage/lsm/write_batch.h"
 
@@ -21,17 +28,31 @@ namespace fbstream::lsm {
 // Embedded LSM key-value store — the RocksDB stand-in the paper's systems
 // build on (§2.5 Laser "built on top of RocksDB", §4.4.2 local state
 // saving, ZippyDB "built on top of RocksDB"). Features implemented:
-// write-ahead logging with crash recovery, a sorted memtable flushed to
-// on-disk SSTs, two-level leveled compaction, sequence-number snapshots,
-// merging iterators, custom merge operators (the Figure 12 append-only
-// optimization), and a backup engine (the Figure 10 HDFS remote backup).
+// write-ahead logging with crash recovery and group commit, a lock-free
+// skiplist memtable flushed to block-based on-disk SSTs through a shared
+// LRU block cache, background flush and two-level leveled compaction on a
+// maintenance thread, sequence-number snapshots, merging iterators, custom
+// merge operators (the Figure 12 append-only optimization), and a backup
+// engine (the Figure 10 HDFS remote backup).
+//
+// Concurrency model (see DESIGN.md "LSM concurrency model"): reads are
+// lock-free against an atomically swapped immutable Version; writes batch
+// through a leader-elected writer group; flush/compaction run on one
+// background thread with write-stall backpressure.
 struct DbOptions {
   // Flush the memtable to an L0 SST when it exceeds this size.
   size_t memtable_bytes = 4u << 20;
   // Compact L0 into L1 once L0 holds this many files.
   int l0_compaction_trigger = 4;
+  // Stall writers while L0 holds this many files (compaction is behind).
+  int l0_stall_files = 12;
   // Split L1 output files at roughly this size.
   size_t target_sst_bytes = 8u << 20;
+  // Target uncompressed size of SST data blocks.
+  size_t block_bytes = 4096;
+  // Shared cache for decoded SST blocks; nullptr uses the process-wide
+  // BlockCache::Default(). Multiple Dbs (shards) may share one cache.
+  std::shared_ptr<BlockCache> block_cache;
   // Optional merge operator enabling Db::Merge().
   std::shared_ptr<const MergeOperator> merge_operator;
 };
@@ -51,7 +72,8 @@ class DbSnapshot {
 class Db {
  public:
   // Opens (creating or recovering) a database in `dir`. Recovery loads the
-  // MANIFEST, opens live SSTs, and replays the WAL into the memtable.
+  // MANIFEST, opens live SSTs, replays all WALs into the memtable, and
+  // removes orphaned files from interrupted flushes/compactions.
   static StatusOr<std::unique_ptr<Db>> Open(const DbOptions& options,
                                             const std::string& dir);
 
@@ -63,16 +85,27 @@ class Db {
   Status Delete(std::string_view key);
   Status Merge(std::string_view key, std::string_view operand);
   // Applies the batch atomically (one WAL record, consecutive sequences).
+  // Thread-safe; concurrent writers are grouped into a single WAL append
+  // (group commit) by a leader writer.
   Status Write(const WriteBatch& batch);
 
+  // Lock-free: reads the current Version without touching the DB mutex.
   StatusOr<std::string> Get(std::string_view key) const;
   StatusOr<std::string> Get(std::string_view key,
                             const DbSnapshot* snapshot) const;
 
   // Resolved forward iteration over live (key, value) pairs: version
   // selection, merge resolution, and tombstone skipping already applied.
+  // Lock-free: pins the Version current at creation time and streams
+  // lazily through the block cache (no upfront materialization).
   class Iterator {
    public:
+    struct Source;  // Opaque polymorphic cursor over a memtable or SST.
+
+    ~Iterator();
+    Iterator(Iterator&&) noexcept;
+    Iterator& operator=(Iterator&&) noexcept;
+
     bool Valid() const { return valid_; }
     const std::string& key() const { return key_; }
     const std::string& value() const { return value_; }
@@ -82,20 +115,16 @@ class Db {
 
    private:
     friend class Db;
-    struct Source {
-      std::vector<Entry> entries;
-      size_t pos = 0;
-    };
-    Iterator(std::vector<Source> sources, SequenceNumber read_seq,
+    Iterator(std::shared_ptr<const Version> version, SequenceNumber read_seq,
              const MergeOperator* merge_op);
     // Positions on the next resolved visible key at or after the current
     // source cursors.
     void ResolveNext();
-    const Entry* PeekSmallest(int* source_index) const;
 
-    std::vector<Source> sources_;
-    SequenceNumber read_seq_;
-    const MergeOperator* merge_op_;
+    std::shared_ptr<const Version> version_;  // Keeps sources alive.
+    std::vector<std::unique_ptr<Source>> sources_;
+    SequenceNumber read_seq_ = 0;
+    const MergeOperator* merge_op_ = nullptr;
     bool valid_ = false;
     std::string key_;
     std::string value_;
@@ -103,10 +132,11 @@ class Db {
 
   Iterator NewIterator(const DbSnapshot* snapshot = nullptr) const;
 
-  // Persists the memtable as an L0 SST and resets the WAL. May trigger
-  // compaction.
+  // Persists the memtable as an L0 SST and retires its WAL. Synchronous:
+  // returns after the background thread finishes the flush (and any
+  // compaction it triggered).
   Status Flush();
-  // Merges all L0 files (plus overlapping L1 files) into L1.
+  // Flushes, then merges all L0 files (plus L1) into L1. Synchronous.
   Status CompactAll();
 
   const DbSnapshot* GetSnapshot();
@@ -139,44 +169,101 @@ class Db {
     int l1_files = 0;
     uint64_t flushes = 0;
     uint64_t compactions = 0;
+    uint64_t write_stalls = 0;
   };
   Stats GetStats() const;
 
   const std::string& dir() const { return dir_; }
 
  private:
-  struct FileMeta {
-    uint64_t number = 0;
-    std::shared_ptr<SstReader> reader;
+  // One queued writer; the front of the queue is the group leader.
+  struct Writer {
+    explicit Writer(const WriteBatch* b) : batch(b) {}
+    const WriteBatch* batch;
+    Status status;
+    bool done = false;
+    std::condition_variable cv;
   };
 
   Db(DbOptions options, std::string dir);
 
   Status RecoverLocked();
-  Status WriteLocked(const WriteBatch& batch);
-  Status FlushLocked();
-  Status CompactLocked();
+  // Rebuilds the immutable Version from current state and publishes it.
+  void PublishVersionLocked();
+  // The writer-queue protocol behind Write/Flush/CompactAll. A null batch is
+  // a "seal the memtable" request that carries no data.
+  Status WriteImpl(const WriteBatch* batch);
+  // Blocks (releasing mu_) until the active memtable has room, switching
+  // memtables and scheduling a flush as needed. With `force`, seals a
+  // non-empty memtable regardless of size. Returns sticky bg errors.
+  Status MakeRoomForWriteLocked(std::unique_lock<std::mutex>& lk, bool force);
+  // Seals the active memtable as immutable, opens a fresh WAL, and wakes
+  // the maintenance thread. Requires imm_ == nullptr.
+  Status SwitchMemtableLocked();
+  bool CompactionPendingLocked() const;
+  bool MaintenanceIdleLocked() const;
+
+  void BackgroundThread();
+  void BackgroundFlushLocked(std::unique_lock<std::mutex>& lk);
+  void BackgroundCompactLocked(std::unique_lock<std::mutex>& lk);
+  // The merge itself; runs without mu_ (takes it briefly per output file to
+  // allocate numbers).
+  Status MergeToL1(const std::vector<FileMeta>& inputs0,
+                   const std::vector<FileMeta>& inputs1, bool snapshots_live,
+                   std::vector<FileMeta>* new_level1);
+  uint64_t AllocFileNumber();
+
   Status PersistManifestLocked();
-  StatusOr<std::string> GetLocked(std::string_view key,
-                                  SequenceNumber read_seq) const;
   std::string SstPath(uint64_t number) const;
-  SequenceNumber OldestLiveSnapshotLocked() const;
+  std::string WalPath(uint64_t number) const;
   StatusOr<std::string> ResolveLookup(std::string_view key,
                                       const LookupState& state) const;
 
   DbOptions options_;
   std::string dir_;
+  std::shared_ptr<BlockCache> cache_;
 
+  // --- Read plane (no mu_) -------------------------------------------------
+  // Highest sequence whose write is fully applied (WAL + memtable). Readers
+  // load this FIRST (acquire), then the current version: every published
+  // version contains all data up to the sequence published before it.
+  std::atomic<SequenceNumber> visible_sequence_{0};
+  // The published superstructure. Readers only ever take the shared side of
+  // version_mu_, and only for the pointer copy — never mu_, so they can't
+  // block behind writers or maintenance. (std::atomic<std::shared_ptr>
+  // would drop even that, but libstdc++'s _Sp_atomic guards its pointer
+  // with a spinlock whose load-side unlock is relaxed, which TSan cannot
+  // see a happens-before through; a reader-writer lock is exactly as
+  // contended here — publishes happen per memtable switch, not per write.)
+  std::shared_ptr<const Version> CurrentVersion() const;
+  mutable std::shared_mutex version_mu_;
+  std::shared_ptr<const Version> current_;
+
+  // --- Control plane (mu_) ------------------------------------------------
   mutable std::mutex mu_;
-  MemTable memtable_;
-  WalWriter wal_;
-  SequenceNumber last_sequence_ = 0;
+  std::deque<Writer*> writers_;       // Front is the group leader.
+  std::shared_ptr<MemTable> mem_;     // Active memtable.
+  std::shared_ptr<const MemTable> imm_;  // Sealed, awaiting flush.
+  std::vector<uint64_t> mem_wals_;    // WAL files covering mem_.
+  std::vector<uint64_t> imm_wals_;    // WAL files covering imm_.
+  std::unique_ptr<WalWriter> wal_;    // Active log (last of mem_wals_).
+  SequenceNumber last_allocated_ = 0;  // Sequence allocation cursor.
   uint64_t next_file_number_ = 1;
   std::vector<FileMeta> level0_;  // Newest file last.
   std::vector<FileMeta> level1_;  // Sorted by smallest key, disjoint ranges.
   std::multiset<SequenceNumber> live_snapshots_;
   uint64_t flushes_ = 0;
   uint64_t compactions_ = 0;
+  uint64_t write_stalls_ = 0;
+
+  // --- Maintenance thread -------------------------------------------------
+  std::thread bg_thread_;
+  std::condition_variable work_cv_;  // Signals the bg thread: work arrived.
+  std::condition_variable done_cv_;  // Signals waiters: bg state changed.
+  bool bg_active_ = false;           // A flush/compaction job is running.
+  bool force_compact_ = false;       // CompactAll requested.
+  bool shutdown_ = false;
+  Status bg_error_;  // Sticky: a failed flush/compaction halts maintenance.
 };
 
 }  // namespace fbstream::lsm

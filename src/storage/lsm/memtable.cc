@@ -4,32 +4,123 @@
 
 namespace fbstream::lsm {
 
+struct MemTable::Node {
+  Entry entry;
+  int height = 1;
+  // Fixed-size tower keeps the code simple; the ~100B overhead per node is
+  // negligible against a typical entry and memtables cap at a few MB.
+  std::array<std::atomic<Node*>, kMaxHeight> next{};
+};
+
+namespace {
+// "node key" < "probe key" under internal ordering (user key ascending,
+// sequence descending). Takes the probe as raw parts so lookups don't
+// allocate a probe string.
+inline bool NodeBefore(const InternalKey& node, std::string_view user_key,
+                       SequenceNumber seq) {
+  const int c = std::string_view(node.user_key).compare(user_key);
+  if (c != 0) return c < 0;
+  return node.sequence > seq;  // Higher sequence sorts first.
+}
+}  // namespace
+
+MemTable::MemTable() { head_ = new Node(); }
+
+MemTable::~MemTable() {
+  Node* n = head_->next[0].load(std::memory_order_relaxed);
+  delete head_;
+  while (n != nullptr) {
+    Node* next = n->next[0].load(std::memory_order_relaxed);
+    delete n;
+    n = next;
+  }
+}
+
+int MemTable::RandomHeight() {
+  // Xorshift64; deterministic per-table, which keeps test runs reproducible.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  int height = 1;
+  // P(bump) = 1/4 per level, as in LevelDB.
+  uint64_t bits = rng_state_;
+  while (height < kMaxHeight && (bits & 3) == 0) {
+    ++height;
+    bits >>= 2;
+  }
+  return height;
+}
+
+MemTable::Node* MemTable::FindGreaterOrEqual(std::string_view user_key,
+                                             SequenceNumber seq,
+                                             Node** prev) const {
+  Node* x = head_;
+  int level = max_height_.load(std::memory_order_relaxed) - 1;
+  while (true) {
+    // Acquire pairs with the release publish in Add: a node reached here is
+    // fully constructed.
+    Node* next = x->next[static_cast<size_t>(level)].load(
+        std::memory_order_acquire);
+    if (next != nullptr && NodeBefore(next->entry.key, user_key, seq)) {
+      x = next;
+      continue;
+    }
+    if (prev != nullptr) prev[level] = x;
+    if (level == 0) return next;
+    --level;
+  }
+}
+
 void MemTable::Add(SequenceNumber sequence, EntryType type,
                    std::string_view key, std::string_view value) {
-  InternalKey ikey{std::string(key), sequence, type};
-  bytes_ += key.size() + value.size() + 16;
-  entries_.emplace(std::move(ikey), std::string(value));
+  Node* prev[kMaxHeight];
+  FindGreaterOrEqual(key, sequence, prev);
+  const int height = RandomHeight();
+  if (height > max_height_.load(std::memory_order_relaxed)) {
+    for (int i = max_height_.load(std::memory_order_relaxed); i < height; ++i) {
+      prev[i] = head_;
+    }
+    // Readers racing with this see either the old or new height; with the
+    // old height they just skip the taller levels, which is benign.
+    max_height_.store(height, std::memory_order_relaxed);
+  }
+  Node* node = new Node();
+  node->entry.key.user_key = std::string(key);
+  node->entry.key.sequence = sequence;
+  node->entry.key.type = type;
+  node->entry.value = std::string(value);
+  node->height = height;
+  for (int i = 0; i < height; ++i) {
+    node->next[static_cast<size_t>(i)].store(
+        prev[i]->next[static_cast<size_t>(i)].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    // Publish bottom-up so any level a reader finds the node at already has
+    // its lower levels linked.
+    prev[i]->next[static_cast<size_t>(i)].store(node,
+                                                std::memory_order_release);
+  }
+  bytes_.fetch_add(key.size() + value.size() + 16, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool MemTable::Get(std::string_view user_key, SequenceNumber read_seq,
                    LookupState* state) const {
-  // Seek to the newest visible entry: internal keys sort sequence-descending,
-  // so lower_bound on (key, read_seq, any-type) lands on the newest entry
-  // with sequence <= read_seq.
-  InternalKey probe{std::string(user_key), read_seq, EntryType::kPut};
-  auto it = entries_.lower_bound(probe);
+  // Lands on the newest entry for the key with sequence <= read_seq (probe
+  // sequence sorts before lower sequences of the same key).
+  Node* n = FindGreaterOrEqual(user_key, read_seq, nullptr);
   bool any = false;
   std::vector<std::string> operands_newest_first;
-  for (; it != entries_.end() && it->first.user_key == user_key; ++it) {
-    if (it->first.sequence > read_seq) continue;  // Too new for this reader.
+  for (; n != nullptr && n->entry.key.user_key == user_key;
+       n = n->next[0].load(std::memory_order_acquire)) {
+    if (n->entry.key.sequence > read_seq) continue;  // Too new for reader.
     any = true;
-    if (it->first.type == EntryType::kMerge) {
-      operands_newest_first.push_back(it->second);
+    if (n->entry.key.type == EntryType::kMerge) {
+      operands_newest_first.push_back(n->entry.value);
       continue;
     }
     state->found_base = true;
-    state->base_is_delete = it->first.type == EntryType::kDelete;
-    if (!state->base_is_delete) state->base_value = it->second;
+    state->base_is_delete = n->entry.key.type == EntryType::kDelete;
+    if (!state->base_is_delete) state->base_value = n->entry.value;
     break;
   }
   // This layer's operands are older than anything collected so far.
@@ -41,16 +132,31 @@ bool MemTable::Get(std::string_view user_key, SequenceNumber read_seq,
 
 std::vector<Entry> MemTable::Snapshot() const {
   std::vector<Entry> out;
-  out.reserve(entries_.size());
-  for (const auto& [key, value] : entries_) {
-    out.push_back(Entry{key, value});
+  out.reserve(num_entries());
+  for (Node* n = head_->next[0].load(std::memory_order_acquire); n != nullptr;
+       n = n->next[0].load(std::memory_order_acquire)) {
+    out.push_back(n->entry);
   }
   return out;
 }
 
-void MemTable::Clear() {
-  entries_.clear();
-  bytes_ = 0;
+const Entry& MemTable::Iterator::entry() const {
+  return static_cast<const Node*>(node_)->entry;
+}
+
+void MemTable::Iterator::Next() {
+  if (node_ == nullptr) return;
+  node_ = static_cast<const Node*>(node_)->next[0].load(
+      std::memory_order_acquire);
+}
+
+void MemTable::Iterator::Seek(std::string_view target) {
+  // (target, kMaxSequence) is the smallest internal key with that user key.
+  node_ = mem_->FindGreaterOrEqual(target, kMaxSequence, nullptr);
+}
+
+void MemTable::Iterator::SeekToFirst() {
+  node_ = mem_->head_->next[0].load(std::memory_order_acquire);
 }
 
 }  // namespace fbstream::lsm

@@ -1,7 +1,8 @@
 #ifndef FBSTREAM_STORAGE_LSM_MEMTABLE_H_
 #define FBSTREAM_STORAGE_LSM_MEMTABLE_H_
 
-#include <map>
+#include <array>
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -10,38 +11,83 @@
 
 namespace fbstream::lsm {
 
-// In-memory sorted write buffer. Entries are ordered by internal key
-// (user key ascending, sequence descending). Not internally synchronized;
-// the DB serializes access under its own mutex.
+// In-memory sorted write buffer backed by a skiplist. Entries are ordered by
+// internal key (user key ascending, sequence descending).
+//
+// Concurrency contract (the LevelDB memtable protocol): at most one thread
+// calls Add() at a time — the DB's writer-group leader — while any number of
+// threads call Get() or iterate concurrently with no locking. New nodes are
+// fully initialized before being published with release stores; readers
+// traverse with acquire loads and never see a partially linked node. Nodes
+// are never removed while the memtable is alive, so readers hold no locks
+// and chase no freed pointers; the whole table is retired at once when the
+// last shared_ptr owner (Version or flush job) drops it.
 class MemTable {
  public:
+  MemTable();
+  ~MemTable();
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  // Single writer at a time (see class comment).
   void Add(SequenceNumber sequence, EntryType type, std::string_view key,
            std::string_view value);
 
   // Collects the version chain for `user_key` visible at `read_seq`:
   // prepends merge operands to `state->operands` and fills the base if a
   // Put/Delete terminates the chain in this layer. Returns true if this
-  // memtable held anything visible for the key.
+  // memtable held anything visible for the key. Safe concurrently with Add.
   bool Get(std::string_view user_key, SequenceNumber read_seq,
            LookupState* state) const;
 
-  // All entries in internal-key order; used for flush and iterators.
+  // All entries in internal-key order; used for flush (the table is
+  // immutable by then).
   std::vector<Entry> Snapshot() const;
 
-  size_t ApproximateBytes() const { return bytes_; }
-  size_t num_entries() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
-  void Clear();
+  // Live scan in internal-key order, safe concurrently with Add: entries
+  // published after the iterator passes a position are simply not seen,
+  // which is harmless because reads are sequence-filtered anyway.
+  class Iterator {
+   public:
+    explicit Iterator(const MemTable* mem) : mem_(mem) {}
+    bool Valid() const { return node_ != nullptr; }
+    const Entry& entry() const;
+    void Next();
+    // Positions at the first entry with user_key >= target.
+    void Seek(std::string_view target);
+    void SeekToFirst();
+
+   private:
+    const MemTable* mem_;
+    const void* node_ = nullptr;
+  };
+  Iterator NewIterator() const { return Iterator(this); }
+
+  size_t ApproximateBytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  size_t num_entries() const { return count_.load(std::memory_order_relaxed); }
+  bool empty() const { return num_entries() == 0; }
 
  private:
-  struct KeyLess {
-    bool operator()(const InternalKey& a, const InternalKey& b) const {
-      return a.Compare(b) < 0;
-    }
-  };
+  friend class Iterator;
 
-  std::map<InternalKey, std::string, KeyLess> entries_;
-  size_t bytes_ = 0;
+  static constexpr int kMaxHeight = 12;
+
+  struct Node;
+
+  // First node with internal key >= (user_key, seq), filling prev[] per
+  // level when non-null (insert path).
+  Node* FindGreaterOrEqual(std::string_view user_key, SequenceNumber seq,
+                           Node** prev) const;
+  int RandomHeight();
+
+  Node* head_ = nullptr;  // Sentinel; never holds an entry.
+  std::atomic<int> max_height_{1};
+  uint64_t rng_state_ = 0x9d2c5680dbeefULL;
+
+  std::atomic<size_t> bytes_{0};
+  std::atomic<size_t> count_{0};
 };
 
 }  // namespace fbstream::lsm

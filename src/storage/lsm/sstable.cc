@@ -1,5 +1,8 @@
 #include "storage/lsm/sstable.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 
 #include "common/fs.h"
@@ -8,7 +11,13 @@
 namespace fbstream::lsm {
 
 namespace {
-constexpr uint64_t kSstMagic = 0xfb57ab1e00c0ffeeULL;
+// v1 wrote a flat entry array the reader decoded whole; v2 is block-based.
+// Both magics are kept so a v1 file is rejected with a clear message instead
+// of being misparsed.
+constexpr uint64_t kSstMagicV1 = 0xfb57ab1e00c0ffeeULL;
+constexpr uint64_t kSstMagicV2 = 0xfb57b10c00c0ffeeULL;
+constexpr size_t kFooterBytes = 24;
+constexpr size_t kNoBlock = ~size_t{0};
 
 void EncodeEntry(const Entry& e, std::string* out) {
   PutLengthPrefixed(out, e.key.user_key);
@@ -37,110 +46,199 @@ bool DecodeEntry(std::string_view* in, Entry* e) {
 
 void SstWriter::Add(const Entry& entry) {
   if (num_entries_ == 0) smallest_ = entry.key.user_key;
-  if (user_keys_.empty() || user_keys_.back() != entry.key.user_key) {
+  const bool new_user_key =
+      user_keys_.empty() || user_keys_.back() != entry.key.user_key;
+  if (new_user_key) {
     user_keys_.push_back(entry.key.user_key);  // Input is sorted by key.
+  }
+  // Cut only between distinct user keys so a key's whole version chain stays
+  // in one block (point lookups touch exactly one block).
+  if (block_open_ && new_user_key &&
+      data_.size() - block_start_ >= block_bytes_) {
+    CutBlock();
+  }
+  if (!block_open_) {
+    block_open_ = true;
+    block_start_ = data_.size();
+    block_first_key_ = entry.key.user_key;
   }
   largest_ = entry.key.user_key;
   max_sequence_ = std::max(max_sequence_, entry.key.sequence);
-  if (num_entries_ % kIndexInterval == 0) {
-    index_.emplace_back(entry.key.user_key, data_.size());
-  }
   EncodeEntry(entry, &data_);
   ++num_entries_;
 }
 
-Status SstWriter::Finish(const std::string& path) {
-  std::string file = data_;
-  const uint64_t index_offset = file.size();
-  PutVarint64(&file, index_.size());
-  for (const auto& [key, offset] : index_) {
-    PutLengthPrefixed(&file, key);
-    PutFixed64(&file, offset);
-  }
-  const uint64_t meta_offset = file.size();
-  PutLengthPrefixed(&file, smallest_);
-  PutLengthPrefixed(&file, largest_);
-  PutVarint64(&file, max_sequence_);
-  PutVarint64(&file, num_entries_);
-  BloomFilter bloom(user_keys_.size());
-  for (const std::string& key : user_keys_) bloom.Add(key);
-  PutLengthPrefixed(&file, bloom.Serialize());
-  // Fixed-size footer.
-  PutFixed64(&file, index_offset);
-  PutFixed64(&file, meta_offset);
-  PutFixed64(&file, kSstMagic);
-  return WriteFileAtomic(path, file);
+void SstWriter::CutBlock() {
+  index_.push_back(
+      IndexEntry{block_first_key_, block_start_, data_.size() - block_start_});
+  block_open_ = false;
 }
 
-StatusOr<std::shared_ptr<SstReader>> SstReader::Open(const std::string& path) {
-  FBSTREAM_ASSIGN_OR_RETURN(std::string file, ReadFileToString(path));
-  if (file.size() < 24) return Status::Corruption("sst too small: " + path);
-  std::string_view footer(file.data() + file.size() - 24, 24);
+Status SstWriter::Finish(const std::string& path) {
+  if (block_open_) CutBlock();
+  // Index, meta, and footer are appended onto the data buffer in place; the
+  // buffer is handed to the filesystem without duplicating the data section.
+  const uint64_t index_offset = data_.size();
+  PutVarint64(&data_, index_.size());
+  for (const IndexEntry& e : index_) {
+    PutLengthPrefixed(&data_, e.first_key);
+    PutFixed64(&data_, e.offset);
+    PutFixed64(&data_, e.size);
+  }
+  const uint64_t meta_offset = data_.size();
+  PutLengthPrefixed(&data_, smallest_);
+  PutLengthPrefixed(&data_, largest_);
+  PutVarint64(&data_, max_sequence_);
+  PutVarint64(&data_, num_entries_);
+  BloomFilter bloom(user_keys_.size());
+  for (const std::string& key : user_keys_) bloom.Add(key);
+  PutLengthPrefixed(&data_, bloom.Serialize());
+  // Fixed-size footer.
+  PutFixed64(&data_, index_offset);
+  PutFixed64(&data_, meta_offset);
+  PutFixed64(&data_, kSstMagicV2);
+  return WriteFileAtomic(path, data_);
+}
+
+SstReader::~SstReader() {
+  if (fd_ >= 0) close(fd_);
+  if (cache_ != nullptr) cache_->EraseFile(cache_file_id_);
+}
+
+StatusOr<std::shared_ptr<SstReader>> SstReader::Open(
+    const std::string& path, std::shared_ptr<BlockCache> cache) {
+  const int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("sst open: " + path);
+  std::shared_ptr<SstReader> reader(new SstReader());
+  reader->fd_ = fd;  // Owned from here; closed by the destructor on error.
+  reader->path_ = path;
+  reader->cache_ = cache != nullptr ? std::move(cache) : BlockCache::Default();
+  reader->cache_file_id_ = BlockCache::NextFileId();
+
+  const off_t file_size = lseek(fd, 0, SEEK_END);
+  if (file_size < static_cast<off_t>(kFooterBytes)) {
+    return Status::Corruption("sst too small: " + path);
+  }
+  char footer_buf[kFooterBytes];
+  if (pread(fd, footer_buf, kFooterBytes, file_size - kFooterBytes) !=
+      static_cast<ssize_t>(kFooterBytes)) {
+    return Status::IoError("sst footer read: " + path);
+  }
+  std::string_view footer(footer_buf, kFooterBytes);
   uint64_t index_offset = 0;
   uint64_t meta_offset = 0;
   uint64_t magic = 0;
   GetFixed64(&footer, &index_offset);
   GetFixed64(&footer, &meta_offset);
   GetFixed64(&footer, &magic);
-  if (magic != kSstMagic) return Status::Corruption("sst bad magic: " + path);
-  if (index_offset > file.size() || meta_offset > file.size() ||
-      index_offset > meta_offset) {
+  if (magic == kSstMagicV1) {
+    return Status::Corruption(
+        "sst v1 (pre-block) format is no longer supported, rewrite via "
+        "backup/restore from the old build: " +
+        path);
+  }
+  if (magic != kSstMagicV2) return Status::Corruption("sst bad magic: " + path);
+  const auto size = static_cast<uint64_t>(file_size);
+  if (index_offset > size || meta_offset > size || index_offset > meta_offset) {
     return Status::Corruption("sst bad offsets: " + path);
   }
 
-  auto reader = std::make_shared<SstReader>();
-  reader->path_ = path;
+  // Index + meta tail (a few KiB even for large tables) is read eagerly.
+  std::string tail(size - kFooterBytes - index_offset, '\0');
+  if (pread(fd, tail.data(), tail.size(), static_cast<off_t>(index_offset)) !=
+      static_cast<ssize_t>(tail.size())) {
+    return Status::IoError("sst index read: " + path);
+  }
+  std::string_view index(tail.data(), meta_offset - index_offset);
+  uint64_t num_blocks = 0;
+  if (!GetVarint64(&index, &num_blocks) ||
+      num_blocks > size / 4 + 1) {
+    return Status::Corruption("sst bad index: " + path);
+  }
+  reader->index_.reserve(num_blocks);
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    std::string_view first_key;
+    uint64_t offset = 0;
+    uint64_t block_size = 0;
+    if (!GetLengthPrefixed(&index, &first_key) ||
+        !GetFixed64(&index, &offset) || !GetFixed64(&index, &block_size) ||
+        offset + block_size > index_offset) {
+      return Status::Corruption("sst bad index entry: " + path);
+    }
+    reader->index_.push_back(
+        IndexEntry{std::string(first_key), offset, block_size});
+  }
 
-  std::string_view meta(file.data() + meta_offset,
-                        file.size() - 24 - meta_offset);
+  std::string_view meta(tail.data() + (meta_offset - index_offset),
+                        tail.size() - (meta_offset - index_offset));
   std::string_view smallest;
   std::string_view largest;
   uint64_t max_seq = 0;
   uint64_t count = 0;
+  std::string_view bloom_bits;
   if (!GetLengthPrefixed(&meta, &smallest) ||
       !GetLengthPrefixed(&meta, &largest) || !GetVarint64(&meta, &max_seq) ||
-      !GetVarint64(&meta, &count)) {
+      !GetVarint64(&meta, &count) || !GetLengthPrefixed(&meta, &bloom_bits)) {
     return Status::Corruption("sst bad meta: " + path);
   }
   reader->smallest_ = std::string(smallest);
   reader->largest_ = std::string(largest);
   reader->max_sequence_ = max_seq;
-  // Bloom filter (appended field; absent in older files).
-  std::string_view bloom_bits;
-  if (GetLengthPrefixed(&meta, &bloom_bits)) {
-    reader->bloom_ = BloomFilter::Deserialize(bloom_bits);
-  }
+  reader->num_entries_ = count;
+  reader->bloom_ = BloomFilter::Deserialize(bloom_bits);
+  return reader;
+}
 
-  std::string_view data(file.data(), index_offset);
-  // Each entry occupies at least 4 bytes on disk; a larger count is corrupt
-  // and must not drive the reserve below.
-  if (count > data.size() / 4 + 1) {
-    return Status::Corruption("sst bad entry count: " + path);
+size_t SstReader::FindBlock(std::string_view user_key) const {
+  // Last block whose first key is <= user_key; earlier blocks end before it,
+  // later blocks start after it.
+  auto it = std::upper_bound(
+      index_.begin(), index_.end(), user_key,
+      [](std::string_view k, const IndexEntry& e) { return k < e.first_key; });
+  if (it == index_.begin()) return kNoBlock;  // Below the table's first key.
+  return static_cast<size_t>(it - index_.begin()) - 1;
+}
+
+StatusOr<std::shared_ptr<const SstBlock>> SstReader::ReadBlock(
+    size_t block_index) const {
+  const IndexEntry& entry = index_[block_index];
+  if (auto cached = cache_->Lookup(cache_file_id_, entry.offset)) {
+    return cached;
   }
-  reader->entries_.reserve(count);
+  std::string raw(entry.size, '\0');
+  if (pread(fd_, raw.data(), raw.size(), static_cast<off_t>(entry.offset)) !=
+      static_cast<ssize_t>(raw.size())) {
+    return Status::IoError("sst block read: " + path_);
+  }
+  auto block = std::make_shared<SstBlock>();
+  std::string_view data(raw);
   while (!data.empty()) {
     Entry e;
     if (!DecodeEntry(&data, &e)) {
-      return Status::Corruption("sst bad entry: " + path);
+      return Status::Corruption("sst bad entry: " + path_);
     }
-    reader->entries_.push_back(std::move(e));
+    block->charge += e.key.user_key.size() + e.value.size() + 48;
+    block->entries.push_back(std::move(e));
   }
-  if (reader->entries_.size() != count) {
-    return Status::Corruption("sst entry count mismatch: " + path);
-  }
-  return reader;
+  cache_->Insert(cache_file_id_, entry.offset, block);
+  return std::shared_ptr<const SstBlock>(std::move(block));
 }
 
 bool SstReader::Get(std::string_view user_key, SequenceNumber read_seq,
                     LookupState* state) const {
   if (!bloom_.MayContain(user_key)) return false;  // Definitely absent.
+  const size_t block_index = FindBlock(user_key);
+  if (block_index == kNoBlock) return false;
+  auto block_or = ReadBlock(block_index);
+  if (!block_or.ok()) return false;  // Unreadable table excludes nothing.
+  const SstBlock& block = **block_or;
   // First entry with user_key >= target; within a key, sequences descend.
   auto it = std::lower_bound(
-      entries_.begin(), entries_.end(), user_key,
+      block.entries.begin(), block.entries.end(), user_key,
       [](const Entry& e, std::string_view k) { return e.key.user_key < k; });
   bool any = false;
   std::vector<std::string> operands_newest_first;
-  for (; it != entries_.end() && it->key.user_key == user_key; ++it) {
+  for (; it != block.entries.end() && it->key.user_key == user_key; ++it) {
     if (it->key.sequence > read_seq) continue;
     any = true;
     if (it->key.type == EntryType::kMerge) {
@@ -159,11 +257,41 @@ bool SstReader::Get(std::string_view user_key, SequenceNumber read_seq,
   return any;
 }
 
+void SstReader::Iterator::LoadBlock(size_t block_index) {
+  block_index_ = block_index;
+  pos_ = 0;
+  if (block_index >= reader_->index_.size()) {
+    block_ = nullptr;
+    return;
+  }
+  auto block_or = reader_->ReadBlock(block_index);
+  if (!block_or.ok()) {
+    block_ = nullptr;
+    status_ = block_or.status();
+    return;
+  }
+  block_ = std::move(block_or).value();
+}
+
+void SstReader::Iterator::Next() {
+  if (!Valid()) return;
+  if (++pos_ >= block_->entries.size()) LoadBlock(block_index_ + 1);
+}
+
+void SstReader::Iterator::SeekToFirst() { LoadBlock(0); }
+
 void SstReader::Iterator::Seek(std::string_view target) {
+  size_t block_index = reader_->FindBlock(target);
+  if (block_index == kNoBlock) block_index = 0;  // Target below first key.
+  LoadBlock(block_index);
+  if (block_ == nullptr) return;
   auto it = std::lower_bound(
-      reader_->entries_.begin(), reader_->entries_.end(), target,
+      block_->entries.begin(), block_->entries.end(), target,
       [](const Entry& e, std::string_view k) { return e.key.user_key < k; });
-  pos_ = static_cast<size_t>(it - reader_->entries_.begin());
+  pos_ = static_cast<size_t>(it - block_->entries.begin());
+  // Target past this block's last key: the next block (if any) starts at the
+  // first key >= target.
+  if (pos_ >= block_->entries.size()) LoadBlock(block_index + 1);
 }
 
 }  // namespace fbstream::lsm

@@ -1,0 +1,30 @@
+#include "storage/lsm/version.h"
+
+#include <algorithm>
+
+namespace fbstream::lsm {
+
+void Version::Get(std::string_view user_key, SequenceNumber read_seq,
+                  LookupState* state) const {
+  // Newest layer first; stop as soon as a layer yields a Put/Delete base.
+  // Merge operands keep accumulating across layers until a base is found.
+  if (mem != nullptr) mem->Get(user_key, read_seq, state);
+  if (state->found_base) return;
+  if (imm != nullptr) imm->Get(user_key, read_seq, state);
+  if (state->found_base) return;
+  // L0 files overlap; probe newest (appended last) to oldest.
+  for (auto it = level0.rbegin(); it != level0.rend(); ++it) {
+    it->reader->Get(user_key, read_seq, state);
+    if (state->found_base) return;
+  }
+  // L1 ranges are disjoint and sorted: at most one file can hold the key.
+  auto it = std::lower_bound(level1.begin(), level1.end(), user_key,
+                             [](const FileMeta& f, std::string_view k) {
+                               return f.reader->largest() < k;
+                             });
+  if (it != level1.end() && it->reader->smallest() <= user_key) {
+    it->reader->Get(user_key, read_seq, state);
+  }
+}
+
+}  // namespace fbstream::lsm

@@ -1,0 +1,46 @@
+#ifndef FBSTREAM_STORAGE_LSM_VERSION_H_
+#define FBSTREAM_STORAGE_LSM_VERSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/lsm/internal_key.h"
+#include "storage/lsm/memtable.h"
+#include "storage/lsm/sstable.h"
+
+namespace fbstream::lsm {
+
+// One live SST and its number in the MANIFEST.
+struct FileMeta {
+  uint64_t number = 0;
+  std::shared_ptr<SstReader> reader;
+};
+
+// An immutable, refcounted snapshot of the DB's entire read superstructure:
+// active memtable, immutable (flushing) memtable, and both levels. Writers
+// build a fresh Version for every structural change (memtable switch, flush
+// completion, compaction) and swap it into the DB's atomic current-version
+// pointer; readers grab a shared_ptr and run entirely lock-free, keeping
+// every table they can see alive for as long as they hold it.
+//
+// Read protocol: load the DB's visible sequence FIRST (acquire), then the
+// version (acquire). Every version contains all data up to the sequence
+// published before it, so the version loaded second always covers the
+// sequence loaded first — reads are consistent and never miss acknowledged
+// writes. (The active memtable keeps receiving concurrent appends; they are
+// newer than the loaded sequence and filtered out.)
+struct Version {
+  std::shared_ptr<const MemTable> mem;  // Active; still receiving writes.
+  std::shared_ptr<const MemTable> imm;  // Flushing; null when none.
+  std::vector<FileMeta> level0;         // Overlapping ranges, newest last.
+  std::vector<FileMeta> level1;         // Sorted by smallest key, disjoint.
+
+  // Layered point lookup, newest layer first, stopping at the first
+  // Put/Delete base (merge operands keep accumulating across layers).
+  void Get(std::string_view user_key, SequenceNumber read_seq,
+           LookupState* state) const;
+};
+
+}  // namespace fbstream::lsm
+
+#endif  // FBSTREAM_STORAGE_LSM_VERSION_H_

@@ -13,29 +13,45 @@ Status WalWriter::Open(const std::string& path) {
   Close();
   file_ = fopen(path.c_str(), "ab");
   if (file_ == nullptr) return Status::IoError("wal open: " + path);
+  appended_bytes_ = 0;
   return Status::OK();
 }
 
-Status WalWriter::AddRecord(SequenceNumber first_sequence,
-                            const WriteBatch& batch) {
-  if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
-  // Before any bytes reach the file: an injected failure here models a full
-  // disk or an I/O stall, leaving the log exactly as it was (callers may
-  // retry the whole record).
-  FBSTREAM_RETURN_IF_ERROR(FaultRegistry::Global()->Hit("lsm.wal.append"));
+namespace {
+void FrameRecord(SequenceNumber first_sequence, const WriteBatch& batch,
+                 std::string* out) {
   std::string body;
   PutVarint64(&body, first_sequence);
   const std::string payload = batch.Serialize();
   PutLengthPrefixed(&body, payload);
 
-  std::string record;
-  PutVarint64(&record, body.size());
-  PutFixed64(&record, Fnv1a64(body));
-  record += body;
-  if (fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+  PutVarint64(out, body.size());
+  PutFixed64(out, Fnv1a64(body));
+  *out += body;
+}
+}  // namespace
+
+Status WalWriter::AddRecord(SequenceNumber first_sequence,
+                            const WriteBatch& batch) {
+  return AddRecords({{first_sequence, &batch}});
+}
+
+Status WalWriter::AddRecords(const std::vector<WalRecord>& records) {
+  if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  if (records.empty()) return Status::OK();
+  // Before any bytes reach the file: an injected failure here models a full
+  // disk or an I/O stall, leaving the log exactly as it was (callers may
+  // retry the whole group).
+  FBSTREAM_RETURN_IF_ERROR(FaultRegistry::Global()->Hit("lsm.wal.append"));
+  std::string buffer;
+  for (const WalRecord& r : records) {
+    FrameRecord(r.first_sequence, *r.batch, &buffer);
+  }
+  if (fwrite(buffer.data(), 1, buffer.size(), file_) != buffer.size()) {
     return Status::IoError("wal write");
   }
   if (fflush(file_) != 0) return Status::IoError("wal flush");
+  appended_bytes_ += buffer.size();
   return Status::OK();
 }
 

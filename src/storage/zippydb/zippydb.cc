@@ -26,6 +26,7 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::Open(const ClusterOptions& options,
     for (int r = 0; r < options.replication; ++r) {
       lsm::DbOptions db_options;
       db_options.merge_operator = options.merge_operator;
+      db_options.block_cache = options.block_cache;
       FBSTREAM_ASSIGN_OR_RETURN(
           auto db,
           lsm::Db::Open(db_options, dir + "/shard-" + std::to_string(i) +

@@ -53,6 +53,10 @@ struct ClusterOptions {
   // can pass during a simulated backoff.
   RetryOptions retry{.max_attempts = 1};
   Clock* clock = nullptr;
+  // Block cache shared by every replica Db in the cluster (one working set
+  // across shards, as RocksDB instances share a cache within a process).
+  // nullptr uses the process-wide lsm::BlockCache::Default().
+  std::shared_ptr<lsm::BlockCache> block_cache;
 };
 
 class Cluster {

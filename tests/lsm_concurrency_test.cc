@@ -1,0 +1,412 @@
+// Concurrency tests for the LSM store: WAL group commit, multi-threaded
+// Get/Put/Flush/CompactAll torture, snapshot consistency across concurrent
+// maintenance, iterator pinning, and background fault injection. Built and
+// run under ThreadSanitizer by scripts/tsan.sh.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/fs.h"
+#include "common/rng.h"
+#include "storage/lsm/db.h"
+#include "storage/lsm/wal.h"
+#include "storage/lsm/write_batch.h"
+
+namespace fbstream::lsm {
+namespace {
+
+struct ReplayedRecord {
+  SequenceNumber first_sequence;
+  std::vector<WriteBatch::Op> ops;
+};
+
+std::vector<ReplayedRecord> Replay(const std::string& path) {
+  std::vector<ReplayedRecord> out;
+  const Status st =
+      ReplayWal(path, [&out](SequenceNumber first, const WriteBatch& batch) {
+        out.push_back(ReplayedRecord{first, batch.ops()});
+      });
+  EXPECT_TRUE(st.ok()) << st;
+  return out;
+}
+
+TEST(WalGroupCommitTest, GroupedAppendMatchesSerialAppendsByteForByte) {
+  const std::string dir = MakeTempDir("walgc");
+  WriteBatch b1;
+  b1.Put("a", "1");
+  WriteBatch b2;
+  b2.Delete("b");
+  b2.Merge("c", "+2");
+  WriteBatch b3;
+  b3.Put("d", "4");
+
+  {
+    WalWriter serial;
+    ASSERT_TRUE(serial.Open(dir + "/serial.log").ok());
+    ASSERT_TRUE(serial.AddRecord(1, b1).ok());
+    ASSERT_TRUE(serial.AddRecord(2, b2).ok());
+    ASSERT_TRUE(serial.AddRecord(4, b3).ok());
+  }
+  {
+    WalWriter grouped;
+    ASSERT_TRUE(grouped.Open(dir + "/grouped.log").ok());
+    ASSERT_TRUE(grouped.AddRecords({{1, &b1}, {2, &b2}, {4, &b3}}).ok());
+  }
+
+  auto serial_bytes = ReadFileToString(dir + "/serial.log");
+  auto grouped_bytes = ReadFileToString(dir + "/grouped.log");
+  ASSERT_TRUE(serial_bytes.ok());
+  ASSERT_TRUE(grouped_bytes.ok());
+  // One fwrite+fflush for the group, but the on-disk framing is identical,
+  // so crash replay cannot tell group commits from serial ones.
+  EXPECT_EQ(serial_bytes.value(), grouped_bytes.value());
+
+  const auto records = Replay(dir + "/grouped.log");
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].first_sequence, 1u);
+  EXPECT_EQ(records[1].first_sequence, 2u);
+  ASSERT_EQ(records[1].ops.size(), 2u);
+  EXPECT_EQ(records[1].ops[1].value, "+2");
+  EXPECT_EQ(records[2].first_sequence, 4u);
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+TEST(WalGroupCommitTest, TornGroupReplaysIntactPrefix) {
+  const std::string dir = MakeTempDir("walgc");
+  const std::string path = dir + "/wal.log";
+  WriteBatch b1;
+  b1.Put("k1", "v1");
+  WriteBatch b2;
+  b2.Put("k2", "v2");
+  {
+    WalWriter wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.AddRecords({{1, &b1}, {2, &b2}}).ok());
+  }
+  // Tear off the tail of the second record, as a crash mid-write would.
+  auto data = ReadFileToString(path);
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(
+      WriteFileAtomic(path, data.value().substr(0, data.value().size() - 3))
+          .ok());
+
+  const auto records = Replay(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].first_sequence, 1u);
+  ASSERT_EQ(records[0].ops.size(), 1u);
+  EXPECT_EQ(records[0].ops[0].key, "k1");
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+class LsmConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = MakeTempDir("lsmconc"); }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(dir_).ok()); }
+
+  std::string dir_;
+};
+
+TEST_F(LsmConcurrencyTest, ConcurrentWritersAllDurableAfterReopen) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 200;
+  {
+    DbOptions options;
+    options.memtable_bytes = 1u << 20;  // No flush: durability is WAL-only.
+    auto db_or = Db::Open(options, dir_);
+    ASSERT_TRUE(db_or.ok());
+    auto db = std::move(db_or).value();
+
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&db, &failures, t] {
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          const std::string key =
+              "t" + std::to_string(t) + "-" + std::to_string(i);
+          if (!db->Put(key, "v" + std::to_string(i)).ok()) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(failures.load(), 0);
+  }
+  // Every acknowledged write must survive reopen through the (group
+  // committed) WAL alone.
+  auto db_or = Db::Open({}, dir_);
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(db_or).value();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      const std::string key = "t" + std::to_string(t) + "-" + std::to_string(i);
+      auto v = db->Get(key);
+      ASSERT_TRUE(v.ok()) << key << ": " << v.status();
+      EXPECT_EQ(v.value(), "v" + std::to_string(i));
+    }
+  }
+}
+
+// The heart of the suite: concurrent readers, writers, scans, and forced
+// maintenance against a tiny memtable so flush/compaction churn constantly.
+// Writers stamp values with their key and a monotonically increasing
+// counter; readers assert integrity (value matches key) and monotonicity
+// (a later read never observes an older counter than an earlier one).
+TEST_F(LsmConcurrencyTest, TortureGetPutFlushCompactAll) {
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 2;
+  constexpr int kKeysPerWriter = 40;
+  constexpr int kOpsPerWriter = 1500;
+
+  DbOptions options;
+  options.memtable_bytes = 8u << 10;  // Constant flushing.
+  options.l0_compaction_trigger = 2;
+  auto db_or = Db::Open(options, dir_);
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(db_or).value();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> errors{0};
+  auto key_of = [](int writer, int k) {
+    return "w" + std::to_string(writer) + "-k" + std::to_string(k);
+  };
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        const std::string key = key_of(w, i % kKeysPerWriter);
+        const std::string value = key + "#" + std::to_string(i);
+        if (!db->Put(key, value).ok()) errors.fetch_add(1);
+        if (i % 97 == 0 && !db->Delete(key_of(w, (i + 7) % kKeysPerWriter)).ok()) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(1234u + static_cast<uint64_t>(r));
+      std::vector<int> last_seen(kWriters * kKeysPerWriter, -1);
+      while (!done.load(std::memory_order_acquire)) {
+        const int w = static_cast<int>(rng.Uniform(kWriters));
+        const int k = static_cast<int>(rng.Uniform(kKeysPerWriter));
+        const std::string key = key_of(w, k);
+        auto v = db->Get(key);
+        if (!v.ok()) continue;  // NotFound (deleted) is fine.
+        // Integrity: the value belongs to this key.
+        if (v.value().rfind(key + "#", 0) != 0) {
+          errors.fetch_add(1);
+          continue;
+        }
+        // Monotonicity: visible_sequence only grows, so a re-read must not
+        // travel backwards in time.
+        const int counter = std::stoi(v.value().substr(key.size() + 1));
+        int& last = last_seen[static_cast<size_t>(w * kKeysPerWriter + k)];
+        if (counter < last) errors.fetch_add(1);
+        last = counter;
+      }
+    });
+  }
+  // Forced maintenance racing the organic flush/compaction cycle.
+  threads.emplace_back([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (!db->Flush().ok()) errors.fetch_add(1);
+      if (!db->CompactAll().ok()) errors.fetch_add(1);
+      std::this_thread::yield();
+    }
+  });
+  // A scanning thread: every pass must observe strictly sorted keys and
+  // well-formed values.
+  threads.emplace_back([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::string prev;
+      for (auto it = db->NewIterator(); it.Valid(); it.Next()) {
+        if (!prev.empty() && it.key() <= prev) errors.fetch_add(1);
+        if (it.value().rfind(it.key() + "#", 0) != 0) errors.fetch_add(1);
+        prev = it.key();
+      }
+    }
+  });
+
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
+  done.store(true, std::memory_order_release);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+  EXPECT_EQ(errors.load(), 0);
+
+  const Db::Stats stats = db->GetStats();
+  EXPECT_GT(stats.flushes, 0u);
+  EXPECT_GT(stats.compactions, 0u);
+
+  // Every key holds its last written value (or was deleted last).
+  for (int w = 0; w < kWriters; ++w) {
+    for (int k = 0; k < kKeysPerWriter; ++k) {
+      const std::string key = key_of(w, k);
+      auto v = db->Get(key);
+      if (v.ok()) {
+        EXPECT_EQ(v.value().rfind(key + "#", 0), 0u) << key;
+      } else {
+        EXPECT_TRUE(v.status().IsNotFound()) << v.status();
+      }
+    }
+  }
+}
+
+TEST_F(LsmConcurrencyTest, SnapshotStaysConsistentAcrossConcurrentMaintenance) {
+  constexpr int kKeys = 100;
+  DbOptions options;
+  options.memtable_bytes = 8u << 10;
+  options.l0_compaction_trigger = 2;
+  auto db_or = Db::Open(options, dir_);
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(db_or).value();
+
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(db->Put("key" + std::to_string(i), "A").ok());
+  }
+  const DbSnapshot* snapshot = db->GetSnapshot();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> errors{0};
+  std::thread churn([&] {
+    // Overwrite everything repeatedly and force flushes + compactions: the
+    // pinned snapshot must keep resolving to the old values throughout.
+    for (int round = 0; round < 5; ++round) {
+      for (int i = 0; i < kKeys; ++i) {
+        if (!db->Put("key" + std::to_string(i), "B" + std::to_string(round))
+                 .ok()) {
+          errors.fetch_add(1);
+        }
+      }
+      if (!db->Flush().ok()) errors.fetch_add(1);
+      if (!db->CompactAll().ok()) errors.fetch_add(1);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  Rng rng(99);
+  while (!done.load(std::memory_order_acquire)) {
+    const std::string key = "key" + std::to_string(rng.Uniform(kKeys));
+    auto v = db->Get(key, snapshot);
+    if (!v.ok() || v.value() != "A") errors.fetch_add(1);
+  }
+  churn.join();
+  EXPECT_EQ(errors.load(), 0);
+
+  // After release, fresh reads see the churn's final values.
+  db->ReleaseSnapshot(snapshot);
+  auto v = db->Get("key0");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), "B4");
+}
+
+TEST_F(LsmConcurrencyTest, IteratorPinsItsViewWhileWritesContinue) {
+  auto db_or = Db::Open({}, dir_);
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(db_or).value();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db->Put("stable" + std::to_string(i), "x").ok());
+  }
+
+  Db::Iterator it = db->NewIterator();
+  std::thread writer([&db] {
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(db->Put("zz-new" + std::to_string(i), "y").ok());
+    }
+  });
+  // The iterator was created before the writer's inserts became visible;
+  // its sequence gate must hide all of them.
+  size_t count = 0;
+  for (; it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key().rfind("stable", 0), 0u) << it.key();
+    ++count;
+  }
+  EXPECT_EQ(count, 50u);
+  writer.join();
+}
+
+class LsmFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultRegistry::Global()->Reset();
+    dir_ = MakeTempDir("lsmfault");
+  }
+  void TearDown() override {
+    FaultRegistry::Global()->Reset();
+    ASSERT_TRUE(RemoveAll(dir_).ok());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(LsmFaultTest, FlushFaultIsStickyAndDataRecoversOnReopen) {
+  {
+    auto db_or = Db::Open({}, dir_);
+    ASSERT_TRUE(db_or.ok());
+    auto db = std::move(db_or).value();
+    ASSERT_TRUE(db->Put("k", "v").ok());
+
+    FaultRegistry::Global()->FailNext("lsm.flush");
+    const Status st = db->Flush();
+    EXPECT_FALSE(st.ok()) << "injected flush fault must surface";
+    EXPECT_EQ(FaultRegistry::Global()->Fires("lsm.flush"), 1u);
+    // The background error is sticky: maintenance is halted and later
+    // forced maintenance reports the same failure.
+    EXPECT_FALSE(db->CompactAll().ok());
+    // Reads still serve out of the retained memtable.
+    auto v = db->Get("k");
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value(), "v");
+  }
+  FaultRegistry::Global()->Reset();
+  // The unflushed memtable was WAL-covered; reopen recovers it and a clean
+  // flush now succeeds.
+  auto db_or = Db::Open({}, dir_);
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(db_or).value();
+  auto v = db->Get("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), "v");
+  ASSERT_TRUE(db->Flush().ok());
+  EXPECT_EQ(db->GetStats().l0_files, 1);
+}
+
+TEST_F(LsmFaultTest, CompactionFaultSurfacesAndInputsSurvive) {
+  DbOptions options;
+  options.l0_compaction_trigger = 100;  // Only CompactAll compacts.
+  {
+    auto db_or = Db::Open(options, dir_);
+    ASSERT_TRUE(db_or.ok());
+    auto db = std::move(db_or).value();
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(db->Put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+      if (i % 5 == 4) {
+        ASSERT_TRUE(db->Flush().ok());
+      }
+    }
+    FaultRegistry::Global()->FailNext("lsm.compaction");
+    EXPECT_FALSE(db->CompactAll().ok());
+    EXPECT_EQ(FaultRegistry::Global()->Fires("lsm.compaction"), 1u);
+  }
+  FaultRegistry::Global()->Reset();
+  // Inputs were never deleted; reopen serves everything and can compact.
+  auto db_or = Db::Open(options, dir_);
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(db_or).value();
+  for (int i = 0; i < 20; ++i) {
+    auto v = db->Get("k" + std::to_string(i));
+    ASSERT_TRUE(v.ok()) << v.status();
+    EXPECT_EQ(v.value(), "v" + std::to_string(i));
+  }
+  ASSERT_TRUE(db->CompactAll().ok());
+  EXPECT_EQ(db->GetStats().l0_files, 0);
+  EXPECT_GT(db->GetStats().compactions, 0u);
+}
+
+}  // namespace
+}  // namespace fbstream::lsm

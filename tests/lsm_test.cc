@@ -10,6 +10,9 @@
 
 #include "common/fs.h"
 #include "common/rng.h"
+#include "common/serde.h"
+#include "common/metrics.h"
+#include "storage/lsm/block_cache.h"
 #include "storage/lsm/bloom.h"
 #include "storage/lsm/db.h"
 #include "storage/lsm/memtable.h"
@@ -205,6 +208,74 @@ TEST(SstTest, OpenRejectsCorruptFile) {
   ASSERT_TRUE(WriteFile(dir + "/tiny.sst", "x").ok());
   EXPECT_FALSE(SstReader::Open(dir + "/tiny.sst").ok());
   ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+TEST(SstTest, OpenRejectsV1FormatWithCleanCorruption) {
+  // A file carrying the retired v1 footer magic (flat entry array, before
+  // the block-based v2 bump — see DESIGN.md "LSM concurrency model"). The
+  // reader must reject it with a descriptive Corruption, never misparse it.
+  const std::string dir = MakeTempDir("sst");
+  std::string v1 = "pretend-v1-entry-payload";
+  PutFixed64(&v1, 0);                     // v1 "entries offset" footer field.
+  PutFixed64(&v1, v1.size());             // Second footer field.
+  PutFixed64(&v1, 0xfb57ab1e00c0ffeeULL);  // kSstMagicV1.
+  ASSERT_TRUE(WriteFile(dir + "/old.sst", v1).ok());
+  const auto opened = SstReader::Open(dir + "/old.sst");
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption) << opened.status();
+  EXPECT_NE(opened.status().message().find("no longer supported"),
+            std::string::npos)
+      << opened.status();
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+TEST(BlockCacheTest, LruEvictionAndGlobalMetrics) {
+  auto* hit = MetricsRegistry::Global()->GetCounter("lsm.block_cache.hit");
+  auto* miss = MetricsRegistry::Global()->GetCounter("lsm.block_cache.miss");
+  auto* evict = MetricsRegistry::Global()->GetCounter("lsm.block_cache.evict");
+  const uint64_t hit0 = hit->value();
+  const uint64_t miss0 = miss->value();
+  const uint64_t evict0 = evict->value();
+
+  BlockCache cache(2048);  // Room for exactly two 1 KiB blocks.
+  const uint64_t file = BlockCache::NextFileId();
+  auto make_block = [] {
+    auto block = std::make_shared<SstBlock>();
+    block->charge = 1024;
+    return block;
+  };
+  EXPECT_EQ(cache.Lookup(file, 0), nullptr);  // Cold miss.
+  cache.Insert(file, 0, make_block());
+  cache.Insert(file, 4096, make_block());
+  EXPECT_NE(cache.Lookup(file, 0), nullptr);  // Hit; offset 0 becomes MRU.
+  cache.Insert(file, 8192, make_block());     // Over capacity: evicts 4096.
+  EXPECT_NE(cache.Lookup(file, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(file, 4096), nullptr);
+
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.blocks, 2u);
+  EXPECT_EQ(stats.bytes, 2048u);
+
+  // The same counts flow through the process-wide registry (what Scuba-side
+  // dashboards read), not just the per-instance stats.
+  EXPECT_EQ(hit->value() - hit0, 2u);
+  EXPECT_EQ(miss->value() - miss0, 2u);
+  EXPECT_EQ(evict->value() - evict0, 1u);
+
+  // An evicted block stays alive while a reader still pins it.
+  auto pinned = cache.Lookup(file, 8192);
+  ASSERT_NE(pinned, nullptr);
+  cache.EraseFile(file);
+  EXPECT_EQ(cache.GetStats().blocks, 0u);
+  EXPECT_EQ(pinned->charge, 1024u);
+
+  // Ids never collide across readers, so two files caching the same offset
+  // coexist.
+  const uint64_t other = BlockCache::NextFileId();
+  EXPECT_NE(other, file);
 }
 
 TEST(MergeOperatorTest, Int64Add) {
