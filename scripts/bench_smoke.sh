@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# CI-sized sanity run of the canonical LSM mixed workload: small preload,
-# one-second phases, JSON to a scratch path. Verifies the harness still
-# runs end to end and emits well-formed output; real numbers come from the
-# full run (`bench_lsm --mixed`), recorded in BENCH_LSM.json.
+# CI-sized sanity run of the JSON-emitting benches: the canonical LSM mixed
+# workload (small preload, one-second phases) and the crash-recovery bench
+# (shrunk state). JSON goes to scratch paths. Verifies the harnesses still
+# run end to end and emit well-formed output; real numbers come from the
+# full runs (`bench_lsm --mixed`, `bench_recovery`), recorded in
+# BENCH_LSM.json and BENCH_RECOVERY.json.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -10,13 +12,19 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 OUT="$(mktemp -t bench_lsm_smoke.XXXXXX.json)"
-trap 'rm -f "$OUT"' EXIT
+RECOVERY_OUT="$(mktemp -t bench_recovery_smoke.XXXXXX.json)"
+trap 'rm -f "$OUT" "$RECOVERY_OUT"' EXIT
 
-cmake --build "$BUILD_DIR" -j --target bench_lsm
+cmake --build "$BUILD_DIR" -j --target bench_lsm bench_recovery
 "$BUILD_DIR/bench/bench_lsm" --mixed --smoke --out "$OUT"
 
 # Well-formed and carries both engines' numbers.
 grep -q '"baseline_single_mutex"' "$OUT"
 grep -q '"concurrent_lsm"' "$OUT"
 grep -q '"block_cache"' "$OUT"
-echo "bench smoke passed ($OUT)"
+
+# One shrunk round of the crash-recovery bench: both recovery paths timed.
+"$BUILD_DIR/bench/bench_recovery" --smoke --out "$RECOVERY_OUT"
+grep -q '"local_restart_ms"' "$RECOVERY_OUT"
+grep -q '"remote_restore_ms"' "$RECOVERY_OUT"
+echo "bench smoke passed ($OUT, $RECOVERY_OUT)"

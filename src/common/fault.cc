@@ -1,5 +1,9 @@
 #include "common/fault.h"
 
+#include <unistd.h>
+
+#include <cstdlib>
+
 #include "common/metrics.h"
 
 namespace fbstream {
@@ -21,6 +25,19 @@ Status FaultRegistry::Hit(std::string_view site) {
   }
   SiteState& s = it->second;
   ++s.hits;
+
+  // Kill schedule outranks every status rule: it models the process dying
+  // at this instruction, so nothing downstream of it can matter.
+  if (s.kill_armed && s.kill_hit++ >= s.kill_at) {
+    // One line to stderr so a supervisor's log shows *where* the child
+    // died, then _exit: no destructors, no stream flushes — the on-disk
+    // state is whatever the instrumented layer had made durable.
+    const std::string marker = "fbstream: injected kill at " + it->first +
+                               "#" + std::to_string(s.hits - 1) + "\n";
+    [[maybe_unused]] const ssize_t n =
+        ::write(STDERR_FILENO, marker.data(), marker.size());
+    ::_exit(kKillExitCode);
+  }
 
   // One-shot script has priority: it expresses an exact intent ("fail the
   // next write") that must not be preempted by a probabilistic rule.
@@ -87,6 +104,33 @@ void FaultRegistry::SetUnavailableBetween(const std::string& site,
   armed_.store(true, std::memory_order_relaxed);
 }
 
+void FaultRegistry::ArmKillAt(const std::string& site, uint64_t hit_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& s = sites_[site];
+  s.kill_armed = true;
+  s.kill_at = hit_index;
+  s.kill_hit = 0;
+  MetricsRegistry::Global()->GetCounter("fault.kill.armed", site)->Add();
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+bool FaultRegistry::ArmKillFromEnvironment() {
+  const char* spec = std::getenv(kKillSpecEnvVar);
+  if (spec == nullptr || *spec == '\0') return false;
+  const std::string s(spec);
+  const size_t hash = s.find_last_of('#');
+  if (hash == std::string::npos || hash == 0 || hash + 1 >= s.size()) {
+    return false;
+  }
+  uint64_t hit_index = 0;
+  for (size_t i = hash + 1; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    hit_index = hit_index * 10 + static_cast<uint64_t>(s[i] - '0');
+  }
+  ArmKillAt(s.substr(0, hash), hit_index);
+  return true;
+}
+
 void FaultRegistry::SetClock(Clock* clock) {
   std::lock_guard<std::mutex> lock(mu_);
   clock_ = clock;
@@ -100,6 +144,7 @@ void FaultRegistry::Clear(const std::string& site) {
   s.oneshot_remaining = 0;
   s.probability = 0;
   s.window_start = s.window_end = 0;
+  s.kill_armed = false;
 }
 
 void FaultRegistry::Reset() {

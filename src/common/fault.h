@@ -23,9 +23,10 @@ namespace fbstream {
 //
 //   FBSTREAM_RETURN_IF_ERROR(FaultRegistry::Global()->Hit("hdfs.write"));
 //
-// Sites currently wired: "hdfs.write", "hdfs.read", "scribe.append",
+// Sites currently wired: "hdfs.write", "hdfs.read", "hdfs.block.write",
+// "hdfs.fsimage.write", "scribe.append", "scribe.segment.append",
 // "lsm.wal.append", "lsm.wal.sync", "lsm.flush", "lsm.compaction",
-// "zippydb.write".
+// "zippydb.write", "checkpoint.write.state", "checkpoint.write.offset".
 //
 // Tests and the chaos harness arm rules against sites:
 //   - FailNext: scripted one-shot faults (fail hits [skip, skip+count)).
@@ -35,6 +36,13 @@ namespace fbstream {
 //   - SetUnavailableBetween: a timed unavailability window evaluated
 //     against the registry clock (a SimClock in tests), modeling a planned
 //     or measured outage.
+//   - ArmKillAt: hard process death — when the site's hit counter reaches
+//     the scheduled index the process calls _exit(137) at the instrumented
+//     point, with no destructors, no flushes, no atexit handlers: exactly
+//     what SIGKILL leaves behind. The crash-recovery harness arms this in a
+//     forked child (directly or via the FBSTREAM_KILL_SPEC environment
+//     variable and ArmKillFromEnvironment), so each child dies
+//     deterministically at a chosen site while the supervisor survives.
 //
 // When no rule is armed the registry is a single relaxed atomic load per
 // hit, cheap enough to leave in release hot paths. Hit counters and the
@@ -74,6 +82,23 @@ class FaultRegistry {
                              Micros end_micros,
                              StatusCode code = StatusCode::kUnavailable);
 
+  // Process exit code used by kill mode (the conventional SIGKILL code).
+  static constexpr int kKillExitCode = 137;
+  // Environment variable ArmKillFromEnvironment reads: "<site>#<hit>",
+  // e.g. "lsm.wal.append#3" — die at the fourth consultation of that site.
+  static constexpr char kKillSpecEnvVar[] = "FBSTREAM_KILL_SPEC";
+
+  // Arms hard process death: hit number `hit_index` of `site` (0-indexed
+  // from the moment of arming) writes a one-line marker to stderr and calls
+  // _exit(137). Supervisors recognize the death by the exit code.
+  void ArmKillAt(const std::string& site, uint64_t hit_index);
+
+  // Arms a kill from FBSTREAM_KILL_SPEC if it is set. A forked (or exec'd)
+  // child inherits the supervisor's environment, so this is how a driver
+  // process picks up its crash schedule. Returns true if a kill was armed;
+  // malformed specs are ignored (returns false).
+  bool ArmKillFromEnvironment();
+
   // Clock used to evaluate unavailability windows. Defaults to the system
   // clock; tests install a SimClock. Pass nullptr to restore the default.
   void SetClock(Clock* clock);
@@ -110,6 +135,10 @@ class FaultRegistry {
     Micros window_start = 0;
     Micros window_end = 0;
     StatusCode window_code = StatusCode::kUnavailable;
+    // Kill schedule (_exit(137) at hit kill_at).
+    bool kill_armed = false;
+    uint64_t kill_at = 0;
+    uint64_t kill_hit = 0;  // Hits seen since ArmKillAt.
   };
 
   Status FireLocked(const std::string& site, SiteState* state,

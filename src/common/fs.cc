@@ -23,10 +23,8 @@ Status WriteFile(const std::string& path, const std::string& data) {
   return Status::OK();
 }
 
-namespace {
-
 // Writes `data` to `path` through a file descriptor and fsyncs it before
-// closing, so the rename that follows can only publish fully durable bytes.
+// closing, so e.g. the rename that follows can only publish durable bytes.
 Status WriteFileDurable(const std::string& path, const std::string& data) {
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Status::IoError("open for write: " + path);
@@ -48,18 +46,19 @@ Status WriteFileDurable(const std::string& path, const std::string& data) {
   return Status::OK();
 }
 
-// Fsyncs the directory containing `path` so a just-renamed entry survives
-// power loss. Best-effort: some filesystems reject O_RDONLY on directories.
-void SyncParentDir(const std::string& path) {
-  const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+// Fsyncs a directory so a just-created or just-renamed entry survives power
+// loss. Best-effort: some filesystems reject O_RDONLY on directories.
+void SyncDir(const std::string& dir) {
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) return;
   ::fsync(fd);
   ::close(fd);
 }
 
-}  // namespace
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
 
 Status WriteFileAtomic(const std::string& path, const std::string& data) {
   const std::string tmp = path + ".tmp";
@@ -73,12 +72,33 @@ Status WriteFileAtomic(const std::string& path, const std::string& data) {
   return Status::OK();
 }
 
-Status AppendToFile(const std::string& path, const std::string& data) {
-  std::ofstream out(path, std::ios::binary | std::ios::app);
-  if (!out) return Status::IoError("open for append: " + path);
-  out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  out.flush();
-  if (!out) return Status::IoError("append: " + path);
+Status AppendToFile(const std::string& path, const std::string& data,
+                    bool sync) {
+  if (!sync) {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out) return Status::IoError("open for append: " + path);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) return Status::IoError("append: " + path);
+    return Status::OK();
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Status::IoError("open for append: " + path);
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      return Status::IoError("append: " + path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IoError("fsync: " + path);
+  }
+  if (::close(fd) != 0) return Status::IoError("close: " + path);
   return Status::OK();
 }
 

@@ -13,6 +13,11 @@ namespace fbstream {
 // blocks). All paths are plain strings; errors surface as Status.
 
 Status WriteFile(const std::string& path, const std::string& data);
+// Like WriteFile, but through a file descriptor with an fsync before close:
+// the bytes are on disk when this returns. Does NOT sync the parent
+// directory — pair with SyncDir when the file itself is new (HDFS block
+// writes, WAL creation), or use WriteFileAtomic which does both.
+Status WriteFileDurable(const std::string& path, const std::string& data);
 // Crash-safe replace: writes to `path + ".tmp"`, fsyncs the data, renames
 // over `path`, and fsyncs the parent directory — so a crash at any point
 // leaves either the old intact file or the new intact file, never a torn
@@ -20,7 +25,17 @@ Status WriteFile(const std::string& path, const std::string& data);
 // data blocks reach disk). A failed attempt removes its temp file. Used for
 // checkpoints, SST publication, and the HDFS namespace image.
 Status WriteFileAtomic(const std::string& path, const std::string& data);
-Status AppendToFile(const std::string& path, const std::string& data);
+// With sync=true the append goes through O_APPEND + fsync, so the record is
+// durable when this returns (a crash immediately after cannot lose it, only
+// tear a later one). The default buffered path matches the previous
+// behavior: cheap, durable only against process death, not power loss.
+Status AppendToFile(const std::string& path, const std::string& data,
+                    bool sync = false);
+// Fsyncs a directory so entries created/renamed inside it survive power
+// loss. Best-effort: some filesystems reject opening directories.
+void SyncDir(const std::string& dir);
+// SyncDir on the directory containing `path`.
+void SyncParentDir(const std::string& path);
 // Shrinks the file to `size` bytes (segment replay uses this to cut a
 // corrupt tail so later appends continue from an intact record boundary).
 Status TruncateFile(const std::string& path, uint64_t size);

@@ -1,0 +1,40 @@
+#include "common/shutdown.h"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace fbstream {
+
+namespace {
+// Lock-free and async-signal-safe on every supported platform; the handler
+// touches nothing else.
+std::atomic<bool> g_shutdown_requested{false};
+
+void HandleSignal(int /*signum*/) {
+  g_shutdown_requested.store(true, std::memory_order_release);
+}
+}  // namespace
+
+bool ShutdownRequested() {
+  return g_shutdown_requested.load(std::memory_order_acquire);
+}
+
+void RequestShutdown() {
+  g_shutdown_requested.store(true, std::memory_order_release);
+}
+
+void ResetShutdown() {
+  g_shutdown_requested.store(false, std::memory_order_release);
+}
+
+void InstallShutdownSignalHandlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = HandleSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;  // Don't turn in-flight I/O into EINTR churn.
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+}  // namespace fbstream

@@ -1,0 +1,35 @@
+#ifndef FBSTREAM_COMMON_SHUTDOWN_H_
+#define FBSTREAM_COMMON_SHUTDOWN_H_
+
+namespace fbstream {
+
+// Cooperative graceful-shutdown flag, the soft counterpart to the fault
+// registry's kill mode. A SIGTERM (or SIGINT) flips one process-wide atomic
+// from an async-signal-safe handler; long-running drivers poll it at safe
+// points — the pipeline between node batches, benches between phases — and
+// drain instead of dying mid-write: the ShardExecutor finishes its queued
+// shard batch, LSM destructors seal the group commit and join the
+// background thread, and the next start-up needs no torn-tail repair.
+//
+// This is deliberately NOT a cancellation token plumbed through every call:
+// the unit of work that must not be torn is a shard's RunOnce (ending in a
+// checkpoint), so the check sits above that granularity.
+
+// True once a shutdown has been requested (signal or RequestShutdown).
+bool ShutdownRequested();
+
+// Programmatic trigger, equivalent to receiving SIGTERM. Async-signal-safe.
+void RequestShutdown();
+
+// Re-arms after a drain; tests and supervisors that reuse the process call
+// this between runs.
+void ResetShutdown();
+
+// Installs SIGTERM + SIGINT handlers that call RequestShutdown. Idempotent.
+// The previous handlers are replaced (the flag is the only delivery
+// mechanism; drivers poll, nothing re-raises).
+void InstallShutdownSignalHandlers();
+
+}  // namespace fbstream
+
+#endif  // FBSTREAM_COMMON_SHUTDOWN_H_

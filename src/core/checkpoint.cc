@@ -1,5 +1,6 @@
 #include "core/checkpoint.h"
 
+#include "common/fault.h"
 #include "common/fs.h"
 #include "common/metrics.h"
 #include "common/serde.h"
@@ -25,6 +26,19 @@ StatusOr<uint64_t> DecodeOffset(const std::string& s) {
     return Status::Corruption("bad offset record");
   }
   return offset;
+}
+
+// Kill-mode crash points bracketing the two checkpoint writes (both
+// backends). A kill at "checkpoint.write.state" dies before the state
+// record lands; at "checkpoint.write.offset", between the two records —
+// the exact gap whose write ORDER realizes the state semantics. A
+// status-fault armed here instead surfaces as a retryable error to the
+// shard's checkpoint RetryPolicy.
+Status HitStateWrite() {
+  return FaultRegistry::Global()->Hit("checkpoint.write.state");
+}
+Status HitOffsetWrite() {
+  return FaultRegistry::Global()->Hit("checkpoint.write.offset");
 }
 }  // namespace
 
@@ -58,20 +72,25 @@ Status LocalStateStore::SaveCheckpoint(StateSemantics semantics,
     case StateSemantics::kAtLeastOnce:
       // State first, offset second: a crash in between leaves the offset
       // behind the state, so events since the previous checkpoint replay.
+      FBSTREAM_RETURN_IF_ERROR(HitStateWrite());
       FBSTREAM_RETURN_IF_ERROR(db_->Put(kStateKey, state));
       if (crash != nullptr && crash(FailurePoint::kBetweenCheckpointWrites)) {
         return InjectedCrash();
       }
+      FBSTREAM_RETURN_IF_ERROR(HitOffsetWrite());
       return db_->Put(kOffsetKey, offset_value);
     case StateSemantics::kAtMostOnce:
       // Offset first, state second: a crash in between skips those events.
+      FBSTREAM_RETURN_IF_ERROR(HitOffsetWrite());
       FBSTREAM_RETURN_IF_ERROR(db_->Put(kOffsetKey, offset_value));
       if (crash != nullptr && crash(FailurePoint::kBetweenCheckpointWrites)) {
         return InjectedCrash();
       }
+      FBSTREAM_RETURN_IF_ERROR(HitStateWrite());
       return db_->Put(kStateKey, state);
     case StateSemantics::kExactlyOnce: {
       // One atomic WriteBatch: the WAL makes both records land or neither.
+      FBSTREAM_RETURN_IF_ERROR(HitStateWrite());
       lsm::WriteBatch batch;
       batch.Put(kStateKey, state);
       batch.Put(kOffsetKey, offset_value);
@@ -106,6 +125,7 @@ Status LocalStateStore::SaveCheckpointWithOutput(const std::string& state,
   // Local DB supports transactions (atomic WriteBatch): commit state,
   // offset, and output rows together. Output keys share the DB with the
   // checkpoint records, namespaced by the caller.
+  FBSTREAM_RETURN_IF_ERROR(HitStateWrite());
   lsm::WriteBatch batch;
   batch.Put(kStateKey, state);
   batch.Put(kOffsetKey, EncodeOffset(offset));
@@ -172,20 +192,25 @@ Status RemoteStateStore::SaveCheckpoint(StateSemantics semantics,
   const std::string offset_value = EncodeOffset(offset);
   switch (semantics) {
     case StateSemantics::kAtLeastOnce:
+      FBSTREAM_RETURN_IF_ERROR(HitStateWrite());
       FBSTREAM_RETURN_IF_ERROR(cluster_->Put(StateKey(), state));
       if (crash != nullptr && crash(FailurePoint::kBetweenCheckpointWrites)) {
         return InjectedCrash();
       }
+      FBSTREAM_RETURN_IF_ERROR(HitOffsetWrite());
       return cluster_->Put(OffsetKey(), offset_value);
     case StateSemantics::kAtMostOnce:
+      FBSTREAM_RETURN_IF_ERROR(HitOffsetWrite());
       FBSTREAM_RETURN_IF_ERROR(cluster_->Put(OffsetKey(), offset_value));
       if (crash != nullptr && crash(FailurePoint::kBetweenCheckpointWrites)) {
         return InjectedCrash();
       }
+      FBSTREAM_RETURN_IF_ERROR(HitStateWrite());
       return cluster_->Put(StateKey(), state);
     case StateSemantics::kExactlyOnce: {
       // State and offset generally live on different shards: this is the
       // "high-latency distributed transaction" of §4.3.2.
+      FBSTREAM_RETURN_IF_ERROR(HitStateWrite());
       lsm::WriteBatch batch;
       batch.Put(StateKey(), state);
       batch.Put(OffsetKey(), offset_value);
@@ -217,6 +242,7 @@ StatusOr<Checkpoint> RemoteStateStore::Load() {
 Status RemoteStateStore::SaveCheckpointWithOutput(const std::string& state,
                                                   uint64_t offset,
                                                   const lsm::WriteBatch& output) {
+  FBSTREAM_RETURN_IF_ERROR(HitStateWrite());
   lsm::WriteBatch batch;
   batch.Put(StateKey(), state);
   batch.Put(OffsetKey(), EncodeOffset(offset));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fs.h"
 #include "common/logging.h"
 #include "common/serde.h"
 
@@ -99,10 +100,32 @@ Status NodeShard::OpenStateStore() {
                                                 "ckpt/" + ShardLabel());
     return Status::OK();
   }
+  const std::string dir = config_.state_dir + "/" + ShardLabel();
+  const std::string backup_prefix = "backup/" + ShardLabel();
+  const bool local_db_exists = FileExists(dir + "/MANIFEST");
+  if (config_.restore_state_from_backup && !local_db_exists &&
+      config_.hdfs != nullptr && config_.hdfs->Exists(backup_prefix + "/MANIFEST")) {
+    // "New machine" restart (Fig 10): the local database is gone but an
+    // HDFS backup exists. Clear any partial leftovers (an orphan WAL from a
+    // kill before the first flush would make RestoreBackup refuse), then
+    // rebuild the directory from the backup. The restored checkpoint is the
+    // shard's semantics floor; events after the last backup replay or drop
+    // per the configured state semantics.
+    FBSTREAM_RETURN_IF_ERROR(RemoveAll(dir));
+    FBSTREAM_RETURN_IF_ERROR(
+        LocalStateStore::RestoreFromHdfs(config_.hdfs, backup_prefix, dir));
+    FBSTREAM_LOG(Info) << ShardLabel() << ": restored local state from HDFS "
+                       << backup_prefix;
+    MetricsRegistry::Global()
+        ->GetCounter("recovery.shard.hdfs_restores", config_.name, bucket_)
+        ->Add();
+  } else if (config_.restore_state_from_backup && local_db_exists) {
+    MetricsRegistry::Global()
+        ->GetCounter("recovery.shard.local_restarts", config_.name, bucket_)
+        ->Add();
+  }
   FBSTREAM_ASSIGN_OR_RETURN(
-      store_,
-      LocalStateStore::Open(config_.state_dir + "/" + ShardLabel(),
-                            config_.hdfs, "backup/" + ShardLabel(), clock_));
+      store_, LocalStateStore::Open(dir, config_.hdfs, backup_prefix, clock_));
   return Status::OK();
 }
 
@@ -125,6 +148,7 @@ Status NodeShard::Start() {
     }
   }
   FBSTREAM_ASSIGN_OR_RETURN(Checkpoint cp, store_->Load());
+  had_checkpoint_offset_ = cp.has_offset;
   if (cp.has_offset) {
     tailer_.Seek(cp.offset);
   } else {
@@ -406,6 +430,12 @@ void NodeShard::DrainPendingBackups() {
   pending_backups_.clear();
   pending_backup_count_.store(0, std::memory_order_release);
   ExitDegraded();
+}
+
+void NodeShard::RequestBackupResync() {
+  if (!BackupConfigured()) return;
+  if (!pending_backups_.empty()) return;  // Already queued.
+  EnqueuePendingBackup(checkpoints_completed_.load(std::memory_order_relaxed));
 }
 
 void NodeShard::EnqueuePendingBackup(uint64_t generation) {

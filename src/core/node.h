@@ -73,6 +73,14 @@ struct NodeConfig {
   zippydb::Cluster* remote = nullptr;
   RemoteWriteMode remote_mode = RemoteWriteMode::kReadModifyWrite;
 
+  // Machine-loss recovery (Fig 10): when a local-backend shard starts with
+  // no local database but an HDFS backup exists under its backup prefix,
+  // rebuild the local directory from the backup before opening. Set by
+  // Pipeline::Recover ("this process may be a new machine"); off for plain
+  // deploys so a genuinely fresh shard starts empty instead of resurrecting
+  // a stale backup from a previous incarnation of the name.
+  bool restore_state_from_backup = false;
+
   // Output. May be null for monoid nodes whose output *is* the remote DB.
   std::shared_ptr<OutputSink> sink;
 
@@ -146,6 +154,21 @@ class NodeShard {
     return checkpoints_completed_.load(std::memory_order_acquire);
   }
 
+  // Recovery hooks (used by Pipeline::Recover and the manifest writer).
+  // Next input sequence this shard will read.
+  uint64_t TailerOffset() const { return tailer_.offset(); }
+  // Whether the last Start() found a checkpointed offset to resume from.
+  bool had_checkpoint_offset() const { return had_checkpoint_offset_; }
+  // Repositions the input cursor. Recovery-only: used to apply the advisory
+  // offsets-snapshot floor to an at-most-once shard whose checkpoint was
+  // lost with its state (replaying from 0 would re-count events).
+  void SeekTailer(uint64_t offset) { tailer_.Seek(offset); }
+  // Rebuilds the pending-backup queue after process death: the in-memory
+  // queue died with the old process, so a recovered shard with backups
+  // configured re-uploads its current state on the next round — one full
+  // copy covers every generation the crash window may have missed.
+  void RequestBackupResync();
+
   // Testing hook: direct access to the shard's monoid state.
   RemoteMonoidState* monoid_state() { return monoid_state_.get(); }
 
@@ -188,6 +211,7 @@ class NodeShard {
   FailureInjector failure_;
   std::atomic<bool> alive_{false};
   std::atomic<uint64_t> checkpoints_completed_{0};
+  bool had_checkpoint_offset_ = false;
 
   // Per-shard metric handles (node = name, shard = bucket), looked up once
   // in the constructor; registry entries are immortal so they can't dangle.

@@ -1,9 +1,12 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/shutdown.h"
 
 namespace fbstream::stylus {
 
@@ -18,6 +21,10 @@ Pipeline::~Pipeline() = default;
 
 Status Pipeline::AddNode(const NodeConfig& config) {
   std::lock_guard<std::mutex> lock(mu_);
+  return AddNodeLocked(config);
+}
+
+Status Pipeline::AddNodeLocked(const NodeConfig& config) {
   if (nodes_.count(config.name) > 0) {
     return Status::AlreadyExists("node " + config.name);
   }
@@ -33,6 +40,127 @@ Status Pipeline::AddNode(const NodeConfig& config) {
   }
   node_order_.push_back(config.name);
   nodes_.emplace(config.name, std::move(shards));
+  if (!manifest_dir_.empty()) {
+    FBSTREAM_RETURN_IF_ERROR(SaveManifestLocked());
+  }
+  return Status::OK();
+}
+
+Status Pipeline::SaveManifestLocked() {
+  PipelineManifest manifest;
+  manifest.epoch = ++manifest_epoch_;
+  for (const std::string& name : node_order_) {
+    const auto& shards = nodes_.at(name);
+    if (shards.empty()) continue;
+    const NodeConfig& config = shards[0]->config();
+    ManifestNodeRecord record;
+    record.name = config.name;
+    record.input_category = config.input_category;
+    record.num_shards = static_cast<int>(shards.size());
+    record.state_semantics = config.state_semantics;
+    record.output_semantics = config.output_semantics;
+    record.backend = config.backend;
+    record.state_dir = config.state_dir;
+    record.checkpoint_every_events = config.checkpoint_every_events;
+    record.checkpoint_every_bytes = config.checkpoint_every_bytes;
+    record.backup_every_checkpoints = config.backup_every_checkpoints;
+    record.max_pending_backups = config.max_pending_backups;
+    manifest.nodes.push_back(std::move(record));
+  }
+  return SaveManifest(manifest_dir_, manifest);
+}
+
+Status Pipeline::EnableManifest(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dir.empty()) return Status::InvalidArgument("empty manifest dir");
+  manifest_dir_ = dir;
+  return SaveManifestLocked();
+}
+
+void Pipeline::SaveOffsetsSnapshot() {
+  std::vector<ShardOffsetRecord> offsets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& name : node_order_) {
+      for (const auto& shard : nodes_.at(name)) {
+        offsets.push_back(
+            ShardOffsetRecord{name, shard->bucket(), shard->TailerOffset()});
+      }
+    }
+  }
+  // Advisory data (see LoadOffsetsSnapshot): a failed write costs recovery
+  // precision, not correctness, so it must not fail the round.
+  const Status status =
+      ::fbstream::stylus::SaveOffsetsSnapshot(manifest_dir_, offsets);
+  if (!status.ok()) {
+    FBSTREAM_LOG(Warning) << "offsets snapshot write failed: " << status;
+  }
+}
+
+Status Pipeline::Recover(const std::string& dir,
+                         const NodeConfigResolver& resolver) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!nodes_.empty()) {
+      return Status::FailedPrecondition("Recover requires an empty pipeline");
+    }
+  }
+  static Histogram* recovery_time =
+      MetricsRegistry::Global()->GetHistogram("recovery.time_us");
+  ScopedLatencyTimer timer(recovery_time);
+  FBSTREAM_ASSIGN_OR_RETURN(const PipelineManifest manifest,
+                            LoadManifest(dir));
+  const std::vector<ShardOffsetRecord> snapshot = LoadOffsetsSnapshot(dir);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ManifestNodeRecord& record : manifest.nodes) {
+    FBSTREAM_ASSIGN_OR_RETURN(NodeConfig config, resolver(record));
+    // The manifest is authoritative for everything it records; the resolver
+    // only supplies the parts that can't be serialized (factories, schema,
+    // sink, cluster handles).
+    config.name = record.name;
+    config.input_category = record.input_category;
+    config.state_semantics = record.state_semantics;
+    config.output_semantics = record.output_semantics;
+    config.backend = record.backend;
+    config.state_dir = record.state_dir;
+    config.checkpoint_every_events = record.checkpoint_every_events;
+    config.checkpoint_every_bytes = record.checkpoint_every_bytes;
+    config.backup_every_checkpoints = record.backup_every_checkpoints;
+    config.max_pending_backups = record.max_pending_backups;
+    config.restore_state_from_backup = true;
+    if (scribe_->NumBuckets(record.input_category) < record.num_shards) {
+      // Fewer buckets than recorded shards would silently orphan the extra
+      // shards' state; a rescale while down must be resolved by the operator.
+      return Status::FailedPrecondition(
+          "category " + record.input_category + " has fewer buckets than the " +
+          std::to_string(record.num_shards) + " shards recorded for node " +
+          record.name);
+    }
+    FBSTREAM_RETURN_IF_ERROR(AddNodeLocked(config));
+    for (const auto& shard : nodes_.at(record.name)) {
+      if (!shard->had_checkpoint_offset() &&
+          record.state_semantics == StateSemantics::kAtMostOnce) {
+        // An at-most-once shard that lost its checkpoint must not replay
+        // from zero (that would re-apply events it already counted); the
+        // advisory snapshot gives a floor close to where it died.
+        for (const ShardOffsetRecord& r : snapshot) {
+          if (r.node == record.name && r.bucket == shard->bucket()) {
+            shard->SeekTailer(std::max(shard->TailerOffset(), r.offset));
+          }
+        }
+      }
+      shard->RequestBackupResync();
+    }
+  }
+  manifest_dir_ = dir;
+  manifest_epoch_ = manifest.epoch;  // SaveManifestLocked bumps it.
+  FBSTREAM_RETURN_IF_ERROR(SaveManifestLocked());
+  static Counter* recoveries =
+      MetricsRegistry::Global()->GetCounter("recovery.pipeline.recoveries");
+  recoveries->Add();
+  FBSTREAM_LOG(Info) << "pipeline recovered from " << dir << " (epoch "
+                     << manifest_epoch_ << ", " << manifest.nodes.size()
+                     << " nodes)";
   return Status::OK();
 }
 
@@ -44,6 +172,10 @@ StatusOr<size_t> Pipeline::RunRound() {
   }
   std::atomic<size_t> processed{0};
   for (const std::string& name : order) {
+    // Graceful drain (SIGTERM / SIGINT): stop before starting the next
+    // node's batch. Every shard that already ran ended on a completed
+    // checkpoint, so stopping here is always consistent.
+    if (ShutdownRequested()) break;
     // Snapshot the node's shards: a concurrent ReconcileShards may append
     // (never remove) shards; appended ones join the next round for earlier
     // nodes, this round for later ones.
@@ -83,12 +215,16 @@ StatusOr<size_t> Pipeline::RunRound() {
     // non-crash error still fails the round before downstream nodes run.
     if (!error.ok()) return error;
   }
+  if (!manifest_dir_.empty()) SaveOffsetsSnapshot();
   return processed.load();
 }
 
 StatusOr<size_t> Pipeline::RunUntilQuiescent(int max_rounds) {
   size_t total = 0;
   for (int round = 0; round < max_rounds; ++round) {
+    // A shutdown request ends the drive loop cleanly: the last round ended
+    // on checkpoints, so "drained so far" is a consistent stopping point.
+    if (ShutdownRequested()) return total;
     FBSTREAM_ASSIGN_OR_RETURN(size_t n, RunRound());
     total += n;
     if (n == 0) return total;
@@ -131,6 +267,7 @@ Status Pipeline::RecoverAll() {
 
 Status Pipeline::ReconcileShards() {
   std::lock_guard<std::mutex> lock(mu_);
+  bool grew = false;
   for (auto& [name, shards] : nodes_) {
     if (shards.empty()) continue;
     const NodeConfig& config = shards[0]->config();
@@ -140,7 +277,11 @@ Status Pipeline::ReconcileShards() {
       FBSTREAM_ASSIGN_OR_RETURN(
           auto shard, NodeShard::Create(config, scribe_, clock_, bucket));
       shards.push_back(std::move(shard));
+      grew = true;
     }
+  }
+  if (grew && !manifest_dir_.empty()) {
+    FBSTREAM_RETURN_IF_ERROR(SaveManifestLocked());
   }
   return Status::OK();
 }

@@ -1,6 +1,7 @@
 #ifndef FBSTREAM_CORE_PIPELINE_H_
 #define FBSTREAM_CORE_PIPELINE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "core/node.h"
+#include "core/recovery.h"
 #include "core/shard_executor.h"
 
 namespace fbstream::stylus {
@@ -52,8 +54,33 @@ class Pipeline {
   // Creates one shard per bucket of the node's input category.
   Status AddNode(const NodeConfig& config);
 
+  // Durable manifest (core/recovery.h): once enabled, every topology change
+  // rewrites <dir>/PIPELINE and every completed round rewrites <dir>/OFFSETS,
+  // both atomically — enough for a fresh process to Recover() after hard
+  // death. Call after the initial AddNode()s on a new deployment.
+  Status EnableManifest(const std::string& dir);
+  const std::string& manifest_dir() const { return manifest_dir_; }
+
+  // Rebuilds the code half of a NodeConfig (factories, schema, sink,
+  // cluster pointers) for a manifest record; Recover overrides the scalar
+  // half from the record itself. Typically a switch on record.name.
+  using NodeConfigResolver =
+      std::function<StatusOr<NodeConfig>(const ManifestNodeRecord&)>;
+
+  // Process-restart recovery: rebuilds this (empty) pipeline from the
+  // manifest in `dir`. For every recorded node, shards reopen their state
+  // stores (LSM WAL replay), reload checkpoints and seek their tailers; a
+  // local-backend shard whose directory is gone restores from its HDFS
+  // backup first (Fig 10 "new machine"); shards with backups configured
+  // re-queue one pending backup so the resync path re-uploads state the
+  // crash window may have missed. Manifest maintenance continues in `dir`.
+  Status Recover(const std::string& dir, const NodeConfigResolver& resolver);
+
   // Runs every live shard once; crashed shards are skipped (their upstream
   // keeps flowing — decoupling in action). Returns events processed.
+  // Checks ShutdownRequested() between node batches: on SIGTERM the round
+  // finishes the in-flight node (its shards end on a clean checkpoint) and
+  // skips the rest — a graceful drain, never a torn write.
   StatusOr<size_t> RunRound();
 
   // Rounds until a full round consumes nothing. Returns the events processed
@@ -102,10 +129,19 @@ class Pipeline {
   int num_threads() const { return options_.num_threads; }
 
  private:
+  // AddNode minus the lock, for callers already holding mu_.
+  Status AddNodeLocked(const NodeConfig& config);
+  // Serializes the current topology (requires mu_); bumps the epoch.
+  Status SaveManifestLocked();
+  // Rewrites <dir>/OFFSETS from the live tailer offsets.
+  void SaveOffsetsSnapshot();
+
   scribe::Scribe* scribe_;
   Clock* clock_;
   Options options_;
   std::unique_ptr<ShardExecutor> executor_;  // Null in serial mode.
+  std::string manifest_dir_;  // Empty until EnableManifest / Recover.
+  uint64_t manifest_epoch_ = 0;
   // Guards the shard topology (nodes_ / node_order_). Shard pointers remain
   // valid once created: shards are never destroyed, only appended.
   mutable std::mutex mu_;

@@ -1,0 +1,192 @@
+#include "core/recovery.h"
+
+#include "common/fs.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/serde.h"
+
+namespace fbstream::stylus {
+
+namespace {
+
+// Both files share one framing: magic, then a length-prefixed body, then an
+// Fnv1a64 of the body. WriteFileAtomic already guarantees all-or-nothing
+// replacement; the checksum catches the remaining ways a file can lie (bit
+// rot, manual truncation, a foreign file at the path).
+constexpr uint64_t kManifestMagic = 0x4642'4d41'4e49'4631ull;  // "FBMANIF1"
+constexpr uint64_t kOffsetsMagic = 0x4642'4f46'4653'4554ull;   // "FBOFFSET"
+
+std::string Frame(uint64_t magic, const std::string& body) {
+  std::string out;
+  PutFixed64(&out, magic);
+  PutLengthPrefixed(&out, body);
+  PutFixed64(&out, Fnv1a64(body));
+  return out;
+}
+
+StatusOr<std::string> Unframe(uint64_t magic, std::string_view data,
+                              const char* what) {
+  uint64_t got_magic = 0;
+  std::string_view body;
+  uint64_t checksum = 0;
+  if (!GetFixed64(&data, &got_magic) || got_magic != magic ||
+      !GetLengthPrefixed(&data, &body) || !GetFixed64(&data, &checksum)) {
+    return Status::Corruption(std::string(what) + ": bad frame");
+  }
+  if (Fnv1a64(body) != checksum) {
+    return Status::Corruption(std::string(what) + ": checksum mismatch");
+  }
+  return std::string(body);
+}
+
+bool DecodeEnum(std::string_view* view, uint64_t max_value, uint64_t* out) {
+  return GetVarint64(view, out) && *out <= max_value;
+}
+
+}  // namespace
+
+std::string EncodeManifest(const PipelineManifest& manifest) {
+  std::string body;
+  PutVarint64(&body, manifest.epoch);
+  PutVarint64(&body, manifest.nodes.size());
+  for (const ManifestNodeRecord& node : manifest.nodes) {
+    PutLengthPrefixed(&body, node.name);
+    PutLengthPrefixed(&body, node.input_category);
+    PutVarint64(&body, static_cast<uint64_t>(node.num_shards));
+    PutVarint64(&body, static_cast<uint64_t>(node.state_semantics));
+    PutVarint64(&body, static_cast<uint64_t>(node.output_semantics));
+    PutVarint64(&body, static_cast<uint64_t>(node.backend));
+    PutLengthPrefixed(&body, node.state_dir);
+    PutVarint64(&body, node.checkpoint_every_events);
+    PutVarint64(&body, node.checkpoint_every_bytes);
+    PutVarint64(&body, static_cast<uint64_t>(node.backup_every_checkpoints));
+    PutVarint64(&body, node.max_pending_backups);
+  }
+  return Frame(kManifestMagic, body);
+}
+
+StatusOr<PipelineManifest> DecodeManifest(std::string_view data) {
+  FBSTREAM_ASSIGN_OR_RETURN(const std::string body,
+                            Unframe(kManifestMagic, data, "pipeline manifest"));
+  std::string_view view(body);
+  PipelineManifest manifest;
+  uint64_t count = 0;
+  if (!GetVarint64(&view, &manifest.epoch) || !GetVarint64(&view, &count)) {
+    return Status::Corruption("pipeline manifest: header");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    ManifestNodeRecord node;
+    std::string_view name;
+    std::string_view category;
+    std::string_view state_dir;
+    uint64_t num_shards = 0;
+    uint64_t state_sem = 0;
+    uint64_t output_sem = 0;
+    uint64_t backend = 0;
+    uint64_t backup_every = 0;
+    if (!GetLengthPrefixed(&view, &name) ||
+        !GetLengthPrefixed(&view, &category) ||
+        !GetVarint64(&view, &num_shards) ||
+        !DecodeEnum(&view, static_cast<uint64_t>(StateSemantics::kExactlyOnce),
+                    &state_sem) ||
+        !DecodeEnum(&view, static_cast<uint64_t>(OutputSemantics::kExactlyOnce),
+                    &output_sem) ||
+        !DecodeEnum(&view, static_cast<uint64_t>(StateBackend::kRemote),
+                    &backend) ||
+        !GetLengthPrefixed(&view, &state_dir) ||
+        !GetVarint64(&view, &node.checkpoint_every_events) ||
+        !GetVarint64(&view, &node.checkpoint_every_bytes) ||
+        !GetVarint64(&view, &backup_every) ||
+        !GetVarint64(&view, &node.max_pending_backups)) {
+      return Status::Corruption("pipeline manifest: node record");
+    }
+    node.name = std::string(name);
+    node.input_category = std::string(category);
+    node.num_shards = static_cast<int>(num_shards);
+    node.state_semantics = static_cast<StateSemantics>(state_sem);
+    node.output_semantics = static_cast<OutputSemantics>(output_sem);
+    node.backend = static_cast<StateBackend>(backend);
+    node.state_dir = std::string(state_dir);
+    node.backup_every_checkpoints = static_cast<int>(backup_every);
+    manifest.nodes.push_back(std::move(node));
+  }
+  if (!view.empty()) {
+    return Status::Corruption("pipeline manifest: trailing bytes");
+  }
+  return manifest;
+}
+
+Status SaveManifest(const std::string& dir, const PipelineManifest& manifest) {
+  FBSTREAM_RETURN_IF_ERROR(CreateDirs(dir));
+  FBSTREAM_RETURN_IF_ERROR(WriteFileAtomic(dir + "/" + kManifestFileName,
+                                           EncodeManifest(manifest)));
+  static Counter* saves =
+      MetricsRegistry::Global()->GetCounter("recovery.manifest.saves");
+  saves->Add();
+  return Status::OK();
+}
+
+StatusOr<PipelineManifest> LoadManifest(const std::string& dir) {
+  const std::string path = dir + "/" + kManifestFileName;
+  if (!FileExists(path)) return Status::NotFound("no pipeline manifest: " + path);
+  FBSTREAM_ASSIGN_OR_RETURN(const std::string data, ReadFileToString(path));
+  return DecodeManifest(data);
+}
+
+Status SaveOffsetsSnapshot(const std::string& dir,
+                           const std::vector<ShardOffsetRecord>& offsets) {
+  std::string body;
+  PutVarint64(&body, offsets.size());
+  for (const ShardOffsetRecord& r : offsets) {
+    PutLengthPrefixed(&body, r.node);
+    PutVarint64(&body, static_cast<uint64_t>(r.bucket));
+    PutVarint64(&body, r.offset);
+  }
+  FBSTREAM_RETURN_IF_ERROR(CreateDirs(dir));
+  FBSTREAM_RETURN_IF_ERROR(
+      WriteFileAtomic(dir + "/" + kOffsetsFileName, Frame(kOffsetsMagic, body)));
+  static Counter* saves =
+      MetricsRegistry::Global()->GetCounter("recovery.offsets.saves");
+  saves->Add();
+  return Status::OK();
+}
+
+std::vector<ShardOffsetRecord> LoadOffsetsSnapshot(const std::string& dir) {
+  const std::string path = dir + "/" + kOffsetsFileName;
+  if (!FileExists(path)) return {};
+  auto data = ReadFileToString(path);
+  if (!data.ok()) {
+    FBSTREAM_LOG(Warning) << "offsets snapshot unreadable, ignoring: "
+                          << data.status();
+    return {};
+  }
+  auto body = Unframe(kOffsetsMagic, *data, "offsets snapshot");
+  if (!body.ok()) {
+    // Advisory data: a torn snapshot degrades recovery precision, never
+    // correctness, so the right response is to warn and move on.
+    FBSTREAM_LOG(Warning) << "offsets snapshot corrupt, ignoring: "
+                          << body.status();
+    return {};
+  }
+  std::string_view view(*body);
+  uint64_t count = 0;
+  if (!GetVarint64(&view, &count)) return {};
+  std::vector<ShardOffsetRecord> offsets;
+  for (uint64_t i = 0; i < count; ++i) {
+    ShardOffsetRecord r;
+    std::string_view node;
+    uint64_t bucket = 0;
+    if (!GetLengthPrefixed(&view, &node) || !GetVarint64(&view, &bucket) ||
+        !GetVarint64(&view, &r.offset)) {
+      FBSTREAM_LOG(Warning) << "offsets snapshot truncated, ignoring tail";
+      return offsets;
+    }
+    r.node = std::string(node);
+    r.bucket = static_cast<int>(bucket);
+    offsets.push_back(std::move(r));
+  }
+  return offsets;
+}
+
+}  // namespace fbstream::stylus

@@ -1,0 +1,87 @@
+#ifndef FBSTREAM_CORE_RECOVERY_H_
+#define FBSTREAM_CORE_RECOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/node.h"
+#include "core/semantics.h"
+
+namespace fbstream::stylus {
+
+// Durable pipeline manifest (§4.3, Fig 10): everything a *fresh process*
+// needs to resume a pipeline after hard death — the topology, each node's
+// semantics modes and state-store layout, and an advisory snapshot of the
+// Scribe tailer offsets. Persisted atomically (WriteFileAtomic + checksum)
+// under the manifest directory:
+//
+//   <dir>/PIPELINE      topology + per-node config scalars
+//   <dir>/OFFSETS       per-shard tailer offsets, rewritten every round
+//
+// Code cannot be serialized, so the manifest records only data: on
+// Pipeline::Recover the caller supplies a resolver that rebuilds the code
+// parts of each NodeConfig (processor factories, schema, sink, clusters)
+// from the node's name, and the manifest overrides the scalar fields so the
+// recovered topology provably matches what was running.
+//
+// The offsets snapshot is advisory, not authoritative: each shard's durable
+// checkpoint carries the offset that defines its semantics. The snapshot
+// exists for the one case with no checkpoint to consult — total state loss
+// on an at-most-once shard, where resuming from 0 would recount events the
+// pre-crash process already counted. It is rewritten wholesale every round,
+// so a torn or corrupt snapshot is simply ignored (recovery then leans on
+// the checkpoints alone).
+
+// The persisted scalar subset of one node's NodeConfig, plus its shard
+// count at manifest-write time.
+struct ManifestNodeRecord {
+  std::string name;
+  std::string input_category;
+  int num_shards = 0;
+  StateSemantics state_semantics = StateSemantics::kAtLeastOnce;
+  OutputSemantics output_semantics = OutputSemantics::kAtLeastOnce;
+  StateBackend backend = StateBackend::kLocal;
+  std::string state_dir;
+  uint64_t checkpoint_every_events = 256;
+  uint64_t checkpoint_every_bytes = 0;
+  int backup_every_checkpoints = 0;
+  uint64_t max_pending_backups = 8;
+};
+
+struct PipelineManifest {
+  // Bumped on every save; recovery logs it so operators can correlate a
+  // restart with the manifest generation it resumed from.
+  uint64_t epoch = 0;
+  std::vector<ManifestNodeRecord> nodes;  // Insertion (topological) order.
+};
+
+struct ShardOffsetRecord {
+  std::string node;
+  int bucket = 0;
+  uint64_t offset = 0;
+};
+
+// Byte-level serde, exposed for tests (corruption injection).
+std::string EncodeManifest(const PipelineManifest& manifest);
+StatusOr<PipelineManifest> DecodeManifest(std::string_view data);
+
+// Atomic save/load of <dir>/PIPELINE. Load returns NotFound when no
+// manifest exists (a fresh deployment) and Corruption when the file fails
+// its checksum — a torn manifest must never be half-trusted.
+Status SaveManifest(const std::string& dir, const PipelineManifest& manifest);
+StatusOr<PipelineManifest> LoadManifest(const std::string& dir);
+
+// Atomic save of <dir>/OFFSETS. Load is forgiving by design (see above):
+// missing, torn, or corrupt snapshots yield an empty vector.
+Status SaveOffsetsSnapshot(const std::string& dir,
+                           const std::vector<ShardOffsetRecord>& offsets);
+std::vector<ShardOffsetRecord> LoadOffsetsSnapshot(const std::string& dir);
+
+// File names under the manifest directory (exposed for tests).
+inline constexpr char kManifestFileName[] = "PIPELINE";
+inline constexpr char kOffsetsFileName[] = "OFFSETS";
+
+}  // namespace fbstream::stylus
+
+#endif  // FBSTREAM_CORE_RECOVERY_H_

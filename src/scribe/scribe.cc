@@ -11,8 +11,8 @@
 
 namespace fbstream::scribe {
 
-Bucket::Bucket(std::string dir, bool persist)
-    : dir_(std::move(dir)), persist_(persist) {
+Bucket::Bucket(std::string dir, bool persist, bool fsync_appends)
+    : dir_(std::move(dir)), persist_(persist), fsync_appends_(fsync_appends) {
   if (persist_) {
     const Status st = CreateDirs(dir_);
     if (!st.ok()) {
@@ -44,10 +44,21 @@ uint64_t Bucket::Append(const std::string& payload, Micros now,
 }
 
 void Bucket::PersistAppendLocked(const Message& m) {
+  // Kill-mode crash point: the process can die mid-append, leaving a torn
+  // record at the segment tail for RecoverFromDisk to truncate.
+  const Status kill = FaultRegistry::Global()->Hit("scribe.segment.append");
+  if (!kill.ok()) {
+    FBSTREAM_LOG(Warning) << "scribe persist: " << kill;
+    return;
+  }
   // Roll the active segment when full (or on first append).
   if (segments_.empty() || segments_.back().messages >= kSegmentMessages) {
     segments_.push_back(
         SegmentMeta{m.sequence, SegmentPath(m.sequence), m.write_time, 0});
+    // The new segment file is born durable: its directory entry is synced
+    // once the first record lands (below, when fsync_appends_), or lazily
+    // by the next WriteFileAtomic in the directory otherwise.
+    if (fsync_appends_) SyncDir(dir_);
   }
   SegmentMeta& active = segments_.back();
   std::string record;
@@ -65,7 +76,9 @@ void Bucket::PersistAppendLocked(const Message& m) {
   PutVarint64(&framed, record.size());
   PutFixed64(&framed, Fnv1a64(record));
   framed += record;
-  const Status st = AppendToFile(active.path, framed);
+  // Batch-boundary durability: with fsync_appends the record is on disk
+  // before the append is acknowledged to the producer.
+  const Status st = AppendToFile(active.path, framed, fsync_appends_);
   if (!st.ok()) FBSTREAM_LOG(Warning) << "scribe persist: " << st;
   ++active.messages;
   active.newest_time = std::max(active.newest_time, m.write_time);
@@ -234,7 +247,7 @@ Category::Category(CategoryConfig config, std::string root_dir)
   for (int i = 0; i < config_.num_buckets; ++i) {
     buckets_.push_back(std::make_unique<Bucket>(
         root_dir_ + "/" + config_.name + "/bucket-" + std::to_string(i),
-        config_.persist_to_disk));
+        config_.persist_to_disk, config_.fsync_appends));
   }
 }
 
@@ -267,7 +280,7 @@ Status Category::SetNumBuckets(int n) {
     const int i = static_cast<int>(buckets_.size());
     buckets_.push_back(std::make_unique<Bucket>(
         root_dir_ + "/" + config_.name + "/bucket-" + std::to_string(i),
-        config_.persist_to_disk));
+        config_.persist_to_disk, config_.fsync_appends));
   }
   active_buckets_ = n;
   config_.num_buckets = n;

@@ -54,6 +54,12 @@ struct CategoryConfig {
   // If true, every append is also written to a disk segment under the Scribe
   // root directory and survives process restart.
   bool persist_to_disk = false;
+  // With persist_to_disk: fsync the segment after each persisted append (the
+  // batch boundary — producers append whole batches through Write), so an
+  // acked message survives not just process death but power loss. Off by
+  // default: the buffered path matches Scribe's "few seconds of durability
+  // lag" and is what most tests want.
+  bool fsync_appends = false;
 };
 
 // A single append-only bucket log. Thread-safe.
@@ -69,7 +75,7 @@ class Bucket {
  public:
   static constexpr size_t kSegmentMessages = 4096;
 
-  Bucket(std::string dir, bool persist);
+  Bucket(std::string dir, bool persist, bool fsync_appends = false);
 
   // Appends a payload; returns its sequence number. `trace_id` is nonzero
   // only for tracer-sampled messages.
@@ -110,6 +116,7 @@ class Bucket {
   mutable std::mutex mu_;
   std::string dir_;
   bool persist_;
+  bool fsync_appends_;
   uint64_t base_sequence_ = 0;  // Sequence of messages_[0].
   std::vector<Message> messages_;
   uint64_t bytes_ = 0;

@@ -45,11 +45,19 @@ Status HdfsCluster::WriteFile(const std::string& path,
   do {
     const size_t n = std::min(options_.block_bytes, data.size() - offset);
     const uint64_t id = next_block_id_++;
+    // Kill-mode crash point: a block can be half-written when the process
+    // dies. Because the fsimage (the commit point) is only persisted after
+    // every block, recovery never references the torn block.
     FBSTREAM_RETURN_IF_ERROR(
-        ::fbstream::WriteFile(BlockPath(id), data.substr(offset, n)));
+        FaultRegistry::Global()->Hit("hdfs.block.write"));
+    // Blocks must be durable before the fsimage referencing them is: a
+    // buffered write could be reordered after the atomic image rename.
+    FBSTREAM_RETURN_IF_ERROR(
+        WriteFileDurable(BlockPath(id), data.substr(offset, n)));
     inode.block_ids.push_back(id);
     offset += n;
   } while (offset < data.size());
+  SyncDir(root_ + "/blocks");
   // Replace any previous version; old blocks are garbage collected.
   auto it = namespace_.find(path);
   std::vector<uint64_t> old_blocks;
@@ -142,6 +150,10 @@ uint64_t HdfsCluster::UsedBytes() const {
 }
 
 Status HdfsCluster::PersistNamespaceLocked() const {
+  // Kill-mode crash point: dying here (or inside the atomic write below)
+  // leaves the previous fsimage intact — the new file version was never
+  // committed, its blocks are orphans.
+  FBSTREAM_RETURN_IF_ERROR(FaultRegistry::Global()->Hit("hdfs.fsimage.write"));
   std::string image;
   PutVarint64(&image, next_block_id_);
   PutVarint64(&image, namespace_.size());

@@ -1,5 +1,7 @@
 #include "storage/lsm/wal.h"
 
+#include <unistd.h>
+
 #include "common/fault.h"
 #include "common/fs.h"
 #include "common/hash.h"
@@ -13,6 +15,9 @@ Status WalWriter::Open(const std::string& path) {
   Close();
   file_ = fopen(path.c_str(), "ab");
   if (file_ == nullptr) return Status::IoError("wal open: " + path);
+  // A freshly created log file's directory entry must itself be durable,
+  // or a power cut after acked writes loses the whole file.
+  SyncParentDir(path);
   appended_bytes_ = 0;
   return Status::OK();
 }
@@ -59,6 +64,9 @@ Status WalWriter::Sync() {
   if (file_ == nullptr) return Status::OK();
   FBSTREAM_RETURN_IF_ERROR(FaultRegistry::Global()->Hit("lsm.wal.sync"));
   if (fflush(file_) != 0) return Status::IoError("wal flush");
+  // fflush only moves bytes into the page cache; an fsync is what makes the
+  // group commit power-loss durable.
+  if (::fsync(fileno(file_)) != 0) return Status::IoError("wal fsync");
   return Status::OK();
 }
 
