@@ -13,10 +13,11 @@ BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DFBSTREAM_ASAN=ON
 cmake --build "$BUILD_DIR" -j --target \
   common_test scribe_test lsm_test hdfs_test zippydb_test stylus_test \
-  chaos_test crash_recovery_test
+  continuous_pipeline_test chaos_test crash_recovery_test
 
 for t in common_test scribe_test lsm_test hdfs_test zippydb_test \
-         stylus_test chaos_test crash_recovery_test; do
+         stylus_test continuous_pipeline_test chaos_test \
+         crash_recovery_test; do
   echo "== ASan: $t =="
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     "$BUILD_DIR/tests/$t"

@@ -3,8 +3,9 @@
 # workload (small preload, one-second phases) and the crash-recovery bench
 # (shrunk state). JSON goes to scratch paths. Verifies the harnesses still
 # run end to end and emit well-formed output; real numbers come from the
-# full runs (`bench_lsm --mixed`, `bench_recovery`), recorded in
-# BENCH_LSM.json and BENCH_RECOVERY.json.
+# full runs (`bench_lsm --mixed`, `bench_recovery`,
+# `bench_parallel_pipeline --continuous`), recorded in BENCH_LSM.json,
+# BENCH_RECOVERY.json, and BENCH_CONTINUOUS.json.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -13,9 +14,11 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT="$(mktemp -t bench_lsm_smoke.XXXXXX.json)"
 RECOVERY_OUT="$(mktemp -t bench_recovery_smoke.XXXXXX.json)"
-trap 'rm -f "$OUT" "$RECOVERY_OUT"' EXIT
+CONTINUOUS_OUT="$(mktemp -t bench_continuous_smoke.XXXXXX.json)"
+trap 'rm -f "$OUT" "$RECOVERY_OUT" "$CONTINUOUS_OUT"' EXIT
 
-cmake --build "$BUILD_DIR" -j --target bench_lsm bench_recovery
+cmake --build "$BUILD_DIR" -j --target bench_lsm bench_recovery \
+  bench_parallel_pipeline
 "$BUILD_DIR/bench/bench_lsm" --mixed --smoke --out "$OUT"
 
 # Well-formed and carries both engines' numbers.
@@ -27,4 +30,10 @@ grep -q '"block_cache"' "$OUT"
 "$BUILD_DIR/bench/bench_recovery" --smoke --out "$RECOVERY_OUT"
 grep -q '"local_restart_ms"' "$RECOVERY_OUT"
 grep -q '"remote_restore_ms"' "$RECOVERY_OUT"
-echo "bench smoke passed ($OUT, $RECOVERY_OUT)"
+
+# Continuous vs round loop on the skewed workload: the bench itself fails
+# (exit 1) unless continuous beats the round loop.
+"$BUILD_DIR/bench/bench_parallel_pipeline" --continuous --smoke \
+  --out "$CONTINUOUS_OUT"
+grep -q '"continuous_speedup"' "$CONTINUOUS_OUT"
+echo "bench smoke passed ($OUT, $RECOVERY_OUT, $CONTINUOUS_OUT)"

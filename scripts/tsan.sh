@@ -2,10 +2,11 @@
 # ThreadSanitizer run for the layers the parallel shard scheduler touches:
 # scribe (bucket logs + tailer cursors), core (pipeline/node/checkpoint),
 # monitoring (sampler + auto-scaler racing live rounds), the
-# serial-vs-parallel differential suite, observability (lock-free
-# histogram recorders + the telemetry exporter racing instrumented rounds),
-# and the concurrent LSM (lock-free reads racing the writer queue and the
-# background flush/compaction thread).
+# serial-vs-parallel differential suite, the continuous engine (per-shard
+# event loops + overlapped commit pool + backpressure + executor-teardown
+# torture), observability (lock-free histogram recorders + the telemetry
+# exporter racing instrumented rounds), and the concurrent LSM (lock-free
+# reads racing the writer queue and the background flush/compaction thread).
 #
 # Usage: scripts/tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -15,11 +16,12 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DFBSTREAM_TSAN=ON
 cmake --build "$BUILD_DIR" -j --target \
-  scribe_test stylus_test monitoring_test parallel_pipeline_test chaos_test \
-  observability_test lsm_concurrency_test
+  scribe_test stylus_test monitoring_test parallel_pipeline_test \
+  continuous_pipeline_test chaos_test observability_test lsm_concurrency_test
 
 for t in scribe_test stylus_test monitoring_test parallel_pipeline_test \
-         chaos_test observability_test lsm_concurrency_test; do
+         continuous_pipeline_test chaos_test observability_test \
+         lsm_concurrency_test; do
   echo "== TSan: $t =="
   TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/$t"
 done

@@ -26,7 +26,8 @@ namespace fbstream {
 // Sites currently wired: "hdfs.write", "hdfs.read", "hdfs.block.write",
 // "hdfs.fsimage.write", "scribe.append", "scribe.segment.append",
 // "lsm.wal.append", "lsm.wal.sync", "lsm.flush", "lsm.compaction",
-// "zippydb.write", "checkpoint.write.state", "checkpoint.write.offset".
+// "zippydb.write", "checkpoint.write.state", "checkpoint.write.offset",
+// "recovery.offsets.write".
 //
 // Tests and the chaos harness arm rules against sites:
 //   - FailNext: scripted one-shot faults (fail hits [skip, skip+count)).

@@ -24,6 +24,7 @@ enum class StatusCode {
   kUnimplemented = 10,
   kInternal = 11,
   kDeadlineExceeded = 12,
+  kCancelled = 13,
 };
 
 // Returns a short name like "NotFound" for diagnostics.
@@ -73,6 +74,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -84,6 +88,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   // True for transient conditions a caller may retry with backoff
   // (RetryPolicy consults this): the peer was unavailable or the attempt

@@ -96,6 +96,23 @@ MonitoringService::ActiveBackupAlerts() const {
   return alerts;
 }
 
+std::vector<MonitoringService::SnapshotAlert>
+MonitoringService::ActiveSnapshotAlerts(uint64_t threshold) const {
+  std::map<std::string, Pipeline*> pipelines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pipelines = pipelines_;
+  }
+  std::vector<SnapshotAlert> alerts;
+  for (const auto& [service, pipeline] : pipelines) {
+    const uint64_t streak = pipeline->OffsetsWriteFailureStreak();
+    if (threshold > 0 && streak >= threshold) {
+      alerts.push_back(SnapshotAlert{service, streak});
+    }
+  }
+  return alerts;
+}
+
 bool MonitoringService::IsFallingBehind(const std::string& service,
                                         const std::string& node, int shard,
                                         size_t window) const {

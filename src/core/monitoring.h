@@ -85,6 +85,17 @@ class MonitoringService {
   };
   std::vector<BackupAlert> ActiveBackupAlerts() const;
 
+  // Pipelines whose OFFSETS-snapshot writes have failed `threshold` or more
+  // times in a row. Like backup alerts this reads live pipeline state: the
+  // advisory snapshot degrades recovery precision silently, so a sustained
+  // streak (disk full, directory unwritable) should page rather than wait
+  // for someone to grep logs.
+  struct SnapshotAlert {
+    std::string service;
+    uint64_t consecutive_failures = 0;
+  };
+  std::vector<SnapshotAlert> ActiveSnapshotAlerts(uint64_t threshold) const;
+
  private:
   struct Key {
     std::string service;

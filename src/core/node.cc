@@ -258,66 +258,87 @@ StatusOr<size_t> NodeShard::RunOnce() {
   // HDFS drains the backup backlog on the next round regardless of whether
   // traffic is still flowing.
   DrainPendingBackups();
-  if (monoid_ != nullptr) return RunMonoid();
-  return RunStatelessOrStateful();
+  FBSTREAM_ASSIGN_OR_RETURN(PendingBatch batch, ProcessBatch());
+  const size_t events = batch.events;
+  if (events == 0) return size_t{0};
+  const Status st = CommitBatch(std::move(batch));
+  if (st.IsAborted()) {
+    // CommitBatch never crashes the shard itself (a commit-pool thread must
+    // not destroy the processor); on this synchronous path we are the
+    // shard's executing thread, so apply the crash here.
+    Crash();
+    return st;
+  }
+  FBSTREAM_RETURN_IF_ERROR(st);
+  return events;
 }
 
-StatusOr<size_t> NodeShard::RunStatelessOrStateful() {
+StatusOr<PendingBatch> NodeShard::ProcessBatch() {
+  if (!alive_) return Status::FailedPrecondition(ShardLabel() + " is down");
   FBSTREAM_ASSIGN_OR_RETURN(std::vector<Event> events, PollEvents());
-  if (events.empty()) return size_t{0};
-  // Only non-empty rounds are recorded, so the histogram reflects real
-  // processing intervals rather than idle polls.
-  ScopedLatencyTimer round_timer(runonce_latency_metric_);
+  PendingBatch batch;
+  if (events.empty()) return batch;
+  batch.events = events.size();
 
   // Sampled events present in this batch; the batch-level engine/storage
-  // durations below are attributed to each of them (sampled profiling).
-  std::vector<uint64_t> traced;
+  // durations are attributed to each of them (sampled profiling).
   if (Tracer::Global()->enabled()) {
     for (const Event& e : events) {
-      if (e.trace_id != 0) traced.push_back(e.trace_id);
+      if (e.trace_id != 0) batch.traced.push_back(e.trace_id);
     }
   }
 
-  const bool emit_immediately =
-      config_.output_semantics == OutputSemantics::kAtLeastOnce;
-  std::vector<Row> buffered;
   ScopedLatencyTimer process_timer(nullptr);
-
-  // §4.3.1 activity 1+2: process input events (side-effect-free w.r.t. the
-  // checkpoint) and generate output. With at-least-once output, emission
-  // happens as events are processed; otherwise output is buffered and
-  // synchronized with the checkpoint.
-  for (const Event& event : events) {
-    std::vector<Row> rows;
-    if (stateless_ != nullptr) {
-      stateless_->Process(event, &rows);
-    } else {
-      stateful_->Process(event, &rows);
+  if (monoid_ != nullptr) {
+    batch.monoid = true;
+    std::vector<MonoidProcessor::Contribution> contributions;
+    for (const Event& event : events) {
+      contributions.clear();
+      monoid_->Process(event, &contributions);
+      for (auto& [key, partial] : contributions) {
+        monoid_state_->Append(key, partial);
+      }
     }
-    if (emit_immediately) {
-      FBSTREAM_RETURN_IF_ERROR(EmitRows(rows));
-    } else {
-      buffered.insert(buffered.end(), rows.begin(), rows.end());
+  } else {
+    // §4.3.1 activity 1+2: process input events (side-effect-free w.r.t.
+    // the checkpoint) and generate output. With at-least-once output,
+    // emission happens as events are processed; otherwise output is
+    // buffered in the batch and synchronized with the checkpoint.
+    const bool emit_immediately =
+        config_.output_semantics == OutputSemantics::kAtLeastOnce;
+    for (const Event& event : events) {
+      std::vector<Row> rows;
+      if (stateless_ != nullptr) {
+        stateless_->Process(event, &rows);
+      } else {
+        stateful_->Process(event, &rows);
+      }
+      if (emit_immediately) {
+        FBSTREAM_RETURN_IF_ERROR(EmitRows(rows));
+      } else {
+        batch.buffered.insert(batch.buffered.end(), rows.begin(), rows.end());
+      }
+    }
+    if (stateful_ != nullptr) {
+      std::vector<Row> window_rows;
+      stateful_->OnCheckpoint(clock_->NowMicros(), &window_rows);
+      if (emit_immediately) {
+        FBSTREAM_RETURN_IF_ERROR(EmitRows(window_rows));
+      } else {
+        batch.buffered.insert(batch.buffered.end(), window_rows.begin(),
+                              window_rows.end());
+      }
     }
   }
-  if (stateful_ != nullptr) {
-    std::vector<Row> window_rows;
-    stateful_->OnCheckpoint(clock_->NowMicros(), &window_rows);
-    if (emit_immediately) {
-      FBSTREAM_RETURN_IF_ERROR(EmitRows(window_rows));
-    } else {
-      buffered.insert(buffered.end(), window_rows.begin(), window_rows.end());
-    }
-  }
 
-  const uint64_t process_us = process_timer.ElapsedMicros();
-  if (!traced.empty()) {
+  batch.process_micros = process_timer.ElapsedMicros();
+  if (!batch.traced.empty()) {
     const Micros now = clock_->NowMicros();
-    for (const uint64_t id : traced) {
-      hop_engine_metric_->Record(process_us);
+    for (const uint64_t id : batch.traced) {
+      hop_engine_metric_->Record(batch.process_micros);
       Tracer::Global()->RecordSpan(SpanRecord{
           id, "engine.process", config_.name, bucket_, now,
-          static_cast<Micros>(process_us)});
+          static_cast<Micros>(batch.process_micros)});
     }
   }
 
@@ -325,48 +346,62 @@ StatusOr<size_t> NodeShard::RunStatelessOrStateful() {
     return Status::Aborted("injected crash after processing");
   }
 
-  ScopedLatencyTimer commit_timer(nullptr);
-  const std::string state =
-      stateful_ != nullptr ? stateful_->SerializeState() : std::string();
-  const uint64_t offset = tailer_.offset();
+  // Snapshot what the commit needs *now*, on the shard thread: continuous
+  // mode starts processing the next batch while this one commits, so the
+  // commit must not read live processor or tailer state.
+  if (stateful_ != nullptr) batch.state = stateful_->SerializeState();
+  batch.offset = tailer_.offset();
+  return batch;
+}
 
-  if (config_.output_semantics == OutputSemantics::kExactlyOnce) {
+Status NodeShard::CommitBatch(PendingBatch batch) {
+  if (batch.events == 0) return Status::OK();
+  ScopedLatencyTimer commit_timer(nullptr);
+
+  if (batch.monoid) {
+    // Flush partials, then save the offset: at-least-once state semantics
+    // (a crash between the two replays and re-merges this interval).
+    FBSTREAM_RETURN_IF_ERROR(monoid_state_->Flush());
+    if (failure_ != nullptr &&
+        failure_(FailurePoint::kBetweenCheckpointWrites)) {
+      return Status::Aborted("injected crash before offset save");
+    }
+    FBSTREAM_RETURN_IF_ERROR(store_->SaveCheckpoint(
+        StateSemantics::kAtLeastOnce, "", batch.offset, nullptr));
+  } else if (config_.output_semantics == OutputSemantics::kExactlyOnce) {
     lsm::WriteBatch output;
     FBSTREAM_RETURN_IF_ERROR(
-        config_.sink->AppendToTransaction(buffered, &output));
+        config_.sink->AppendToTransaction(batch.buffered, &output));
     FBSTREAM_RETURN_IF_ERROR(checkpoint_retry_->Run("checkpoint.save", [&] {
-      return store_->SaveCheckpointWithOutput(state, offset, output);
+      return store_->SaveCheckpointWithOutput(batch.state, batch.offset,
+                                              output);
     }));
   } else {
     // Retrying a half-written checkpoint is safe: both writes are idempotent
     // Puts of this interval's values. Injected crashes return Aborted, which
     // is not retryable, so failure-semantics tests still observe them.
-    const Status st = checkpoint_retry_->Run("checkpoint.save", [&] {
-      return store_->SaveCheckpoint(config_.state_semantics, state, offset,
+    FBSTREAM_RETURN_IF_ERROR(checkpoint_retry_->Run("checkpoint.save", [&] {
+      return store_->SaveCheckpoint(config_.state_semantics, batch.state,
+                                    batch.offset,
                                     [this](FailurePoint point) {
                                       return failure_ != nullptr &&
                                              failure_(point);
                                     });
-    });
-    if (st.IsAborted()) {
-      Crash();
-      return st;
-    }
-    FBSTREAM_RETURN_IF_ERROR(st);
+    }));
     if (config_.output_semantics == OutputSemantics::kAtMostOnce) {
       // Checkpoint first, then emit: a crash here loses this batch's output
       // (data loss preferred to duplication).
-      if (MaybeCrash(FailurePoint::kAfterCheckpoint)) {
+      if (failure_ != nullptr && failure_(FailurePoint::kAfterCheckpoint)) {
         return Status::Aborted("injected crash after checkpoint");
       }
-      FBSTREAM_RETURN_IF_ERROR(EmitRows(buffered));
+      FBSTREAM_RETURN_IF_ERROR(EmitRows(batch.buffered));
     }
   }
 
   const uint64_t commit_us = commit_timer.ElapsedMicros();
-  if (!traced.empty()) {
+  if (!batch.traced.empty()) {
     const Micros now = clock_->NowMicros();
-    for (const uint64_t id : traced) {
+    for (const uint64_t id : batch.traced) {
       hop_storage_metric_->Record(commit_us);
       Tracer::Global()->RecordSpan(SpanRecord{
           id, "storage.commit", config_.name, bucket_, now,
@@ -374,11 +409,19 @@ StatusOr<size_t> NodeShard::RunStatelessOrStateful() {
     }
   }
 
+  // Only non-empty batches are recorded, so the histogram reflects real
+  // processing intervals rather than idle polls.
+  runonce_latency_metric_->Record(batch.process_micros + commit_us);
   ++checkpoints_completed_;
   checkpoints_metric_->Add();
-  events_processed_metric_->Add(events.size());
+  events_processed_metric_->Add(batch.events);
   MaybeBackup();
-  return events.size();
+  return Status::OK();
+}
+
+void NodeShard::MaintainBackups() {
+  if (!alive_) return;
+  DrainPendingBackups();
 }
 
 bool NodeShard::BackupConfigured() const {
@@ -476,66 +519,6 @@ BackupHealth NodeShard::GetBackupHealth() const {
   return h;
 }
 
-StatusOr<size_t> NodeShard::RunMonoid() {
-  FBSTREAM_ASSIGN_OR_RETURN(std::vector<Event> events, PollEvents());
-  if (events.empty()) return size_t{0};
-  ScopedLatencyTimer round_timer(runonce_latency_metric_);
-
-  std::vector<uint64_t> traced;
-  if (Tracer::Global()->enabled()) {
-    for (const Event& e : events) {
-      if (e.trace_id != 0) traced.push_back(e.trace_id);
-    }
-  }
-
-  ScopedLatencyTimer process_timer(nullptr);
-  std::vector<MonoidProcessor::Contribution> contributions;
-  for (const Event& event : events) {
-    contributions.clear();
-    monoid_->Process(event, &contributions);
-    for (auto& [key, partial] : contributions) {
-      monoid_state_->Append(key, partial);
-    }
-  }
-  const uint64_t process_us = process_timer.ElapsedMicros();
-  if (!traced.empty()) {
-    const Micros now = clock_->NowMicros();
-    for (const uint64_t id : traced) {
-      hop_engine_metric_->Record(process_us);
-      Tracer::Global()->RecordSpan(SpanRecord{
-          id, "engine.process", config_.name, bucket_, now,
-          static_cast<Micros>(process_us)});
-    }
-  }
-
-  if (MaybeCrash(FailurePoint::kAfterProcessing)) {
-    return Status::Aborted("injected crash after processing");
-  }
-
-  // Flush partials, then save the offset: at-least-once state semantics (a
-  // crash between the two replays and re-merges this interval).
-  ScopedLatencyTimer commit_timer(nullptr);
-  FBSTREAM_RETURN_IF_ERROR(monoid_state_->Flush());
-  if (MaybeCrash(FailurePoint::kBetweenCheckpointWrites)) {
-    return Status::Aborted("injected crash before offset save");
-  }
-  FBSTREAM_RETURN_IF_ERROR(store_->SaveCheckpoint(
-      StateSemantics::kAtLeastOnce, "", tailer_.offset(), nullptr));
-  const uint64_t commit_us = commit_timer.ElapsedMicros();
-  if (!traced.empty()) {
-    const Micros now = clock_->NowMicros();
-    for (const uint64_t id : traced) {
-      hop_storage_metric_->Record(commit_us);
-      Tracer::Global()->RecordSpan(SpanRecord{
-          id, "storage.commit", config_.name, bucket_, now,
-          static_cast<Micros>(commit_us)});
-    }
-  }
-  ++checkpoints_completed_;
-  checkpoints_metric_->Add();
-  events_processed_metric_->Add(events.size());
-  return events.size();
-}
 
 uint64_t NodeShard::ProcessingLag() const { return tailer_.LagMessages(); }
 

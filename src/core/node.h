@@ -104,15 +104,33 @@ struct BackupHealth {
   uint64_t backups_dropped = 0;   // Pending entries evicted by the bound.
 };
 
+// One checkpoint interval of processed-but-uncommitted work: everything the
+// durable commit needs, snapshotted so the shard can start processing the
+// next batch while this one's side effects commit (§4.2 processing overlap).
+struct PendingBatch {
+  size_t events = 0;          // 0 = nothing polled; no commit needed.
+  std::vector<Row> buffered;  // Output withheld until the checkpoint.
+  std::string state;          // Processor state snapshot at batch end.
+  uint64_t offset = 0;        // Tailer offset after the batch.
+  bool monoid = false;        // Monoid partials pending in monoid_state_.
+  std::vector<uint64_t> traced;  // Sampled trace ids in the batch.
+  uint64_t process_micros = 0;   // Phase-1 wall time (for runonce latency).
+};
+
 // One running shard of a node: tailer -> processor -> sink, with
 // checkpointing per the configured semantics and crash/recovery support.
 //
-// Thread-safety: RunOnce / Crash / Recover belong to the single worker
-// currently executing the shard (the parallel scheduler never runs one shard
-// on two threads at once). alive(), ProcessingLag(), checkpoints_completed(),
-// and config() are safe to call concurrently from monitoring / auto-scaling
-// threads while RunOnce is in flight. watermark(), LowWatermark(), and
-// monoid_state() are inspection hooks for quiesced shards only.
+// Thread-safety: RunOnce / ProcessBatch / Crash / Recover / MaintainBackups
+// belong to the single worker currently executing the shard (neither
+// scheduler ever runs one shard on two threads at once). CommitBatch may run
+// on a different thread (the continuous engine's commit pool), but commits
+// are serialized per shard and never overlap that shard's Crash/Recover or
+// MaintainBackups — the shard's event loop waits for the in-flight commit
+// before doing any of those. alive(), ProcessingLag(),
+// checkpoints_completed(), and config() are safe to call concurrently from
+// monitoring / auto-scaling threads while a batch is in flight. watermark(),
+// LowWatermark(), and monoid_state() are inspection hooks for quiesced
+// shards only.
 class NodeShard {
  public:
   // Validates the config (semantics combination, backend/sink coherence).
@@ -127,7 +145,30 @@ class NodeShard {
   // Processes up to one checkpoint interval of pending events, then
   // checkpoints. Returns the number of events consumed. Returns Aborted if
   // the failure injector fired — the shard is then dead until Recover().
+  // Equivalent to ProcessBatch + CommitBatch run back to back (the round
+  // scheduler's path; continuous mode drives the two phases separately).
   StatusOr<size_t> RunOnce();
+
+  // Phase 1 (§4.3.1 activities 1+2, side-effect-free w.r.t. the
+  // checkpoint): poll, process, and snapshot (state, offset) into a
+  // PendingBatch. With at-least-once output, rows are emitted here;
+  // otherwise they ride in the batch until CommitBatch. Returns Aborted if
+  // an injected crash fired (the shard is dead; the batch is void).
+  StatusOr<PendingBatch> ProcessBatch();
+
+  // Phase 2: durably commits a batch from ProcessBatch — checkpoint write
+  // (atomic with output for exactly-once), post-checkpoint emission for
+  // at-most-once, scheduled HDFS backup. Returns Aborted when an injected
+  // crash fires mid-commit; the *caller* must then Crash() the shard (the
+  // commit may run on a commit-pool thread, and destroying the processor
+  // from there would race phase 1 of the next batch).
+  Status CommitBatch(PendingBatch batch);
+
+  // Drains pending HDFS backups (degraded-mode resync, §4.4.2) outside the
+  // commit path, so queues empty as soon as HDFS recovers even when no
+  // traffic flows. Call from the shard's executing thread with no commit in
+  // flight; RunOnce does this every round, continuous loops on idle ticks.
+  void MaintainBackups();
 
   // Simulated process death: in-memory state and processor are destroyed.
   void Crash();
@@ -178,8 +219,6 @@ class NodeShard {
 
   std::string ShardLabel() const;
   Status OpenStateStore();
-  StatusOr<size_t> RunStatelessOrStateful();
-  StatusOr<size_t> RunMonoid();
   StatusOr<std::vector<Event>> PollEvents();
   Status EmitRows(const std::vector<Row>& rows);
   bool MaybeCrash(FailurePoint point);

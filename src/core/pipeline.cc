@@ -2,13 +2,34 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <functional>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/shutdown.h"
 
 namespace fbstream::stylus {
+
+// One continuous event loop. `pending` counts in-flight work units for the
+// quiescence check: each polled non-empty batch is one unit, held from the
+// moment of polling until its commit completes (so overlap shows 2: one
+// committing, one processing). The commit channel is a one-slot handoff
+// between the shard thread and the commit pool; commits for one shard never
+// overlap each other.
+struct Pipeline::ShardLoop {
+  std::string node;
+  NodeShard* shard = nullptr;
+  std::thread thread;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool commit_inflight = false;  // Guarded by mu.
+  Status commit_status;          // Result of the last finished commit.
+  std::atomic<int> pending{0};
+};
 
 Pipeline::Pipeline(scribe::Scribe* scribe, Clock* clock, Options options)
     : scribe_(scribe), clock_(clock), options_(options) {
@@ -17,9 +38,15 @@ Pipeline::Pipeline(scribe::Scribe* scribe, Clock* clock, Options options)
   }
 }
 
-Pipeline::~Pipeline() = default;
+Pipeline::~Pipeline() {
+  if (running()) (void)Stop();
+}
 
 Status Pipeline::AddNode(const NodeConfig& config) {
+  if (running()) {
+    return Status::FailedPrecondition(
+        "cannot add nodes while continuous execution is running");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   return AddNodeLocked(config);
 }
@@ -88,12 +115,25 @@ void Pipeline::SaveOffsetsSnapshot() {
       }
     }
   }
+  // Serialize the write: continuous commit threads hit the cadence
+  // concurrently, and two interleaved atomic-rename writes would race on
+  // the temp file.
+  std::lock_guard<std::mutex> snapshot_lock(snapshot_mu_);
   // Advisory data (see LoadOffsetsSnapshot): a failed write costs recovery
-  // precision, not correctness, so it must not fail the round.
+  // precision, not correctness, so it must not fail the round. It must not
+  // be invisible either — a sustained streak means recovery would replay
+  // from an ever-staler floor, so the failure is counted for the exporter
+  // and the streak is tracked for MonitoringService::ActiveSnapshotAlerts.
   const Status status =
       ::fbstream::stylus::SaveOffsetsSnapshot(manifest_dir_, offsets);
   if (!status.ok()) {
+    static Counter* failures = MetricsRegistry::Global()->GetCounter(
+        "recovery.offsets.write_failures");
+    failures->Add();
+    offsets_failure_streak_.fetch_add(1, std::memory_order_relaxed);
     FBSTREAM_LOG(Warning) << "offsets snapshot write failed: " << status;
+  } else {
+    offsets_failure_streak_.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -165,6 +205,10 @@ Status Pipeline::Recover(const std::string& dir,
 }
 
 StatusOr<size_t> Pipeline::RunRound() {
+  if (running()) {
+    return Status::FailedPrecondition(
+        "continuous execution is running; Stop() before driving rounds");
+  }
   std::vector<std::string> order;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -224,7 +268,14 @@ StatusOr<size_t> Pipeline::RunUntilQuiescent(int max_rounds) {
   for (int round = 0; round < max_rounds; ++round) {
     // A shutdown request ends the drive loop cleanly: the last round ended
     // on checkpoints, so "drained so far" is a consistent stopping point.
-    if (ShutdownRequested()) return total;
+    // It is NOT quiescence, though — input may remain — so it must be
+    // distinguishable from a completed drain: a caller that took the old
+    // plain-total return as "drained" would tear down with events still
+    // queued. Cancelled carries the count in its message.
+    if (ShutdownRequested()) {
+      return Status::Cancelled("shutdown requested after draining " +
+                               std::to_string(total) + " events");
+    }
     FBSTREAM_ASSIGN_OR_RETURN(size_t n, RunRound());
     total += n;
     if (n == 0) return total;
@@ -232,6 +283,296 @@ StatusOr<size_t> Pipeline::RunUntilQuiescent(int max_rounds) {
   return Status::DeadlineExceeded(
       "pipeline still consuming after " + std::to_string(max_rounds) +
       " rounds (" + std::to_string(total) + " events processed)");
+}
+
+Status Pipeline::Start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) {
+    return Status::FailedPrecondition("continuous execution already running");
+  }
+  stop_requested_.store(false, std::memory_order_release);
+  continuous_processed_.store(0, std::memory_order_relaxed);
+  continuous_commits_.store(0, std::memory_order_relaxed);
+  if (options_.overlap_commits && options_.commit_threads > 0) {
+    commit_pool_ = std::make_unique<ShardExecutor>(options_.commit_threads);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> loops_lock(loops_mu_);
+  for (const std::string& name : node_order_) {
+    for (const auto& shard : nodes_.at(name)) {
+      SpawnLoopLocked(name, shard.get());
+    }
+  }
+  FBSTREAM_LOG(Info) << "continuous execution started (" << loops_.size()
+                     << " shard loops, "
+                     << (commit_pool_ != nullptr ? options_.commit_threads : 0)
+                     << " commit threads)";
+  return Status::OK();
+}
+
+Status Pipeline::Stop() {
+  if (!running()) {
+    return Status::FailedPrecondition("continuous execution is not running");
+  }
+  stop_requested_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> loops_lock(loops_mu_);
+    for (auto& loop : loops_) {
+      if (loop->thread.joinable()) loop->thread.join();
+    }
+  }
+  // Drain the commit pool before destroying the loops: a commit callback's
+  // tail can still be running after FinishCommit observed the commit done,
+  // and it touches the loop's mutex/cv.
+  if (commit_pool_ != nullptr) {
+    commit_pool_->Shutdown();
+    commit_pool_.reset();
+  }
+  {
+    std::lock_guard<std::mutex> loops_lock(loops_mu_);
+    loops_.clear();
+    // Inside loops_mu_ so a racing ReconcileShards either spawned a loop we
+    // just joined (SpawnLoopLocked no-ops once stop is requested), or
+    // observes not-running and spawns nothing.
+    running_.store(false, std::memory_order_release);
+  }
+  if (!manifest_dir_.empty()) SaveOffsetsSnapshot();
+  FBSTREAM_LOG(Info) << "continuous execution stopped ("
+                     << continuous_processed_.load(std::memory_order_relaxed)
+                     << " events processed)";
+  return Status::OK();
+}
+
+void Pipeline::SpawnLoopLocked(const std::string& node, NodeShard* shard) {
+  if (stop_requested_.load(std::memory_order_acquire)) return;
+  auto loop = std::make_unique<ShardLoop>();
+  loop->node = node;
+  loop->shard = shard;
+  ShardLoop* raw = loop.get();
+  loops_.push_back(std::move(loop));
+  raw->thread = std::thread([this, raw] { ShardLoopMain(raw); });
+}
+
+// Largest backlog any consumer of `category` still has — the "queue depth"
+// of the edge this category implements. Empty category (terminal sink) or
+// no consumers means no backpressure.
+uint64_t Pipeline::MaxDownstreamLag(const std::string& category) const {
+  uint64_t max_lag = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, shards] : nodes_) {
+    if (shards.empty()) continue;
+    if (shards[0]->config().input_category != category) continue;
+    for (const auto& shard : shards) {
+      max_lag = std::max(max_lag, shard->ProcessingLag());
+    }
+  }
+  return max_lag;
+}
+
+// Waits for the shard's overlapped commit (if any) and applies its outcome
+// on the calling (shard) thread. Returns false when the commit failed — on
+// Aborted the injected crash is applied here, where it cannot race the
+// shard's own processing.
+bool Pipeline::FinishCommit(ShardLoop* loop) {
+  Status st;
+  {
+    std::unique_lock<std::mutex> lock(loop->mu);
+    loop->cv.wait(lock, [loop] { return !loop->commit_inflight; });
+    st = loop->commit_status;
+    loop->commit_status = Status::OK();
+  }
+  if (st.ok()) return true;
+  if (st.IsAborted()) {
+    FBSTREAM_LOG(Warning) << loop->node << "/shard-" << loop->shard->bucket()
+                          << " crashed during commit";
+    loop->shard->Crash();
+  } else {
+    FBSTREAM_LOG(Warning) << loop->node << "/shard-" << loop->shard->bucket()
+                          << " commit failed: " << st;
+  }
+  return false;
+}
+
+void Pipeline::AfterCommit(size_t events) {
+  continuous_processed_.fetch_add(events, std::memory_order_relaxed);
+  const uint64_t commits =
+      continuous_commits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!manifest_dir_.empty() && options_.snapshot_every_batches > 0 &&
+      commits % options_.snapshot_every_batches == 0) {
+    SaveOffsetsSnapshot();
+  }
+}
+
+void Pipeline::ShardLoopMain(ShardLoop* loop) {
+  NodeShard* shard = loop->shard;
+  MetricsRegistry* metrics = MetricsRegistry::Global();
+  Gauge* queue_depth = metrics->GetGauge("stylus.continuous.queue_depth",
+                                         loop->node, shard->bucket());
+  Counter* stalls = metrics->GetCounter("stylus.continuous.backpressure_stalls",
+                                        loop->node, shard->bucket());
+  Counter* batches =
+      metrics->GetCounter("stylus.continuous.batches", loop->node,
+                          shard->bucket());
+  Gauge* overlap_inflight =
+      metrics->GetGauge("stylus.continuous.overlap_inflight");
+  // Monoid shards append partials into a single-threaded buffer during
+  // processing and flush it at commit; overlapping the two would race, so
+  // they commit on the loop thread.
+  const bool inline_commit = commit_pool_ == nullptr ||
+                             shard->config().monoid_factory != nullptr;
+  const std::string out_category = shard->config().sink != nullptr
+                                       ? shard->config().sink->OutputCategory()
+                                       : std::string();
+  const auto idle =
+      std::chrono::microseconds(std::max(1, options_.idle_sleep_micros));
+
+  while (!stop_requested_.load(std::memory_order_acquire) &&
+         !ShutdownRequested()) {
+    queue_depth->Set(static_cast<int64_t>(shard->ProcessingLag()));
+    if (!shard->alive()) {
+      // Independent failure (§4.2.2): this loop idles until RecoverAll
+      // revives the shard; upstream keeps producing into the durable bus.
+      std::this_thread::sleep_for(idle);
+      continue;
+    }
+    if (!out_category.empty() &&
+        MaxDownstreamLag(out_category) > options_.max_queue_messages) {
+      // Backpressure: the downstream edge is full. Don't poll — the stall
+      // makes *this* shard's input back up, which stalls its own upstream
+      // in turn, all the way to the source tailer.
+      stalls->Add();
+      std::this_thread::sleep_for(idle);
+      continue;
+    }
+
+    loop->pending.fetch_add(1, std::memory_order_acq_rel);
+    auto batch_or = shard->ProcessBatch();
+    if (!batch_or.ok()) {
+      loop->pending.fetch_sub(1, std::memory_order_acq_rel);
+      // Aborted = injected crash; ProcessBatch already downed the shard.
+      if (!batch_or.status().IsAborted()) {
+        FBSTREAM_LOG(Warning) << loop->node << "/shard-" << shard->bucket()
+                              << " process failed: " << batch_or.status();
+      }
+      std::this_thread::sleep_for(idle);
+      continue;
+    }
+    PendingBatch batch = std::move(batch_or).value();
+    if (batch.events == 0) {
+      loop->pending.fetch_sub(1, std::memory_order_acq_rel);
+      // Idle tick: settle the overlapped commit, then run backup
+      // maintenance — allowed exactly here because no commit is in flight.
+      if (FinishCommit(loop)) shard->MaintainBackups();
+      std::this_thread::sleep_for(idle);
+      continue;
+    }
+
+    const size_t events = batch.events;
+    batches->Add();
+    if (inline_commit) {
+      Status st = shard->CommitBatch(std::move(batch));
+      if (st.IsAborted()) {
+        FBSTREAM_LOG(Warning) << loop->node << "/shard-" << shard->bucket()
+                              << " crashed during commit";
+        shard->Crash();
+      } else if (!st.ok()) {
+        FBSTREAM_LOG(Warning) << loop->node << "/shard-" << shard->bucket()
+                              << " commit failed: " << st;
+      } else {
+        AfterCommit(events);
+      }
+      loop->pending.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+
+    // §4.2 processing overlap: settle the *previous* batch's commit, hand
+    // this one to the commit pool, and immediately loop around to process
+    // the next batch while it commits.
+    if (!FinishCommit(loop)) {
+      // Previous commit crashed or failed the shard; this batch is void (a
+      // recovered shard replays or skips it per its semantics).
+      loop->pending.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(loop->mu);
+      loop->commit_inflight = true;
+    }
+    overlap_inflight->Add(1);
+    commit_pool_->Submit(
+        [this, loop, events, overlap_inflight,
+         batch = std::move(batch)]() mutable {
+          Status st = loop->shard->CommitBatch(std::move(batch));
+          if (st.ok()) AfterCommit(events);
+          overlap_inflight->Add(-1);
+          {
+            // Notify under the lock: a waiter can only observe the cleared
+            // flag after this section releases the mutex, so the notify has
+            // finished before the ShardLoop can be considered settled.
+            std::lock_guard<std::mutex> lock(loop->mu);
+            loop->commit_status = std::move(st);
+            loop->commit_inflight = false;
+            loop->pending.fetch_sub(1, std::memory_order_acq_rel);
+            loop->cv.notify_all();
+          }
+        });
+  }
+  // Graceful drain: the in-flight commit completes before the loop exits,
+  // so the shard's last act is a completed checkpoint.
+  FinishCommit(loop);
+  queue_depth->Set(static_cast<int64_t>(shard->ProcessingLag()));
+}
+
+bool Pipeline::QuiescentOnce() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, shards] : nodes_) {
+      for (const auto& shard : shards) {
+        if (shard->alive() && shard->ProcessingLag() > 0) return false;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> loops_lock(loops_mu_);
+  for (const auto& loop : loops_) {
+    if (loop->pending.load(std::memory_order_acquire) != 0) return false;
+  }
+  return true;
+}
+
+StatusOr<size_t> Pipeline::WaitUntilQuiescent(int64_t timeout_ms) {
+  if (!running()) {
+    return Status::FailedPrecondition("continuous execution is not running");
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (ShutdownRequested()) {
+      return Status::Cancelled(
+          "shutdown requested after draining " +
+          std::to_string(continuous_processed_.load(
+              std::memory_order_relaxed)) +
+          " events");
+    }
+    const size_t before =
+        continuous_processed_.load(std::memory_order_acquire);
+    if (QuiescentOnce()) {
+      // Double-check with a settle delay: a batch that started after the
+      // first check would show as pending or as a processed-count bump.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      if (QuiescentOnce() &&
+          continuous_processed_.load(std::memory_order_acquire) == before) {
+        return before;
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded(
+          "pipeline still consuming after " + std::to_string(timeout_ms) +
+          " ms (" +
+          std::to_string(
+              continuous_processed_.load(std::memory_order_relaxed)) +
+          " events processed)");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 std::vector<NodeShard*> Pipeline::Shards(const std::string& node) const {
@@ -276,8 +617,15 @@ Status Pipeline::ReconcileShards() {
       const int bucket = static_cast<int>(shards.size());
       FBSTREAM_ASSIGN_OR_RETURN(
           auto shard, NodeShard::Create(config, scribe_, clock_, bucket));
+      NodeShard* raw = shard.get();
       shards.push_back(std::move(shard));
       grew = true;
+      if (running()) {
+        // Continuous mode: a new bucket needs a consumer *now*, not at the
+        // next round — give the shard its own event loop immediately.
+        std::lock_guard<std::mutex> loops_lock(loops_mu_);
+        SpawnLoopLocked(name, raw);
+      }
     }
   }
   if (grew && !manifest_dir_.empty()) {

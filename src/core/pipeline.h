@@ -1,6 +1,7 @@
 #ifndef FBSTREAM_CORE_PIPELINE_H_
 #define FBSTREAM_CORE_PIPELINE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -21,22 +22,41 @@ namespace fbstream::stylus {
 // blocks its upstream nor corrupts its downstream, and it resumes from its
 // own checkpoint on recovery (§4.2.2).
 //
-// Execution model: rounds are driven explicitly (tests and benches call
-// RunRound / RunUntilQuiescent). Within a round, nodes run in insertion
-// (topological) order — a downstream node's round starts only after its
-// upstream node's round completes. With Options{num_threads > 1} the shards
-// *within* each node run concurrently on a fixed worker pool (ShardExecutor);
-// Scribe buckets decouple them, so parallel rounds are deterministic-
-// equivalent to serial ones: identical per-shard outputs and checkpoints,
-// only the interleaving across shards differs.
+// Two execution models share one pipeline:
 //
-// Thread-safety contract: one driver thread calls RunRound / RunUntilQuiescent
-// / RecoverAll / AddNode. While a round is in flight, *other* threads may
-// safely call Shards / Shard / GetProcessingLag / GetLagAlerts /
-// ReconcileShards (monitoring and auto-scaling race a running round by
-// design); shard topology is guarded by an internal mutex and per-shard
-// counters are atomic. Shards created by a concurrent ReconcileShards join
-// the next round.
+//  - Round mode (tests and benches call RunRound / RunUntilQuiescent):
+//    within a round, nodes run in insertion (topological) order — a
+//    downstream node's round starts only after its upstream node's round
+//    completes. With Options{num_threads > 1} the shards *within* each node
+//    run concurrently on a fixed worker pool (ShardExecutor); Scribe buckets
+//    decouple them, so parallel rounds are deterministic-equivalent to
+//    serial ones: identical per-shard outputs and checkpoints, only the
+//    interleaving across shards differs.
+//
+//  - Continuous mode (Start / Stop): every shard gets a long-lived event
+//    loop that polls, processes, and checkpoints on its own cadence with no
+//    cross-node barrier. The persistent Scribe bus is the inter-node queue
+//    (§5.3), so backpressure is the backlog between a producer and the
+//    tailers of the category it feeds: a shard whose downstream consumers
+//    lag more than max_queue_messages stalls instead of polling, and the
+//    stall propagates source-ward hop by hop until the source tailer itself
+//    pauses. Checkpoint commits overlap the next batch's processing
+//    (§4.2 "processing can proceed while the checkpoint is saved"), so
+//    commit I/O comes off the per-shard critical path. Both modes chunk
+//    input identically (by checkpoint policy), so with the same input they
+//    produce byte-identical per-shard outputs and checkpoints.
+//
+// Thread-safety contract: one driver thread calls RunRound /
+// RunUntilQuiescent / Start / Stop / WaitUntilQuiescent / RecoverAll /
+// AddNode. While a round is in flight or continuous loops are running,
+// *other* threads may safely call Shards / Shard / GetProcessingLag /
+// GetLagAlerts / GetBackupHealth / ReconcileShards (monitoring and
+// auto-scaling race running work by design); shard topology is guarded by
+// an internal mutex and per-shard counters are atomic. Shards created by a
+// concurrent ReconcileShards join the next round, or get their own event
+// loop immediately in continuous mode. In continuous mode, RecoverAll is
+// safe only for shards that are already down (a dead shard's loop idles;
+// reviving it never races the loop's alive() gate).
 class Pipeline {
  public:
   struct Options {
@@ -44,6 +64,26 @@ class Pipeline {
     // fully serial, single-threaded seed behavior; n > 1 runs each node's
     // shards concurrently on a pool of n threads.
     int num_threads = 1;
+
+    // --- Continuous mode (Start/Stop) ---
+    // Backpressure bound: a shard stalls (stops polling its input) while
+    // any tailer of its output category is more than this many messages
+    // behind. Bounds the byte footprint of every inter-node edge to roughly
+    // max_queue_messages * message size per consumer shard.
+    uint64_t max_queue_messages = 4096;
+    // §4.2 processing overlap: offload checkpoint commits to a commit pool
+    // so the shard loop starts batch N+1 while batch N's checkpoint/backup
+    // side effects commit. Monoid shards always commit inline (their
+    // partial-aggregate buffer is single-threaded by design).
+    bool overlap_commits = true;
+    // Commit pool size when overlap_commits is set.
+    int commit_threads = 2;
+    // Event-loop sleep when a shard is idle, stalled, or down.
+    int idle_sleep_micros = 200;
+    // Offsets-snapshot cadence in continuous mode: rewrite <dir>/OFFSETS
+    // every this many committed batches (manifest enabled; 0 disables the
+    // cadence — a final snapshot is still taken on Stop).
+    uint64_t snapshot_every_batches = 32;
   };
 
   Pipeline(scribe::Scribe* scribe, Clock* clock)
@@ -85,8 +125,42 @@ class Pipeline {
 
   // Rounds until a full round consumes nothing. Returns the events processed
   // if the pipeline quiesced; returns DeadlineExceeded if it was still
-  // consuming after max_rounds (callers can tell "drained" from "gave up").
+  // consuming after max_rounds (callers can tell "drained" from "gave up");
+  // returns Cancelled (message carries the drained-so-far count) if a
+  // shutdown request interrupted the drive loop — an interrupted drain is
+  // consistent (every round ends on checkpoints) but NOT quiescence, and
+  // callers that treat the two alike will under-drain.
   StatusOr<size_t> RunUntilQuiescent(int max_rounds = 1000);
+
+  // --- Continuous push-based execution ---
+
+  // Spawns one long-lived event loop thread per shard (plus the commit pool
+  // when overlap is enabled). Loops run until Stop(): poll a batch, process
+  // it, hand the checkpoint commit to the pool, immediately start the next
+  // batch. Fails if already running.
+  Status Start();
+
+  // Graceful drain: every loop finishes its in-flight batch *and* its
+  // in-flight commit — each shard ends on a completed checkpoint — then
+  // exits. Joins all loops, drains the commit pool, and writes a final
+  // offsets snapshot. Fails if not running.
+  Status Stop();
+
+  // Blocks until every alive shard's input is drained and no batch or
+  // commit is in flight, then returns events processed since Start().
+  // Returns Cancelled (message carries the count) on a shutdown request,
+  // DeadlineExceeded after timeout_ms of wall time.
+  StatusOr<size_t> WaitUntilQuiescent(int64_t timeout_ms = 10000);
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Consecutive OFFSETS-snapshot write failures (0 after any success).
+  // MonitoringService::ActiveSnapshotAlerts pages on a sustained streak: a
+  // single miss costs recovery precision, a streak means recovery would
+  // replay from an ever-staler floor.
+  uint64_t OffsetsWriteFailureStreak() const {
+    return offsets_failure_streak_.load(std::memory_order_relaxed);
+  }
 
   // All shards of a node, for crash injection and inspection.
   std::vector<NodeShard*> Shards(const std::string& node) const;
@@ -129,12 +203,26 @@ class Pipeline {
   int num_threads() const { return options_.num_threads; }
 
  private:
+  // Per-shard continuous event loop: the thread plus the one-slot commit
+  // channel between it and the commit pool. Defined in pipeline.cc.
+  struct ShardLoop;
+
   // AddNode minus the lock, for callers already holding mu_.
   Status AddNodeLocked(const NodeConfig& config);
   // Serializes the current topology (requires mu_); bumps the epoch.
   Status SaveManifestLocked();
-  // Rewrites <dir>/OFFSETS from the live tailer offsets.
+  // Rewrites <dir>/OFFSETS from the live tailer offsets. Serialized
+  // internally (continuous commit threads may call it concurrently); tracks
+  // the write-failure streak for monitoring.
   void SaveOffsetsSnapshot();
+
+  // Continuous-mode internals (pipeline.cc).
+  void SpawnLoopLocked(const std::string& node, NodeShard* shard);
+  void ShardLoopMain(ShardLoop* loop);
+  bool FinishCommit(ShardLoop* loop);
+  void AfterCommit(size_t events);
+  uint64_t MaxDownstreamLag(const std::string& category) const;
+  bool QuiescentOnce() const;
 
   scribe::Scribe* scribe_;
   Clock* clock_;
@@ -147,6 +235,19 @@ class Pipeline {
   mutable std::mutex mu_;
   std::vector<std::string> node_order_;
   std::map<std::string, std::vector<std::unique_ptr<NodeShard>>> nodes_;
+
+  // Continuous-mode state. Lock order where both are needed: mu_ before
+  // loops_mu_ (ReconcileShards spawns loops while holding mu_); readers
+  // that need both snapshots take them sequentially instead of nested.
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::unique_ptr<ShardExecutor> commit_pool_;  // Live while running.
+  mutable std::mutex loops_mu_;
+  std::vector<std::unique_ptr<ShardLoop>> loops_;
+  std::atomic<size_t> continuous_processed_{0};
+  std::atomic<uint64_t> continuous_commits_{0};
+  std::mutex snapshot_mu_;  // Serializes OFFSETS writes across threads.
+  std::atomic<uint64_t> offsets_failure_streak_{0};
 };
 
 }  // namespace fbstream::stylus

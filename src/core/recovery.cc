@@ -1,5 +1,6 @@
 #include "core/recovery.h"
 
+#include "common/fault.h"
 #include "common/fs.h"
 #include "common/hash.h"
 #include "common/logging.h"
@@ -143,6 +144,9 @@ Status SaveOffsetsSnapshot(const std::string& dir,
     PutVarint64(&body, static_cast<uint64_t>(r.bucket));
     PutVarint64(&body, r.offset);
   }
+  // Named fault site so tests can fail the advisory write on demand (the
+  // production failure here is a full or read-only disk).
+  FBSTREAM_RETURN_IF_ERROR(FaultRegistry::Global()->Hit("recovery.offsets.write"));
   FBSTREAM_RETURN_IF_ERROR(CreateDirs(dir));
   FBSTREAM_RETURN_IF_ERROR(
       WriteFileAtomic(dir + "/" + kOffsetsFileName, Frame(kOffsetsMagic, body)));

@@ -12,12 +12,19 @@ ShardExecutor::ShardExecutor(int num_threads) {
   }
 }
 
-ShardExecutor::~ShardExecutor() {
+ShardExecutor::~ShardExecutor() { Shutdown(); }
+
+void ShardExecutor::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
   work_.notify_all();
+  // join() exactly once even when Shutdown races the destructor or another
+  // explicit Shutdown call.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (joined_) return;
+  joined_ = true;
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -34,7 +41,7 @@ void ShardExecutor::WorkerLoop() {
       queue_.pop_front();
     }
     item.first();
-    {
+    if (item.second != nullptr) {
       std::lock_guard<std::mutex> lock(item.second->mu);
       if (--item.second->remaining == 0) item.second->done.notify_all();
     }
@@ -55,11 +62,30 @@ void ShardExecutor::RunBatch(std::vector<std::function<void()>> tasks) {
   batch->remaining = tasks.size();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      // The pool is stopping (or stopped): workers may already have exited,
+      // so an enqueue here could wait forever. Run inline instead — the
+      // batch contract (every task completed on return) still holds.
+      for (auto& task : tasks) task();
+      return;
+    }
     for (auto& task : tasks) queue_.emplace_back(std::move(task), batch);
   }
   work_.notify_all();
   std::unique_lock<std::mutex> lock(batch->mu);
   batch->done.wait(lock, [&batch] { return batch->remaining == 0; });
+}
+
+void ShardExecutor::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stop_) {
+      queue_.emplace_back(std::move(task), nullptr);
+      work_.notify_one();
+      return;
+    }
+  }
+  task();  // Stopping: no worker is guaranteed to pick it up.
 }
 
 }  // namespace fbstream::stylus

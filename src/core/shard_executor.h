@@ -21,10 +21,21 @@ namespace fbstream::stylus {
 // the primitive that exploits that: Pipeline::RunRound dispatches one task
 // per alive shard and waits for the batch, node by node, preserving the DAG
 // order between nodes while shards within a node run fully in parallel.
+// Continuous mode uses the same pool through Submit() to offload checkpoint
+// commits (§4.2 processing overlap).
 //
-// RunBatch may be called concurrently from multiple threads; each batch
-// tracks its own completion. Tasks must not recursively call RunBatch on the
-// same executor (workers do not re-enter the pool).
+// RunBatch / Submit may be called concurrently from multiple threads; each
+// batch tracks its own completion. Tasks must not recursively call RunBatch
+// on the same executor (workers do not re-enter the pool).
+//
+// Teardown contract: Shutdown() (or the destructor) stops the pool. Queued
+// work is never dropped — workers drain the queue before exiting, and a
+// RunBatch/Submit that races or follows Shutdown runs its tasks inline on
+// the submitting thread instead of enqueueing, so no submitter can block on
+// a batch no worker will ever pick up. The stop flag and the queue share one
+// mutex, which closes the missed-notify window: an enqueue either
+// happens-before stop (workers see a non-empty queue and drain it) or
+// observes stop and goes inline.
 class ShardExecutor {
  public:
   explicit ShardExecutor(int num_threads);
@@ -34,13 +45,25 @@ class ShardExecutor {
   ShardExecutor& operator=(const ShardExecutor&) = delete;
 
   // Runs every task on the pool and blocks until all have completed. Tasks
-  // within a batch must be independent of each other.
+  // within a batch must be independent of each other. After Shutdown, runs
+  // the tasks inline (still blocking until all have completed).
   void RunBatch(std::vector<std::function<void()>> tasks);
+
+  // Enqueues one task with no completion barrier (continuous-mode commit
+  // offload; callers that need the result signal through state captured in
+  // the closure). After Shutdown, runs the task inline before returning.
+  void Submit(std::function<void()> task);
+
+  // Stops the pool: drains already-queued work, then joins every worker.
+  // Idempotent; called by the destructor. Safe to race with RunBatch/Submit
+  // from other threads (see teardown contract above).
+  void Shutdown();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
   // Shared between the batch submitter and the workers executing its tasks.
+  // Null for Submit() tasks, which have no barrier.
   struct Batch {
     std::mutex mu;
     std::condition_variable done;
@@ -54,6 +77,8 @@ class ShardExecutor {
   std::condition_variable work_;
   std::deque<Item> queue_;
   bool stop_ = false;
+  bool joined_ = false;  // Guarded by join_mu_; workers joined exactly once.
+  std::mutex join_mu_;
   std::vector<std::thread> workers_;
 };
 

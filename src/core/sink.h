@@ -35,6 +35,12 @@ class OutputSink {
     (void)batch;
     return Status::Unimplemented("sink does not support transactions");
   }
+  // Scribe category this sink writes into, or "" for terminal sinks (data
+  // stores). The continuous engine uses this to find a node's downstream
+  // consumers: backpressure is the Scribe backlog between a producer and the
+  // tailers of the category it feeds (§5.3 — the persistent bus *is* the
+  // queue, so "full" means the slowest consumer is too far behind).
+  virtual std::string OutputCategory() const { return ""; }
 };
 
 // Writes rows into a Scribe category, resharded by the given key columns
@@ -45,6 +51,7 @@ class ScribeSink : public OutputSink {
              SchemaPtr output_schema, std::vector<std::string> shard_columns);
 
   Status Emit(const Row& row) override;
+  std::string OutputCategory() const override { return category_; }
 
  private:
   scribe::Scribe* scribe_;

@@ -306,7 +306,14 @@ void RunDriverChild(const std::string& root, StateSemantics state,
     return config;
   };
 
-  Pipeline pipeline(&scribe, &clock);
+  // Continuous engine with commit overlap: kills land mid-overlap too (the
+  // shard already processing batch N+1 while batch N's checkpoint commits),
+  // which is exactly the window the §4.2 overlap must keep recoverable.
+  Pipeline::Options options;
+  options.overlap_commits = true;
+  options.commit_threads = 2;
+  options.idle_sleep_micros = 100;
+  Pipeline pipeline(&scribe, &clock, options);
   const std::string manifest_dir = root + "/manifest";
   if (FileExists(manifest_dir + "/" + kManifestFileName)) {
     const Status st = pipeline.Recover(manifest_dir, base_config);
@@ -316,8 +323,10 @@ void RunDriverChild(const std::string& root, StateSemantics state,
     if (!config.ok() || !pipeline.AddNode(*config).ok()) ::_exit(5);
     if (!pipeline.EnableManifest(manifest_dir).ok()) ::_exit(6);
   }
-  auto drained = pipeline.RunUntilQuiescent(5000);
+  if (!pipeline.Start().ok()) ::_exit(7);
+  auto drained = pipeline.WaitUntilQuiescent(/*timeout_ms=*/60'000);
   if (!drained.ok()) ::_exit(7);
+  if (!pipeline.Stop().ok()) ::_exit(7);
   ::_exit(0);
 }
 
@@ -883,12 +892,18 @@ TEST(GracefulShutdownTest, SigtermDrainsAtCheckpointBoundary) {
   ASSERT_GT(first.value(), 0u);
 
   // Deliver a real SIGTERM: the handler flips the flag, the next drive call
-  // returns without starting new work, and nothing is torn.
+  // returns without starting new work, and nothing is torn. The interrupted
+  // drain must be distinguishable from quiescence — input is still queued,
+  // so an OK "drained" return here would be a lie (the old behavior).
   ASSERT_EQ(::raise(SIGTERM), 0);
   EXPECT_TRUE(ShutdownRequested());
   auto stopped = pipeline.RunUntilQuiescent();
-  ASSERT_TRUE(stopped.ok());
-  EXPECT_EQ(stopped.value(), 0u);  // No new batches after the signal.
+  ASSERT_FALSE(stopped.ok());
+  EXPECT_TRUE(stopped.status().IsCancelled()) << stopped.status();
+  // The message carries the drained-so-far count (no new batches started).
+  EXPECT_NE(stopped.status().message().find("draining 0 events"),
+            std::string::npos)
+      << stopped.status();
 
   // A restarted drive loop (flag cleared) finishes the backlog; every event
   // lands exactly once despite the interruption.

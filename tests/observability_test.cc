@@ -390,6 +390,10 @@ TEST_F(ObservabilityTest, InventoryInObservabilityDocMatchesRegistry) {
         "fault.fires", "stylus.events.processed",
         "stylus.checkpoints.completed", "stylus.runonce.latency_us",
         "stylus.executor.batches", "stylus.executor.batch_us",
+        "stylus.continuous.batches", "stylus.continuous.queue_depth",
+        "stylus.continuous.backpressure_stalls",
+        "stylus.continuous.overlap_inflight",
+        "recovery.offsets.write_failures",
         "hop.scribe.deliver_us", "hop.engine.process_us",
         "hop.storage.commit_us", "scuba.rows.ingested",
         "telemetry.rows.exported"}) {

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -88,6 +89,48 @@ TEST(ShardExecutorTest, ConcurrentBatchesComplete) {
   }
   for (std::thread& s : submitters) s.join();
   EXPECT_EQ(ran.load(), 150);
+}
+
+// Teardown torture: Shutdown races live submitters. The contract is that
+// every task handed to Submit or RunBatch runs exactly once — tasks arriving
+// after stop run inline on the submitter, tasks queued before stop are
+// drained by the workers before they exit — and that Shutdown is idempotent
+// (the destructor's second call must be a no-op, not a double-join).
+TEST(ShardExecutorTest, ShutdownRacesSubmittersWithoutLosingTasks) {
+  for (int iter = 0; iter < 40; ++iter) {
+    std::atomic<int> ran{0};
+    std::atomic<int> submitted{0};
+    {
+      ShardExecutor executor(3);
+      std::atomic<bool> go{false};
+      std::vector<std::thread> submitters;
+      for (int t = 0; t < 4; ++t) {
+        submitters.emplace_back([&executor, &ran, &submitted, &go] {
+          while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+          for (int i = 0; i < 25; ++i) {
+            if (i % 3 == 0) {
+              submitted.fetch_add(1);
+              executor.Submit([&ran] { ran.fetch_add(1); });
+            } else {
+              std::vector<std::function<void()>> tasks;
+              for (int j = 0; j < 4; ++j) {
+                tasks.push_back([&ran] { ran.fetch_add(1); });
+              }
+              submitted.fetch_add(4);
+              executor.RunBatch(std::move(tasks));
+            }
+          }
+        });
+      }
+      go.store(true, std::memory_order_release);
+      // Vary when the shutdown lands relative to the submission burst.
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * (iter % 7)));
+      executor.Shutdown();
+      for (std::thread& s : submitters) s.join();
+      executor.Shutdown();  // Idempotent; destructor calls it a third time.
+    }
+    ASSERT_EQ(ran.load(), submitted.load()) << "iteration " << iter;
+  }
 }
 
 // Everything observable from one serial-vs-parallel differential run of a
