@@ -178,7 +178,12 @@ int main() {
 
   // Drive the DAG: Puma filter -> Stylus annotator -> Scuba/Hive.
   if (!puma_service.PollAll().ok()) return 1;
-  if (!pipeline.RunUntilQuiescent().ok()) return 1;
+  {
+    auto drained = pipeline.RunUntilQuiescent();
+    // Cancelled = a SIGTERM/SIGINT drain: a clean shutdown, not a failure.
+    if (drained.status().IsCancelled()) return 0;
+    if (!drained.ok()) return 1;
+  }
   (void)scuba.PollAll();
   {
     // Archive to Hive for the batch world.

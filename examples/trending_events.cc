@@ -329,7 +329,12 @@ int main() {
   }
 
   // Run the DAG to quiescence, then the Ranker.
-  if (!pipeline.RunUntilQuiescent().ok()) return 1;
+  {
+    auto drained = pipeline.RunUntilQuiescent();
+    // Cancelled = a SIGTERM/SIGINT drain: a clean shutdown, not a failure.
+    if (drained.status().IsCancelled()) return 0;
+    if (!drained.ok()) return 1;
+  }
   if (!puma_service.PollAll().ok()) return 1;
 
   // A consumer service queries the Ranker for the top events per topic.

@@ -314,11 +314,19 @@ Status Pipeline::Stop() {
     return Status::FailedPrecondition("continuous execution is not running");
   }
   stop_requested_.store(true, std::memory_order_release);
+  // Take ownership of the loops under loops_mu_, but join with the lock
+  // released: a loop thread can be blocked on mu_ (lag scan, offsets
+  // snapshot) while a concurrent ReconcileShards holds mu_ and waits on
+  // loops_mu_ — joining under loops_mu_ closes that cycle into a deadlock.
+  // The swap is safe against new spawns because SpawnLoopLocked no-ops once
+  // stop is requested (stored above, before loops_mu_ is taken).
+  std::vector<std::unique_ptr<ShardLoop>> loops;
   {
     std::lock_guard<std::mutex> loops_lock(loops_mu_);
-    for (auto& loop : loops_) {
-      if (loop->thread.joinable()) loop->thread.join();
-    }
+    loops.swap(loops_);
+  }
+  for (auto& loop : loops) {
+    if (loop->thread.joinable()) loop->thread.join();
   }
   // Drain the commit pool before destroying the loops: a commit callback's
   // tail can still be running after FinishCommit observed the commit done,
@@ -327,12 +335,12 @@ Status Pipeline::Stop() {
     commit_pool_->Shutdown();
     commit_pool_.reset();
   }
+  loops.clear();
+  // Inside loops_mu_ so a racing ReconcileShards either spawned before the
+  // swap a loop we just joined (SpawnLoopLocked no-ops once stop is
+  // requested), or observes not-running and spawns nothing.
   {
     std::lock_guard<std::mutex> loops_lock(loops_mu_);
-    loops_.clear();
-    // Inside loops_mu_ so a racing ReconcileShards either spawned a loop we
-    // just joined (SpawnLoopLocked no-ops once stop is requested), or
-    // observes not-running and spawns nothing.
     running_.store(false, std::memory_order_release);
   }
   if (!manifest_dir_.empty()) SaveOffsetsSnapshot();
@@ -362,6 +370,12 @@ uint64_t Pipeline::MaxDownstreamLag(const std::string& category) const {
     if (shards.empty()) continue;
     if (shards[0]->config().input_category != category) continue;
     for (const auto& shard : shards) {
+      // A dead shard's backlog doesn't stall upstream: failure independence
+      // (§4.2.2) wins over backpressure. Its loop idles until RecoverAll,
+      // and the backlog lands in the durable bus, not in memory — otherwise
+      // one crashed consumer would eventually freeze the whole DAG back to
+      // the source.
+      if (!shard->alive()) continue;
       max_lag = std::max(max_lag, shard->ProcessingLag());
     }
   }

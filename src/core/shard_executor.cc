@@ -60,16 +60,23 @@ void ShardExecutor::RunBatch(std::vector<std::function<void()>> tasks) {
   ScopedLatencyTimer timer(batch_latency);
   auto batch = std::make_shared<Batch>();
   batch->remaining = tasks.size();
+  bool run_inline = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) {
       // The pool is stopping (or stopped): workers may already have exited,
       // so an enqueue here could wait forever. Run inline instead — the
       // batch contract (every task completed on return) still holds.
-      for (auto& task : tasks) task();
-      return;
+      run_inline = true;
+    } else {
+      for (auto& task : tasks) queue_.emplace_back(std::move(task), batch);
     }
-    for (auto& task : tasks) queue_.emplace_back(std::move(task), batch);
+  }
+  if (run_inline) {
+    // Outside mu_, mirroring Submit(): a task that re-enters this executor
+    // must not find the mutex already held by its own thread.
+    for (auto& task : tasks) task();
+    return;
   }
   work_.notify_all();
   std::unique_lock<std::mutex> lock(batch->mu);

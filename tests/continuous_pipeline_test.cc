@@ -7,15 +7,21 @@
 //  - graceful shutdown (WaitUntilQuiescent returns Cancelled, loops pause,
 //    a restarted engine finishes the backlog);
 //  - offsets-snapshot write-failure accounting and the monitoring alert;
-//  - shard reconciliation while the engine is running.
+//  - shard reconciliation while the engine is running;
+//  - dead consumers excluded from the backpressure lag scan (failure
+//    independence over backpressure);
+//  - Stop() racing ReconcileShards and lag scans (join-outside-lock
+//    deadlock regression).
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -431,6 +437,185 @@ TEST(ContinuousBackpressureTest, SlowSinkBoundsQueueAndLosesNothing) {
   ASSERT_EQ(ids.size(), static_cast<size_t>(kEvents));
   for (int64_t i = 0; i < kEvents; ++i) EXPECT_EQ(ids[static_cast<size_t>(i)], i);
   ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+// A crashed downstream shard must not stall its upstream: the lag scan
+// skips dead consumers (failure independence, §4.2.2, wins over
+// backpressure — the backlog lands in the durable bus, not in memory).
+// Regression: counting dead shards' lag froze every upstream loop back to
+// the source once the dead shard's backlog crossed max_queue_messages.
+TEST(ContinuousBackpressureTest, DeadConsumerDoesNotStallUpstream) {
+  SimClock clock(1'000'000);
+  scribe::Scribe scribe(&clock);
+  scribe::CategoryConfig in;
+  in.name = "in";
+  in.num_buckets = kBuckets;
+  ASSERT_TRUE(scribe.CreateCategory(in).ok());
+  scribe::CategoryConfig mid;
+  mid.name = "mid";
+  mid.num_buckets = kBuckets;
+  ASSERT_TRUE(scribe.CreateCategory(mid).ok());
+  const int kEvents = 1000;
+  PreloadInput(&scribe, kEvents);
+  const std::string dir = MakeTempDir("continuous_dead_consumer");
+
+  Pipeline::Options options;
+  options.max_queue_messages = 32;  // Far below kEvents.
+  options.commit_threads = 2;
+  options.idle_sleep_micros = 100;
+  Pipeline pipeline(&scribe, &clock, options);
+
+  NodeConfig gen;
+  gen.name = "gen";
+  gen.input_category = "in";
+  gen.input_schema = EventSchema();
+  gen.stateless_factory = [] { return std::make_unique<PassthroughProcessor>(); };
+  gen.backend = StateBackend::kNone;
+  gen.state_dir = dir + "/gen";
+  gen.checkpoint_every_events = 32;
+  gen.sink = std::make_shared<ScribeSink>(&scribe, "mid", EventSchema(),
+                                          std::vector<std::string>{"id"});
+  ASSERT_TRUE(pipeline.AddNode(gen).ok());
+
+  auto collected = std::make_shared<CollectingSink>();
+  NodeConfig sinknode;
+  sinknode.name = "slow";
+  sinknode.input_category = "mid";
+  sinknode.input_schema = EventSchema();
+  sinknode.stateful_factory = [] {
+    return std::make_unique<CountingEmitProcessor>();
+  };
+  sinknode.state_semantics = StateSemantics::kExactlyOnce;
+  sinknode.output_semantics = OutputSemantics::kAtLeastOnce;
+  sinknode.backend = StateBackend::kLocal;
+  sinknode.state_dir = dir + "/slow";
+  sinknode.checkpoint_every_events = 16;
+  sinknode.sink = collected;
+  ASSERT_TRUE(pipeline.AddNode(sinknode).ok());
+
+  // Every consumer shard dies on its own first batch (crashes must fire on
+  // the shard's loop thread, never from the test thread).
+  auto crashed_once = std::make_shared<std::array<std::atomic<bool>, kBuckets>>();
+  for (NodeShard* shard : pipeline.Shards("slow")) {
+    std::atomic<bool>* flag = &(*crashed_once)[shard->bucket()];
+    shard->SetFailureInjector([flag](FailurePoint point) {
+      return point == FailurePoint::kAfterProcessing &&
+             !flag->exchange(true, std::memory_order_acq_rel);
+    });
+  }
+
+  ASSERT_TRUE(pipeline.Start().ok());
+  // Quiescence skips dead shards, so this only returns once "gen" pushed the
+  // whole input into "mid" — which requires the lag scan to ignore the dead
+  // consumers sitting on a backlog far above max_queue_messages.
+  auto drained = pipeline.WaitUntilQuiescent(/*timeout_ms=*/60'000);
+  ASSERT_TRUE(drained.ok()) << drained.status();
+  uint64_t dead_backlog = 0;
+  int dead_shards = 0;
+  for (const auto& report : pipeline.GetProcessingLag()) {
+    if (report.node == "slow") {
+      dead_backlog += report.lag_messages;
+      if (!pipeline.Shard("slow", report.shard)->alive()) ++dead_shards;
+    }
+  }
+  EXPECT_EQ(dead_shards, kBuckets);
+  EXPECT_GT(dead_backlog, options.max_queue_messages);
+
+  // Revival drains the backlog; nothing was lost while the consumers were
+  // down (the durable bus held it).
+  ASSERT_TRUE(pipeline.RecoverAll().ok());
+  drained = pipeline.WaitUntilQuiescent(/*timeout_ms=*/60'000);
+  ASSERT_TRUE(drained.ok()) << drained.status();
+  ASSERT_TRUE(pipeline.Stop().ok());
+  std::set<int64_t> ids;
+  for (const Row& row : collected->rows()) {
+    ids.insert(row.Get("id").CoerceInt64());
+  }
+  EXPECT_EQ(ids.size(), static_cast<size_t>(kEvents));
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+// Regression: Stop() used to join the loop threads while holding loops_mu_.
+// A loop blocked on mu_ (lag scan or offsets snapshot) while a concurrent
+// ReconcileShards — explicitly allowed by the thread-safety contract —
+// held mu_ and waited on loops_mu_ deadlocked the trio. Hammer the three
+// paths against each other; pre-fix this hangs.
+TEST(ContinuousStopTest, StopRacesReconcileAndLagScans) {
+  for (int iter = 0; iter < 8; ++iter) {
+    SimClock clock(1'000'000);
+    scribe::Scribe scribe(&clock);
+    scribe::CategoryConfig in;
+    in.name = "in";
+    in.num_buckets = 2;
+    ASSERT_TRUE(scribe.CreateCategory(in).ok());
+    scribe::CategoryConfig mid;
+    mid.name = "mid";
+    mid.num_buckets = 2;
+    ASSERT_TRUE(scribe.CreateCategory(mid).ok());
+    {
+      TextRowCodec codec(EventSchema());
+      for (int64_t i = 0; i < 200; ++i) {
+        Row row(EventSchema(), {Value(i), Value("t")});
+        ASSERT_TRUE(
+            scribe.Write("in", static_cast<int>(i % 2), codec.Encode(row)).ok());
+      }
+    }
+    const std::string dir = MakeTempDir("continuous_stop_race");
+
+    Pipeline::Options options;
+    options.commit_threads = 2;
+    options.idle_sleep_micros = 20;
+    options.snapshot_every_batches = 1;  // Commit threads hit mu_ hard.
+    Pipeline pipeline(&scribe, &clock, options);
+
+    NodeConfig gen;
+    gen.name = "gen";
+    gen.input_category = "in";
+    gen.input_schema = EventSchema();
+    gen.stateless_factory = [] {
+      return std::make_unique<PassthroughProcessor>();
+    };
+    gen.backend = StateBackend::kNone;
+    gen.state_dir = dir + "/gen";
+    gen.checkpoint_every_events = 8;
+    gen.sink = std::make_shared<ScribeSink>(&scribe, "mid", EventSchema(),
+                                            std::vector<std::string>{"id"});
+    ASSERT_TRUE(pipeline.AddNode(gen).ok());
+    NodeConfig tail;
+    tail.name = "tail";
+    tail.input_category = "mid";
+    tail.input_schema = EventSchema();
+    tail.stateless_factory = [] {
+      return std::make_unique<PassthroughProcessor>();
+    };
+    tail.backend = StateBackend::kNone;
+    tail.state_dir = dir + "/tail";
+    tail.checkpoint_every_events = 8;
+    tail.sink = std::make_shared<CollectingSink>();
+    ASSERT_TRUE(pipeline.AddNode(tail).ok());
+    ASSERT_TRUE(pipeline.EnableManifest(dir).ok());
+
+    ASSERT_TRUE(pipeline.Start().ok());
+    std::atomic<bool> quit{false};
+    std::thread reconciler([&pipeline, &scribe, &quit] {
+      int buckets = 2;
+      while (!quit.load(std::memory_order_acquire)) {
+        if (buckets < 6) {
+          ASSERT_TRUE(scribe.SetNumBuckets("in", ++buckets).ok());
+        }
+        ASSERT_TRUE(pipeline.ReconcileShards().ok());
+        (void)pipeline.GetProcessingLag();
+        std::this_thread::yield();
+      }
+    });
+    // Let loops, commit threads, and the reconciler collide, then Stop
+    // while the reconciler keeps running.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2 * (iter + 1)));
+    ASSERT_TRUE(pipeline.Stop().ok());
+    quit.store(true, std::memory_order_release);
+    reconciler.join();
+    ASSERT_TRUE(RemoveAll(dir).ok());
+  }
 }
 
 // A shutdown request pauses every loop (the tailers stop consuming) and

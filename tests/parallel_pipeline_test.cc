@@ -133,6 +133,27 @@ TEST(ShardExecutorTest, ShutdownRacesSubmittersWithoutLosingTasks) {
   }
 }
 
+// Regression: the stopped-path of RunBatch used to run its tasks inline
+// while still holding the queue mutex, so a task that re-entered the same
+// executor (Submit or a nested RunBatch) self-deadlocked on the
+// non-recursive lock. Both inline fallbacks must run after releasing it.
+TEST(ShardExecutorTest, StoppedInlineTasksMayReenterExecutor) {
+  ShardExecutor executor(2);
+  executor.Shutdown();
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&executor, &ran] {
+    executor.Submit([&ran] { ran.fetch_add(1); });
+  });
+  tasks.push_back([&executor, &ran] {
+    std::vector<std::function<void()>> nested;
+    nested.push_back([&ran] { ran.fetch_add(1); });
+    executor.RunBatch(std::move(nested));
+  });
+  executor.RunBatch(std::move(tasks));
+  EXPECT_EQ(ran.load(), 2);
+}
+
 // Everything observable from one serial-vs-parallel differential run of a
 // two-node DAG: per-shard checkpoint counts, per-bucket placement of the
 // intermediate category, and the multiset of emitted rows.
