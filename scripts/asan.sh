@@ -2,7 +2,9 @@
 # Address+UB sanitizer run for the fault-injection and recovery paths: the
 # chaos soak (faults + crashes + degraded-mode resync), the layers whose
 # error-handling branches the fault registry exercises (scribe, lsm, hdfs,
-# zippydb), and the core node/checkpoint machinery.
+# zippydb), the core node/checkpoint machinery, the socket Scribe transport
+# (framing, reconnect, partition modes), and the supervisor (fork/exec,
+# fencing, heartbeat timeout verdicts).
 #
 # Usage: scripts/asan.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -12,12 +14,13 @@ BUILD_DIR="${1:-build-asan}"
 
 cmake -B "$BUILD_DIR" -S . -DFBSTREAM_ASAN=ON
 cmake --build "$BUILD_DIR" -j --target \
-  common_test scribe_test lsm_test hdfs_test zippydb_test stylus_test \
-  continuous_pipeline_test chaos_test crash_recovery_test
+  common_test scribe_test remote_scribe_test cluster_test lsm_test \
+  hdfs_test zippydb_test stylus_test continuous_pipeline_test chaos_test \
+  crash_recovery_test
 
-for t in common_test scribe_test lsm_test hdfs_test zippydb_test \
-         stylus_test continuous_pipeline_test chaos_test \
-         crash_recovery_test; do
+for t in common_test scribe_test remote_scribe_test cluster_test lsm_test \
+         hdfs_test zippydb_test stylus_test continuous_pipeline_test \
+         chaos_test crash_recovery_test; do
   echo "== ASan: $t =="
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     "$BUILD_DIR/tests/$t"

@@ -4,8 +4,9 @@
 # (shrunk state). JSON goes to scratch paths. Verifies the harnesses still
 # run end to end and emit well-formed output; real numbers come from the
 # full runs (`bench_lsm --mixed`, `bench_recovery`,
-# `bench_parallel_pipeline --continuous`), recorded in BENCH_LSM.json,
-# BENCH_RECOVERY.json, and BENCH_CONTINUOUS.json.
+# `bench_parallel_pipeline --continuous`, `bench_distributed`), recorded in
+# BENCH_LSM.json, BENCH_RECOVERY.json, BENCH_CONTINUOUS.json, and
+# BENCH_DISTRIBUTED.json.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -15,10 +16,11 @@ BUILD_DIR="${1:-build}"
 OUT="$(mktemp -t bench_lsm_smoke.XXXXXX.json)"
 RECOVERY_OUT="$(mktemp -t bench_recovery_smoke.XXXXXX.json)"
 CONTINUOUS_OUT="$(mktemp -t bench_continuous_smoke.XXXXXX.json)"
-trap 'rm -f "$OUT" "$RECOVERY_OUT" "$CONTINUOUS_OUT"' EXIT
+DISTRIBUTED_OUT="$(mktemp -t bench_distributed_smoke.XXXXXX.json)"
+trap 'rm -f "$OUT" "$RECOVERY_OUT" "$CONTINUOUS_OUT" "$DISTRIBUTED_OUT"' EXIT
 
 cmake --build "$BUILD_DIR" -j --target bench_lsm bench_recovery \
-  bench_parallel_pipeline
+  bench_parallel_pipeline bench_distributed
 "$BUILD_DIR/bench/bench_lsm" --mixed --smoke --out "$OUT"
 
 # Well-formed and carries both engines' numbers.
@@ -36,4 +38,10 @@ grep -q '"remote_restore_ms"' "$RECOVERY_OUT"
 "$BUILD_DIR/bench/bench_parallel_pipeline" --continuous --smoke \
   --out "$CONTINUOUS_OUT"
 grep -q '"continuous_speedup"' "$CONTINUOUS_OUT"
-echo "bench smoke passed ($OUT, $RECOVERY_OUT, $CONTINUOUS_OUT)"
+
+# Distributed seams: socket-transport tax and restart-to-caught-up, both
+# through the real RemoteScribe/ScribeServer wire path.
+"$BUILD_DIR/bench/bench_distributed" --smoke --out "$DISTRIBUTED_OUT"
+grep -q '"transport_tax_x"' "$DISTRIBUTED_OUT"
+grep -q '"restart_to_caught_up_ms"' "$DISTRIBUTED_OUT"
+echo "bench smoke passed ($OUT, $RECOVERY_OUT, $CONTINUOUS_OUT, $DISTRIBUTED_OUT)"

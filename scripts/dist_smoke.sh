@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Multi-process distributed chaos smoke: runs the dist_chaos_test harness
+# (ctest label `dist`) with reduced round counts so CI gets real
+# broker/supervisor/worker process coverage in under a minute. Each test
+# stands up a scribed broker, a supervisord, and two noded workers, then
+# storms them — whole-worker SIGKILL, supervisor SIGKILL + re-exec (with
+# occasional local-state wipes forcing HDFS restore), and timed
+# worker<->broker partitions — and differentially checks the drained output
+# against a golden single-process replay of the identical input. The full
+# acceptance soak (25 kill rounds + 10 partition rounds per semantics mode)
+# is the default when the env knobs are unset.
+#
+# Usage: scripts/dist_smoke.sh [build-dir] [kill-rounds] [partition-rounds]
+#   (defaults: build, 4 kill rounds, 2 partition rounds per semantics mode)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+KILL_ROUNDS="${2:-4}"
+PARTITION_ROUNDS="${3:-2}"
+
+cmake --build "$BUILD_DIR" -j --target dist_chaos_test scribed noded supervisord
+
+echo "== dist smoke: $KILL_ROUNDS kill + $PARTITION_ROUNDS partition rounds per mode =="
+FBSTREAM_DIST_KILL_ROUNDS="$KILL_ROUNDS" \
+FBSTREAM_DIST_PARTITION_ROUNDS="$PARTITION_ROUNDS" \
+  "$BUILD_DIR/tests/dist_chaos_test"
+echo "dist smoke passed."

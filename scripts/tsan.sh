@@ -6,7 +6,9 @@
 # event loops + overlapped commit pool + backpressure + executor-teardown
 # torture), observability (lock-free histogram recorders + the telemetry
 # exporter racing instrumented rounds), and the concurrent LSM (lock-free
-# reads racing the writer queue and the background flush/compaction thread).
+# reads racing the writer queue and the background flush/compaction thread),
+# and the socket Scribe transport (per-connection server threads racing the
+# acceptor and Stop; the client's serialized-RPC mutex).
 #
 # Usage: scripts/tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -16,12 +18,13 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DFBSTREAM_TSAN=ON
 cmake --build "$BUILD_DIR" -j --target \
-  scribe_test stylus_test monitoring_test parallel_pipeline_test \
-  continuous_pipeline_test chaos_test observability_test lsm_concurrency_test
+  scribe_test remote_scribe_test stylus_test monitoring_test \
+  parallel_pipeline_test continuous_pipeline_test chaos_test \
+  observability_test lsm_concurrency_test
 
-for t in scribe_test stylus_test monitoring_test parallel_pipeline_test \
-         continuous_pipeline_test chaos_test observability_test \
-         lsm_concurrency_test; do
+for t in scribe_test remote_scribe_test stylus_test monitoring_test \
+         parallel_pipeline_test continuous_pipeline_test chaos_test \
+         observability_test lsm_concurrency_test; do
   echo "== TSan: $t =="
   TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/$t"
 done

@@ -1,0 +1,59 @@
+#include "cluster/heartbeat.h"
+
+#include "common/serde.h"
+
+namespace fbstream::cluster {
+
+std::string EncodeHeartbeat(const Heartbeat& hb) {
+  std::string out;
+  PutLengthPrefixed(&out, hb.worker);
+  PutVarint64(&out, static_cast<uint64_t>(hb.pid));
+  PutVarint64(&out, hb.seq);
+  PutVarint64(&out, static_cast<uint64_t>(hb.sent_micros));
+  PutVarint64(&out, hb.events_processed);
+  PutVarint64(&out, hb.total_lag);
+  PutVarint64(&out, static_cast<uint64_t>(hb.state));
+  return out;
+}
+
+StatusOr<Heartbeat> DecodeHeartbeat(std::string_view data) {
+  Heartbeat hb;
+  std::string_view worker;
+  uint64_t pid = 0;
+  uint64_t sent = 0;
+  uint64_t state = 0;
+  if (!GetLengthPrefixed(&data, &worker) || !GetVarint64(&data, &pid) ||
+      !GetVarint64(&data, &hb.seq) || !GetVarint64(&data, &sent) ||
+      !GetVarint64(&data, &hb.events_processed) ||
+      !GetVarint64(&data, &hb.total_lag) || !GetVarint64(&data, &state) ||
+      state > static_cast<uint64_t>(WorkerState::kDraining) || !data.empty()) {
+    return Status::Corruption("heartbeat: bad record");
+  }
+  hb.worker = std::string(worker);
+  hb.pid = static_cast<int64_t>(pid);
+  hb.sent_micros = static_cast<Micros>(sent);
+  hb.state = static_cast<WorkerState>(state);
+  return hb;
+}
+
+Status EnsureHeartbeatCategory(scribe::Scribe* bus) {
+  if (bus->HasCategory(kHeartbeatCategory)) return Status::OK();
+  scribe::CategoryConfig config;
+  config.name = kHeartbeatCategory;
+  config.num_buckets = 1;
+  // Short retention keeps the broker's heartbeat backlog bounded; the
+  // supervisor tails near the head anyway.
+  config.retention_micros = kMicrosPerMinute;
+  config.persist_to_disk = false;
+  const Status created = bus->CreateCategory(config);
+  // Every process that touches the bus calls this; losing the creation race
+  // is success.
+  if (created.code() == StatusCode::kAlreadyExists) return Status::OK();
+  return created;
+}
+
+Status AppendHeartbeat(scribe::Scribe* bus, const Heartbeat& hb) {
+  return bus->Write(kHeartbeatCategory, 0, EncodeHeartbeat(hb));
+}
+
+}  // namespace fbstream::cluster

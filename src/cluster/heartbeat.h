@@ -1,0 +1,62 @@
+#ifndef FBSTREAM_CLUSTER_HEARTBEAT_H_
+#define FBSTREAM_CLUSTER_HEARTBEAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "scribe/scribe.h"
+
+// Worker liveness over the bus itself. Each node process appends a compact
+// heartbeat record to a dedicated Scribe category on a fixed cadence; the
+// supervisor tails that category and treats "no new heartbeat from (name,
+// pid) for longer than the timeout" as worker death — which deliberately
+// does not distinguish a crashed process from one partitioned away from the
+// broker: a worker that cannot reach the bus cannot make progress either,
+// so the failure detector's job is the same (fence it, start a successor).
+//
+// Routing liveness through Scribe instead of a side channel keeps the
+// failure model honest: the heartbeat path exercises the same socket, the
+// same retry policy, and the same partitions as the data path, so a chaos
+// partition that starves a worker's appends also silences its heartbeats.
+
+namespace fbstream::cluster {
+
+// All heartbeats land in bucket 0 of this category. Not persisted: liveness
+// is meaningful only to a live broker, and a restarted broker starting the
+// category empty just means one heartbeat interval of blindness.
+inline constexpr char kHeartbeatCategory[] = "_cluster.heartbeat";
+
+enum class WorkerState : uint8_t {
+  kStarting = 0,  // Process up, pipeline not yet recovered.
+  kRunning = 1,   // Pipeline started.
+  kDraining = 2,  // SIGTERM received, graceful stop in progress.
+};
+
+struct Heartbeat {
+  std::string worker;          // Worker name from the supervisor's spec.
+  int64_t pid = 0;             // The sender's OS pid (fences stale senders).
+  uint64_t seq = 0;            // Per-incarnation monotone counter, from 1.
+  Micros sent_micros = 0;      // Sender's clock at append time.
+  uint64_t events_processed = 0;  // Pipeline::events_processed().
+  uint64_t total_lag = 0;         // Sum of per-shard processing lag.
+  WorkerState state = WorkerState::kStarting;
+};
+
+// Byte-level serde, exposed for tests.
+std::string EncodeHeartbeat(const Heartbeat& hb);
+StatusOr<Heartbeat> DecodeHeartbeat(std::string_view data);
+
+// Creates the heartbeat category if missing (idempotent; safe from every
+// process that touches the bus).
+Status EnsureHeartbeatCategory(scribe::Scribe* bus);
+
+// One append. Failure is the caller's signal that the broker is
+// unreachable — workers count consecutive failures toward self-fencing.
+Status AppendHeartbeat(scribe::Scribe* bus, const Heartbeat& hb);
+
+}  // namespace fbstream::cluster
+
+#endif  // FBSTREAM_CLUSTER_HEARTBEAT_H_

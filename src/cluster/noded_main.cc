@@ -1,0 +1,102 @@
+// noded: one worker process of distributed mode. Recovers the manifest
+// nodes named by --nodes through the scribed broker and runs them in
+// continuous mode until SIGTERM (see cluster/worker.h).
+//
+// Test hooks (used by cluster_test and the chaos harness):
+//   --exit-code N        exit immediately with code N (deterministic fast
+//                        death, for restart-backoff tests).
+//   --selftest-kill SITE arm FBSTREAM_KILL_SPEC post-exec, hit SITE 100
+//                        times, exit 42 if still alive. Process identity
+//                        for @process specs comes from FBSTREAM_PROCESS_NAME
+//                        (the point of the test: arming must survive exec,
+//                        where only the environment crosses over).
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/worker.h"
+#include "common/fault.h"
+#include "common/logging.h"
+
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t comma = text.find(',', start);
+    const std::string part = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!part.empty()) parts.push_back(part);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+int Run(int argc, char** argv) {
+  using namespace fbstream;  // NOLINT
+
+  cluster::WorkerOptions options;
+  std::string mode = "eo";
+  std::string selftest_site;
+  int exit_code = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--name" && has_value) {
+      options.name = argv[++i];
+    } else if (arg == "--broker-host" && has_value) {
+      options.broker_host = argv[++i];
+    } else if (arg == "--broker-port" && has_value) {
+      options.broker_port = std::atoi(argv[++i]);
+    } else if (arg == "--manifest-dir" && has_value) {
+      options.manifest_dir = argv[++i];
+    } else if (arg == "--root" && has_value) {
+      options.root = argv[++i];
+    } else if (arg == "--mode" && has_value) {
+      mode = argv[++i];
+    } else if (arg == "--nodes" && has_value) {
+      options.nodes = SplitCommas(argv[++i]);
+    } else if (arg == "--heartbeat-interval-micros" && has_value) {
+      options.heartbeat_interval_micros = std::atoll(argv[++i]);
+    } else if (arg == "--fence-timeout-micros" && has_value) {
+      options.fence_timeout_micros = std::atoll(argv[++i]);
+    } else if (arg == "--heartbeat-only") {
+      options.heartbeat_only = true;
+    } else if (arg == "--exit-code" && has_value) {
+      exit_code = std::atoi(argv[++i]);
+    } else if (arg == "--selftest-kill" && has_value) {
+      selftest_site = argv[++i];
+    } else {
+      FBSTREAM_LOG(Error) << "noded: unknown flag " << arg;
+      return 2;
+    }
+  }
+
+  if (exit_code >= 0) return exit_code;
+  if (!selftest_site.empty()) {
+    FaultRegistry::Global()->ArmKillFromEnvironment();
+    for (int i = 0; i < 100; ++i) {
+      (void)FaultRegistry::Global()->Hit(selftest_site);
+    }
+    return 42;  // Survived: either no spec matched or it was spent.
+  }
+
+  if (options.name.empty()) {
+    FBSTREAM_LOG(Error) << "noded: --name is required";
+    return 2;
+  }
+  auto parsed = cluster::ParseWorkloadMode(mode);
+  if (!parsed.ok()) {
+    FBSTREAM_LOG(Error) << "noded: " << parsed.status();
+    return 2;
+  }
+  options.mode = *parsed;
+  return cluster::RunWorker(options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

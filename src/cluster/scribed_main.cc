@@ -1,0 +1,80 @@
+// scribed: the broker process of distributed mode. Owns the durable Scribe
+// categories (persisted segments under --root) and serves them over
+// localhost TCP; workers, the supervisor, and the chaos driver all talk to
+// this process through RemoteScribe. Writes the bound port to --port-file
+// once listening, so callers binding an ephemeral port can find it.
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/fault.h"
+#include "common/fs.h"
+#include "common/logging.h"
+#include "common/shutdown.h"
+#include "scribe/remote.h"
+#include "scribe/scribe.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  using namespace fbstream;  // NOLINT
+
+  std::string root;
+  std::string port_file;
+  int port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--root" && has_value) {
+      root = argv[++i];
+    } else if (arg == "--port-file" && has_value) {
+      port_file = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      port = std::atoi(argv[++i]);
+    } else {
+      FBSTREAM_LOG(Error) << "scribed: unknown flag " << arg;
+      return 2;
+    }
+  }
+
+  auto* faults = FaultRegistry::Global();
+  faults->SetProcessName("scribed");
+  faults->ArmKillFromEnvironment();
+  InstallShutdownSignalHandlers();
+
+  scribe::Scribe scribe(SystemClock::Get(), root);
+  scribe::ScribeServerOptions server_options;
+  server_options.port = port;
+  scribe::ScribeServer server(&scribe, server_options);
+  if (Status st = server.Start(); !st.ok()) {
+    FBSTREAM_LOG(Error) << "scribed: " << st;
+    return 1;
+  }
+  if (!port_file.empty()) {
+    if (Status st =
+            WriteFileAtomic(port_file, std::to_string(server.port()) + "\n");
+        !st.ok()) {
+      FBSTREAM_LOG(Error) << "scribed: port file: " << st;
+      return 1;
+    }
+  }
+  FBSTREAM_LOG(Info) << "scribed: listening on port " << server.port();
+
+  Micros last_trim = SystemClock::Get()->NowMicros();
+  while (!ShutdownRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const Micros now = SystemClock::Get()->NowMicros();
+    if (now - last_trim > kMicrosPerSecond) {
+      scribe.TrimExpired();
+      last_trim = now;
+    }
+  }
+  server.Stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

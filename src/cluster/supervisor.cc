@@ -1,0 +1,422 @@
+#include "cluster/supervisor.h"
+
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "cluster/heartbeat.h"
+#include "common/fs.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace fbstream::cluster {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::chrono::microseconds ToChrono(Micros micros) {
+  return std::chrono::microseconds(micros);
+}
+
+// True while `pid` still exists (any state, including zombie).
+bool PidExists(pid_t pid) { return ::kill(pid, 0) == 0; }
+
+// Reads /proc/<pid>/cmdline (NUL-separated argv). Empty if unreadable.
+std::string ProcCmdline(pid_t pid) {
+  auto data =
+      ReadFileToString("/proc/" + std::to_string(pid) + "/cmdline");
+  return data.ok() ? *data : std::string();
+}
+
+}  // namespace
+
+Supervisor::Supervisor(std::vector<WorkerSpec> specs, SupervisorOptions options)
+    : specs_(std::move(specs)),
+      options_(std::move(options)),
+      restarts_metric_(
+          MetricsRegistry::Global()->GetCounter("cluster.worker.restarts")),
+      timeouts_metric_(
+          MetricsRegistry::Global()->GetCounter("cluster.worker.timeouts")),
+      spawns_metric_(
+          MetricsRegistry::Global()->GetCounter("cluster.worker.spawns")) {}
+
+Supervisor::~Supervisor() { Stop(); }
+
+Status Supervisor::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("supervisor already running");
+  }
+  self_pid_ = ::getpid();
+
+  // Fail-fast transport: the monitor loop is the retry, and a supervisor
+  // blocked in a long RPC ladder is a supervisor not reaping children.
+  scribe::RemoteScribeOptions bus_options;
+  bus_options.connect_timeout_micros = 300'000;
+  bus_options.rpc_timeout_micros = 200'000;
+  bus_options.retry = {.max_attempts = 2, .initial_backoff_micros = 5'000};
+  bus_ = std::make_unique<scribe::RemoteScribe>(
+      SystemClock::Get(), options_.broker_host, options_.broker_port,
+      "supervisor", bus_options);
+
+  const SteadyClock::time_point deadline =
+      SteadyClock::now() + std::chrono::seconds(10);
+  while (!bus_->Ping().ok()) {
+    if (SteadyClock::now() > deadline) {
+      return Status::Unavailable("broker unreachable at " +
+                                 options_.broker_host + ":" +
+                                 std::to_string(options_.broker_port));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  FBSTREAM_RETURN_IF_ERROR(EnsureHeartbeatCategory(bus_.get()));
+  // Tail from the current head: beats from before this supervisor's
+  // incarnation describe pids it did not spawn.
+  auto head = bus_->NextSequence(kHeartbeatCategory, 0);
+  heartbeat_offset_ = head.ok() ? *head : 0;
+  last_broker_ok_ = SteadyClock::now();
+
+  if (!options_.status_dir.empty()) {
+    FBSTREAM_RETURN_IF_ERROR(CreateDirs(options_.status_dir));
+    FenceStalePids();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const WorkerSpec& spec : specs_) {
+      auto w = std::make_unique<Worker>();
+      w->spec = spec;
+      workers_.push_back(std::move(w));
+    }
+    for (auto& w : workers_) SpawnLocked(w.get());
+    WriteStatusFileLocked();
+  }
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  monitor_ = std::thread([this] { MonitorLoop(); });
+  return Status::OK();
+}
+
+void Supervisor::FenceStalePids() {
+  const std::string path =
+      options_.status_dir + "/" + std::string(kStatusFileName);
+  auto data = ReadFileToString(path);
+  if (!data.ok()) return;  // No previous incarnation.
+  for (const WorkerStatus& row : ParseStatusFile(*data)) {
+    if (!row.alive || row.pid <= 0 || row.pid == self_pid_) continue;
+    const pid_t pid = static_cast<pid_t>(row.pid);
+    // Only fence pids that still look like our worker binary: the old
+    // supervisor is gone, the pid may have been recycled by an unrelated
+    // process, and SIGKILLing a stranger is worse than a redundant worker.
+    const std::string cmdline = ProcCmdline(pid);
+    if (cmdline.find(options_.worker_binary) == std::string::npos) continue;
+    FBSTREAM_LOG(Warning) << "supervisor: fencing stale worker " << row.name
+                          << " (pid " << pid << ")";
+    ::kill(pid, SIGKILL);
+    // Not our child — poll for disappearance instead of waitpid.
+    const SteadyClock::time_point gone_by =
+        SteadyClock::now() + std::chrono::seconds(2);
+    while (PidExists(pid) && SteadyClock::now() < gone_by) {
+      // Usually not our child — but after an in-process Abandon it is, and
+      // a zombie only disappears once reaped. Harmless (ECHILD) otherwise.
+      int status = 0;
+      ::waitpid(pid, &status, WNOHANG);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+}
+
+std::vector<std::string> Supervisor::WorkerArgv(const Worker& w) const {
+  std::vector<std::string> argv = {options_.worker_binary,
+                                   "--name",
+                                   w.spec.name,
+                                   "--broker-host",
+                                   options_.broker_host,
+                                   "--broker-port",
+                                   std::to_string(options_.broker_port),
+                                   "--heartbeat-interval-micros",
+                                   std::to_string(
+                                       options_.heartbeat_interval_micros)};
+  if (options_.heartbeat_only_workers) {
+    argv.push_back("--heartbeat-only");
+  } else {
+    argv.insert(argv.end(), {"--manifest-dir", options_.manifest_dir,
+                             "--root", options_.root, "--mode",
+                             WorkloadModeName(options_.mode)});
+    std::string nodes;
+    for (const std::string& node : w.spec.nodes) {
+      if (!nodes.empty()) nodes += ",";
+      nodes += node;
+    }
+    argv.insert(argv.end(), {"--nodes", nodes});
+  }
+  argv.insert(argv.end(), options_.extra_worker_args.begin(),
+              options_.extra_worker_args.end());
+  return argv;
+}
+
+void Supervisor::SpawnLocked(Worker* w) {
+  const std::vector<std::string> argv_strings = WorkerArgv(*w);
+  std::vector<char*> argv;
+  argv.reserve(argv_strings.size() + 1);
+  for (const std::string& arg : argv_strings) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t parent = ::getpid();
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // If the supervisor dies (SIGKILL included), the kernel kills this
+    // worker too — a re-executed supervisor never inherits orphans it
+    // cannot waitpid. The getppid check closes the race where the parent
+    // died before prctl took effect.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (::getppid() != parent) ::_exit(97);
+    ::execv(argv[0], argv.data());
+    ::_exit(96);  // exec failed; the monitor sees a fast death.
+  }
+  const SteadyClock::time_point now = SteadyClock::now();
+  if (pid < 0) {
+    FBSTREAM_LOG(Error) << "supervisor: fork failed for " << w->spec.name;
+    w->next_spawn = now + ToChrono(options_.restart_backoff_initial_micros);
+    return;
+  }
+  w->pid = pid;
+  w->running = true;
+  w->spawned_at = now;
+  w->last_seen = now;
+  w->last_seq = 0;
+  w->events = 0;
+  w->lag = 0;
+  w->state = static_cast<int>(WorkerState::kStarting);
+  spawns_metric_->Add();
+  FBSTREAM_LOG(Info) << "supervisor: spawned worker " << w->spec.name
+                     << " (pid " << pid << ")";
+}
+
+void Supervisor::FenceLocked(Worker* w, const char* why) {
+  if (w->pid <= 0) return;
+  FBSTREAM_LOG(Warning) << "supervisor: fencing worker " << w->spec.name
+                        << " (pid " << w->pid << "): " << why;
+  ::kill(w->pid, SIGKILL);
+  // Our child: reap synchronously. SIGKILL delivery is prompt, and the
+  // respawn MUST NOT happen before the old pid is provably gone — two
+  // incarnations sharing one shard directory is unrecoverable.
+  int status = 0;
+  ::waitpid(w->pid, &status, 0);
+}
+
+void Supervisor::MarkDeadLocked(Worker* w) {
+  const SteadyClock::time_point now = SteadyClock::now();
+  const bool flap = (now - w->spawned_at) < ToChrono(options_.flap_window_micros);
+  if (flap) {
+    w->backoff_micros =
+        w->backoff_micros == 0
+            ? options_.restart_backoff_initial_micros
+            : std::min<Micros>(w->backoff_micros * 2,
+                               options_.restart_backoff_max_micros);
+  } else {
+    w->backoff_micros = 0;  // A long healthy run resets the ladder.
+  }
+  w->running = false;
+  w->next_spawn = now + ToChrono(w->backoff_micros);
+  ++w->restarts;
+  restarts_metric_->Add();
+}
+
+void Supervisor::PollHeartbeatsLocked() {
+  auto messages = bus_->Read(kHeartbeatCategory, 0, heartbeat_offset_, 1024);
+  if (!messages.ok()) return;  // Blind, not omniscient: last_broker_ok_ ages.
+  const SteadyClock::time_point now = SteadyClock::now();
+  last_broker_ok_ = now;
+  for (const scribe::Message& m : *messages) {
+    heartbeat_offset_ = m.sequence + 1;
+    auto hb = DecodeHeartbeat(m.payload);
+    if (!hb.ok()) continue;
+    for (auto& w : workers_) {
+      if (w->spec.name != hb->worker) continue;
+      // Only the current incarnation counts: a beat from a pid we already
+      // fenced (buffered pre-partition, delivered late) must not refresh
+      // the successor's liveness.
+      if (!w->running || hb->pid != static_cast<int64_t>(w->pid)) break;
+      w->last_seq = hb->seq;
+      w->events = hb->events_processed;
+      w->lag = hb->total_lag;
+      w->state = static_cast<int>(hb->state);
+      w->last_seen = now;
+      break;
+    }
+  }
+}
+
+void Supervisor::MonitorLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.poll_interval_micros));
+    std::lock_guard<std::mutex> lock(mu_);
+
+    // Reap exits (clean or not, a dead worker is a dead worker).
+    for (auto& w : workers_) {
+      if (!w->running) continue;
+      int status = 0;
+      const pid_t reaped = ::waitpid(w->pid, &status, WNOHANG);
+      if (reaped != w->pid) continue;
+      FBSTREAM_LOG(Warning)
+          << "supervisor: worker " << w->spec.name << " (pid " << w->pid
+          << ") died: "
+          << (WIFEXITED(status)
+                  ? "exit " + std::to_string(WEXITSTATUS(status))
+                  : "signal " + std::to_string(WTERMSIG(status)));
+      MarkDeadLocked(w.get());
+    }
+
+    PollHeartbeatsLocked();
+
+    // Timeout verdicts, gated on our own view of the broker being fresh.
+    const SteadyClock::time_point now = SteadyClock::now();
+    const bool broker_fresh =
+        (now - last_broker_ok_) < ToChrono(options_.heartbeat_timeout_micros / 2);
+    for (auto& w : workers_) {
+      if (!w->running || !broker_fresh) continue;
+      if (w->state == static_cast<int>(WorkerState::kDraining)) continue;
+      const Micros allowed = w->last_seq == 0
+                                 ? options_.startup_grace_micros
+                                 : options_.heartbeat_timeout_micros;
+      if (now - w->last_seen > ToChrono(allowed)) {
+        ++w->timeouts;
+        timeouts_metric_->Add();
+        FenceLocked(w.get(), "heartbeat timeout");
+        MarkDeadLocked(w.get());
+      }
+    }
+
+    // Respawns, honoring the backoff ladder.
+    for (auto& w : workers_) {
+      if (!w->running && now >= w->next_spawn) SpawnLocked(w.get());
+    }
+
+    WriteStatusFileLocked();
+  }
+}
+
+void Supervisor::WriteStatusFileLocked() {
+  if (options_.status_dir.empty()) return;
+  std::ostringstream out;
+  out << "supervisor pid " << self_pid_ << "\n";
+  for (const auto& w : workers_) {
+    out << "worker " << w->spec.name << " pid " << w->pid << " alive "
+        << (w->running ? 1 : 0) << " restarts " << w->restarts << " timeouts "
+        << w->timeouts << " seq " << w->last_seq << " events " << w->events
+        << " lag " << w->lag << " state " << w->state << "\n";
+  }
+  const Status written = WriteFileAtomic(
+      options_.status_dir + "/" + std::string(kStatusFileName), out.str());
+  if (!written.ok()) {
+    FBSTREAM_LOG(Warning) << "supervisor: status write failed: " << written;
+  }
+}
+
+std::vector<Supervisor::WorkerStatus> Supervisor::ParseStatusFile(
+    const std::string& text) {
+  std::vector<WorkerStatus> rows;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag != "worker") continue;
+    WorkerStatus row;
+    std::string key;
+    int alive = 0;
+    fields >> row.name >> key >> row.pid >> key >> alive >> key >>
+        row.restarts >> key >> row.timeouts >> key >> row.seq >> key >>
+        row.events >> key >> row.lag >> key >> row.state;
+    if (fields.fail()) continue;
+    row.alive = alive != 0;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<Supervisor::WorkerStatus> Supervisor::GetStatus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WorkerStatus> rows;
+  rows.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    WorkerStatus row;
+    row.name = w->spec.name;
+    row.pid = w->pid;
+    row.alive = w->running;
+    row.restarts = w->restarts;
+    row.timeouts = w->timeouts;
+    row.seq = w->last_seq;
+    row.events = w->events;
+    row.lag = w->lag;
+    row.state = w->state;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+uint64_t Supervisor::TotalRestarts() const {
+  uint64_t total = 0;
+  for (const WorkerStatus& row : GetStatus()) total += row.restarts;
+  return total;
+}
+
+uint64_t Supervisor::TotalTimeouts() const {
+  uint64_t total = 0;
+  for (const WorkerStatus& row : GetStatus()) total += row.timeouts;
+  return total;
+}
+
+void Supervisor::Abandon() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (monitor_.joinable()) monitor_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Forget the pids without signaling or reaping: the successor supervisor
+  // finds them through the status file, exactly as after a real SIGKILL.
+  workers_.clear();
+}
+
+void Supervisor::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (monitor_.joinable()) monitor_.join();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& w : workers_) {
+    if (w->running && w->pid > 0) ::kill(w->pid, SIGTERM);
+  }
+  // Workers drain their pipelines on SIGTERM; give them time, then fence.
+  const SteadyClock::time_point deadline =
+      SteadyClock::now() + std::chrono::seconds(20);
+  for (auto& w : workers_) {
+    while (w->running) {
+      int status = 0;
+      if (::waitpid(w->pid, &status, WNOHANG) == w->pid) {
+        w->running = false;
+        break;
+      }
+      if (SteadyClock::now() > deadline) {
+        FenceLocked(w.get(), "graceful stop timed out");
+        w->running = false;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  WriteStatusFileLocked();
+}
+
+}  // namespace fbstream::cluster

@@ -1,0 +1,166 @@
+#ifndef FBSTREAM_CLUSTER_SUPERVISOR_H_
+#define FBSTREAM_CLUSTER_SUPERVISOR_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/workload.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "scribe/remote.h"
+
+// Node supervisor: launches each worker (a slice of the manifest topology)
+// as its own OS process, watches heartbeats flowing over the bus, and
+// treats silence as death — SIGKILL-fence the pid, then respawn it and let
+// Pipeline::Recover rebuild from the durable manifest, checkpoints, and
+// HDFS backups. Crash-only supervision: there is no "ask the worker how it
+// feels" channel, only beats or no beats, so a wedged process, a killed
+// process, and a partitioned process all take the same path.
+//
+// Restart-rate backoff: a worker that keeps dying young (within the flap
+// window) earns exponentially growing spawn delays, so a flap storm (bad
+// binary, persistent partition) costs bounded respawns instead of a
+// fork/exec hot loop; one incarnation surviving past the window resets the
+// ladder.
+
+namespace fbstream::cluster {
+
+// One worker process and the manifest nodes it owns.
+struct WorkerSpec {
+  std::string name;
+  std::vector<std::string> nodes;
+};
+
+struct SupervisorOptions {
+  std::string broker_host = "127.0.0.1";
+  int broker_port = 0;
+  std::string manifest_dir;
+  std::string status_dir;  // Hosts the CLUSTER status file.
+  std::string root;        // Workload root, passed through to workers.
+  WorkloadMode mode = WorkloadMode::kExactlyOnce;
+  std::string worker_binary;  // Path to the noded executable.
+  // Appended verbatim to every worker's argv (test hooks).
+  std::vector<std::string> extra_worker_args;
+  // Workers in heartbeat-only mode (supervision tests without a workload).
+  bool heartbeat_only_workers = false;
+
+  Micros heartbeat_interval_micros = 30'000;
+  // No beat for this long (outside the startup grace) = dead.
+  Micros heartbeat_timeout_micros = 500'000;
+  // A fresh spawn gets this long to deliver its first beat (recovery may
+  // be replaying WALs or restoring from HDFS).
+  Micros startup_grace_micros = 10'000'000;
+  Micros restart_backoff_initial_micros = 40'000;
+  Micros restart_backoff_max_micros = 2'000'000;
+  // An incarnation dying younger than this is a flap (backoff doubles);
+  // surviving past it resets the ladder.
+  Micros flap_window_micros = 3'000'000;
+  Micros poll_interval_micros = 10'000;
+};
+
+class Supervisor {
+ public:
+  // One row of the CLUSTER status file (also the GetStatus snapshot).
+  struct WorkerStatus {
+    std::string name;
+    int64_t pid = -1;
+    bool alive = false;
+    uint64_t restarts = 0;  // Respawns after death (exit or timeout).
+    uint64_t timeouts = 0;  // Deaths declared by heartbeat silence.
+    uint64_t seq = 0;       // Last heartbeat seq accepted.
+    uint64_t events = 0;    // events_processed from that heartbeat.
+    uint64_t lag = 0;       // total_lag from that heartbeat.
+    int state = 0;          // WorkerState from that heartbeat.
+  };
+
+  Supervisor(std::vector<WorkerSpec> specs, SupervisorOptions options);
+  ~Supervisor();
+
+  // Connects to the broker, fences any stale worker pids recorded by a
+  // previous supervisor incarnation (the supervisor itself may have been
+  // SIGKILLed and re-executed), spawns every worker, and starts the
+  // monitor thread.
+  Status Start();
+
+  // Graceful stop: SIGTERM every worker, wait for clean exits (workers
+  // drain their pipelines), SIGKILL stragglers. Idempotent.
+  void Stop();
+
+  // Stops supervising WITHOUT touching the workers — models this
+  // supervisor being SIGKILLed (its in-memory state vanishes; whatever it
+  // last wrote to the status file is all a successor gets). Tests use it
+  // to stage the stale-pid fencing path in-process.
+  void Abandon();
+
+  std::vector<WorkerStatus> GetStatus() const;
+  uint64_t TotalRestarts() const;
+  uint64_t TotalTimeouts() const;
+
+  static constexpr char kStatusFileName[] = "CLUSTER";
+  // Parses the text written to the status file; tolerant of a missing or
+  // foreign file (returns what it can). The chaos driver reads pids and
+  // progress through this, and a re-executed supervisor reads it to fence
+  // stale pids.
+  static std::vector<WorkerStatus> ParseStatusFile(const std::string& text);
+
+ private:
+  struct Worker {
+    WorkerSpec spec;
+    pid_t pid = -1;
+    bool running = false;
+    uint64_t restarts = 0;
+    uint64_t timeouts = 0;
+    uint64_t last_seq = 0;
+    uint64_t events = 0;
+    uint64_t lag = 0;
+    int state = 0;
+    std::chrono::steady_clock::time_point spawned_at{};
+    std::chrono::steady_clock::time_point last_seen{};
+    Micros backoff_micros = 0;  // Current rung of the restart ladder.
+    std::chrono::steady_clock::time_point next_spawn{};  // Earliest respawn.
+  };
+
+  void MonitorLoop();
+  void SpawnLocked(Worker* w);
+  // SIGKILL + reap; safe on an already-dead pid.
+  void FenceLocked(Worker* w, const char* why);
+  // Death bookkeeping shared by exits and timeouts: backoff, counters.
+  void MarkDeadLocked(Worker* w);
+  void PollHeartbeatsLocked();
+  void WriteStatusFileLocked();
+  void FenceStalePids();
+  std::vector<std::string> WorkerArgv(const Worker& w) const;
+
+  std::vector<WorkerSpec> specs_;
+  SupervisorOptions options_;
+  std::unique_ptr<scribe::RemoteScribe> bus_;
+  uint64_t heartbeat_offset_ = 0;
+  // Last instant a heartbeat read from the broker succeeded. Timeout
+  // verdicts require this to be fresh: when the supervisor itself cannot
+  // reach the broker it is blind, not omniscient, and declaring every
+  // worker dead at once would turn one broker hiccup into a restart storm.
+  std::chrono::steady_clock::time_point last_broker_ok_{};
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread monitor_;
+  pid_t self_pid_ = -1;
+
+  Counter* restarts_metric_;
+  Counter* timeouts_metric_;
+  Counter* spawns_metric_;
+};
+
+}  // namespace fbstream::cluster
+
+#endif  // FBSTREAM_CLUSTER_SUPERVISOR_H_

@@ -1,0 +1,123 @@
+// supervisord: the node supervisor process (cluster/supervisor.h). Spawns
+// one noded per --workers entry, watches heartbeats, restarts the dead.
+// The chaos harness SIGKILLs and re-execs this process to prove the
+// supervision layer itself is crash-only.
+//
+// --workers syntax: "alpha=alpha,beta=beta" — comma-separated
+// name=node+node entries ('+' separates a worker's manifest nodes).
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/supervisor.h"
+#include "common/fault.h"
+#include "common/logging.h"
+#include "common/shutdown.h"
+
+namespace {
+
+std::vector<fbstream::cluster::WorkerSpec> ParseWorkers(
+    const std::string& text) {
+  std::vector<fbstream::cluster::WorkerSpec> specs;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t comma = text.find(',', start);
+    const std::string entry = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!entry.empty()) {
+      fbstream::cluster::WorkerSpec spec;
+      const size_t eq = entry.find('=');
+      spec.name = entry.substr(0, eq);
+      if (eq != std::string::npos) {
+        size_t node_start = eq + 1;
+        while (node_start <= entry.size()) {
+          const size_t plus = entry.find('+', node_start);
+          const std::string node =
+              entry.substr(node_start, plus == std::string::npos
+                                           ? std::string::npos
+                                           : plus - node_start);
+          if (!node.empty()) spec.nodes.push_back(node);
+          if (plus == std::string::npos) break;
+          node_start = plus + 1;
+        }
+      }
+      specs.push_back(std::move(spec));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return specs;
+}
+
+int Run(int argc, char** argv) {
+  using namespace fbstream;  // NOLINT
+
+  cluster::SupervisorOptions options;
+  std::string workers;
+  std::string mode = "eo";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--broker-host" && has_value) {
+      options.broker_host = argv[++i];
+    } else if (arg == "--broker-port" && has_value) {
+      options.broker_port = std::atoi(argv[++i]);
+    } else if (arg == "--manifest-dir" && has_value) {
+      options.manifest_dir = argv[++i];
+    } else if (arg == "--status-dir" && has_value) {
+      options.status_dir = argv[++i];
+    } else if (arg == "--root" && has_value) {
+      options.root = argv[++i];
+    } else if (arg == "--mode" && has_value) {
+      mode = argv[++i];
+    } else if (arg == "--worker-binary" && has_value) {
+      options.worker_binary = argv[++i];
+    } else if (arg == "--workers" && has_value) {
+      workers = argv[++i];
+    } else if (arg == "--heartbeat-interval-micros" && has_value) {
+      options.heartbeat_interval_micros = std::atoll(argv[++i]);
+    } else if (arg == "--heartbeat-timeout-micros" && has_value) {
+      options.heartbeat_timeout_micros = std::atoll(argv[++i]);
+    } else if (arg == "--heartbeat-only-workers") {
+      options.heartbeat_only_workers = true;
+    } else {
+      FBSTREAM_LOG(Error) << "supervisord: unknown flag " << arg;
+      return 2;
+    }
+  }
+
+  auto* faults = FaultRegistry::Global();
+  faults->SetProcessName("supervisor");
+  faults->ArmKillFromEnvironment();
+  InstallShutdownSignalHandlers();
+
+  auto parsed = cluster::ParseWorkloadMode(mode);
+  if (!parsed.ok()) {
+    FBSTREAM_LOG(Error) << "supervisord: " << parsed.status();
+    return 2;
+  }
+  options.mode = *parsed;
+  const std::vector<cluster::WorkerSpec> specs = ParseWorkers(workers);
+  if (specs.empty() || options.worker_binary.empty()) {
+    FBSTREAM_LOG(Error)
+        << "supervisord: --workers and --worker-binary are required";
+    return 2;
+  }
+
+  cluster::Supervisor supervisor(specs, options);
+  if (Status st = supervisor.Start(); !st.ok()) {
+    FBSTREAM_LOG(Error) << "supervisord: " << st;
+    return 1;
+  }
+  while (!ShutdownRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  supervisor.Stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

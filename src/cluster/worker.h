@@ -1,0 +1,60 @@
+#ifndef FBSTREAM_CLUSTER_WORKER_H_
+#define FBSTREAM_CLUSTER_WORKER_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/workload.h"
+#include "common/clock.h"
+
+// One node process ("noded"): recovers its slice of the manifest topology
+// through a RemoteScribe, runs it in continuous mode, and heartbeats to the
+// supervisor over the bus. The process is the unit of failure — the
+// supervisor SIGKILLs and respawns whole workers, and Pipeline::Recover
+// rebuilds everything from the durable manifest + checkpoints + HDFS
+// backups, exactly as a single-process restart would.
+
+namespace fbstream::cluster {
+
+// A worker that cannot append heartbeats long enough for the supervisor to
+// have declared it dead must assume a successor is being started and kill
+// itself (self-fencing): two live processes replaying into one shard's LSM
+// directory is the one failure recovery cannot absorb.
+inline constexpr int kSelfFenceExitCode = 75;
+
+struct WorkerOptions {
+  std::string name;  // Matches the supervisor's WorkerSpec.
+  std::string broker_host = "127.0.0.1";
+  int broker_port = 0;
+  std::string manifest_dir;
+  std::string root;  // Workload root (state dirs, per-node HDFS roots).
+  WorkloadMode mode = WorkloadMode::kExactlyOnce;
+  // Node names this worker owns (Pipeline::RecoverOptions::node_filter).
+  std::vector<std::string> nodes;
+
+  Micros heartbeat_interval_micros = 30'000;
+  // Self-fence after this long of consecutive heartbeat-append failures.
+  // Must exceed the supervisor's heartbeat timeout: the supervisor fences
+  // with SIGKILL before respawning, so the self-fence only matters when the
+  // supervisor itself is gone — err toward staying alive.
+  Micros fence_timeout_micros = 1'000'000;
+  // Keep retrying the initial connect + recover this long before giving up
+  // (a respawn can race the broker's own restart).
+  Micros startup_deadline_micros = 10'000'000;
+  // Revive injected-crash shards (RecoverAll) on this cadence.
+  Micros recover_poll_micros = 200'000;
+
+  // Heartbeat-only mode: no pipeline, no manifest — just connect and beat.
+  // Supervisor unit tests use this to exercise failure detection without a
+  // workload.
+  bool heartbeat_only = false;
+};
+
+// Runs the worker until SIGTERM (graceful drain, returns 0) or a fatal
+// startup error (nonzero). Never returns on self-fence or injected kill —
+// those _exit.
+int RunWorker(const WorkerOptions& options);
+
+}  // namespace fbstream::cluster
+
+#endif  // FBSTREAM_CLUSTER_WORKER_H_

@@ -1,0 +1,276 @@
+#include "cluster/workload.h"
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "common/serde.h"
+#include "common/value.h"
+#include "core/node.h"
+#include "core/processor.h"
+#include "core/sink.h"
+#include "storage/hdfs/hdfs.h"
+#include "storage/lsm/db.h"
+
+namespace fbstream::cluster {
+
+namespace {
+
+using stylus::ManifestNodeRecord;
+using stylus::NodeConfig;
+using stylus::OutputSemantics;
+using stylus::StateBackend;
+using stylus::StateSemantics;
+
+// Counts events in its state and emits one row per event. Identical in
+// spirit to the crash-harness tally: per-event output is what the
+// differential checks compare, so checkpoint placement can't perturb it.
+class TallyProcessor : public stylus::StatefulProcessor {
+ public:
+  void Process(const stylus::Event& event, std::vector<Row>* out) override {
+    ++count_;
+    out->push_back(Row(WorkloadEventSchema(),
+                       {Value(event.row.Get("event_time").CoerceInt64()),
+                        Value(event.row.Get("id").CoerceInt64()),
+                        Value(event.row.Get("topic").ToString())}));
+  }
+  void OnCheckpoint(Micros /*now*/, std::vector<Row>* /*out*/) override {}
+  std::string SerializeState() const override {
+    return std::to_string(count_);
+  }
+  Status RestoreState(std::string_view data) override {
+    count_ = strtoll(std::string(data).c_str(), nullptr, 10);
+    return Status::OK();
+  }
+
+ private:
+  int64_t count_ = 0;
+};
+
+// Transactional sink for exactly-once output into the shard's own LSM:
+// "out/<id>" -> topic commits atomically with the checkpoint.
+class LsmTallySink : public stylus::OutputSink {
+ public:
+  Status Emit(const Row& /*row*/) override {
+    return Status::FailedPrecondition("transactional sink: use checkpoint");
+  }
+  bool SupportsTransactions() const override { return true; }
+  Status AppendToTransaction(const std::vector<Row>& rows,
+                             lsm::WriteBatch* batch) override {
+    for (const Row& row : rows) {
+      batch->Put("out/" + std::to_string(row.Get("id").CoerceInt64()),
+                 row.Get("topic").ToString());
+    }
+    return Status::OK();
+  }
+};
+
+StateSemantics StateFor(WorkloadMode mode) {
+  switch (mode) {
+    case WorkloadMode::kExactlyOnce:
+      return StateSemantics::kExactlyOnce;
+    case WorkloadMode::kAtLeastOnce:
+      return StateSemantics::kAtLeastOnce;
+    case WorkloadMode::kAtMostOnce:
+      return StateSemantics::kAtMostOnce;
+  }
+  return StateSemantics::kAtLeastOnce;
+}
+
+OutputSemantics OutputFor(WorkloadMode mode) {
+  switch (mode) {
+    case WorkloadMode::kExactlyOnce:
+      return OutputSemantics::kExactlyOnce;
+    case WorkloadMode::kAtLeastOnce:
+      return OutputSemantics::kAtLeastOnce;
+    case WorkloadMode::kAtMostOnce:
+      return OutputSemantics::kAtMostOnce;
+  }
+  return OutputSemantics::kAtLeastOnce;
+}
+
+std::string InputCategoryFor(WorkloadMode mode, const std::string& node) {
+  // Exactly-once: both nodes fan out from "in" (independent consumers of
+  // one stream). Chain modes: alpha re-shards "in" into "mid", beta drains
+  // "mid" into "out" — a two-hop DAG so a kill between hops is exercised.
+  if (mode == WorkloadMode::kExactlyOnce) return "in";
+  return node == "alpha" ? "in" : "mid";
+}
+
+}  // namespace
+
+StatusOr<WorkloadMode> ParseWorkloadMode(const std::string& text) {
+  if (text == "eo") return WorkloadMode::kExactlyOnce;
+  if (text == "alo") return WorkloadMode::kAtLeastOnce;
+  if (text == "amo") return WorkloadMode::kAtMostOnce;
+  return Status::InvalidArgument("unknown workload mode: " + text);
+}
+
+std::string WorkloadModeName(WorkloadMode mode) {
+  switch (mode) {
+    case WorkloadMode::kExactlyOnce:
+      return "eo";
+    case WorkloadMode::kAtLeastOnce:
+      return "alo";
+    case WorkloadMode::kAtMostOnce:
+      return "amo";
+  }
+  return "?";
+}
+
+SchemaPtr WorkloadEventSchema() {
+  static const SchemaPtr schema =
+      Schema::Make({{"event_time", ValueType::kInt64},
+                    {"id", ValueType::kInt64},
+                    {"topic", ValueType::kString}});
+  return schema;
+}
+
+scribe::CategoryConfig WorkloadCategory(const std::string& name) {
+  scribe::CategoryConfig config;
+  config.name = name;
+  config.num_buckets = kWorkloadBuckets;
+  config.persist_to_disk = true;
+  config.fsync_appends = true;
+  return config;
+}
+
+std::vector<std::string> WorkloadCategories(WorkloadMode mode) {
+  if (mode == WorkloadMode::kExactlyOnce) return {"in"};
+  return {"in", "mid", "out"};
+}
+
+Status EnsureWorkloadCategories(scribe::Scribe* bus, WorkloadMode mode) {
+  for (const std::string& name : WorkloadCategories(mode)) {
+    const Status created = bus->CreateCategory(WorkloadCategory(name));
+    if (!created.ok() && created.code() != StatusCode::kAlreadyExists) {
+      return created;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> WorkloadNodeNames() { return {"alpha", "beta"}; }
+
+stylus::PipelineManifest BuildWorkloadManifest(WorkloadMode mode,
+                                               const std::string& root) {
+  stylus::PipelineManifest manifest;
+  manifest.epoch = 1;
+  for (const std::string& node : WorkloadNodeNames()) {
+    ManifestNodeRecord record;
+    record.name = node;
+    record.input_category = InputCategoryFor(mode, node);
+    record.num_shards = kWorkloadBuckets;
+    record.state_semantics = StateFor(mode);
+    record.output_semantics = OutputFor(mode);
+    record.backend = StateBackend::kLocal;
+    record.state_dir = root + "/state";
+    // Small checkpoints (7 events) land kills inside, between, and across
+    // checkpoint intervals; HDFS backup every other checkpoint exercises
+    // the Fig 10 restore when a shard directory is wiped.
+    record.checkpoint_every_events = 7;
+    record.checkpoint_every_bytes = 0;
+    record.backup_every_checkpoints = 2;
+    record.max_pending_backups = 8;
+    manifest.nodes.push_back(std::move(record));
+  }
+  return manifest;
+}
+
+stylus::Pipeline::NodeConfigResolver MakeWorkloadResolver(
+    WorkloadMode mode, scribe::Scribe* bus, const std::string& root) {
+  // The resolver outlives this call and the NodeConfigs it returns carry
+  // raw HdfsCluster pointers, so the clusters live in a shared_ptr captured
+  // by the lambda (copied with it, freed with the last copy). One cluster
+  // per node name: sibling worker processes each open their own node's
+  // root, never a directory another live process is writing.
+  auto clusters = std::make_shared<
+      std::map<std::string, std::unique_ptr<hdfs::HdfsCluster>>>();
+  return [mode, bus, root, clusters](const ManifestNodeRecord& record)
+             -> StatusOr<NodeConfig> {
+    bool known = false;
+    for (const std::string& node : WorkloadNodeNames()) {
+      known = known || node == record.name;
+    }
+    if (!known) {
+      return Status::InvalidArgument("workload has no node named " +
+                                     record.name);
+    }
+    auto it = clusters->find(record.name);
+    if (it == clusters->end()) {
+      it = clusters
+               ->emplace(record.name, std::make_unique<hdfs::HdfsCluster>(
+                                          root + "/hdfs/" + record.name))
+               .first;
+    }
+    NodeConfig config;
+    config.name = record.name;
+    config.input_category = InputCategoryFor(mode, record.name);
+    config.input_schema = WorkloadEventSchema();
+    config.event_time_column = "event_time";
+    config.stateful_factory = [] { return std::make_unique<TallyProcessor>(); };
+    config.state_semantics = StateFor(mode);
+    config.output_semantics = OutputFor(mode);
+    config.checkpoint_every_events = record.checkpoint_every_events;
+    config.backend = StateBackend::kLocal;
+    config.state_dir = root + "/state";
+    config.hdfs = it->second.get();
+    config.backup_every_checkpoints = record.backup_every_checkpoints;
+    config.max_pending_backups = record.max_pending_backups;
+    if (mode == WorkloadMode::kExactlyOnce) {
+      config.sink = std::make_shared<LsmTallySink>();
+    } else {
+      const std::string out_category =
+          record.name == "alpha" ? "mid" : "out";
+      config.sink = std::make_shared<stylus::ScribeSink>(
+          bus, out_category, WorkloadEventSchema(),
+          std::vector<std::string>{"id"});
+    }
+    return config;
+  };
+}
+
+Status AppendWorkloadInput(scribe::Scribe* bus, int64_t from, int64_t to) {
+  TextRowCodec codec(WorkloadEventSchema());
+  for (int64_t i = from; i < to; ++i) {
+    Row row(WorkloadEventSchema(),
+            {Value(bus->clock()->NowMicros()), Value(i),
+             Value("t" + std::to_string(i % 3))});
+    FBSTREAM_RETURN_IF_ERROR(
+        bus->Write("in", static_cast<int>(i % kWorkloadBuckets),
+                   codec.Encode(row)));
+  }
+  return Status::OK();
+}
+
+std::map<std::string, std::string> DumpWorkloadShardDb(const std::string& root,
+                                                       const std::string& node,
+                                                       int bucket) {
+  std::map<std::string, std::string> out;
+  auto db = lsm::Db::Open(
+      lsm::DbOptions{},
+      root + "/state/" + node + "/shard-" + std::to_string(bucket));
+  if (!db.ok()) return out;
+  auto it = (*db)->NewIterator();
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    out[it.key()] = it.value();
+  }
+  return out;
+}
+
+StatusOr<std::map<int64_t, int>> ReadWorkloadOutput(scribe::Scribe* bus) {
+  std::map<int64_t, int> counts;
+  TextRowCodec codec(WorkloadEventSchema());
+  const int buckets = bus->NumBuckets("out");
+  for (int b = 0; b < buckets; ++b) {
+    FBSTREAM_ASSIGN_OR_RETURN(const std::vector<scribe::Message> messages,
+                              bus->Read("out", b, 0, 1u << 20));
+    for (const scribe::Message& m : messages) {
+      FBSTREAM_ASSIGN_OR_RETURN(const Row row, codec.Decode(m.payload));
+      ++counts[row.Get("id").CoerceInt64()];
+    }
+  }
+  return counts;
+}
+
+}  // namespace fbstream::cluster

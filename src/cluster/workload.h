@@ -1,0 +1,93 @@
+#ifndef FBSTREAM_CLUSTER_WORKLOAD_H_
+#define FBSTREAM_CLUSTER_WORKLOAD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "core/recovery.h"
+#include "scribe/scribe.h"
+
+// The canonical distributed workload: a fixed two-node topology that every
+// process in a cluster run (workers, the supervisor, the chaos driver, the
+// golden replay) can rebuild from nothing but a mode string and a root
+// directory. Code cannot ride in the manifest, so distributed recovery
+// needs a catalog both sides agree on — this is that catalog.
+//
+// Modes (one per output-semantics regime the chaos harness asserts):
+//
+//   kExactlyOnce  "eo"   alpha, beta both consume "in"; each writes its
+//                        output transactionally into its own local LSM
+//                        (checkpoint + rows in one WriteBatch). The
+//                        differential check is byte-identical state.
+//   kAtLeastOnce  "alo"  chain: alpha consumes "in" and re-emits into
+//                        "mid"; beta consumes "mid" and emits into "out".
+//                        Output may duplicate across kills, never vanish.
+//   kAtMostOnce   "amo"  same chain with at-most-once checkpointing:
+//                        output may vanish across kills, never duplicate.
+//
+// Both nodes run the tally processor: count events in state, emit one row
+// per input row. Per-event output is independent of where checkpoint
+// boundaries land, so an exactly-once crash run is byte-identical to an
+// uninterrupted golden run no matter when processes died.
+
+namespace fbstream::cluster {
+
+enum class WorkloadMode { kExactlyOnce, kAtLeastOnce, kAtMostOnce };
+
+// "eo" / "alo" / "amo" (InvalidArgument otherwise).
+StatusOr<WorkloadMode> ParseWorkloadMode(const std::string& text);
+std::string WorkloadModeName(WorkloadMode mode);
+
+// Every workload category has this many buckets; each node therefore runs
+// this many shards.
+inline constexpr int kWorkloadBuckets = 2;
+
+SchemaPtr WorkloadEventSchema();
+
+// Durable category config (persisted + fsynced: the bus must survive broker
+// SIGKILL byte-for-byte for the differential checks to mean anything).
+scribe::CategoryConfig WorkloadCategory(const std::string& name);
+
+// The categories `mode` needs, in producer order ("in" first).
+std::vector<std::string> WorkloadCategories(WorkloadMode mode);
+// Creates them all on `bus` (idempotent; AlreadyExists is success).
+Status EnsureWorkloadCategories(scribe::Scribe* bus, WorkloadMode mode);
+
+// Node names in topological order: {"alpha", "beta"}.
+std::vector<std::string> WorkloadNodeNames();
+
+// The scalar half of the topology, ready for SaveManifest: what a deployer
+// writes once so that worker processes can Pipeline::Recover their slices.
+stylus::PipelineManifest BuildWorkloadManifest(WorkloadMode mode,
+                                               const std::string& root);
+
+// The code half: resolves a manifest record to a full NodeConfig (schema,
+// processor factory, sink, HDFS cluster for backups). The returned resolver
+// owns its HDFS handles (one per node, rooted under <root>/hdfs/<node>) and
+// keeps them alive as long as any copy of the resolver lives — the
+// NodeConfigs it returns point into them.
+stylus::Pipeline::NodeConfigResolver MakeWorkloadResolver(
+    WorkloadMode mode, scribe::Scribe* bus, const std::string& root);
+
+// Appends input rows [from, to) to "in", bucket id % kWorkloadBuckets, with
+// write_time taken from `bus`'s clock. The chaos driver is the only writer.
+Status AppendWorkloadInput(scribe::Scribe* bus, int64_t from, int64_t to);
+
+// Post-mortem inspection (no worker may be alive): dumps one node shard's
+// LSM — "out/<id>" rows plus checkpoint keys — for the exactly-once
+// byte-identical diff.
+std::map<std::string, std::string> DumpWorkloadShardDb(const std::string& root,
+                                                       const std::string& node,
+                                                       int bucket);
+
+// Reads the chain's terminal "out" category back: id -> emission count, for
+// the at-least/at-most-once superset/subset checks.
+StatusOr<std::map<int64_t, int>> ReadWorkloadOutput(scribe::Scribe* bus);
+
+}  // namespace fbstream::cluster
+
+#endif  // FBSTREAM_CLUSTER_WORKLOAD_H_

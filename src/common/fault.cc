@@ -1,8 +1,11 @@
 #include "common/fault.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdlib>
+#include <string_view>
 
 #include "common/metrics.h"
 
@@ -29,6 +32,14 @@ Status FaultRegistry::Hit(std::string_view site) {
   // Kill schedule outranks every status rule: it models the process dying
   // at this instruction, so nothing downstream of it can matter.
   if (s.kill_armed && s.kill_hit++ >= s.kill_at) {
+    // A spent-marker file records that this kill fired, so a respawned
+    // process arming from the same inherited environment skips it instead
+    // of crash-looping.
+    if (!s.kill_marker.empty()) {
+      const int fd = ::open(s.kill_marker.c_str(),
+                            O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC, 0644);
+      if (fd >= 0) ::close(fd);
+    }
     // One line to stderr so a supervisor's log shows *where* the child
     // died, then _exit: no destructors, no stream flushes — the on-disk
     // state is whatever the instrumented layer had made durable.
@@ -104,31 +115,81 @@ void FaultRegistry::SetUnavailableBetween(const std::string& site,
   armed_.store(true, std::memory_order_relaxed);
 }
 
-void FaultRegistry::ArmKillAt(const std::string& site, uint64_t hit_index) {
+void FaultRegistry::ArmKillAt(const std::string& site, uint64_t hit_index,
+                              const std::string& marker_path) {
   std::lock_guard<std::mutex> lock(mu_);
   SiteState& s = sites_[site];
   s.kill_armed = true;
   s.kill_at = hit_index;
   s.kill_hit = 0;
+  s.kill_marker = marker_path;
   MetricsRegistry::Global()->GetCounter("fault.kill.armed", site)->Add();
   armed_.store(true, std::memory_order_relaxed);
 }
 
-bool FaultRegistry::ArmKillFromEnvironment() {
-  const char* spec = std::getenv(kKillSpecEnvVar);
-  if (spec == nullptr || *spec == '\0') return false;
-  const std::string s(spec);
-  const size_t hash = s.find_last_of('#');
-  if (hash == std::string::npos || hash == 0 || hash + 1 >= s.size()) {
+void FaultRegistry::SetProcessName(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  process_name_ = name;
+}
+
+std::string FaultRegistry::process_name() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!process_name_.empty()) return process_name_;
+  }
+  const char* env = std::getenv(kProcessNameEnvVar);
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+bool FaultRegistry::ArmOneKillSpec(std::string_view spec) {
+  // Peel the suffixes back to front: "!marker" may contain anything but
+  // ';', "@process" may not contain '!' or '@'.
+  std::string marker_path;
+  const size_t bang = spec.find('!');
+  if (bang != std::string_view::npos) {
+    marker_path = std::string(spec.substr(bang + 1));
+    spec = spec.substr(0, bang);
+  }
+  std::string process;
+  const size_t at = spec.find('@');
+  if (at != std::string_view::npos) {
+    process = std::string(spec.substr(at + 1));
+    spec = spec.substr(0, at);
+  }
+  const size_t hash = spec.find_last_of('#');
+  if (hash == std::string_view::npos || hash == 0 || hash + 1 >= spec.size()) {
     return false;
   }
   uint64_t hit_index = 0;
-  for (size_t i = hash + 1; i < s.size(); ++i) {
-    if (s[i] < '0' || s[i] > '9') return false;
-    hit_index = hit_index * 10 + static_cast<uint64_t>(s[i] - '0');
+  for (size_t i = hash + 1; i < spec.size(); ++i) {
+    if (spec[i] < '0' || spec[i] > '9') return false;
+    hit_index = hit_index * 10 + static_cast<uint64_t>(spec[i] - '0');
   }
-  ArmKillAt(s.substr(0, hash), hit_index);
+  if (!process.empty() && process != process_name()) return false;
+  if (!marker_path.empty()) {
+    // The kill already fired in an earlier incarnation of this process:
+    // the spec is spent.
+    struct stat st;
+    if (::stat(marker_path.c_str(), &st) == 0) return false;
+  }
+  ArmKillAt(std::string(spec.substr(0, hash)), hit_index, marker_path);
   return true;
+}
+
+bool FaultRegistry::ArmKillFromEnvironment() {
+  const char* env = std::getenv(kKillSpecEnvVar);
+  if (env == nullptr || *env == '\0') return false;
+  std::string_view rest(env);
+  bool armed_any = false;
+  while (!rest.empty()) {
+    const size_t semi = rest.find(';');
+    const std::string_view one =
+        semi == std::string_view::npos ? rest : rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view()
+                                          : rest.substr(semi + 1);
+    if (!one.empty() && ArmOneKillSpec(one)) armed_any = true;
+  }
+  return armed_any;
 }
 
 void FaultRegistry::SetClock(Clock* clock) {

@@ -85,20 +85,45 @@ class FaultRegistry {
 
   // Process exit code used by kill mode (the conventional SIGKILL code).
   static constexpr int kKillExitCode = 137;
-  // Environment variable ArmKillFromEnvironment reads: "<site>#<hit>",
-  // e.g. "lsm.wal.append#3" — die at the fourth consultation of that site.
+  // Environment variable ArmKillFromEnvironment reads. Grammar:
+  //
+  //   spec (";" spec)*
+  //   spec = <site> "#" <hit> ["@" <process>] ["!" <marker_path>]
+  //
+  // e.g. "lsm.wal.append#3" — die at the fourth consultation of that site;
+  // "scribe.append#2@worker.alpha!/tmp/k1" — only in the process named
+  // worker.alpha (SetProcessName / FBSTREAM_PROCESS_NAME), and only if
+  // /tmp/k1 does not exist yet; the marker file is created at the moment of
+  // death. The marker makes an exec-armed kill one-shot: environment
+  // variables survive a supervisor's respawn (unlike a fork-armed driver
+  // that clears them), so without the marker a respawned worker would die
+  // at the same site forever — a crash loop, not a crash.
   static constexpr char kKillSpecEnvVar[] = "FBSTREAM_KILL_SPEC";
+  // Names this process for "@process"-targeted kill specs. Read by
+  // ArmKillFromEnvironment when SetProcessName was not called.
+  static constexpr char kProcessNameEnvVar[] = "FBSTREAM_PROCESS_NAME";
 
   // Arms hard process death: hit number `hit_index` of `site` (0-indexed
   // from the moment of arming) writes a one-line marker to stderr and calls
-  // _exit(137). Supervisors recognize the death by the exit code.
-  void ArmKillAt(const std::string& site, uint64_t hit_index);
+  // _exit(137). Supervisors recognize the death by the exit code. If
+  // `marker_path` is nonempty, the file is created (O_CREAT|O_EXCL)
+  // immediately before death, so later arming attempts can tell the kill
+  // already fired.
+  void ArmKillAt(const std::string& site, uint64_t hit_index,
+                 const std::string& marker_path = "");
 
-  // Arms a kill from FBSTREAM_KILL_SPEC if it is set. A forked (or exec'd)
-  // child inherits the supervisor's environment, so this is how a driver
-  // process picks up its crash schedule. Returns true if a kill was armed;
-  // malformed specs are ignored (returns false).
+  // Arms kills from FBSTREAM_KILL_SPEC if it is set. A forked *or exec'd*
+  // child inherits the supervisor's environment, so this is how both the
+  // fork-based chaos driver and supervisor-spawned worker binaries pick up
+  // their crash schedule. Specs targeted at a different "@process", specs
+  // whose "!marker" file already exists (the kill is spent), and malformed
+  // specs are skipped. Returns true if at least one kill was armed.
   bool ArmKillFromEnvironment();
+
+  // Identity for "@process" kill-spec targeting. Overrides the
+  // FBSTREAM_PROCESS_NAME environment variable.
+  void SetProcessName(const std::string& name);
+  std::string process_name() const;
 
   // Clock used to evaluate unavailability windows. Defaults to the system
   // clock; tests install a SimClock. Pass nullptr to restore the default.
@@ -140,14 +165,18 @@ class FaultRegistry {
     bool kill_armed = false;
     uint64_t kill_at = 0;
     uint64_t kill_hit = 0;  // Hits seen since ArmKillAt.
+    std::string kill_marker;  // Created right before death if nonempty.
   };
 
   Status FireLocked(const std::string& site, SiteState* state,
                     StatusCode code);
+  // Parses and (maybe) arms one "site#hit[@process][!marker]" spec.
+  bool ArmOneKillSpec(std::string_view spec);
 
   mutable std::mutex mu_;
   std::atomic<bool> armed_{false};
   Clock* clock_ = nullptr;  // nullptr = SystemClock::Get().
+  std::string process_name_;
   std::map<std::string, SiteState, std::less<>> sites_;
   std::vector<std::string> journal_;
 };

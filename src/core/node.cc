@@ -94,6 +94,10 @@ std::string NodeShard::ShardLabel() const {
   return config_.name + "/shard-" + std::to_string(bucket_);
 }
 
+std::string NodeShard::RestoreMarkerPath() const {
+  return config_.state_dir + "/" + ShardLabel() + "/RESTORE_PENDING";
+}
+
 Status NodeShard::OpenStateStore() {
   if (config_.backend == StateBackend::kRemote) {
     store_ = std::make_unique<RemoteStateStore>(config_.remote,
@@ -112,13 +116,31 @@ Status NodeShard::OpenStateStore() {
     // shard's semantics floor; events after the last backup replay or drop
     // per the configured state semantics.
     FBSTREAM_RETURN_IF_ERROR(RemoveAll(dir));
+    // Durable marker, written before the restore materializes anything: a
+    // restored directory holds a *stale* offset (the backup floor), and
+    // Start() must reconcile it with the bus before it can be trusted. If
+    // this process dies between the restore and that reconciliation, the
+    // next incarnation would otherwise mistake the restored directory for
+    // an authoritative local restart and replay — re-emitting output that
+    // was already on the bus before the wipe. The marker survives the
+    // crash; Start() removes it only after reconciliation is checkpointed.
+    FBSTREAM_RETURN_IF_ERROR(CreateDirs(dir));
+    FBSTREAM_RETURN_IF_ERROR(WriteFileDurable(RestoreMarkerPath(), "1"));
     FBSTREAM_RETURN_IF_ERROR(
         LocalStateStore::RestoreFromHdfs(config_.hdfs, backup_prefix, dir));
     FBSTREAM_LOG(Info) << ShardLabel() << ": restored local state from HDFS "
                        << backup_prefix;
+    restored_from_backup_ = true;
     MetricsRegistry::Global()
         ->GetCounter("recovery.shard.hdfs_restores", config_.name, bucket_)
         ->Add();
+  } else if (local_db_exists && FileExists(RestoreMarkerPath())) {
+    // A previous incarnation restored this directory from backup but died
+    // before reconciling the stale restored offset with the bus. Treat this
+    // start as the restore it is, not as a local restart.
+    FBSTREAM_LOG(Warning) << ShardLabel()
+                       << ": resuming an unreconciled backup restore";
+    restored_from_backup_ = true;
   } else if (config_.restore_state_from_backup && local_db_exists) {
     MetricsRegistry::Global()
         ->GetCounter("recovery.shard.local_restarts", config_.name, bucket_)
@@ -154,10 +176,46 @@ Status NodeShard::Start() {
   } else {
     tailer_.Seek(0);
   }
+  if (restored_from_backup_ &&
+      config_.output_semantics == OutputSemantics::kAtMostOnce) {
+    // An HDFS backup can be up to backup_every_checkpoints behind the last
+    // checkpoint, and output for that window was already emitted to the bus
+    // before the machine was wiped. Replaying from the restored offset would
+    // re-emit it — at-most-once prefers loss, so resume at the live tail and
+    // persist that position before processing anything (another crash before
+    // the first checkpoint must not rediscover the stale offset).
+    FBSTREAM_RETURN_IF_ERROR(FastForwardInputToTail());
+  }
+  if (restored_from_backup_ && FileExists(RestoreMarkerPath())) {
+    // Reconciliation is durable (at-most-once shards just checkpointed the
+    // live tail; other semantics treat the backup floor as authoritative),
+    // so the restored directory is now safe to resume from on a plain local
+    // restart.
+    FBSTREAM_RETURN_IF_ERROR(RemoveFile(RestoreMarkerPath()));
+  }
   if (stateful_ != nullptr && cp.has_state && !cp.state.empty()) {
     FBSTREAM_RETURN_IF_ERROR(stateful_->RestoreState(cp.state));
   }
   alive_ = true;
+  return Status::OK();
+}
+
+Status NodeShard::FastForwardInputToTail() {
+  FBSTREAM_ASSIGN_OR_RETURN(
+      const uint64_t tail,
+      scribe_->NextSequence(config_.input_category, bucket_));
+  if (tail <= tailer_.offset()) return Status::OK();
+  FBSTREAM_LOG(Info) << ShardLabel()
+                     << ": at-most-once recovery fast-forwards input from "
+                     << tailer_.offset() << " to tail " << tail
+                     << " (dropping the replay window)";
+  FBSTREAM_ASSIGN_OR_RETURN(Checkpoint cp, store_->Load());
+  FBSTREAM_RETURN_IF_ERROR(store_->SaveCheckpoint(config_.state_semantics,
+                                                  cp.state, tail, nullptr));
+  MetricsRegistry::Global()
+      ->GetCounter("recovery.shard.amo_fast_forwards", config_.name, bucket_)
+      ->Add();
+  tailer_.Seek(tail);
   return Status::OK();
 }
 

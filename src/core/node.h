@@ -204,6 +204,14 @@ class NodeShard {
   // offsets-snapshot floor to an at-most-once shard whose checkpoint was
   // lost with its state (replaying from 0 would re-count events).
   void SeekTailer(uint64_t offset) { tailer_.Seek(offset); }
+  // Repositions the input cursor at the live bus tail and checkpoints that
+  // position durably. Recovery-only, for at-most-once *output* shards whose
+  // checkpoint was lost or rolled back (backup restore, wiped machine with
+  // a surviving offsets-snapshot record): every position behind the dead
+  // incarnation's true cursor re-emits output that is already on the bus,
+  // and the tail is the only position guaranteed not to. At-most-once
+  // prefers the loss.
+  Status FastForwardInputToTail();
   // Rebuilds the pending-backup queue after process death: the in-memory
   // queue died with the old process, so a recovered shard with backups
   // configured re-uploads its current state on the next round — one full
@@ -219,6 +227,11 @@ class NodeShard {
 
   std::string ShardLabel() const;
   Status OpenStateStore();
+  // Marker file inside the local state dir recording that the directory was
+  // rebuilt from an HDFS backup and its (stale) offset has not yet been
+  // reconciled with the bus. Written before the restore, removed by Start()
+  // once reconciliation is checkpointed.
+  std::string RestoreMarkerPath() const;
   StatusOr<std::vector<Event>> PollEvents();
   Status EmitRows(const std::vector<Row>& rows);
   bool MaybeCrash(FailurePoint point);
@@ -251,6 +264,10 @@ class NodeShard {
   std::atomic<bool> alive_{false};
   std::atomic<uint64_t> checkpoints_completed_{0};
   bool had_checkpoint_offset_ = false;
+  // Set when OpenStateStore rebuilt the local database from an HDFS backup
+  // (Fig 10 "new machine" path). The restored offset may predate output
+  // already emitted to the bus, so at-most-once shards must not replay it.
+  bool restored_from_backup_ = false;
 
   // Per-shard metric handles (node = name, shard = bucket), looked up once
   // in the constructor; registry entries are immortal so they can't dangle.

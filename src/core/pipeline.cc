@@ -74,6 +74,10 @@ Status Pipeline::AddNodeLocked(const NodeConfig& config) {
 }
 
 Status Pipeline::SaveManifestLocked() {
+  // A partial pipeline sees only its slice of the topology; writing that
+  // slice as PIPELINE would amputate every other worker's nodes from the
+  // shared manifest.
+  if (manifest_partial_) return Status::OK();
   PipelineManifest manifest;
   manifest.epoch = ++manifest_epoch_;
   for (const std::string& name : node_order_) {
@@ -101,6 +105,8 @@ Status Pipeline::EnableManifest(const std::string& dir) {
   std::lock_guard<std::mutex> lock(mu_);
   if (dir.empty()) return Status::InvalidArgument("empty manifest dir");
   manifest_dir_ = dir;
+  manifest_partial_ = false;  // A fresh deployment owns the whole manifest.
+  offsets_scope_.clear();
   return SaveManifestLocked();
 }
 
@@ -124,8 +130,8 @@ void Pipeline::SaveOffsetsSnapshot() {
   // be invisible either — a sustained streak means recovery would replay
   // from an ever-staler floor, so the failure is counted for the exporter
   // and the streak is tracked for MonitoringService::ActiveSnapshotAlerts.
-  const Status status =
-      ::fbstream::stylus::SaveOffsetsSnapshot(manifest_dir_, offsets);
+  const Status status = ::fbstream::stylus::SaveOffsetsSnapshot(
+      manifest_dir_, offsets, offsets_scope_);
   if (!status.ok()) {
     static Counter* failures = MetricsRegistry::Global()->GetCounter(
         "recovery.offsets.write_failures");
@@ -139,6 +145,12 @@ void Pipeline::SaveOffsetsSnapshot() {
 
 Status Pipeline::Recover(const std::string& dir,
                          const NodeConfigResolver& resolver) {
+  return Recover(dir, resolver, RecoverOptions{});
+}
+
+Status Pipeline::Recover(const std::string& dir,
+                         const NodeConfigResolver& resolver,
+                         const RecoverOptions& options) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!nodes_.empty()) {
@@ -150,9 +162,50 @@ Status Pipeline::Recover(const std::string& dir,
   ScopedLatencyTimer timer(recovery_time);
   FBSTREAM_ASSIGN_OR_RETURN(const PipelineManifest manifest,
                             LoadManifest(dir));
+  const bool partial = !options.node_filter.empty();
+  if (partial) {
+    for (const std::string& wanted : options.node_filter) {
+      bool found = false;
+      for (const ManifestNodeRecord& record : manifest.nodes) {
+        if (record.name == wanted) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument("node filter names '" + wanted +
+                                       "', which the manifest does not record");
+      }
+    }
+  }
+  auto in_filter = [&](const std::string& name) {
+    if (!partial) return true;
+    for (const std::string& wanted : options.node_filter) {
+      if (wanted == name) return true;
+    }
+    return false;
+  };
   const std::vector<ShardOffsetRecord> snapshot = LoadOffsetsSnapshot(dir);
   std::lock_guard<std::mutex> lock(mu_);
+  // manifest_dir_ stays empty until all nodes are rebuilt (so AddNodeLocked
+  // never persists a half-recovered topology); the partial flag is set
+  // first so nothing in between can rewrite PIPELINE.
+  manifest_partial_ = partial;
+  if (partial) {
+    offsets_scope_ = options.offsets_scope;
+    if (offsets_scope_.empty()) {
+      for (const std::string& name : options.node_filter) {
+        if (!offsets_scope_.empty()) offsets_scope_ += "+";
+        offsets_scope_ += name;
+      }
+    }
+  } else {
+    offsets_scope_.clear();
+  }
+  size_t recovered = 0;
   for (const ManifestNodeRecord& record : manifest.nodes) {
+    if (!in_filter(record.name)) continue;
+    ++recovered;
     FBSTREAM_ASSIGN_OR_RETURN(NodeConfig config, resolver(record));
     // The manifest is authoritative for everything it records; the resolver
     // only supplies the parts that can't be serialized (factories, schema,
@@ -178,15 +231,35 @@ Status Pipeline::Recover(const std::string& dir,
     }
     FBSTREAM_RETURN_IF_ERROR(AddNodeLocked(config));
     for (const auto& shard : nodes_.at(record.name)) {
-      if (!shard->had_checkpoint_offset() &&
-          record.state_semantics == StateSemantics::kAtMostOnce) {
-        // An at-most-once shard that lost its checkpoint must not replay
-        // from zero (that would re-apply events it already counted); the
-        // advisory snapshot gives a floor close to where it died.
+      if (!shard->had_checkpoint_offset()) {
+        // The shard lost its checkpoint. An offsets-snapshot record is the
+        // tell between two very different situations: with no record this
+        // is a fresh deployment that legitimately starts from zero, while a
+        // record proves a predecessor incarnation ran at least to the
+        // recorded floor before the wipe.
+        bool ran_before = false;
+        uint64_t floor = 0;
         for (const ShardOffsetRecord& r : snapshot) {
           if (r.node == record.name && r.bucket == shard->bucket()) {
-            shard->SeekTailer(std::max(shard->TailerOffset(), r.offset));
+            ran_before = true;
+            floor = std::max(floor, r.offset);
           }
+        }
+        if (ran_before &&
+            record.output_semantics == OutputSemantics::kAtMostOnce) {
+          // The snapshot floor trails the dead incarnation's true cursor
+          // (it is written every few batches), and everything the
+          // predecessor processed was already emitted to the bus. Resuming
+          // anywhere behind that unknown true position re-emits output;
+          // the live tail is the only position that cannot duplicate, and
+          // at-most-once prefers the loss.
+          FBSTREAM_RETURN_IF_ERROR(shard->FastForwardInputToTail());
+        } else if (ran_before &&
+                   record.state_semantics == StateSemantics::kAtMostOnce) {
+          // An at-most-once-*state* shard must not replay from zero (that
+          // would re-count events it already applied); the advisory floor
+          // is close to where it died.
+          shard->SeekTailer(std::max(shard->TailerOffset(), floor));
         }
       }
       shard->RequestBackupResync();
@@ -194,13 +267,14 @@ Status Pipeline::Recover(const std::string& dir,
   }
   manifest_dir_ = dir;
   manifest_epoch_ = manifest.epoch;  // SaveManifestLocked bumps it.
-  FBSTREAM_RETURN_IF_ERROR(SaveManifestLocked());
+  FBSTREAM_RETURN_IF_ERROR(SaveManifestLocked());  // No-op when partial.
   static Counter* recoveries =
       MetricsRegistry::Global()->GetCounter("recovery.pipeline.recoveries");
   recoveries->Add();
   FBSTREAM_LOG(Info) << "pipeline recovered from " << dir << " (epoch "
-                     << manifest_epoch_ << ", " << manifest.nodes.size()
-                     << " nodes)";
+                     << manifest_epoch_ << ", " << recovered << " of "
+                     << manifest.nodes.size() << " nodes"
+                     << (manifest_partial_ ? ", partial" : "") << ")";
   return Status::OK();
 }
 

@@ -116,6 +116,26 @@ class Pipeline {
   // crash window may have missed. Manifest maintenance continues in `dir`.
   Status Recover(const std::string& dir, const NodeConfigResolver& resolver);
 
+  // Partial recovery (distributed mode): a worker process recovers only its
+  // slice of the manifest topology while sibling workers own the rest.
+  struct RecoverOptions {
+    // Empty = recover every recorded node. Otherwise only these nodes are
+    // instantiated; every name must exist in the manifest (InvalidArgument
+    // otherwise — a worker assigned a node the manifest doesn't know is a
+    // deployment bug, not a recovery).
+    std::vector<std::string> node_filter;
+    // Scoped offsets file name: a filtered pipeline writes its advisory
+    // snapshots to OFFSETS.<scope> so concurrent workers don't clobber each
+    // other (LoadOffsetsSnapshot merges all scopes). Defaults to the filter
+    // names joined with '+'.
+    std::string offsets_scope;
+  };
+  // With a nonempty node_filter the pipeline becomes *partial*: it never
+  // rewrites PIPELINE (the manifest describes the whole topology, which no
+  // single worker sees) and its offsets snapshots go to the scoped file.
+  Status Recover(const std::string& dir, const NodeConfigResolver& resolver,
+                 const RecoverOptions& options);
+
   // Runs every live shard once; crashed shards are skipped (their upstream
   // keeps flowing — decoupling in action). Returns events processed.
   // Checks ShutdownRequested() between node batches: on SIGTERM the round
@@ -153,6 +173,12 @@ class Pipeline {
   StatusOr<size_t> WaitUntilQuiescent(int64_t timeout_ms = 10000);
 
   bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Events processed since Start() (continuous mode); worker heartbeats
+  // report it so the supervisor can tell progress from liveness.
+  size_t events_processed() const {
+    return continuous_processed_.load(std::memory_order_relaxed);
+  }
 
   // Consecutive OFFSETS-snapshot write failures (0 after any success).
   // MonitoringService::ActiveSnapshotAlerts pages on a sustained streak: a
@@ -230,6 +256,11 @@ class Pipeline {
   std::unique_ptr<ShardExecutor> executor_;  // Null in serial mode.
   std::string manifest_dir_;  // Empty until EnableManifest / Recover.
   uint64_t manifest_epoch_ = 0;
+  // True after a node-filtered Recover: this pipeline owns a slice of the
+  // topology, must never rewrite PIPELINE, and snapshots offsets under
+  // offsets_scope_.
+  bool manifest_partial_ = false;
+  std::string offsets_scope_;
   // Guards the shard topology (nodes_ / node_order_). Shard pointers remain
   // valid once created: shards are never destroyed, only appended.
   mutable std::mutex mu_;

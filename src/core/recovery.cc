@@ -1,5 +1,8 @@
 #include "core/recovery.h"
 
+#include <map>
+#include <utility>
+
 #include "common/fault.h"
 #include "common/fs.h"
 #include "common/hash.h"
@@ -136,7 +139,8 @@ StatusOr<PipelineManifest> LoadManifest(const std::string& dir) {
 }
 
 Status SaveOffsetsSnapshot(const std::string& dir,
-                           const std::vector<ShardOffsetRecord>& offsets) {
+                           const std::vector<ShardOffsetRecord>& offsets,
+                           const std::string& scope) {
   std::string body;
   PutVarint64(&body, offsets.size());
   for (const ShardOffsetRecord& r : offsets) {
@@ -148,16 +152,21 @@ Status SaveOffsetsSnapshot(const std::string& dir,
   // production failure here is a full or read-only disk).
   FBSTREAM_RETURN_IF_ERROR(FaultRegistry::Global()->Hit("recovery.offsets.write"));
   FBSTREAM_RETURN_IF_ERROR(CreateDirs(dir));
+  const std::string file = scope.empty()
+                               ? std::string(kOffsetsFileName)
+                               : std::string(kOffsetsFileName) + "." + scope;
   FBSTREAM_RETURN_IF_ERROR(
-      WriteFileAtomic(dir + "/" + kOffsetsFileName, Frame(kOffsetsMagic, body)));
+      WriteFileAtomic(dir + "/" + file, Frame(kOffsetsMagic, body)));
   static Counter* saves =
       MetricsRegistry::Global()->GetCounter("recovery.offsets.saves");
   saves->Add();
   return Status::OK();
 }
 
-std::vector<ShardOffsetRecord> LoadOffsetsSnapshot(const std::string& dir) {
-  const std::string path = dir + "/" + kOffsetsFileName;
+namespace {
+
+// Loads one snapshot file; forgiving (see header).
+std::vector<ShardOffsetRecord> LoadOneOffsetsFile(const std::string& path) {
   if (!FileExists(path)) return {};
   auto data = ReadFileToString(path);
   if (!data.ok()) {
@@ -189,6 +198,36 @@ std::vector<ShardOffsetRecord> LoadOffsetsSnapshot(const std::string& dir) {
     r.node = std::string(node);
     r.bucket = static_cast<int>(bucket);
     offsets.push_back(std::move(r));
+  }
+  return offsets;
+}
+
+}  // namespace
+
+std::vector<ShardOffsetRecord> LoadOffsetsSnapshot(const std::string& dir) {
+  // Base file plus every scoped file; max offset wins per (node, bucket).
+  std::vector<std::string> files = {std::string(kOffsetsFileName)};
+  auto entries = ListDir(dir);
+  if (entries.ok()) {
+    const std::string prefix = std::string(kOffsetsFileName) + ".";
+    for (const std::string& name : *entries) {
+      if (name.rfind(prefix, 0) == 0) files.push_back(name);
+    }
+  }
+  std::map<std::pair<std::string, int>, uint64_t> merged;
+  for (const std::string& file : files) {
+    for (ShardOffsetRecord& r : LoadOneOffsetsFile(dir + "/" + file)) {
+      auto key = std::make_pair(r.node, r.bucket);
+      auto it = merged.find(key);
+      if (it == merged.end() || it->second < r.offset) {
+        merged[key] = r.offset;
+      }
+    }
+  }
+  std::vector<ShardOffsetRecord> offsets;
+  offsets.reserve(merged.size());
+  for (const auto& [key, offset] : merged) {
+    offsets.push_back(ShardOffsetRecord{key.first, key.second, offset});
   }
   return offsets;
 }

@@ -72,10 +72,21 @@ StatusOr<PipelineManifest> DecodeManifest(std::string_view data);
 Status SaveManifest(const std::string& dir, const PipelineManifest& manifest);
 StatusOr<PipelineManifest> LoadManifest(const std::string& dir);
 
-// Atomic save of <dir>/OFFSETS. Load is forgiving by design (see above):
-// missing, torn, or corrupt snapshots yield an empty vector.
+// Atomic save of <dir>/OFFSETS — or, with a nonempty `scope`, of
+// <dir>/OFFSETS.<scope>. Scoped snapshots are how partially-recovered
+// pipelines (one worker process owning a slice of the topology, see
+// Pipeline::RecoverOptions) persist their advisory offsets without
+// clobbering the snapshots of workers owning the other nodes: each worker
+// writes its own file, keyed by its node filter.
+//
+// Load is forgiving by design (see above): missing, torn, or corrupt
+// snapshots yield an empty vector. It merges the base OFFSETS file with
+// every OFFSETS.<scope> file in the directory; when two files record the
+// same (node, bucket) the higher offset wins (the snapshot is a floor —
+// closest-to-death loses the least replay).
 Status SaveOffsetsSnapshot(const std::string& dir,
-                           const std::vector<ShardOffsetRecord>& offsets);
+                           const std::vector<ShardOffsetRecord>& offsets,
+                           const std::string& scope = "");
 std::vector<ShardOffsetRecord> LoadOffsetsSnapshot(const std::string& dir);
 
 // File names under the manifest directory (exposed for tests).

@@ -171,47 +171,55 @@ class Category {
 // an individual append fail transiently (a flaky aggregator hop), and the
 // writer retries with backoff before surfacing the error. With no faults
 // armed the policy never sleeps.
+//
+// The bus operations are virtual: consumers (Tailer, NodeShard, Pipeline,
+// sinks, monitoring) hold a `Scribe*` and work unchanged whether it is this
+// in-process bus or a `RemoteScribe` (scribe/remote.h) talking to a
+// `scribed` broker process over a socket. Distributed mode is a transport
+// swap, not a rewrite.
 class Scribe {
  public:
   // `root_dir` hosts persisted segments for categories that opt in; it may
   // be empty if no category persists.
   explicit Scribe(Clock* clock, std::string root_dir = "");
+  virtual ~Scribe() = default;
 
   Scribe(const Scribe&) = delete;
   Scribe& operator=(const Scribe&) = delete;
 
-  Status CreateCategory(const CategoryConfig& config);
-  bool HasCategory(const std::string& name) const;
-  StatusOr<CategoryConfig> GetConfig(const std::string& name) const;
-  Status SetNumBuckets(const std::string& category, int n);
+  virtual Status CreateCategory(const CategoryConfig& config);
+  virtual bool HasCategory(const std::string& name) const;
+  virtual StatusOr<CategoryConfig> GetConfig(const std::string& name) const;
+  virtual Status SetNumBuckets(const std::string& category, int n);
 
   // Appends to an explicit bucket.
-  Status Write(const std::string& category, int bucket,
-               const std::string& payload);
+  virtual Status Write(const std::string& category, int bucket,
+                       const std::string& payload);
   // Routes by hash of `shard_key` over the category's active buckets. This
   // is how processing nodes reshard their output (§3).
-  Status WriteSharded(const std::string& category,
-                      const std::string& shard_key,
-                      const std::string& payload);
+  virtual Status WriteSharded(const std::string& category,
+                              const std::string& shard_key,
+                              const std::string& payload);
 
   // Reads messages visible now. Used by Tailer; exposed for tests.
-  StatusOr<std::vector<Message>> Read(const std::string& category, int bucket,
-                                      uint64_t from_sequence,
-                                      size_t max_messages) const;
+  virtual StatusOr<std::vector<Message>> Read(const std::string& category,
+                                              int bucket,
+                                              uint64_t from_sequence,
+                                              size_t max_messages) const;
 
-  StatusOr<uint64_t> NextSequence(const std::string& category,
-                                  int bucket) const;
+  virtual StatusOr<uint64_t> NextSequence(const std::string& category,
+                                          int bucket) const;
 
   // Applies retention trimming across all categories.
-  void TrimExpired();
+  virtual void TrimExpired();
 
   // Total backlog (messages not yet trimmed) across a category, for
   // monitoring.
-  StatusOr<uint64_t> TotalBytes(const std::string& category) const;
+  virtual StatusOr<uint64_t> TotalBytes(const std::string& category) const;
 
   Clock* clock() const { return clock_; }
 
-  int NumBuckets(const std::string& category) const;
+  virtual int NumBuckets(const std::string& category) const;
 
   // Append retry behavior (defaults: 3 attempts, 500us initial backoff).
   void SetRetryOptions(const RetryOptions& options);

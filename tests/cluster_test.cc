@@ -1,0 +1,356 @@
+// Cluster-layer tests: heartbeat serde, exec-armed kill specs, and the
+// supervisor's failure detector (restart on exit, timeout on partition,
+// flap-storm backoff, no false positives on clean runs).
+//
+// Worker processes here are the real `noded` binary (path injected by
+// CMake) in --heartbeat-only mode: supervision semantics without dragging
+// a full workload into every assertion.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/heartbeat.h"
+#include "cluster/supervisor.h"
+#include "common/fault.h"
+#include "common/fs.h"
+#include "scribe/remote.h"
+#include "scribe/scribe.h"
+
+#ifndef FBSTREAM_NODED_BINARY
+#error "FBSTREAM_NODED_BINARY must point at the noded executable"
+#endif
+
+namespace fbstream::cluster {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// Heartbeat serde.
+
+TEST(HeartbeatTest, EncodeDecodeRoundTrip) {
+  Heartbeat hb;
+  hb.worker = "alpha";
+  hb.pid = 4242;
+  hb.seq = 17;
+  hb.sent_micros = 1'234'567;
+  hb.events_processed = 99;
+  hb.total_lag = 3;
+  hb.state = WorkerState::kDraining;
+
+  auto decoded = DecodeHeartbeat(EncodeHeartbeat(hb));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->worker, "alpha");
+  EXPECT_EQ(decoded->pid, 4242);
+  EXPECT_EQ(decoded->seq, 17u);
+  EXPECT_EQ(decoded->sent_micros, 1'234'567);
+  EXPECT_EQ(decoded->events_processed, 99u);
+  EXPECT_EQ(decoded->total_lag, 3u);
+  EXPECT_EQ(decoded->state, WorkerState::kDraining);
+}
+
+TEST(HeartbeatTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeHeartbeat("").ok());
+  EXPECT_FALSE(DecodeHeartbeat("not a heartbeat").ok());
+  Heartbeat hb;
+  hb.worker = "w";
+  const std::string good = EncodeHeartbeat(hb);
+  // Truncations and trailing junk are both rejected.
+  EXPECT_FALSE(DecodeHeartbeat(std::string_view(good).substr(0, 3)).ok());
+  EXPECT_FALSE(DecodeHeartbeat(good + "x").ok());
+}
+
+TEST(HeartbeatTest, EnsureCategoryIsIdempotent) {
+  SimClock clock(1'000'000);
+  scribe::Scribe bus(&clock);
+  ASSERT_TRUE(EnsureHeartbeatCategory(&bus).ok());
+  // Second caller (another process racing the first) must also succeed.
+  ASSERT_TRUE(EnsureHeartbeatCategory(&bus).ok());
+  Heartbeat hb;
+  hb.worker = "w";
+  hb.seq = 1;
+  ASSERT_TRUE(AppendHeartbeat(&bus, hb).ok());
+  auto messages = bus.Read(kHeartbeatCategory, 0, 0, 10);
+  ASSERT_TRUE(messages.ok());
+  ASSERT_EQ(messages->size(), 1u);
+  auto decoded = DecodeHeartbeat((*messages)[0].payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->worker, "w");
+}
+
+// ---------------------------------------------------------------------------
+// Status file parsing.
+
+TEST(SupervisorStatusTest, ParseStatusFileRoundTrip) {
+  const std::string text =
+      "supervisor pid 100\n"
+      "worker alpha pid 4242 alive 1 restarts 2 timeouts 1 seq 9 events 150 "
+      "lag 3 state 1\n"
+      "worker beta pid -1 alive 0 restarts 0 timeouts 0 seq 0 events 0 "
+      "lag 0 state 0\n";
+  auto rows = Supervisor::ParseStatusFile(text);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "alpha");
+  EXPECT_EQ(rows[0].pid, 4242);
+  EXPECT_TRUE(rows[0].alive);
+  EXPECT_EQ(rows[0].restarts, 2u);
+  EXPECT_EQ(rows[0].timeouts, 1u);
+  EXPECT_EQ(rows[0].seq, 9u);
+  EXPECT_EQ(rows[0].events, 150u);
+  EXPECT_EQ(rows[0].lag, 3u);
+  EXPECT_EQ(rows[0].state, 1);
+  EXPECT_EQ(rows[1].name, "beta");
+  EXPECT_FALSE(rows[1].alive);
+}
+
+TEST(SupervisorStatusTest, ParseToleratesForeignText) {
+  EXPECT_TRUE(Supervisor::ParseStatusFile("").empty());
+  EXPECT_TRUE(Supervisor::ParseStatusFile("lorem ipsum\n\n###\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Exec-armed kill specs (satellite #1). The driver can only pass the spec
+// through the environment: after execv only the environment crosses over,
+// so this is the path a supervisor-spawned worker actually takes.
+
+// Runs `noded` with extra argv and env entries; returns the wait status.
+int RunNoded(const std::vector<std::string>& args,
+             const std::vector<std::string>& env_extra) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    for (const auto& kv : env_extra) {
+      const size_t eq = kv.find('=');
+      ::setenv(kv.substr(0, eq).c_str(), kv.substr(eq + 1).c_str(), 1);
+    }
+    std::vector<char*> argv;
+    std::string binary = FBSTREAM_NODED_BINARY;
+    argv.push_back(binary.data());
+    std::vector<std::string> owned = args;
+    for (auto& a : owned) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    ::_exit(96);
+  }
+  int wait_status = 0;
+  EXPECT_EQ(::waitpid(pid, &wait_status, 0), pid);
+  return wait_status;
+}
+
+int ExitCodeOf(int wait_status) {
+  return WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : -1;
+}
+
+TEST(KillSpecExecTest, SpecSurvivesExecAndKills) {
+  const int status = RunNoded(
+      {"--selftest-kill", "test.site"},
+      {"FBSTREAM_KILL_SPEC=test.site#2", "FBSTREAM_PROCESS_NAME=worker.x"});
+  EXPECT_EQ(ExitCodeOf(status), FaultRegistry::kKillExitCode);
+}
+
+TEST(KillSpecExecTest, SpecForOtherProcessIsIgnored) {
+  const int status =
+      RunNoded({"--selftest-kill", "test.site"},
+               {"FBSTREAM_KILL_SPEC=test.site#2@worker.other",
+                "FBSTREAM_PROCESS_NAME=worker.x"});
+  EXPECT_EQ(ExitCodeOf(status), 42);  // Survived all 100 hits.
+}
+
+TEST(KillSpecExecTest, MarkerMakesKillOneShot) {
+  const std::string dir = MakeTempDir("killspec");
+  const std::string marker = dir + "/spent";
+  const std::vector<std::string> env = {
+      "FBSTREAM_KILL_SPEC=test.site#5!" + marker,
+      "FBSTREAM_PROCESS_NAME=worker.x"};
+  // First incarnation dies and leaves the marker...
+  EXPECT_EQ(ExitCodeOf(RunNoded({"--selftest-kill", "test.site"}, env)),
+            FaultRegistry::kKillExitCode);
+  EXPECT_TRUE(FileExists(marker));
+  // ...so the respawn — same environment, as after a supervisor re-exec —
+  // does not crash-loop.
+  EXPECT_EQ(ExitCodeOf(RunNoded({"--selftest-kill", "test.site"}, env)), 42);
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+TEST(KillSpecExecTest, MultiSpecArmsPerProcess) {
+  // Two specs, ';'-separated, each targeting a different process name: the
+  // matching one fires, the other is ignored.
+  const int status = RunNoded(
+      {"--selftest-kill", "b.site"},
+      {"FBSTREAM_KILL_SPEC=a.site#0@worker.a;b.site#1@worker.b",
+       "FBSTREAM_PROCESS_NAME=worker.b"});
+  EXPECT_EQ(ExitCodeOf(status), FaultRegistry::kKillExitCode);
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor behavior against real worker processes.
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = MakeTempDir("cluster_sup");
+    clock_.SetMicros(1'000'000);
+    broker_ = std::make_unique<scribe::Scribe>(&clock_);
+    server_ = std::make_unique<scribe::ScribeServer>(broker_.get());
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    ASSERT_TRUE(RemoveAll(dir_).ok());
+  }
+
+  SupervisorOptions FastOptions() {
+    SupervisorOptions options;
+    options.broker_port = server_->port();
+    options.status_dir = dir_;
+    options.worker_binary = FBSTREAM_NODED_BINARY;
+    options.heartbeat_only_workers = true;
+    options.heartbeat_interval_micros = 20'000;
+    options.heartbeat_timeout_micros = 300'000;
+    options.startup_grace_micros = 5'000'000;
+    options.restart_backoff_initial_micros = 20'000;
+    options.restart_backoff_max_micros = 500'000;
+    options.flap_window_micros = 2'000'000;
+    return options;
+  }
+
+  // Polls GetStatus until `pred` or the deadline.
+  template <typename Pred>
+  bool WaitFor(Supervisor* sup, Pred pred, int timeout_ms = 8000) {
+    const steady_clock::time_point deadline =
+        steady_clock::now() + milliseconds(timeout_ms);
+    while (steady_clock::now() < deadline) {
+      if (pred(sup->GetStatus())) return true;
+      std::this_thread::sleep_for(milliseconds(20));
+    }
+    return false;
+  }
+
+  static bool AllBeating(const std::vector<Supervisor::WorkerStatus>& rows) {
+    if (rows.empty()) return false;
+    for (const auto& r : rows) {
+      if (!r.alive || r.seq == 0) return false;
+    }
+    return true;
+  }
+
+  std::string dir_;
+  SimClock clock_;
+  std::unique_ptr<scribe::Scribe> broker_;
+  std::unique_ptr<scribe::ScribeServer> server_;
+};
+
+TEST_F(SupervisorTest, CleanRunHasNoFalsePositiveRestarts) {
+  Supervisor sup({{"hb1", {}}, {"hb2", {}}}, FastOptions());
+  ASSERT_TRUE(sup.Start().ok());
+  ASSERT_TRUE(WaitFor(&sup, AllBeating));
+  // Hold for many heartbeat timeouts' worth of wall time: a detector that
+  // false-positives fires well within this window.
+  std::this_thread::sleep_for(milliseconds(1500));
+  EXPECT_EQ(sup.TotalRestarts(), 0u);
+  EXPECT_EQ(sup.TotalTimeouts(), 0u);
+  auto rows = sup.GetStatus();
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& r : rows) {
+    EXPECT_TRUE(r.alive);
+    EXPECT_GT(r.seq, 10u) << r.name;  // Beats kept flowing the whole time.
+    EXPECT_EQ(r.state, static_cast<int>(WorkerState::kRunning));
+  }
+  sup.Stop();
+  // A graceful stop is not a failure: counters stay clean.
+  EXPECT_EQ(sup.TotalRestarts(), 0u);
+}
+
+TEST_F(SupervisorTest, SigkilledWorkerIsRestarted) {
+  Supervisor sup({{"victim", {}}}, FastOptions());
+  ASSERT_TRUE(sup.Start().ok());
+  ASSERT_TRUE(WaitFor(&sup, AllBeating));
+  const int64_t first_pid = sup.GetStatus()[0].pid;
+  ASSERT_GT(first_pid, 0);
+
+  ASSERT_EQ(::kill(static_cast<pid_t>(first_pid), SIGKILL), 0);
+
+  // A successor incarnation must come up and beat under a new pid.
+  ASSERT_TRUE(WaitFor(&sup, [&](const auto& rows) {
+    return rows[0].alive && rows[0].pid != first_pid && rows[0].seq > 0;
+  }));
+  EXPECT_GE(sup.TotalRestarts(), 1u);
+  sup.Stop();
+}
+
+TEST_F(SupervisorTest, PartitionedWorkerTimesOutAndRecovers) {
+  auto options = FastOptions();
+  Supervisor sup({{"island", {}}}, options);
+  ASSERT_TRUE(sup.Start().ok());
+  ASSERT_TRUE(WaitFor(&sup, AllBeating));
+  const int64_t first_pid = sup.GetStatus()[0].pid;
+
+  // Blackhole just the worker (prefix "worker.island") for well past the
+  // heartbeat timeout. The supervisor's own connection stays healthy, so
+  // its broker-freshness gate does not suppress the verdict.
+  server_->Partition("worker.island", 1'200'000,
+                     scribe::PartitionMode::kBlackhole);
+
+  ASSERT_TRUE(WaitFor(
+      &sup, [&](const auto&) { return sup.TotalTimeouts() >= 1; }, 10000));
+  // After the partition lifts, a successor beats again.
+  ASSERT_TRUE(WaitFor(&sup, [&](const auto& rows) {
+    return rows[0].alive && rows[0].seq > 0 && rows[0].pid != first_pid;
+  }));
+  EXPECT_GE(sup.TotalRestarts(), 1u);
+  sup.Stop();
+}
+
+TEST_F(SupervisorTest, FlapStormIsBoundedByBackoff) {
+  auto options = FastOptions();
+  options.heartbeat_only_workers = false;  // argv comes from extra args.
+  options.extra_worker_args = {"--exit-code", "7"};
+  // With 20ms initial backoff doubling to a 500ms cap, a 1.5s window fits
+  // roughly: 20+40+80+160+320+500+500 — ~8 deaths. Without backoff a
+  // fork/exec hot loop would rack up hundreds.
+  Supervisor sup({{"flappy", {}}}, options);
+  ASSERT_TRUE(sup.Start().ok());
+  std::this_thread::sleep_for(milliseconds(1500));
+  sup.Stop();
+  const uint64_t restarts = sup.TotalRestarts();
+  EXPECT_GE(restarts, 3u);   // The ladder is retrying...
+  EXPECT_LE(restarts, 20u);  // ...but not hot-looping.
+}
+
+TEST_F(SupervisorTest, ReexecedSupervisorFencesStalePids) {
+  auto options = FastOptions();
+  const int64_t first_pid = [&] {
+    Supervisor first({{"orphan", {}}}, options);
+    EXPECT_TRUE(first.Start().ok());
+    EXPECT_TRUE(WaitFor(&first, AllBeating));
+    auto rows = first.GetStatus();
+    // Simulate supervisor SIGKILL: drop supervision without Stop so the
+    // worker process outlives its supervisor.
+    first.Abandon();
+    return rows[0].pid;
+  }();
+  ASSERT_GT(first_pid, 0);
+  // The orphan is still alive and beating.
+  ASSERT_EQ(::kill(static_cast<pid_t>(first_pid), 0), 0);
+
+  // A re-executed supervisor over the same status dir must fence the
+  // orphan before spawning its successor: two incarnations of one worker
+  // must never run concurrently (split brain on the shard state).
+  Supervisor second({{"orphan", {}}}, options);
+  ASSERT_TRUE(second.Start().ok());
+  ASSERT_TRUE(WaitFor(&second, AllBeating));
+  EXPECT_NE(second.GetStatus()[0].pid, first_pid);
+  EXPECT_NE(::kill(static_cast<pid_t>(first_pid), 0), 0);  // Fenced.
+  second.Stop();
+}
+
+}  // namespace
+}  // namespace fbstream::cluster
