@@ -107,14 +107,33 @@ Status NodeShard::OpenStateStore() {
   const std::string dir = config_.state_dir + "/" + ShardLabel();
   const std::string backup_prefix = "backup/" + ShardLabel();
   const bool local_db_exists = FileExists(dir + "/MANIFEST");
-  if (config_.restore_state_from_backup && !local_db_exists &&
-      config_.hdfs != nullptr && config_.hdfs->Exists(backup_prefix + "/MANIFEST")) {
+  const bool marker_present = FileExists(RestoreMarkerPath());
+  const bool backup_available =
+      (config_.restore_state_from_backup || marker_present) &&
+      config_.hdfs != nullptr &&
+      config_.hdfs->Exists(backup_prefix + "/MANIFEST");
+  if ((config_.restore_state_from_backup && !local_db_exists &&
+       backup_available) ||
+      (marker_present && backup_available)) {
     // "New machine" restart (Fig 10): the local database is gone but an
     // HDFS backup exists. Clear any partial leftovers (an orphan WAL from a
     // kill before the first flush would make RestoreBackup refuse), then
     // rebuild the directory from the backup. The restored checkpoint is the
     // shard's semantics floor; events after the last backup replay or drop
     // per the configured state semantics.
+    //
+    // A present marker always re-runs the restore down this same path, even
+    // when a MANIFEST exists: RestoreBackup writes backup files one by one,
+    // so a kill mid-restore can leave a MANIFEST whose referenced files
+    // never landed — a directory that must not be opened. The marker
+    // guarantees nothing after the restore was reconciled or checkpointed,
+    // so wiping and restoring again is always safe, and it covers both a
+    // crash mid-restore and a crash between restore and reconciliation.
+    if (marker_present) {
+      FBSTREAM_LOG(Warning)
+          << ShardLabel()
+          << ": re-running an interrupted or unreconciled backup restore";
+    }
     FBSTREAM_RETURN_IF_ERROR(RemoveAll(dir));
     // Durable marker, written before the restore materializes anything: a
     // restored directory holds a *stale* offset (the backup floor), and
@@ -134,13 +153,16 @@ Status NodeShard::OpenStateStore() {
     MetricsRegistry::Global()
         ->GetCounter("recovery.shard.hdfs_restores", config_.name, bucket_)
         ->Add();
-  } else if (local_db_exists && FileExists(RestoreMarkerPath())) {
-    // A previous incarnation restored this directory from backup but died
-    // before reconciling the stale restored offset with the bus. Treat this
-    // start as the restore it is, not as a local restart.
+  } else if (marker_present) {
+    // Marker present but the backup is gone (pruned between incarnations —
+    // it existed when the marker was written). Whatever the directory
+    // holds is a partial or unreconciled restore that was never
+    // checkpointed against the bus, so it cannot be trusted; start the
+    // shard empty rather than crash-looping on a torn database.
     FBSTREAM_LOG(Warning) << ShardLabel()
-                       << ": resuming an unreconciled backup restore";
-    restored_from_backup_ = true;
+                          << ": restore marker present but no backup exists; "
+                             "discarding the partial restore";
+    FBSTREAM_RETURN_IF_ERROR(RemoveAll(dir));
   } else if (config_.restore_state_from_backup && local_db_exists) {
     MetricsRegistry::Global()
         ->GetCounter("recovery.shard.local_restarts", config_.name, bucket_)

@@ -228,10 +228,12 @@ Status ScribeServer::Start() {
 }
 
 void ScribeServer::Stop() {
-  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
-    if (accept_thread_.joinable()) accept_thread_.join();
-    return;
-  }
+  // stop_mu_ makes concurrent Stop() calls safe: exactly one caller runs
+  // the shutdown sequence, and losers block here until it has finished
+  // (returning early would let a caller proceed while connection threads
+  // are still alive; joining the same thread from two callers is UB).
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
   if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -420,17 +422,37 @@ std::string ScribeServer::HandleRequest(const std::string& body, Conn* conn) {
           !GetVarint64(&src, &token)) {
         return malformed();
       }
+      std::shared_ptr<GuidState> guid_state;
       {
-        // Idempotent producer: a token at or below the last applied one is
-        // a retry of an append whose ack got lost — ack again, don't
-        // re-append.
         std::lock_guard<std::mutex> lock(mu_);
-        auto it = last_token_.find(guid);
-        if (it != last_token_.end() && token <= it->second.token) {
-          it->second.tick = ++dedup_tick_;
-          dedup_hits_->Add(1);
-          return respond_status(Status::OK());
+        auto it = dedup_.find(guid);
+        if (it == dedup_.end()) {
+          if (dedup_.size() >= options_.max_dedup_clients) {
+            // Evict the least-recently-active guid. A linear scan is fine
+            // at this cap; what matters is never dropping a live client's
+            // entry, which would let its next retry double-land.
+            auto victim = dedup_.begin();
+            for (auto jt = dedup_.begin(); jt != dedup_.end(); ++jt) {
+              if (jt->second->tick < victim->second->tick) victim = jt;
+            }
+            dedup_.erase(victim);
+          }
+          it = dedup_.emplace(guid, std::make_shared<GuidState>()).first;
         }
+        it->second->tick = ++dedup_tick_;
+        guid_state = it->second;
+      }
+      // Idempotent producer, atomically: the per-guid lock spans the dedup
+      // check, the append, and recording the token. A duplicate delivered
+      // while its original is still applying — the client's RPC timed out
+      // mid-append, it reconnected and resent — blocks here until the
+      // original records its token, then acks as a dup instead of
+      // re-appending. Tokens at or below the recorded high-water mark are
+      // retries of appends whose ack got lost: ack again, don't re-append.
+      std::lock_guard<std::mutex> apply_lock(guid_state->mu);
+      if (token <= guid_state->applied) {
+        dedup_hits_->Add(1);
+        return respond_status(Status::OK());
       }
       Status s;
       if (op == RemoteOp::kWrite) {
@@ -443,21 +465,7 @@ std::string ScribeServer::HandleRequest(const std::string& body, Conn* conn) {
         s = scribe_->WriteSharded(std::string(category), std::string(route),
                                   std::string(payload));
       }
-      if (s.ok()) {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (last_token_.size() >= options_.max_dedup_clients &&
-            last_token_.find(guid) == last_token_.end()) {
-          // Evict the least-recently-active guid. A linear scan is fine at
-          // this cap; what matters is never dropping a live client's entry,
-          // which would let its next retry double-land.
-          auto victim = last_token_.begin();
-          for (auto it = last_token_.begin(); it != last_token_.end(); ++it) {
-            if (it->second.tick < victim->second.tick) victim = it;
-          }
-          last_token_.erase(victim);
-        }
-        last_token_[guid] = DedupEntry{token, ++dedup_tick_};
-      }
+      if (s.ok()) guid_state->applied = token;
       return respond_status(s);
     }
     case RemoteOp::kRead: {
@@ -473,13 +481,27 @@ std::string ScribeServer::HandleRequest(const std::string& body, Conn* conn) {
                                        static_cast<int>(bucket), from, capped);
       if (!messages_or.ok()) return respond_status(messages_or.status());
       respond_status(Status::OK());
-      PutVarint64(&response, messages_or.value().size());
+      // Chunk by encoded bytes as well as message count so the response
+      // frame stays under kMaxFrameBytes whatever the payload sizes.
+      // Always at least one message, so the reader makes progress; the
+      // client resumes from the next sequence on its next poll.
+      std::string encoded;
+      uint64_t count = 0;
       for (const Message& m : messages_or.value()) {
-        PutVarint64(&response, m.sequence);
-        PutVarint64(&response, static_cast<uint64_t>(m.write_time));
-        PutVarint64(&response, m.trace_id);
-        PutLengthPrefixed(&response, m.payload);
+        std::string one;
+        PutVarint64(&one, m.sequence);
+        PutVarint64(&one, static_cast<uint64_t>(m.write_time));
+        PutVarint64(&one, m.trace_id);
+        PutLengthPrefixed(&one, m.payload);
+        if (count > 0 &&
+            encoded.size() + one.size() > options_.max_read_bytes) {
+          break;
+        }
+        encoded.append(one);
+        ++count;
       }
+      PutVarint64(&response, count);
+      response.append(encoded);
       return response;
     }
     case RemoteOp::kNextSequence: {

@@ -37,9 +37,22 @@
 //
 // Appends are idempotent across retries: each Write/WriteSharded carries a
 // (client guid, monotone token) pair; the broker remembers the last token
-// applied per guid and acks duplicates without re-appending. A retry after
-// a lost ack therefore cannot double-append — the transport preserves the
-// exactly-once contract the chaos harness asserts.
+// applied per guid and acks duplicates without re-appending. The dedup
+// check, the append, and recording the token happen under a per-guid lock,
+// so a retry racing its own slow original (client timed out mid-apply,
+// reconnected, resent) blocks until the original lands and is then acked
+// as a duplicate. A retry after a lost ack therefore cannot double-append
+// — the transport preserves the exactly-once contract the chaos harness
+// asserts.
+//
+// Scope: the dedup table lives in broker memory. It spans connection loss
+// and client reconnects — the failure modes the chaos harness injects —
+// but not a broker process restart: a client whose append was applied but
+// whose ack was lost across a broker restart will retry against a broker
+// with no record of its guid and double-append. Broker restart is outside
+// the transport's exactly-once contract (the harness kills workers and the
+// supervisor, never the broker); extending it would mean journaling the
+// per-guid high-water marks next to the durable category segments.
 //
 // Partitions: the server can sever or blackhole all connections whose
 // client name (from the Hello frame) matches a prefix, for a bounded
@@ -68,8 +81,9 @@ enum class RemoteOp : uint8_t {
 };
 
 // Frames beyond this are a protocol violation (Corruption), not a large
-// message: Scribe payloads are rows, and Read responses are chunked below
-// this bound server-side.
+// message: Scribe payloads are rows, and Read responses are chunked
+// server-side by both message count and encoded byte size (see
+// ScribeServerOptions::max_read_bytes) to stay below this bound.
 inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
 
 // Framing helpers, exposed so tests can hand-craft (and corrupt) frames.
@@ -94,8 +108,12 @@ struct ScribeServerOptions {
   // Per-connection socket read timeout (used to poll the stop flag, not a
   // client-visible deadline).
   Micros idle_poll_micros = 100'000;
-  // Read responses are chunked to at most this many messages per RPC.
+  // Read responses are chunked to at most this many messages — and at most
+  // max_read_bytes of encoded messages, always at least one — per RPC, so a
+  // response frame never exceeds kMaxFrameBytes regardless of payload size.
+  // The client resumes from the next sequence on its next poll.
   size_t max_read_messages = 8192;
+  size_t max_read_bytes = 48u << 20;
   // Dedup memory: last-applied append token retained per client guid.
   size_t max_dedup_clients = 1024;
 };
@@ -149,18 +167,26 @@ class ScribeServer {
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
 
+  // Serializes Stop(): joining a thread from two callers concurrently is
+  // UB, and a losing caller must not return before shutdown completes.
+  std::mutex stop_mu_;
+
   std::mutex mu_;
   std::vector<std::unique_ptr<Conn>> conns_;
   std::vector<PartitionRule> partitions_;
-  // guid -> {last applied append token, LRU tick}. Capped at
+  // Per-guid append dedup. `mu` is held across the whole dedup-check +
+  // append + record-token sequence so a duplicate racing its in-flight
+  // original waits for it instead of re-applying; `applied` is guarded by
+  // `mu`, `tick` by the server's mu_. The table is capped at
   // max_dedup_clients by evicting the least-recently-active guid — never
   // wholesale, since wiping an active client's entry would let its
   // in-flight retry double-land.
-  struct DedupEntry {
-    uint64_t token = 0;
+  struct GuidState {
+    std::mutex mu;
+    uint64_t applied = 0;
     uint64_t tick = 0;
   };
-  std::map<uint64_t, DedupEntry> last_token_;
+  std::map<uint64_t, std::shared_ptr<GuidState>> dedup_;
   uint64_t dedup_tick_ = 0;
 
   std::atomic<uint64_t> connections_accepted_{0};

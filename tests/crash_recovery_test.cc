@@ -799,6 +799,46 @@ TEST_F(RecoveryTest, NewMachineRestoresShardFromHdfsBackup) {
   EXPECT_EQ(ShardStateCount(0) + ShardStateCount(1), 80);
 }
 
+TEST_F(RecoveryTest, InterruptedHdfsRestoreIsRerunNotResumed) {
+  const std::string manifest = dir_ + "/manifest";
+  {
+    Pipeline pipeline(scribe_.get(), clock_.get());
+    ASSERT_TRUE(pipeline
+                    .AddNode(TallyConfig(StateSemantics::kExactlyOnce,
+                                         OutputSemantics::kExactlyOnce))
+                    .ok());
+    ASSERT_TRUE(pipeline.EnableManifest(manifest).ok());
+    WriteEvents(0, 80);
+    ASSERT_TRUE(pipeline.RunUntilQuiescent().ok());
+  }
+
+  // Simulate a worker killed mid-restore: the RESTORE_PENDING marker and
+  // the MANIFEST landed, but the files the MANIFEST references did not
+  // (RestoreBackup writes backup files one by one). Resuming such a
+  // directory would either crash-loop (Open keeps failing while the
+  // MANIFEST's presence blocks a fresh restore) or silently lose state;
+  // recovery must wipe it and re-run the restore from the backup.
+  const std::string shard_dir = dir_ + "/state/tally/shard-0";
+  ASSERT_TRUE(RemoveAll(shard_dir).ok());
+  ASSERT_TRUE(CreateDirs(shard_dir).ok());
+  ASSERT_TRUE(WriteFileDurable(shard_dir + "/RESTORE_PENDING", "1").ok());
+  auto backup_manifest = hdfs_->ReadFile("backup/tally/shard-0/MANIFEST");
+  ASSERT_TRUE(backup_manifest.ok()) << backup_manifest.status();
+  ASSERT_TRUE(
+      WriteFileDurable(shard_dir + "/MANIFEST", *backup_manifest).ok());
+
+  auto revived = std::make_unique<Pipeline>(scribe_.get(), clock_.get());
+  ASSERT_TRUE(revived
+                  ->Recover(manifest, Resolver(StateSemantics::kExactlyOnce,
+                                               OutputSemantics::kExactlyOnce))
+                  .ok());
+  ASSERT_TRUE(revived->RunUntilQuiescent().ok());
+  revived.reset();
+  EXPECT_EQ(ShardStateCount(0) + ShardStateCount(1), 80);
+  // Reconciliation completed, so the marker is gone.
+  EXPECT_FALSE(FileExists(shard_dir + "/RESTORE_PENDING"));
+}
+
 TEST_F(RecoveryTest, RecoverPreconditions) {
   Pipeline pipeline(scribe_.get(), clock_.get());
   // No manifest on disk.

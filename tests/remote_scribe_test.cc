@@ -418,6 +418,123 @@ TEST(RemoteScribeDedupTest, ActiveClientSurvivesDedupTableEviction) {
   EXPECT_EQ(messages->size(), 11u);  // 1 steady + 10 churn.
 }
 
+TEST(RemoteScribeDedupTest, ConcurrentDuplicateAppendsLandOnce) {
+  // The dedup check, the append, and recording the token must be atomic
+  // per guid: a retry racing its own slow in-flight original (client RPC
+  // timed out mid-apply, reconnected, resent) must wait for the original
+  // and ack as a duplicate, not re-append. Two connections deliver the
+  // same (guid, token) as simultaneously as a barrier can arrange, every
+  // round.
+  SimClock clock(1'000'000);
+  Scribe local(&clock);
+  ScribeServer server(&local);
+  ASSERT_TRUE(server.Start().ok());
+  CategoryConfig config;
+  config.name = "race";
+  ASSERT_TRUE(local.CreateCategory(config).ok());
+
+  constexpr int kRounds = 50;
+  constexpr uint64_t kGuid = 9;
+  std::atomic<int> at_barrier{0};
+  auto run = [&](const char* name) {
+    const int fd = ConnectTo(server.port());
+    ASSERT_TRUE(WriteFrameToFd(fd, HelloBody(name)).ok());
+    auto hello = ReadFrameFromFd(fd);
+    ASSERT_TRUE(hello.ok());
+    for (int t = 1; t <= kRounds; ++t) {
+      at_barrier.fetch_add(1);
+      while (at_barrier.load() < 2 * t) std::this_thread::yield();
+      ASSERT_TRUE(
+          WriteFrameToFd(fd, WriteBody("race", 0, "m" + std::to_string(t),
+                                       kGuid, static_cast<uint64_t>(t)))
+              .ok());
+      auto reply = ReadFrameFromFd(fd);
+      ASSERT_TRUE(reply.ok());
+      // Both the original and the duplicate must be acked OK.
+      ASSERT_EQ(ResponseCode(reply.value()), 0u);
+    }
+    ::close(fd);
+  };
+  std::thread a([&] { run("race.a"); });
+  std::thread b([&] { run("race.b"); });
+  a.join();
+  b.join();
+  server.Stop();
+
+  auto messages = local.Read("race", 0, 0, 1000);
+  ASSERT_TRUE(messages.ok());
+  EXPECT_EQ(messages->size(), static_cast<size_t>(kRounds))
+      << "a concurrent duplicate re-appended";
+}
+
+TEST(RemoteReadChunkTest, ReadResponsesChunkByBytes) {
+  // Read responses are chunked by encoded byte size, not just message
+  // count: with the per-RPC byte budget shrunk to a couple of messages,
+  // each RPC returns a bounded chunk and resuming from the next sequence
+  // drains everything without loss or a stuck tailer.
+  SimClock clock(1'000'000);
+  Scribe local(&clock);
+  ScribeServerOptions options;
+  options.max_read_bytes = 256;
+  ScribeServer server(&local, options);
+  ASSERT_TRUE(server.Start().ok());
+  CategoryConfig config;
+  config.name = "big";
+  ASSERT_TRUE(local.CreateCategory(config).ok());
+  const std::string payload(100, 'x');
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(local.Write("big", 0, payload + std::to_string(i)).ok());
+  }
+
+  RemoteScribe remote(&clock, "127.0.0.1", server.port(), "reader",
+                      FailFastOptions());
+  auto first = remote.Read("big", 0, 0, 100);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_GE(first->size(), 1u);
+  EXPECT_LT(first->size(), 9u) << "byte budget was not applied";
+  std::vector<Message> all = *first;
+  while (all.size() < 9) {
+    const size_t before = all.size();
+    auto next = remote.Read("big", 0, all.back().sequence + 1, 100);
+    ASSERT_TRUE(next.ok()) << next.status();
+    ASSERT_FALSE(next->empty()) << "chunked read stopped making progress";
+    all.insert(all.end(), next->begin(), next->end());
+    ASSERT_GT(all.size(), before);
+  }
+  ASSERT_EQ(all.size(), 9u);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(all[i].payload, payload + std::to_string(i));
+  }
+
+  // A single message larger than the budget still goes out — alone.
+  ASSERT_TRUE(local.Write("big", 0, std::string(400, 'y')).ok());
+  auto oversize = remote.Read("big", 0, all.back().sequence + 1, 100);
+  ASSERT_TRUE(oversize.ok()) << oversize.status();
+  ASSERT_EQ(oversize->size(), 1u);
+  EXPECT_EQ((*oversize)[0].payload, std::string(400, 'y'));
+  server.Stop();
+}
+
+TEST(ScribeServerTest, StopIsSafeForConcurrentCallers) {
+  // Stop() from several threads at once: exactly one runs the shutdown,
+  // the rest block until it completes (join from two threads is UB, and an
+  // early return would hand back a server with live connection threads).
+  SimClock clock(1'000'000);
+  Scribe local(&clock);
+  ScribeServer server(&local);
+  ASSERT_TRUE(server.Start().ok());
+  RemoteScribe remote(&clock, "127.0.0.1", server.port(), "stopper",
+                      FailFastOptions());
+  ASSERT_TRUE(remote.Ping().ok());  // A live connection to tear down.
+
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&] { server.Stop(); });
+  }
+  for (auto& t : stoppers) t.join();
+  EXPECT_FALSE(remote.Ping().ok());
+}
+
 TEST_F(RemoteScribeTest, SeverPartitionHealsAndReconnects) {
   CategoryConfig config;
   config.name = "p";
