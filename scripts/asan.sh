@@ -3,8 +3,9 @@
 # chaos soak (faults + crashes + degraded-mode resync), the layers whose
 # error-handling branches the fault registry exercises (scribe, lsm, hdfs,
 # zippydb), the core node/checkpoint machinery, the socket Scribe transport
-# (framing, reconnect, partition modes), and the supervisor (fork/exec,
-# fencing, heartbeat timeout verdicts).
+# (framing, reconnect, partition modes), the supervisor (fork/exec,
+# fencing, heartbeat timeout verdicts), and the query serving layer
+# (compiled-expression closures, block scans, Laser's reused read buffers).
 #
 # Usage: scripts/asan.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -16,11 +17,11 @@ cmake -B "$BUILD_DIR" -S . -DFBSTREAM_ASAN=ON
 cmake --build "$BUILD_DIR" -j --target \
   common_test scribe_test remote_scribe_test cluster_test lsm_test \
   hdfs_test zippydb_test stylus_test continuous_pipeline_test chaos_test \
-  crash_recovery_test
+  crash_recovery_test query_serving_test
 
 for t in common_test scribe_test remote_scribe_test cluster_test lsm_test \
          hdfs_test zippydb_test stylus_test continuous_pipeline_test \
-         chaos_test crash_recovery_test; do
+         chaos_test crash_recovery_test query_serving_test; do
   echo "== ASan: $t =="
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     "$BUILD_DIR/tests/$t"

@@ -4,9 +4,9 @@
 # (shrunk state). JSON goes to scratch paths. Verifies the harnesses still
 # run end to end and emit well-formed output; real numbers come from the
 # full runs (`bench_lsm --mixed`, `bench_recovery`,
-# `bench_parallel_pipeline --continuous`, `bench_distributed`), recorded in
-# BENCH_LSM.json, BENCH_RECOVERY.json, BENCH_CONTINUOUS.json, and
-# BENCH_DISTRIBUTED.json.
+# `bench_parallel_pipeline --continuous`, `bench_distributed`,
+# `bench_query`), recorded in BENCH_LSM.json, BENCH_RECOVERY.json,
+# BENCH_CONTINUOUS.json, BENCH_DISTRIBUTED.json, and BENCH_QUERY.json.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -17,10 +17,12 @@ OUT="$(mktemp -t bench_lsm_smoke.XXXXXX.json)"
 RECOVERY_OUT="$(mktemp -t bench_recovery_smoke.XXXXXX.json)"
 CONTINUOUS_OUT="$(mktemp -t bench_continuous_smoke.XXXXXX.json)"
 DISTRIBUTED_OUT="$(mktemp -t bench_distributed_smoke.XXXXXX.json)"
-trap 'rm -f "$OUT" "$RECOVERY_OUT" "$CONTINUOUS_OUT" "$DISTRIBUTED_OUT"' EXIT
+QUERY_OUT="$(mktemp -t bench_query_smoke.XXXXXX.json)"
+trap 'rm -f "$OUT" "$RECOVERY_OUT" "$CONTINUOUS_OUT" "$DISTRIBUTED_OUT" \
+  "$QUERY_OUT"' EXIT
 
 cmake --build "$BUILD_DIR" -j --target bench_lsm bench_recovery \
-  bench_parallel_pipeline bench_distributed
+  bench_parallel_pipeline bench_distributed bench_query
 "$BUILD_DIR/bench/bench_lsm" --mixed --smoke --out "$OUT"
 
 # Well-formed and carries both engines' numbers.
@@ -44,4 +46,11 @@ grep -q '"continuous_speedup"' "$CONTINUOUS_OUT"
 "$BUILD_DIR/bench/bench_distributed" --smoke --out "$DISTRIBUTED_OUT"
 grep -q '"transport_tax_x"' "$DISTRIBUTED_OUT"
 grep -q '"restart_to_caught_up_ms"' "$DISTRIBUTED_OUT"
-echo "bench smoke passed ($OUT, $RECOVERY_OUT, $CONTINUOUS_OUT, $DISTRIBUTED_OUT)"
+
+# Query serving (dashboard storm): the smoke pass skips the speedup gates
+# (too noisy at CI size) but must emit both headline ratios.
+"$BUILD_DIR/bench/bench_query" --smoke --out "$QUERY_OUT"
+grep -q '"scuba_query_speedup_x"' "$QUERY_OUT"
+grep -q '"puma_eval_speedup_x"' "$QUERY_OUT"
+echo "bench smoke passed ($OUT, $RECOVERY_OUT, $CONTINUOUS_OUT," \
+  "$DISTRIBUTED_OUT, $QUERY_OUT)"

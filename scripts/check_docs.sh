@@ -3,9 +3,13 @@
 #  1. every source module (a directory under src/ with its own CMakeLists)
 #     appears in README.md's module map;
 #  2. every bench binary (bench/bench_*.cc) appears in EXPERIMENTS.md;
-#  3. OBSERVABILITY.md is linked from README.md and DESIGN.md.
-# (The metric inventory inside OBSERVABILITY.md is checked against the live
-# registry by tests/observability_test.cc, not here.)
+#  3. OBSERVABILITY.md and QUERYING.md are linked from the entry-point
+#     docs (README.md; DESIGN.md for observability);
+#  4. every metric-name literal registered in src/ appears in
+#     OBSERVABILITY.md's inventory. (tests/observability_test.cc checks the
+#     *runtime* registry of its own binary against the doc; this static
+#     grep also covers metrics that only lazily register in binaries the
+#     test never links, e.g. query-serving meters.)
 #
 # Usage: scripts/check_docs.sh   (from anywhere inside the repo)
 set -uo pipefail
@@ -35,15 +39,33 @@ for bench_src in bench/bench_*.cc; do
   fi
 done
 
-# 3. The observability story is discoverable from the entry-point docs.
+# 3. The observability and query-serving stories are discoverable from the
+# entry-point docs.
 for doc in README.md DESIGN.md; do
   if ! grep -qF "OBSERVABILITY.md" "$doc"; then
     fail "$doc does not link OBSERVABILITY.md"
   fi
 done
+if [ ! -f QUERYING.md ]; then
+  fail "QUERYING.md is missing"
+elif ! grep -qF "QUERYING.md" README.md; then
+  fail "README.md does not link QUERYING.md"
+fi
+
+# 4. Metric inventory, statically: every name literal handed to
+# GetCounter/GetHistogram/GetGauge in src/ must appear (backquoted) in
+# OBSERVABILITY.md. The one-line -A1 window covers registrations whose name
+# literal wraps to the next line.
+while IFS= read -r metric; do
+  if ! grep -qF "\`$metric\`" OBSERVABILITY.md; then
+    fail "metric $metric is registered in src/ but not in OBSERVABILITY.md"
+  fi
+done < <(grep -rhA1 --include='*.cc' --include='*.h' \
+             -E 'Get(Counter|Histogram|Gauge)\(' src |
+         grep -oE '"[a-z][a-z0-9_]*(\.[a-z0-9_]+)+"' | tr -d '"' | sort -u)
 
 if [ "$failures" -ne 0 ]; then
   echo "check_docs: $failures problem(s) found." >&2
   exit 1
 fi
-echo "check_docs: README module map, EXPERIMENTS coverage, and observability links OK."
+echo "check_docs: README module map, EXPERIMENTS coverage, metric inventory, and doc links OK."

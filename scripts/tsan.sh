@@ -7,8 +7,10 @@
 # torture), observability (lock-free histogram recorders + the telemetry
 # exporter racing instrumented rounds), and the concurrent LSM (lock-free
 # reads racing the writer queue and the background flush/compaction thread),
-# and the socket Scribe transport (per-connection server threads racing the
-# acceptor and Stop; the client's serialized-RPC mutex).
+# the socket Scribe transport (per-connection server threads racing the
+# acceptor and Stop; the client's serialized-RPC mutex), and the query
+# serving layer (block-parallel Scuba scans racing ingest/retention; Laser's
+# lock-free read path racing flush/compaction).
 #
 # Usage: scripts/tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -20,11 +22,11 @@ cmake -B "$BUILD_DIR" -S . -DFBSTREAM_TSAN=ON
 cmake --build "$BUILD_DIR" -j --target \
   scribe_test remote_scribe_test stylus_test monitoring_test \
   parallel_pipeline_test continuous_pipeline_test chaos_test \
-  observability_test lsm_concurrency_test
+  observability_test lsm_concurrency_test query_serving_test
 
 for t in scribe_test remote_scribe_test stylus_test monitoring_test \
          parallel_pipeline_test continuous_pipeline_test chaos_test \
-         observability_test lsm_concurrency_test; do
+         observability_test lsm_concurrency_test query_serving_test; do
   echo "== TSan: $t =="
   TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/$t"
 done

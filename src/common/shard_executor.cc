@@ -1,8 +1,8 @@
-#include "core/shard_executor.h"
+#include "common/shard_executor.h"
 
 #include "common/metrics.h"
 
-namespace fbstream::stylus {
+namespace fbstream {
 
 ShardExecutor::ShardExecutor(int num_threads) {
   if (num_threads < 1) num_threads = 1;
@@ -95,4 +95,4 @@ void ShardExecutor::Submit(std::function<void()> task) {
   task();  // Stopping: no worker is guaranteed to pick it up.
 }
 
-}  // namespace fbstream::stylus
+}  // namespace fbstream

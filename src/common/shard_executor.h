@@ -1,5 +1,5 @@
-#ifndef FBSTREAM_CORE_SHARD_EXECUTOR_H_
-#define FBSTREAM_CORE_SHARD_EXECUTOR_H_
+#ifndef FBSTREAM_COMMON_SHARD_EXECUTOR_H_
+#define FBSTREAM_COMMON_SHARD_EXECUTOR_H_
 
 #include <condition_variable>
 #include <deque>
@@ -10,7 +10,7 @@
 #include <utility>
 #include <vector>
 
-namespace fbstream::stylus {
+namespace fbstream {
 
 // Fixed worker pool that runs batches of independent shard tasks.
 //
@@ -22,7 +22,10 @@ namespace fbstream::stylus {
 // per alive shard and waits for the batch, node by node, preserving the DAG
 // order between nodes while shards within a node run fully in parallel.
 // Continuous mode uses the same pool through Submit() to offload checkpoint
-// commits (§4.2 processing overlap).
+// commits (§4.2 processing overlap). The query side reuses it too: Scuba
+// fans block scans of concurrent queries across one shared pool (it lives
+// in common/ because core links the storage engines, not the other way
+// around).
 //
 // RunBatch / Submit may be called concurrently from multiple threads; each
 // batch tracks its own completion. Tasks must not recursively call RunBatch
@@ -82,6 +85,12 @@ class ShardExecutor {
   std::vector<std::thread> workers_;
 };
 
-}  // namespace fbstream::stylus
+// The executor predates the query-layer reuse and grew up under
+// core/stylus; existing engine code refers to it through this alias.
+namespace stylus {
+using fbstream::ShardExecutor;
+}  // namespace stylus
 
-#endif  // FBSTREAM_CORE_SHARD_EXECUTOR_H_
+}  // namespace fbstream
+
+#endif  // FBSTREAM_COMMON_SHARD_EXECUTOR_H_

@@ -110,6 +110,9 @@ class Row {
   bool Set(const std::string& name, Value v);
 
   const std::vector<Value>& values() const { return values_; }
+  // Destructively takes the values; for ingest paths that scatter a row
+  // into columnar storage. Leaves the row empty.
+  std::vector<Value> TakeValues() { return std::move(values_); }
 
   bool operator==(const Row& other) const { return values_ == other.values_; }
 

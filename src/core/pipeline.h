@@ -11,7 +11,7 @@
 
 #include "core/node.h"
 #include "core/recovery.h"
-#include "core/shard_executor.h"
+#include "common/shard_executor.h"
 
 namespace fbstream::stylus {
 

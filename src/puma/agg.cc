@@ -81,8 +81,12 @@ Value AggCell::Result(const SelectItem& item) const {
       if (samples_.empty()) return Value(0.0);
       std::vector<double> sorted = samples_;
       std::sort(sorted.begin(), sorted.end());
-      const double rank =
-          item.percentile * static_cast<double>(sorted.size() - 1);
+      // ClassifyAggregate validates the fraction at parse time, but state
+      // restored from a checkpoint predating that check (or a caller-built
+      // SelectItem) can still carry one out of range — clamp instead of
+      // indexing out of the sample array.
+      const double p = std::min(1.0, std::max(0.0, item.percentile));
+      const double rank = p * static_cast<double>(sorted.size() - 1);
       const size_t lo = static_cast<size_t>(std::floor(rank));
       const size_t hi = std::min(lo + 1, sorted.size() - 1);
       const double frac = rank - std::floor(rank);

@@ -12,6 +12,13 @@ TableAggregation::TableAggregation(const CreateTableStmt* stmt,
     : stmt_(stmt),
       input_schema_(std::move(input_schema)),
       time_column_(std::move(time_column)) {
+  if (stmt_->where != nullptr) {
+    where_ = CompiledExpr::Compile(*stmt_->where, input_schema_);
+  }
+  Expr time_expr;
+  time_expr.kind = ExprKind::kColumn;
+  time_expr.column = time_column_;
+  time_expr_ = CompiledExpr::Compile(time_expr, input_schema_);
   // Resolve each group-by name: an alias of a non-aggregate select item, or
   // a bare input column.
   for (const std::string& name : stmt_->group_by) {
@@ -27,26 +34,31 @@ TableAggregation::TableAggregation(const CreateTableStmt* stmt,
       expr->kind = ExprKind::kColumn;
       expr->column = name;
     }
-    group_exprs_.push_back(std::move(expr));
+    group_exprs_.push_back(CompiledExpr::Compile(*expr, input_schema_));
   }
   for (size_t i = 0; i < stmt_->items.size(); ++i) {
-    if (stmt_->items[i].is_aggregate) {
+    const SelectItem& item = stmt_->items[i];
+    if (item.is_aggregate) {
       agg_items_.push_back(static_cast<int>(i));
+      agg_args_.push_back(item.agg_arg != nullptr
+                              ? CompiledExpr::Compile(*item.agg_arg,
+                                                      input_schema_)
+                              : CompiledExpr());
     }
   }
 }
 
 void TableAggregation::ProcessRow(const Row& row) {
-  if (stmt_->where != nullptr && !EvalPredicate(*stmt_->where, row)) return;
-  const Micros t = row.Get(time_column_).CoerceInt64();
+  if (stmt_->where != nullptr && !where_.EvalBool(row)) return;
+  const Micros t = time_expr_.Eval(row).CoerceInt64();
   max_event_time_ = std::max(max_event_time_, t);
   Micros window = t - (t % stmt_->window_micros);
   if (t < 0 && t % stmt_->window_micros != 0) window -= stmt_->window_micros;
 
   GroupKey key;
   key.reserve(group_exprs_.size());
-  for (const ExprPtr& expr : group_exprs_) {
-    key.push_back(EvalExpr(*expr, row).ToString());
+  for (const CompiledExpr& expr : group_exprs_) {
+    key.push_back(expr.Eval(row).ToString());
   }
 
   Cells& cells = windows_[window][key];
@@ -57,14 +69,10 @@ void TableAggregation::ProcessRow(const Row& row) {
     }
   }
   for (size_t a = 0; a < agg_items_.size(); ++a) {
-    const SelectItem& item =
-        stmt_->items[static_cast<size_t>(agg_items_[a])];
-    if (item.agg == AggFunction::kCount && item.agg_arg == nullptr) {
-      cells[a].UpdateCount();
-    } else if (item.agg_arg != nullptr) {
-      cells[a].Update(EvalExpr(*item.agg_arg, row));
+    if (agg_args_[a].valid()) {
+      cells[a].Update(agg_args_[a].Eval(row));
     } else {
-      cells[a].UpdateCount();
+      cells[a].UpdateCount();  // COUNT(*) and argument-less counts.
     }
   }
   ++rows_processed_;

@@ -10,6 +10,7 @@
 #include "common/value.h"
 #include "puma/agg.h"
 #include "puma/ast.h"
+#include "puma/compiled_expr.h"
 #include "puma/expr.h"
 
 namespace fbstream::puma {
@@ -74,10 +75,17 @@ class TableAggregation {
   const CreateTableStmt* stmt_;
   SchemaPtr input_schema_;
   std::string time_column_;
-  // Expressions backing each group-by name (alias -> select expr, or bare
-  // column).
-  std::vector<ExprPtr> group_exprs_;
+  // The statement's expressions, compiled once at construction (app deploy)
+  // against the declared input schema — the per-event hot path never walks
+  // an AST or resolves a name. See puma/compiled_expr.h.
+  CompiledExpr where_;       // Invalid when the statement has no WHERE.
+  CompiledExpr time_expr_;   // The input's TIME column.
+  // Compiled expression backing each group-by name (alias -> select expr,
+  // or bare column).
+  std::vector<CompiledExpr> group_exprs_;
   std::vector<int> agg_items_;  // Indices of aggregate select items.
+  // Compiled agg argument per agg item; invalid for COUNT(*).
+  std::vector<CompiledExpr> agg_args_;
   std::map<Micros, std::map<GroupKey, Cells>> windows_;
   Micros max_event_time_ = 0;
   uint64_t rows_processed_ = 0;

@@ -65,14 +65,30 @@ StatusOr<std::unique_ptr<PumaApp>> PumaApp::Create(AppSpec spec,
 }
 
 Status PumaApp::Start() {
-  // (Re)build aggregation engines and tailers.
+  // (Re)build aggregation engines, compiled stream runtimes, and tailers.
   tables_.clear();
   readers_.clear();
+  stream_runtimes_.clear();
   for (const CreateTableStmt& table : spec_.tables) {
     const CreateInputTableStmt* input = inputs_.at(table.from);
     tables_.emplace(table.name, std::make_unique<TableAggregation>(
                                     &table, input_schemas_.at(table.from),
                                     input->time_column));
+  }
+  for (const CreateStreamStmt& stream : spec_.streams) {
+    const SchemaPtr& in_schema = input_schemas_.at(stream.from);
+    StreamRuntime runtime;
+    runtime.stmt = &stream;
+    if (stream.where != nullptr) {
+      runtime.where = CompiledExpr::Compile(*stream.where, in_schema);
+    }
+    runtime.items.reserve(stream.items.size());
+    for (const SelectItem& item : stream.items) {
+      runtime.items.push_back(CompiledExpr::Compile(*item.expr, in_schema));
+    }
+    runtime.out_schema = stream_schemas_.at(stream.name);
+    runtime.codec = std::make_unique<TextRowCodec>(runtime.out_schema);
+    stream_runtimes_.emplace(stream.name, std::move(runtime));
   }
   for (const CreateInputTableStmt& input : spec_.inputs) {
     InputTailers reader;
@@ -129,6 +145,7 @@ Status PumaApp::Start() {
 void PumaApp::Crash() {
   tables_.clear();
   readers_.clear();
+  stream_runtimes_.clear();
   alive_ = false;
 }
 
@@ -150,9 +167,9 @@ Status PumaApp::ProcessInput(const CreateInputTableStmt& input,
   for (const CreateTableStmt& table : spec_.tables) {
     if (table.from == input.name) aggs.push_back(tables_.at(table.name).get());
   }
-  std::vector<const CreateStreamStmt*> streams;
-  for (const CreateStreamStmt& stream : spec_.streams) {
-    if (stream.from == input.name) streams.push_back(&stream);
+  std::vector<const StreamRuntime*> streams;
+  for (const auto& [name, runtime] : stream_runtimes_) {
+    if (runtime.stmt->from == input.name) streams.push_back(&runtime);
   }
 
   for (InputTailers& reader : readers_) {
@@ -180,21 +197,19 @@ Status PumaApp::ProcessInput(const CreateInputTableStmt& input,
             }
           }
           for (TableAggregation* agg : aggs) agg->ProcessRow(*row);
-          for (const CreateStreamStmt* stream : streams) {
-            if (stream->where != nullptr &&
-                !EvalPredicate(*stream->where, *row)) {
+          for (const StreamRuntime* stream : streams) {
+            if (stream->where.valid() && !stream->where.EvalBool(*row)) {
               continue;
             }
-            const SchemaPtr& out_schema = stream_schemas_.at(stream->name);
-            Row out(out_schema);
+            Row out(stream->out_schema);
             for (size_t i = 0; i < stream->items.size(); ++i) {
-              out.Set(i, EvalExpr(*stream->items[i].expr, *row));
+              out.Set(i, stream->items[i].Eval(*row));
             }
-            TextRowCodec out_codec(out_schema);
             const std::string shard_key =
                 out.num_columns() > 0 ? out.Get(0).ToString() : "";
             FBSTREAM_RETURN_IF_ERROR(scribe_->WriteSharded(
-                stream->output_category, shard_key, out_codec.Encode(out)));
+                stream->stmt->output_category, shard_key,
+                stream->codec->Encode(out)));
           }
           ++rows_processed_;
           ++*processed;

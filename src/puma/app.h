@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/serde.h"
 #include "common/status.h"
 #include "puma/aggregation.h"
 #include "puma/ast.h"
@@ -106,6 +107,18 @@ class PumaApp {
   std::map<std::string, laser::LaserApp*> lookups_;
   std::map<std::string, std::unique_ptr<TableAggregation>> tables_;
   std::map<std::string, SchemaPtr> stream_schemas_;
+
+  // Per-stream state compiled once at Start() (deploy/recover): predicate
+  // and select-item closures plus the output codec, so the per-event loop
+  // does no AST walks and no codec construction.
+  struct StreamRuntime {
+    const CreateStreamStmt* stmt = nullptr;
+    CompiledExpr where;  // Invalid when the stream has no WHERE.
+    std::vector<CompiledExpr> items;
+    SchemaPtr out_schema;
+    std::unique_ptr<TextRowCodec> codec;
+  };
+  std::map<std::string, StreamRuntime> stream_runtimes_;
 
   struct InputTailers {
     const CreateInputTableStmt* input;

@@ -1,0 +1,500 @@
+#include "puma/compiled_expr.h"
+
+#include <cctype>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace fbstream::puma {
+
+namespace {
+
+using eval_detail::BuiltinFn;
+using eval_detail::NumericBinary;
+using eval_detail::Truthy;
+
+using EvalFn = std::function<Value(const Row&)>;
+
+// One compiled subtree. A constant node still carries a callable (so parent
+// nodes can compose without special cases) plus the folded value for
+// parents that can fold further. Column nodes additionally expose their
+// resolved index/name so parents can fuse the fetch into their own closure
+// (see Operand below) instead of paying a nested std::function call.
+// A leaf operand a parent closure can evaluate inline: a constant, a
+// schema-resolved column (index fast path, name fallback for rows built
+// against a foreign schema — same rule as CompileColumn), or a name-only
+// column. Fetching returns a reference; no Value is copied.
+struct Operand {
+  enum Kind { kConst, kIndexed, kNamed };
+  Kind kind = kConst;
+  Value value;
+  size_t index = 0;
+  std::string name;
+};
+
+// Builtin argument lists up to this arity evaluate into a stack array (the
+// interpreter heap-allocates a vector per call).
+constexpr size_t kStackArgs = 8;
+
+struct Node {
+  EvalFn fn;
+  bool constant = false;
+  Value value;           // Meaningful only when constant.
+  int col_index = -1;    // >= 0: column resolved against the declared schema.
+  std::string col_name;  // Non-empty: this node is a bare column reference.
+  // True when evaluating the subtree has no side effects (no UDF anywhere
+  // below it). Licenses skipping unused evaluations, e.g. the untaken IF
+  // branch — unobservable, so results stay interpreter-identical.
+  bool pure = false;
+  // Set when this node is numeric arithmetic over two leaf operands, so a
+  // parent closure can run the kernel inline instead of through fn.
+  bool is_arith = false;
+  BinaryOp arith_op = BinaryOp::kAdd;
+  Operand arith_l, arith_r;
+  // Set when this node is a known builtin over leaf operands (arity at most
+  // kStackArgs): parents call it inline with a stack argument array.
+  BuiltinFn call_fn = nullptr;
+  std::vector<Operand> call_args;
+};
+
+inline const Value& Fetch(const Operand& op, const Row& row,
+                          const Schema* schema) {
+  switch (op.kind) {
+    case Operand::kConst:
+      return op.value;
+    case Operand::kIndexed:
+      if (row.schema().get() == schema) return row.Get(op.index);
+      return row.Get(op.name);
+    case Operand::kNamed:
+      return row.Get(op.name);
+  }
+  return op.value;
+}
+
+bool AsOperand(const Node& node, Operand* out) {
+  if (node.constant) {
+    out->kind = Operand::kConst;
+    out->value = node.value;
+    return true;
+  }
+  if (!node.col_name.empty()) {
+    if (node.col_index >= 0) {
+      out->kind = Operand::kIndexed;
+      out->index = static_cast<size_t>(node.col_index);
+    } else {
+      out->kind = Operand::kNamed;
+    }
+    out->name = node.col_name;
+    return true;
+  }
+  return false;
+}
+
+// One side of a binary node (or one builtin argument). Leaves are fetched
+// inline; one level of arithmetic or builtin call over leaves also runs
+// inline (kArith/kCall), so common shapes like `col % 7 = 3` or
+// `LENGTH(col) >= 4` cost a single closure invocation. Everything else
+// goes through the compiled closure. Leaf fetches have no effects, so
+// reordering or skipping them keeps the fused forms interpreter-equivalent.
+struct Source {
+  enum Kind { kLeaf, kArith, kCall, kFn };
+  Kind kind = kFn;
+  Operand op;                     // kLeaf
+  BinaryOp bop = BinaryOp::kAdd;  // kArith
+  Operand a, b;                   // kArith
+  BuiltinFn call = nullptr;       // kCall
+  std::vector<Operand> call_args;  // kCall
+  EvalFn fn;                      // kFn
+};
+
+Source MakeSource(Node&& node) {
+  Source s;
+  if (AsOperand(node, &s.op)) {
+    s.kind = Source::kLeaf;
+    return s;
+  }
+  if (node.is_arith) {
+    s.kind = Source::kArith;
+    s.bop = node.arith_op;
+    s.a = std::move(node.arith_l);
+    s.b = std::move(node.arith_r);
+    return s;
+  }
+  if (node.call_fn != nullptr) {
+    s.kind = Source::kCall;
+    s.call = node.call_fn;
+    s.call_args = std::move(node.call_args);
+    return s;
+  }
+  s.kind = Source::kFn;
+  s.fn = std::move(node.fn);
+  return s;
+}
+
+inline const Value& Pull(const Source& s, const Row& row,
+                         const Schema* schema, Value* tmp) {
+  switch (s.kind) {
+    case Source::kLeaf:
+      return Fetch(s.op, row, schema);
+    case Source::kArith:
+      *tmp = NumericBinary(s.bop, Fetch(s.a, row, schema),
+                           Fetch(s.b, row, schema));
+      return *tmp;
+    case Source::kCall: {
+      const Value* vals[kStackArgs];
+      const size_t n = s.call_args.size();
+      for (size_t i = 0; i < n; ++i) {
+        vals[i] = &Fetch(s.call_args[i], row, schema);
+      }
+      *tmp = s.call(vals, n);
+      return *tmp;
+    }
+    case Source::kFn:
+      *tmp = s.fn(row);
+      return *tmp;
+  }
+  return *tmp;
+}
+
+Node Constant(Value v) {
+  Node node;
+  node.constant = true;
+  node.pure = true;
+  node.value = v;
+  node.fn = [v = std::move(v)](const Row&) { return v; };
+  return node;
+}
+
+Node CompileNode(const Expr& expr, const SchemaPtr& schema,
+                 const UdfRegistry* udfs, uint64_t* folds);
+
+Node CompileColumn(const Expr& expr, const SchemaPtr& schema) {
+  Node node;
+  node.pure = true;
+  node.col_name = expr.column;
+  const int index = schema != nullptr ? schema->IndexOf(expr.column) : -1;
+  if (index < 0) {
+    // Not in the declared schema; keep the name lookup (it returns null for
+    // absent columns, like the interpreter).
+    node.fn = [name = expr.column](const Row& row) { return row.Get(name); };
+    return node;
+  }
+  node.col_index = index;
+  // Hot path: rows decoded with the declared schema read by index. A row
+  // built against some other schema (hand-made in tests) falls back to the
+  // name lookup so results never diverge from the interpreter.
+  node.fn = [index = static_cast<size_t>(index), schema,
+             name = expr.column](const Row& row) -> Value {
+    if (row.schema().get() == schema.get()) return row.Get(index);
+    return row.Get(name);
+  };
+  return node;
+}
+
+Node CompileBinary(const Expr& expr, const SchemaPtr& schema,
+                   const UdfRegistry* udfs, uint64_t* folds) {
+  Node left = CompileNode(*expr.left, schema, udfs, folds);
+  Node right = CompileNode(*expr.right, schema, udfs, folds);
+  const BinaryOp op = expr.op;
+  Node node;
+  node.pure = left.pure && right.pure;
+  switch (op) {
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr: {
+      const bool is_and = op == BinaryOp::kAnd;
+      if (left.constant) {
+        // Left decides alone: AND with a falsy left (OR with a truthy one)
+        // never evaluates the right, so folding it away drops no effects.
+        if (Truthy(left.value) != is_and) {
+          ++*folds;
+          return Constant(Value(static_cast<int64_t>(is_and ? 0 : 1)));
+        }
+        if (right.constant) {
+          ++*folds;
+          return Constant(
+              Value(static_cast<int64_t>(Truthy(right.value) ? 1 : 0)));
+        }
+        node.fn = [rf = std::move(right.fn)](const Row& row) {
+          return Value(static_cast<int64_t>(Truthy(rf(row)) ? 1 : 0));
+        };
+        return node;
+      }
+      // One closure either way; the right side is pulled lazily, preserving
+      // the interpreter's short-circuit (skipping a leaf fetch is
+      // unobservable, so the fused form stays equivalent).
+      node.fn = [is_and, ls = MakeSource(std::move(left)),
+                 rs = MakeSource(std::move(right)),
+                 schema](const Row& row) -> Value {
+        Value lt, rt;
+        const bool l = Truthy(Pull(ls, row, schema.get(), &lt));
+        if (l != is_and) return Value(static_cast<int64_t>(l ? 1 : 0));
+        return Value(
+            static_cast<int64_t>(Truthy(Pull(rs, row, schema.get(), &rt))));
+      };
+      return node;
+    }
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      auto compare = [op](const Value& a, const Value& b) {
+        const int c = a.Compare(b);
+        bool result = false;
+        switch (op) {
+          case BinaryOp::kEq:
+            result = c == 0;
+            break;
+          case BinaryOp::kNe:
+            result = c != 0;
+            break;
+          case BinaryOp::kLt:
+            result = c < 0;
+            break;
+          case BinaryOp::kLe:
+            result = c <= 0;
+            break;
+          case BinaryOp::kGt:
+            result = c > 0;
+            break;
+          case BinaryOp::kGe:
+            result = c >= 0;
+            break;
+          default:
+            break;
+        }
+        return Value(static_cast<int64_t>(result));
+      };
+      if (left.constant && right.constant) {
+        ++*folds;
+        return Constant(compare(left.value, right.value));
+      }
+      node.fn = [compare, ls = MakeSource(std::move(left)),
+                 rs = MakeSource(std::move(right)),
+                 schema](const Row& row) {
+        Value lt, rt;
+        return compare(Pull(ls, row, schema.get(), &lt),
+                       Pull(rs, row, schema.get(), &rt));
+      };
+      return node;
+    }
+    default: {
+      if (left.constant && right.constant) {
+        ++*folds;
+        return Constant(NumericBinary(op, left.value, right.value));
+      }
+      // Leaf-over-leaf arithmetic is exposed as metadata so the parent
+      // (a comparison, a builtin argument) can run the kernel inline.
+      if (AsOperand(left, &node.arith_l) && AsOperand(right, &node.arith_r)) {
+        node.is_arith = true;
+        node.arith_op = op;
+      }
+      node.fn = [op, ls = MakeSource(std::move(left)),
+                 rs = MakeSource(std::move(right)),
+                 schema](const Row& row) {
+        Value lt, rt;
+        return NumericBinary(op, Pull(ls, row, schema.get(), &lt),
+                             Pull(rs, row, schema.get(), &rt));
+      };
+      return node;
+    }
+  }
+}
+
+bool EqualsUpper(const std::string& name, const char* upper) {
+  size_t i = 0;
+  for (; i < name.size(); ++i) {
+    if (upper[i] == '\0' ||
+        std::toupper(static_cast<unsigned char>(name[i])) != upper[i]) {
+      return false;
+    }
+  }
+  return upper[i] == '\0';
+}
+
+Node CompileCall(const Expr& expr, const SchemaPtr& schema,
+                 const UdfRegistry* udfs, uint64_t* folds) {
+  std::vector<Node> args;
+  args.reserve(expr.args.size());
+  bool all_constant = true;
+  bool all_pure = true;
+  for (const ExprPtr& arg : expr.args) {
+    args.push_back(CompileNode(*arg, schema, udfs, folds));
+    all_constant = all_constant && args.back().constant;
+    all_pure = all_pure && args.back().pure;
+  }
+
+  // Resolution order mirrors the interpreter: UDFs shadow builtins.
+  const UdfRegistry* registry =
+      udfs != nullptr ? udfs : UdfRegistry::Global();
+  const UdfRegistry::Udf* udf = registry->Find(expr.function);
+  Node node;
+  if (udf != nullptr) {
+    // Copy the callable: later re-registration must not change a deployed
+    // app (compile-once contract). Never folded — UDFs may be stateful.
+    node.fn = [udf = *udf,
+               arg_fns = [&] {
+                 std::vector<EvalFn> fns;
+                 fns.reserve(args.size());
+                 for (Node& a : args) fns.push_back(std::move(a.fn));
+                 return fns;
+               }()](const Row& row) {
+      std::vector<Value> values;
+      values.reserve(arg_fns.size());
+      for (const EvalFn& f : arg_fns) values.push_back(f(row));
+      return udf(values);
+    };
+    return node;
+  }
+
+  const BuiltinFn builtin =
+      eval_detail::ResolveBuiltin(expr.function, expr.args.size());
+  if (all_constant) {
+    // Builtins are pure, so an all-constant call folds; an unknown call
+    // folds to null (what the interpreter returns every time).
+    std::vector<const Value*> values;
+    values.reserve(args.size());
+    for (const Node& a : args) values.push_back(&a.value);
+    ++*folds;
+    return Constant(builtin != nullptr ? builtin(values.data(), values.size())
+                                       : Value());
+  }
+
+  if (builtin == nullptr) {
+    // Unknown function: still evaluate the arguments (they may call UDFs
+    // with effects), then yield null — exactly the interpreter's order.
+    node.pure = all_pure;
+    std::vector<EvalFn> arg_fns;
+    arg_fns.reserve(args.size());
+    for (Node& a : args) arg_fns.push_back(std::move(a.fn));
+    node.fn = [arg_fns = std::move(arg_fns)](const Row& row) {
+      for (const EvalFn& f : arg_fns) f(row);
+      return Value();
+    };
+    return node;
+  }
+
+  // Builtins are pure, so the call is pure whenever its arguments are.
+  node.pure = all_pure;
+
+  if (all_pure && expr.args.size() == 3 && EqualsUpper(expr.function, "IF")) {
+    // IF over pure arguments: evaluate the condition and only the taken
+    // branch. The interpreter evaluates all three, but an unused pure
+    // argument is unobservable, so results stay identical.
+    node.fn = [cs = MakeSource(std::move(args[0])),
+               ts = MakeSource(std::move(args[1])),
+               es = MakeSource(std::move(args[2])),
+               schema](const Row& row) -> Value {
+      Value ct;
+      const Source& taken =
+          Truthy(Pull(cs, row, schema.get(), &ct)) ? ts : es;
+      Value tmp;
+      const Value& v = Pull(taken, row, schema.get(), &tmp);
+      return (&v == &tmp) ? std::move(tmp) : v;
+    };
+    return node;
+  }
+
+  if (args.size() <= kStackArgs) {
+    // Leaf-only argument lists additionally become parent-inlinable call
+    // metadata: `LENGTH(col) >= 4` then costs one closure call in total.
+    bool all_leaf = true;
+    std::vector<Operand> leaf_args(args.size());
+    for (size_t i = 0; i < args.size(); ++i) {
+      all_leaf = all_leaf && AsOperand(args[i], &leaf_args[i]);
+    }
+    if (all_leaf) {
+      node.call_fn = builtin;
+      node.call_args = std::move(leaf_args);
+    }
+  }
+
+  std::vector<Source> sources;
+  sources.reserve(args.size());
+  for (Node& a : args) sources.push_back(MakeSource(std::move(a)));
+  if (sources.size() <= kStackArgs) {
+    node.fn = [builtin, sources = std::move(sources),
+               schema](const Row& row) {
+      // Temporaries live in `tmps` for the duration of the call, so the
+      // pointer array can mix fetched references and computed values.
+      Value tmps[kStackArgs];
+      const Value* vals[kStackArgs];
+      const size_t n = sources.size();
+      for (size_t i = 0; i < n; ++i) {
+        vals[i] = &Pull(sources[i], row, schema.get(), &tmps[i]);
+      }
+      return builtin(vals, n);
+    };
+    return node;
+  }
+  node.fn = [builtin, sources = std::move(sources), schema](const Row& row) {
+    const size_t n = sources.size();
+    std::vector<Value> tmps(n);
+    std::vector<const Value*> vals;
+    vals.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      vals.push_back(&Pull(sources[i], row, schema.get(), &tmps[i]));
+    }
+    return builtin(vals.data(), n);
+  };
+  return node;
+}
+
+Node CompileNode(const Expr& expr, const SchemaPtr& schema,
+                 const UdfRegistry* udfs, uint64_t* folds) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return Constant(expr.literal);
+    case ExprKind::kColumn:
+      return CompileColumn(expr, schema);
+    case ExprKind::kUnaryNot: {
+      Node child = CompileNode(*expr.left, schema, udfs, folds);
+      if (child.constant) {
+        ++*folds;
+        return Constant(
+            Value(static_cast<int64_t>(!Truthy(child.value) ? 1 : 0)));
+      }
+      Node node;
+      node.pure = child.pure;
+      node.fn = [cs = MakeSource(std::move(child)),
+                 schema](const Row& row) {
+        Value tmp;
+        return Value(static_cast<int64_t>(
+            !Truthy(Pull(cs, row, schema.get(), &tmp)) ? 1 : 0));
+      };
+      return node;
+    }
+    case ExprKind::kBinary:
+      return CompileBinary(expr, schema, udfs, folds);
+    case ExprKind::kCall:
+      return CompileCall(expr, schema, udfs, folds);
+  }
+  return Constant(Value());
+}
+
+}  // namespace
+
+CompiledExpr CompiledExpr::Compile(const Expr& expr, const SchemaPtr& schema,
+                                   const UdfRegistry* udfs) {
+  static Counter* exprs_compiled =
+      MetricsRegistry::Global()->GetCounter("puma.compile.exprs");
+  static Counter* folded =
+      MetricsRegistry::Global()->GetCounter("puma.compile.folded_nodes");
+  static Histogram* latency =
+      MetricsRegistry::Global()->GetHistogram("puma.compile.latency_us");
+  ScopedLatencyTimer timer(latency);
+
+  uint64_t folds = 0;
+  Node node = CompileNode(expr, schema, udfs, &folds);
+  exprs_compiled->Add(1);
+  folded->Add(folds);
+
+  CompiledExpr compiled;
+  compiled.fn_ = std::move(node.fn);
+  compiled.constant_ = node.constant;
+  return compiled;
+}
+
+}  // namespace fbstream::puma

@@ -12,6 +12,10 @@ std::string ToUpper(std::string s) {
   return s;
 }
 
+}  // namespace
+
+namespace eval_detail {
+
 bool Truthy(const Value& v) {
   switch (v.type()) {
     case ValueType::kNull:
@@ -63,55 +67,96 @@ Value NumericBinary(BinaryOp op, const Value& a, const Value& b) {
   }
 }
 
-Value BuiltinCall(const std::string& fn, const std::vector<Value>& args) {
-  if (fn == "LOWER" && args.size() == 1) {
-    std::string s = args[0].CoerceString();
-    for (char& c : s) c = static_cast<char>(tolower(c));
-    return Value(std::move(s));
+namespace {
+
+// Arity is checked by ResolveBuiltin before any of these run.
+
+// The value's string content, without a copy when it already is a string;
+// `scratch` backs the rendered form otherwise. Byte-identical to what
+// CoerceString() returns.
+const std::string& StringRef(const Value& v, std::string* scratch) {
+  if (v.type() == ValueType::kString) return v.AsString();
+  *scratch = v.CoerceString();
+  return *scratch;
+}
+
+Value BuiltinLower(const Value* const* args, size_t /*n*/) {
+  std::string s = (*args[0]).CoerceString();
+  for (char& c : s) c = static_cast<char>(tolower(c));
+  return Value(std::move(s));
+}
+
+Value BuiltinUpper(const Value* const* args, size_t /*n*/) {
+  return Value(ToUpper((*args[0]).CoerceString()));
+}
+
+Value BuiltinLength(const Value* const* args, size_t /*n*/) {
+  std::string scratch;
+  return Value(static_cast<int64_t>(StringRef((*args[0]), &scratch).size()));
+}
+
+Value BuiltinConcat(const Value* const* args, size_t n) {
+  std::string s;
+  for (size_t i = 0; i < n; ++i) s += args[i]->CoerceString();
+  return Value(std::move(s));
+}
+
+Value BuiltinContains(const Value* const* args, size_t /*n*/) {
+  std::string hay_scratch, needle_scratch;
+  return Value(static_cast<int64_t>(
+      StringRef((*args[0]), &hay_scratch).find(
+          StringRef((*args[1]), &needle_scratch)) != std::string::npos));
+}
+
+Value BuiltinSubstr(const Value* const* args, size_t n) {
+  std::string scratch;
+  const std::string& s = StringRef((*args[0]), &scratch);
+  const size_t pos = std::min<size_t>(
+      s.size(),
+      static_cast<size_t>(std::max<int64_t>(0, (*args[1]).CoerceInt64())));
+  const size_t len =
+      n >= 3
+          ? static_cast<size_t>(std::max<int64_t>(0, (*args[2]).CoerceInt64()))
+          : std::string::npos;
+  return Value(s.substr(pos, len));
+}
+
+Value BuiltinIf(const Value* const* args, size_t /*n*/) {
+  return Truthy((*args[0])) ? (*args[1]) : (*args[2]);
+}
+
+Value BuiltinAbs(const Value* const* args, size_t /*n*/) {
+  if ((*args[0]).type() == ValueType::kInt64) {
+    return Value(std::abs((*args[0]).AsInt64()));
   }
-  if (fn == "UPPER" && args.size() == 1) {
-    return Value(ToUpper(args[0].CoerceString()));
-  }
-  if (fn == "LENGTH" && args.size() == 1) {
-    return Value(static_cast<int64_t>(args[0].CoerceString().size()));
-  }
-  if (fn == "CONCAT") {
-    std::string s;
-    for (const Value& v : args) s += v.CoerceString();
-    return Value(std::move(s));
-  }
-  if (fn == "CONTAINS" && args.size() == 2) {
-    return Value(static_cast<int64_t>(
-        args[0].CoerceString().find(args[1].CoerceString()) !=
-        std::string::npos));
-  }
-  if (fn == "SUBSTR" && args.size() >= 2) {
-    const std::string s = args[0].CoerceString();
-    const size_t pos = std::min<size_t>(
-        s.size(), static_cast<size_t>(std::max<int64_t>(
-                      0, args[1].CoerceInt64())));
-    const size_t len = args.size() >= 3
-                           ? static_cast<size_t>(std::max<int64_t>(
-                                 0, args[2].CoerceInt64()))
-                           : std::string::npos;
-    return Value(s.substr(pos, len));
-  }
-  if (fn == "IF" && args.size() == 3) {
-    return Truthy(args[0]) ? args[1] : args[2];
-  }
-  if (fn == "ABS" && args.size() == 1) {
-    if (args[0].type() == ValueType::kInt64) {
-      return Value(std::abs(args[0].AsInt64()));
-    }
-    return Value(std::fabs(args[0].CoerceDouble()));
-  }
-  if (fn == "ROUND" && args.size() == 1) {
-    return Value(static_cast<int64_t>(std::llround(args[0].CoerceDouble())));
-  }
-  return Value();  // Unknown builtin: null.
+  return Value(std::fabs((*args[0]).CoerceDouble()));
+}
+
+Value BuiltinRound(const Value* const* args, size_t /*n*/) {
+  return Value(static_cast<int64_t>(std::llround((*args[0]).CoerceDouble())));
 }
 
 }  // namespace
+
+BuiltinFn ResolveBuiltin(const std::string& fn, size_t arity) {
+  if (fn == "LOWER" && arity == 1) return BuiltinLower;
+  if (fn == "UPPER" && arity == 1) return BuiltinUpper;
+  if (fn == "LENGTH" && arity == 1) return BuiltinLength;
+  if (fn == "CONCAT") return BuiltinConcat;  // Any arity.
+  if (fn == "CONTAINS" && arity == 2) return BuiltinContains;
+  if (fn == "SUBSTR" && arity >= 2) return BuiltinSubstr;
+  if (fn == "IF" && arity == 3) return BuiltinIf;
+  if (fn == "ABS" && arity == 1) return BuiltinAbs;
+  if (fn == "ROUND" && arity == 1) return BuiltinRound;
+  return nullptr;
+}
+
+Value BuiltinCall(const std::string& fn, const Value* const* args, size_t n) {
+  const BuiltinFn impl = ResolveBuiltin(fn, n);
+  return impl != nullptr ? impl(args, n) : Value();  // Unknown builtin: null.
+}
+
+}  // namespace eval_detail
 
 UdfRegistry* UdfRegistry::Global() {
   static UdfRegistry* registry = new UdfRegistry();
@@ -139,6 +184,7 @@ std::vector<std::string> UdfRegistry::Names() const {
 }
 
 Value EvalExpr(const Expr& expr, const Row& row, const UdfRegistry* udfs) {
+  using eval_detail::Truthy;
   switch (expr.kind) {
     case ExprKind::kLiteral:
       return expr.literal;
@@ -191,8 +237,9 @@ Value EvalExpr(const Expr& expr, const Row& row, const UdfRegistry* udfs) {
           return Value(static_cast<int64_t>(result));
         }
         default:
-          return NumericBinary(expr.op, EvalExpr(*expr.left, row, udfs),
-                               EvalExpr(*expr.right, row, udfs));
+          return eval_detail::NumericBinary(
+              expr.op, EvalExpr(*expr.left, row, udfs),
+              EvalExpr(*expr.right, row, udfs));
       }
     }
     case ExprKind::kCall: {
@@ -205,14 +252,25 @@ Value EvalExpr(const Expr& expr, const Row& row, const UdfRegistry* udfs) {
           udfs != nullptr ? udfs : UdfRegistry::Global();
       const UdfRegistry::Udf* udf = registry->Find(expr.function);
       if (udf != nullptr) return (*udf)(args);
-      return BuiltinCall(expr.function, args);
+      const size_t n = args.size();
+      const Value* stack_ptrs[8];
+      std::vector<const Value*> heap_ptrs;
+      const Value* const* argv = stack_ptrs;
+      if (n <= 8) {
+        for (size_t i = 0; i < n; ++i) stack_ptrs[i] = &args[i];
+      } else {
+        heap_ptrs.reserve(n);
+        for (const Value& v : args) heap_ptrs.push_back(&v);
+        argv = heap_ptrs.data();
+      }
+      return eval_detail::BuiltinCall(expr.function, argv, n);
     }
   }
   return Value();
 }
 
 bool EvalPredicate(const Expr& expr, const Row& row, const UdfRegistry* udfs) {
-  return Truthy(EvalExpr(expr, row, udfs));
+  return eval_detail::Truthy(EvalExpr(expr, row, udfs));
 }
 
 }  // namespace fbstream::puma

@@ -40,6 +40,35 @@ Value EvalExpr(const Expr& expr, const Row& row,
 bool EvalPredicate(const Expr& expr, const Row& row,
                    const UdfRegistry* udfs = nullptr);
 
+// Evaluation kernels shared by the tree-walking interpreter above and the
+// closure compiler (puma/compiled_expr.h). Both paths MUST go through these
+// so compiled results stay bit-identical to interpreted ones — the
+// randomized differential test in query_serving_test.cc enforces that.
+namespace eval_detail {
+
+// SQL-ish truthiness: non-zero number / non-empty string; null is false.
+bool Truthy(const Value& v);
+
+// +,-,*,/,% with the int64 fast path (division always in double); division
+// and modulo by zero yield 0 rather than erroring.
+Value NumericBinary(BinaryOp op, const Value& a, const Value& b);
+
+// A builtin resolved to a plain function: args are pre-evaluated, arity is
+// pre-checked by ResolveBuiltin. Takes pointers to the evaluated arguments
+// so callers pass references to values they already hold — the compiled
+// path hands over fetched column storage without materializing a copy.
+using BuiltinFn = Value (*)(const Value* const* args, size_t n);
+
+// Resolves (uppercased name, arity) to the builtin implementation, or
+// nullptr when unknown / wrong arity — such calls evaluate to null. All
+// builtins are pure, which is what licenses compile-time constant folding.
+BuiltinFn ResolveBuiltin(const std::string& fn, size_t arity);
+
+// Interpreter entry point: resolve-then-call on every evaluation.
+Value BuiltinCall(const std::string& fn, const Value* const* args, size_t n);
+
+}  // namespace eval_detail
+
 }  // namespace fbstream::puma
 
 #endif  // FBSTREAM_PUMA_EXPR_H_

@@ -222,15 +222,36 @@ Status ClassifyAggregate(SelectItem* item) {
     item->agg = AggFunction::kMax;
   } else if (fn == "TOPK") {
     item->agg = AggFunction::kTopK;
-    if (call.args.size() > 1 && call.args[1]->kind == ExprKind::kLiteral) {
-      item->topk_k = call.args[1]->literal.CoerceInt64();
+    if (call.args.size() > 1) {
+      // K must be a positive integer literal; silently falling back to the
+      // default 10 used to mask typos like TOPK(score, 0).
+      if (call.args[1]->kind != ExprKind::kLiteral) {
+        return Status::InvalidArgument("TOPK K must be a literal");
+      }
+      const int64_t k = call.args[1]->literal.CoerceInt64();
+      if (k <= 0) {
+        return Status::InvalidArgument("TOPK K must be positive, got " +
+                                       call.args[1]->literal.ToString());
+      }
+      item->topk_k = k;
     }
   } else if (fn == "APPROX_COUNT_DISTINCT") {
     item->agg = AggFunction::kApproxCountDistinct;
   } else if (fn == "PERCENTILE") {
     item->agg = AggFunction::kPercentile;
-    if (call.args.size() > 1 && call.args[1]->kind == ExprKind::kLiteral) {
-      item->percentile = call.args[1]->literal.CoerceDouble();
+    if (call.args.size() > 1) {
+      // The fraction must be a literal in [0, 1]; out-of-range values used
+      // to slip through to query time and index out of the sample array.
+      if (call.args[1]->kind != ExprKind::kLiteral) {
+        return Status::InvalidArgument("PERCENTILE fraction must be a literal");
+      }
+      const double p = call.args[1]->literal.CoerceDouble();
+      if (!(p >= 0.0 && p <= 1.0)) {
+        return Status::InvalidArgument(
+            "PERCENTILE fraction must be in [0, 1], got " +
+            call.args[1]->literal.ToString());
+      }
+      item->percentile = p;
     }
   } else {
     return Status::InvalidArgument("unknown aggregate " + fn);

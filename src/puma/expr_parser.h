@@ -22,9 +22,17 @@ class TokenCursor {
   bool AtEnd() const { return Peek().type == TokenType::kEnd; }
 
   Status Error(const std::string& message) const {
-    return Status::InvalidArgument("parse error at offset " +
-                                   std::to_string(Peek().position) + ": " +
-                                   message);
+    const Token& token = Peek();
+    std::string where = "parse error at offset " +
+                        std::to_string(token.position);
+    // Name the offending token: "expected ')'" alone is useless in a
+    // multi-line CREATE APPLICATION source.
+    if (token.type == TokenType::kEnd) {
+      where += " (at end of input)";
+    } else if (!token.text.empty()) {
+      where += " near '" + token.text + "'";
+    }
+    return Status::InvalidArgument(where + ": " + message);
   }
 
   bool AcceptKeyword(const std::string& kw) {

@@ -2,6 +2,7 @@
 
 #include "common/fs.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/serde.h"
 #include "storage/hive/hive.h"
 
@@ -12,7 +13,13 @@ constexpr char kKeySeparator = '\x01';
 }  // namespace
 
 LaserApp::LaserApp(LaserAppConfig config, Clock* clock)
-    : config_(std::move(config)), clock_(clock) {
+    : config_(std::move(config)),
+      clock_(clock),
+      value_codec_(nullptr),
+      reads_(MetricsRegistry::Global()->GetCounter("laser.read.queries",
+                                                   config_.name)),
+      read_misses_(MetricsRegistry::Global()->GetCounter("laser.read.misses",
+                                                         config_.name)) {
   std::vector<Column> value_columns;
   for (const std::string& name : config_.value_columns) {
     const int i = config_.input_schema->IndexOf(name);
@@ -20,6 +27,7 @@ LaserApp::LaserApp(LaserAppConfig config, Clock* clock)
         static_cast<size_t>(i < 0 ? 0 : i)));
   }
   value_schema_ = Schema::Make(std::move(value_columns));
+  value_codec_ = BinaryRowCodec(value_schema_);
 }
 
 StatusOr<std::unique_ptr<LaserApp>> LaserApp::Create(
@@ -58,11 +66,16 @@ StatusOr<std::unique_ptr<LaserApp>> LaserApp::Create(
 
 std::string LaserApp::EncodeKey(const std::vector<Value>& key) const {
   std::string out;
-  for (size_t i = 0; i < key.size(); ++i) {
-    if (i > 0) out.push_back(kKeySeparator);
-    out += key[i].ToString();
-  }
+  EncodeKeyInto(key, &out);
   return out;
+}
+
+void LaserApp::EncodeKeyInto(const std::vector<Value>& key,
+                             std::string* out) {
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (i > 0) out->push_back(kKeySeparator);
+    *out += key[i].ToString();
+  }
 }
 
 Status LaserApp::ApplyRow(const Row& row) {
@@ -109,19 +122,30 @@ StatusOr<size_t> LaserApp::PollOnce() {
 }
 
 StatusOr<Row> LaserApp::Get(const std::vector<Value>& key) const {
-  ++num_queries_;
-  FBSTREAM_ASSIGN_OR_RETURN(std::string stored, db_->Get(EncodeKey(key)));
-  std::string_view view(stored);
+  num_queries_.fetch_add(1, std::memory_order_relaxed);
+  reads_->Add(1);
+  // Warm thread-local buffers: after the first call on a thread, encoding
+  // the key and fetching the stored value allocate nothing.
+  thread_local std::string key_buf;
+  thread_local std::string value_buf;
+  key_buf.clear();
+  EncodeKeyInto(key, &key_buf);
+  const Status st = db_->GetInto(key_buf, &value_buf);
+  if (!st.ok()) {
+    if (st.IsNotFound()) read_misses_->Add(1);
+    return st;
+  }
+  std::string_view view(value_buf);
   uint64_t expire_at = 0;
   if (!GetVarint64(&view, &expire_at)) {
     return Status::Corruption("laser value header");
   }
   if (expire_at != 0 &&
       static_cast<Micros>(expire_at) <= clock_->NowMicros()) {
+    read_misses_->Add(1);
     return Status::NotFound("expired");
   }
-  BinaryRowCodec codec(value_schema_);
-  return codec.Decode(view);
+  return value_codec_.Decode(view);
 }
 
 StatusOr<Row> LaserApp::Get(const Value& key) const {

@@ -1,12 +1,15 @@
 #ifndef FBSTREAM_STORAGE_LASER_LASER_H_
 #define FBSTREAM_STORAGE_LASER_LASER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
+#include "common/serde.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "scribe/scribe.h"
@@ -64,6 +67,12 @@ class LaserApp {
 
   // Point read by key column values. Returns the value row (value columns
   // only). Expired and absent keys are NotFound.
+  //
+  // Serving path (§2.5 "high query throughput, low (millisecond) latency"):
+  // goes straight through the LSM's lock-free versioned read protocol via
+  // Db::GetInto — no DB mutex, and key/value scratch buffers are
+  // thread-local so a hot read loop does no per-call allocation. Safe to
+  // call from many threads concurrently with ingestion.
   StatusOr<Row> Get(const std::vector<Value>& key) const;
   // Convenience for single-column keys.
   StatusOr<Row> Get(const Value& key) const;
@@ -80,22 +89,32 @@ class LaserApp {
   // §2.7). Rows must carry the key/value columns by name.
   Status LoadRows(const std::vector<Row>& rows);
 
-  uint64_t num_queries() const { return num_queries_; }
+  uint64_t num_queries() const {
+    return num_queries_.load(std::memory_order_relaxed);
+  }
   uint64_t rows_ingested() const { return rows_ingested_; }
 
  private:
   LaserApp(LaserAppConfig config, Clock* clock);
 
   std::string EncodeKey(const std::vector<Value>& key) const;
+  // Appends the encoded key to `*out` (which the caller has cleared) —
+  // the Get path reuses a thread-local buffer instead of allocating.
+  static void EncodeKeyInto(const std::vector<Value>& key, std::string* out);
   Status ApplyRow(const Row& row);
 
   LaserAppConfig config_;
   Clock* clock_;
   SchemaPtr value_schema_;
+  BinaryRowCodec value_codec_;  // Stateless; shared by all reader threads.
   std::unique_ptr<lsm::Db> db_;
   std::vector<scribe::Tailer> tailers_;
   uint64_t rows_ingested_ = 0;
-  mutable uint64_t num_queries_ = 0;
+  // Reads are concurrent (the serving path takes no lock); plain counters
+  // would race.
+  mutable std::atomic<uint64_t> num_queries_{0};
+  Counter* reads_;        // laser.read.queries
+  Counter* read_misses_;  // laser.read.misses
 };
 
 // The Laser service: a registry of deployed apps with one-command deploy /

@@ -723,6 +723,39 @@ StatusOr<std::string> Db::Get(std::string_view key,
   return ResolveLookup(key, state);
 }
 
+Status Db::GetInto(std::string_view key, std::string* value) const {
+  // Same protocol as Get(): sequence first (acquire), then version.
+  const SequenceNumber read_seq =
+      visible_sequence_.load(std::memory_order_acquire);
+  const std::shared_ptr<const Version> v = CurrentVersion();
+  // The scratch's strings keep their capacity across calls, so a warm read
+  // loop stops allocating. clear() never shrinks.
+  thread_local LookupState state;
+  state.found_base = false;
+  state.base_is_delete = false;
+  state.base_value.clear();
+  state.operands.clear();
+  v->Get(key, read_seq, &state);
+  if (state.operands.empty()) {
+    if (!state.found_base || state.base_is_delete) {
+      return Status::NotFound(std::string(key));
+    }
+    value->assign(state.base_value);
+    return Status::OK();
+  }
+  if (options_.merge_operator == nullptr) {
+    return Status::Corruption("merge operands but no merge operator");
+  }
+  const std::string* existing =
+      state.found_base && !state.base_is_delete ? &state.base_value : nullptr;
+  value->clear();
+  if (!options_.merge_operator->FullMerge(key, existing, state.operands,
+                                          value)) {
+    return Status::Corruption("merge failed for key " + std::string(key));
+  }
+  return Status::OK();
+}
+
 StatusOr<std::string> Db::ResolveLookup(std::string_view key,
                                         const LookupState& state) const {
   if (state.operands.empty()) {

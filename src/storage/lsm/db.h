@@ -94,6 +94,13 @@ class Db {
   StatusOr<std::string> Get(std::string_view key,
                             const DbSnapshot* snapshot) const;
 
+  // Same versioned lock-free read protocol as Get(), but resolves into
+  // `*value` (reusing its capacity) through a thread-local lookup scratch,
+  // so a hot read loop does no per-call allocation once buffers are warm.
+  // This is the Laser serving path (§2.5 "high query throughput, low
+  // (millisecond) latency"). `*value` is unspecified on non-OK.
+  Status GetInto(std::string_view key, std::string* value) const;
+
   // Resolved forward iteration over live (key, value) pairs: version
   // selection, merge resolution, and tombstone skipping already applied.
   // Lock-free: pins the Version current at creation time and streams

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <set>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
 
 #include "common/hll.h"
 #include "common/logging.h"
@@ -13,8 +17,34 @@ namespace fbstream::scuba {
 
 namespace {
 
-bool EvalFilter(const Filter& filter, const Row& row) {
-  const Value& v = row.Get(filter.column);
+// A column reference resolved once per query against the table schema.
+// Blocks store rows normalized to that schema, so index -1 (a column the
+// schema doesn't have) simply reads as null for every row.
+struct ColRef {
+  std::string name;
+  int index = -1;
+};
+
+const Value kNullValue;
+
+// The contiguous value array backing `col` in `block`, or nullptr when the
+// column is absent from the schema.
+const Value* ColArray(const RowBlock& block, const ColRef& col) {
+  return col.index >= 0 ? block.column(static_cast<size_t>(col.index))
+                        : nullptr;
+}
+
+// Per-query immutable scan plan, shared by all scan tasks of the query.
+struct ScanPlan {
+  const Query* query = nullptr;
+  bool time_series = false;
+  ColRef time_col;
+  std::vector<ColRef> filter_cols;  // Parallel to query->filters.
+  std::vector<ColRef> group_cols;   // Parallel to query->group_by.
+  std::vector<ColRef> agg_cols;     // Parallel to query->aggregates.
+};
+
+bool EvalFilter(const Filter& filter, const Value& v) {
   switch (filter.op) {
     case FilterOp::kEq:
       return v.Compare(filter.operand) == 0;
@@ -36,7 +66,8 @@ bool EvalFilter(const Filter& filter, const Row& row) {
   return false;
 }
 
-// Streaming state for one (bucket, group) cell.
+// Streaming state for one (bucket, group) cell. A monoid: Merge() is the
+// associative combine that makes per-task partial aggregation legal.
 struct AggState {
   int64_t count = 0;
   double sum = 0;
@@ -45,7 +76,245 @@ struct AggState {
   bool has_minmax = false;
   std::vector<double> samples;       // For percentile.
   std::unique_ptr<HyperLogLog> hll;  // For uniques.
+
+  void Merge(AggState&& other) {
+    count += other.count;
+    sum += other.sum;
+    if (other.has_minmax) {
+      if (!has_minmax) {
+        min = other.min;
+        max = other.max;
+        has_minmax = true;
+      } else {
+        min = std::min(min, other.min);
+        max = std::max(max, other.max);
+      }
+    }
+    if (samples.empty()) {
+      samples = std::move(other.samples);
+    } else {
+      samples.insert(samples.end(), other.samples.begin(),
+                     other.samples.end());
+    }
+    if (other.hll != nullptr) {
+      if (hll == nullptr) {
+        hll = std::move(other.hll);
+      } else {
+        hll->Merge(*other.hll);
+      }
+    }
+  }
 };
+
+// One (bucket, group) cell. The hash map keys cells by an encoded byte
+// string (raw bucket bytes + length-prefixed group values, so distinct
+// groups can never collide); the decoded bucket and group live here so
+// result assembly never re-parses a key.
+struct Cell {
+  Micros bucket = 0;
+  std::vector<std::string> group;
+  std::vector<AggState> states;
+};
+
+// Transparent hashing lets the hot loop probe with a string_view over the
+// reused scratch key; a std::string is materialized only on first insert.
+struct CellKeyHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+using CellMap =
+    std::unordered_map<std::string, Cell, CellKeyHash, std::equal_to<>>;
+
+// One scan task's partial result.
+struct ScanPartial {
+  CellMap cells;
+  uint64_t rows_scanned = 0;
+};
+
+// Folds the published rows of blocks [lo, hi) into `out`. Runs on a pool
+// worker (or inline); touches only the immutable plan, the block snapshot,
+// and its own partial.
+// Renders v exactly as Value::ToString() would, appending to *out (which
+// the caller cleared) — the string case copies bytes without allocating.
+void AppendValueTo(const Value& v, std::string* out) {
+  if (v.type() == ValueType::kString) {
+    out->append(v.AsString());
+  } else {
+    out->append(v.ToString());
+  }
+}
+
+void ScanBlocks(const ScanPlan& plan,
+                const std::vector<std::shared_ptr<RowBlock>>& blocks,
+                size_t lo, size_t hi, ScanPartial* out) {
+  const Query& query = *plan.query;
+  // Scratch cell key reused across rows: the buffer keeps its capacity, so
+  // after warmup a scanned row allocates nothing unless it opens a
+  // brand-new (bucket, group) cell.
+  std::string key;
+  // Rows arrive roughly in time order, so consecutive rows usually land in
+  // the same bucket; caching the bucket's half-open range skips the two
+  // 64-bit divisions on every row after the first of a bucket.
+  Micros cached_bucket = 0;
+  Micros cached_end = 0;
+  bool have_cached_bucket = false;
+  const size_t num_filters = plan.filter_cols.size();
+  const size_t num_groups = plan.group_cols.size();
+  const size_t num_aggs = plan.agg_cols.size();
+  // Per-block column pointers: the scan streams through the contiguous
+  // value arrays of just the columns the query touches.
+  std::vector<const Value*> filter_vals(num_filters);
+  std::vector<const Value*> group_vals(num_groups);
+  std::vector<const Value*> agg_vals(num_aggs);
+  // Cell cache for the dictionary fast path: by_code[code] remembers the
+  // cell resolved for (bucket, code), so a repeated group value costs an
+  // array index instead of a key build plus hash probe. Entries are
+  // validated against the current bucket; out-of-order timestamps just fall
+  // back to the hash lookup. Cell pointers stay valid because unordered_map
+  // never moves its nodes.
+  std::vector<std::pair<Micros, Cell*>> by_code;
+  for (size_t b = lo; b < hi; ++b) {
+    const RowBlock& block = *blocks[b];
+    const size_t n = block.size();  // Acquire: rows below n are published.
+    out->rows_scanned += n;  // Read-time aggregation cost: every raw row.
+    if (n == 0) continue;
+    const Value* time_vals =
+        plan.time_series ? ColArray(block, plan.time_col) : nullptr;
+    for (size_t f = 0; f < num_filters; ++f) {
+      filter_vals[f] = ColArray(block, plan.filter_cols[f]);
+    }
+    for (size_t g = 0; g < num_groups; ++g) {
+      group_vals[g] = ColArray(block, plan.group_cols[g]);
+    }
+    for (size_t i = 0; i < num_aggs; ++i) {
+      agg_vals[i] = ColArray(block, plan.agg_cols[i]);
+    }
+    // Codes are per-block, so the cache resets at each block boundary.
+    const uint32_t* codes =
+        num_groups == 1 && plan.group_cols[0].index >= 0
+            ? block.codes(static_cast<size_t>(plan.group_cols[0].index))
+            : nullptr;
+    by_code.clear();
+    for (size_t r = 0; r < n; ++r) {
+      bool pass = true;
+      for (size_t f = 0; f < num_filters; ++f) {
+        const Value& fv =
+            filter_vals[f] != nullptr ? filter_vals[f][r] : kNullValue;
+        if (!EvalFilter(query.filters[f], fv)) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+
+      Micros bucket = 0;
+      if (plan.time_series) {
+        const Micros t =
+            (time_vals != nullptr ? time_vals[r] : kNullValue).CoerceInt64();
+        if (query.max_time > query.min_time &&
+            (t < query.min_time || t >= query.max_time)) {
+          continue;
+        }
+        if (have_cached_bucket && t >= cached_bucket && t < cached_end) {
+          bucket = cached_bucket;
+        } else {
+          bucket = t - (t % query.bucket_micros);
+          if (t < 0 && t % query.bucket_micros != 0) {
+            bucket -= query.bucket_micros;
+          }
+          cached_bucket = bucket;
+          cached_end = bucket + query.bucket_micros;
+          have_cached_bucket = true;
+        }
+      }
+
+      Cell* cell = nullptr;
+      uint32_t code = 0;
+      if (codes != nullptr) {
+        code = codes[r];
+        if (code < by_code.size()) {
+          const auto& entry = by_code[code];
+          if (entry.second != nullptr && entry.first == bucket) {
+            cell = entry.second;
+          }
+        } else {
+          by_code.resize(code + 1, {0, nullptr});
+        }
+      }
+      if (cell == nullptr) {
+        key.clear();
+        key.append(reinterpret_cast<const char*>(&bucket), sizeof(bucket));
+        for (size_t g = 0; g < num_groups; ++g) {
+          const Value& gv =
+              group_vals[g] != nullptr ? group_vals[g][r] : kNullValue;
+          const size_t at = key.size();
+          key.append(sizeof(uint32_t), '\0');
+          AppendValueTo(gv, &key);
+          const uint32_t len =
+              static_cast<uint32_t>(key.size() - at - sizeof(uint32_t));
+          std::memcpy(key.data() + at, &len, sizeof(len));
+        }
+
+        auto it = out->cells.find(std::string_view(key));
+        if (it == out->cells.end()) {
+          Cell fresh;
+          fresh.bucket = bucket;
+          fresh.group.reserve(num_groups);
+          for (size_t g = 0; g < num_groups; ++g) {
+            const Value& gv =
+                group_vals[g] != nullptr ? group_vals[g][r] : kNullValue;
+            fresh.group.push_back(gv.ToString());
+          }
+          fresh.states.resize(query.aggregates.size());
+          it = out->cells.emplace(key, std::move(fresh)).first;
+        }
+        cell = &it->second;
+        if (codes != nullptr) by_code[code] = {bucket, cell};
+      }
+      std::vector<AggState>& states = cell->states;
+      for (size_t i = 0; i < num_aggs; ++i) {
+        AggState& s = states[i];
+        ++s.count;
+        const Value& av = agg_vals[i] != nullptr ? agg_vals[i][r] : kNullValue;
+        // Each kind touches only the state its result reads; the shared
+        // count above keeps kCount and kAvg exact.
+        switch (query.aggregates[i].kind) {
+          case AggKind::kCount:
+            break;
+          case AggKind::kSum:
+          case AggKind::kAvg:
+            s.sum += av.CoerceDouble();
+            break;
+          case AggKind::kMin:
+          case AggKind::kMax: {
+            const double x = av.CoerceDouble();
+            if (!s.has_minmax) {
+              s.min = s.max = x;
+              s.has_minmax = true;
+            } else {
+              s.min = std::min(s.min, x);
+              s.max = std::max(s.max, x);
+            }
+            break;
+          }
+          case AggKind::kPercentile:
+            s.samples.push_back(av.CoerceDouble());
+            break;
+          case AggKind::kUniques: {
+            if (s.hll == nullptr) s.hll = std::make_unique<HyperLogLog>(12);
+            s.hll->Add(av.ToString());
+            break;
+          }
+        }
+      }
+    }
+  }
+}
 
 }  // namespace
 
@@ -54,11 +323,39 @@ ScubaTable::ScubaTable(std::string name, SchemaPtr schema, double sample_rate,
     : name_(std::move(name)),
       schema_(std::move(schema)),
       sample_rate_(sample_rate),
-      rng_(sample_seed) {}
+      rng_(sample_seed),
+      // Registered once per table; the registry keeps them immortal.
+      query_count_(
+          MetricsRegistry::Global()->GetCounter("scuba.query.count", name_)),
+      scanned_counter_(MetricsRegistry::Global()->GetCounter(
+          "scuba.query.rows_scanned", name_)),
+      query_latency_(MetricsRegistry::Global()->GetHistogram(
+          "scuba.query.latency_us", name_)) {}
 
 bool ScubaTable::AddRow(Row row) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
   if (sample_rate_ < 1.0 && !rng_.Bernoulli(sample_rate_)) return false;
-  rows_.push_back(std::move(row));
+  // Normalize to table-schema column order before the row is scattered into
+  // the block's column arrays. A row built against a different schema maps
+  // by column name: absent columns become null, unknown ones are dropped.
+  std::vector<Value> values;
+  if (row.schema().get() == schema_.get()) {
+    values = row.TakeValues();
+    values.resize(schema_->num_columns());
+  } else {
+    values.reserve(schema_->num_columns());
+    for (const Column& col : schema_->columns()) {
+      values.push_back(row.Get(col.name));
+    }
+  }
+  if (blocks_.empty() || blocks_.back()->full()) {
+    auto block = std::make_shared<RowBlock>(kBlockRows, schema_);
+    std::unique_lock<std::shared_mutex> list_lock(blocks_mu_);
+    blocks_.push_back(std::move(block));
+  }
+  // Safe outside blocks_mu_: only ingest (serialized by ingest_mu_) writes a
+  // block, and readers see the row only after the release store of its size.
+  blocks_.back()->Append(std::move(values));
   return true;
 }
 
@@ -69,6 +366,11 @@ Status ScubaTable::IngestPayload(std::string_view payload) {
   return Status::OK();
 }
 
+ScubaTable::BlockList ScubaTable::SnapshotBlocks() const {
+  std::shared_lock<std::shared_mutex> lock(blocks_mu_);
+  return blocks_;
+}
+
 StatusOr<QueryResult> ScubaTable::Run(const Query& query) const {
   if (query.aggregates.empty()) {
     return Status::InvalidArgument("query needs at least one aggregate");
@@ -77,75 +379,100 @@ StatusOr<QueryResult> ScubaTable::Run(const Query& query) const {
   if (time_series && query.bucket_micros <= 0) {
     return Status::InvalidArgument("time series query needs bucket_micros");
   }
-
-  // Key = (bucket, group values as strings).
-  std::map<std::pair<Micros, std::vector<std::string>>,
-           std::vector<AggState>>
-      cells;
-
-  QueryResult result;
-  for (const Row& row : rows_) {
-    ++result.rows_scanned;  // Read-time aggregation cost: every raw row.
-    bool pass = true;
-    for (const Filter& f : query.filters) {
-      if (!EvalFilter(f, row)) {
-        pass = false;
-        break;
-      }
-    }
-    if (!pass) continue;
-
-    Micros bucket = 0;
-    if (time_series) {
-      const Micros t = row.Get(query.time_column).CoerceInt64();
-      if (query.max_time > query.min_time &&
-          (t < query.min_time || t >= query.max_time)) {
-        continue;
-      }
-      bucket = t - (t % query.bucket_micros);
-      if (t < 0 && t % query.bucket_micros != 0) bucket -= query.bucket_micros;
-    }
-
-    std::vector<std::string> group;
-    group.reserve(query.group_by.size());
-    for (const std::string& col : query.group_by) {
-      group.push_back(row.Get(col).ToString());
-    }
-
-    auto& states = cells[{bucket, std::move(group)}];
-    if (states.empty()) states.resize(query.aggregates.size());
-    for (size_t i = 0; i < query.aggregates.size(); ++i) {
-      const Aggregate& agg = query.aggregates[i];
-      AggState& s = states[i];
-      ++s.count;
-      if (agg.kind == AggKind::kCount) continue;
-      const Value& v = row.Get(agg.column);
-      if (agg.kind == AggKind::kUniques) {
-        if (s.hll == nullptr) s.hll = std::make_unique<HyperLogLog>(12);
-        s.hll->Add(v.ToString());
-        continue;
-      }
-      const double x = v.CoerceDouble();
-      s.sum += x;
-      if (!s.has_minmax) {
-        s.min = s.max = x;
-        s.has_minmax = true;
-      } else {
-        s.min = std::min(s.min, x);
-        s.max = std::max(s.max, x);
-      }
-      if (agg.kind == AggKind::kPercentile) s.samples.push_back(x);
+  for (const Aggregate& agg : query.aggregates) {
+    if (agg.kind == AggKind::kPercentile &&
+        !(agg.percentile >= 0.0 && agg.percentile <= 1.0)) {
+      return Status::InvalidArgument(
+          "percentile must be in [0, 1], got " +
+          std::to_string(agg.percentile));
     }
   }
-  total_rows_scanned_ += result.rows_scanned;
 
-  for (auto& [key, states] : cells) {
+  ScopedLatencyTimer timer(query_latency_);
+
+  ScanPlan plan;
+  plan.query = &query;
+  plan.time_series = time_series;
+  plan.time_col = {query.time_column, schema_->IndexOf(query.time_column)};
+  plan.filter_cols.reserve(query.filters.size());
+  for (const Filter& f : query.filters) {
+    plan.filter_cols.push_back({f.column, schema_->IndexOf(f.column)});
+  }
+  plan.group_cols.reserve(query.group_by.size());
+  for (const std::string& col : query.group_by) {
+    plan.group_cols.push_back({col, schema_->IndexOf(col)});
+  }
+  plan.agg_cols.reserve(query.aggregates.size());
+  for (const Aggregate& agg : query.aggregates) {
+    plan.agg_cols.push_back({agg.column, schema_->IndexOf(agg.column)});
+  }
+
+  const BlockList blocks = SnapshotBlocks();
+
+  // Fan contiguous block ranges across the pool; merging the partials in
+  // task order keeps the fold order identical run to run, so a parallel
+  // query is deterministic (and exact-equal to the serial scan whenever the
+  // summed values are exactly representable — see DESIGN.md).
+  size_t num_tasks = 1;
+  if (query_pool_ != nullptr && query_pool_->num_threads() > 1) {
+    num_tasks = std::min(blocks.size(),
+                         static_cast<size_t>(query_pool_->num_threads()));
+    if (num_tasks == 0) num_tasks = 1;
+  }
+
+  std::vector<ScanPartial> partials(num_tasks);
+  if (num_tasks == 1) {
+    ScanBlocks(plan, blocks, 0, blocks.size(), &partials[0]);
+  } else {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(num_tasks);
+    for (size_t t = 0; t < num_tasks; ++t) {
+      const size_t lo = blocks.size() * t / num_tasks;
+      const size_t hi = blocks.size() * (t + 1) / num_tasks;
+      ScanPartial* out = &partials[t];
+      tasks.push_back(
+          [&plan, &blocks, lo, hi, out] { ScanBlocks(plan, blocks, lo, hi, out); });
+    }
+    query_pool_->RunBatch(std::move(tasks));
+  }
+
+  QueryResult result;
+  CellMap cells = std::move(partials[0].cells);
+  result.rows_scanned = partials[0].rows_scanned;
+  for (size_t t = 1; t < num_tasks; ++t) {
+    result.rows_scanned += partials[t].rows_scanned;
+    for (auto& [key, cell] : partials[t].cells) {
+      auto [it, inserted] = cells.try_emplace(key, std::move(cell));
+      if (!inserted) {
+        for (size_t i = 0; i < it->second.states.size(); ++i) {
+          it->second.states[i].Merge(std::move(cell.states[i]));
+        }
+      }
+    }
+  }
+  total_rows_scanned_.fetch_add(result.rows_scanned,
+                                std::memory_order_relaxed);
+  query_count_->Add(1);
+  scanned_counter_->Add(result.rows_scanned);
+
+  // The hash map has no iteration order; sort cells back into the
+  // (bucket, group) order the old ordered map produced, so result rows stay
+  // deterministic and parallel runs match serial ones byte for byte.
+  std::vector<Cell*> ordered;
+  ordered.reserve(cells.size());
+  for (auto& [key, cell] : cells) ordered.push_back(&cell);
+  std::sort(ordered.begin(), ordered.end(), [](const Cell* a, const Cell* b) {
+    if (a->bucket != b->bucket) return a->bucket < b->bucket;
+    return a->group < b->group;
+  });
+
+  for (Cell* cell : ordered) {
     ResultRow out;
-    out.bucket = key.first;
-    for (const std::string& g : key.second) out.group.emplace_back(g);
+    out.bucket = cell->bucket;
+    for (const std::string& g : cell->group) out.group.emplace_back(g);
     for (size_t i = 0; i < query.aggregates.size(); ++i) {
       const Aggregate& agg = query.aggregates[i];
-      AggState& s = states[i];
+      AggState& s = cell->states[i];
       switch (agg.kind) {
         case AggKind::kCount:
           out.aggregates.push_back(static_cast<double>(s.count));
@@ -219,21 +546,63 @@ StatusOr<QueryResult> ScubaTable::Run(const Query& query) const {
 
 size_t ScubaTable::ExpireBefore(const std::string& time_column,
                                 Micros horizon) {
-  const size_t before = rows_.size();
-  rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
-                             [&time_column, horizon](const Row& row) {
-                               return row.Get(time_column).CoerceInt64() <
-                                      horizon;
-                             }),
-              rows_.end());
-  return before - rows_.size();
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  const BlockList old_blocks = SnapshotBlocks();
+  const int time_index = schema_->IndexOf(time_column);
+  const size_t ncols = schema_->num_columns();
+
+  size_t before = 0;
+  BlockList rebuilt;
+  std::shared_ptr<RowBlock> current;
+  for (const auto& block : old_blocks) {
+    const size_t n = block->size();
+    before += n;
+    const Value* time_vals =
+        time_index >= 0 ? block->column(static_cast<size_t>(time_index))
+                        : nullptr;
+    for (size_t r = 0; r < n; ++r) {
+      const Micros t =
+          (time_vals != nullptr ? time_vals[r] : kNullValue).CoerceInt64();
+      if (t < horizon) continue;
+      if (current == nullptr || current->full()) {
+        current = std::make_shared<RowBlock>(kBlockRows, schema_);
+        rebuilt.push_back(current);
+      }
+      // Copies: the old block stays visible to in-flight readers.
+      std::vector<Value> values;
+      values.reserve(ncols);
+      for (size_t c = 0; c < ncols; ++c) values.push_back(block->column(c)[r]);
+      current->Append(std::move(values));
+    }
+  }
+  size_t after = 0;
+  for (const auto& block : rebuilt) after += block->size();
+
+  std::unique_lock<std::shared_mutex> list_lock(blocks_mu_);
+  blocks_ = std::move(rebuilt);
+  return before - after;
+}
+
+size_t ScubaTable::num_rows() const {
+  const BlockList blocks = SnapshotBlocks();
+  size_t n = 0;
+  for (const auto& block : blocks) n += block->size();
+  return n;
+}
+
+Scuba::Scuba(scribe::Scribe* scribe, int query_threads) : scribe_(scribe) {
+  if (query_threads > 1) {
+    query_pool_ = std::make_unique<ShardExecutor>(query_threads);
+  }
 }
 
 Status Scuba::CreateTable(const std::string& name, SchemaPtr schema,
                           double sample_rate) {
   if (tables_.count(name) > 0) return Status::AlreadyExists(name);
-  tables_.emplace(name, std::make_unique<ScubaTable>(name, std::move(schema),
-                                                     sample_rate));
+  auto table =
+      std::make_unique<ScubaTable>(name, std::move(schema), sample_rate);
+  table->set_query_pool(query_pool_.get());
+  tables_.emplace(name, std::move(table));
   return Status::OK();
 }
 

@@ -1,13 +1,19 @@
 #ifndef FBSTREAM_STORAGE_SCUBA_SCUBA_H_
 #define FBSTREAM_STORAGE_SCUBA_SCUBA_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/shard_executor.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "scribe/scribe.h"
@@ -21,6 +27,20 @@ namespace fbstream::scuba {
 // the dashboard-migration experiment measures. Rows may be sampled on
 // ingest ("Most data sent to Scuba is sampled", §4.3.2) and query results
 // are best-effort.
+//
+// Storage layout: rows live in immutable fixed-capacity blocks, stored
+// column-major (Scuba is a column store): the values of one column sit in
+// one contiguous array, so a scan streams through exactly the columns the
+// query touches instead of pointer-chasing a per-row heap vector. Ingest
+// scatters each row into the newest block's column arrays and publishes it
+// with a release store of the block's row count; queries snapshot the block
+// list (shared_ptrs) and scan without ever blocking ingest. Query execution
+// fans the blocks of one query across a shared ShardExecutor pool — each
+// worker folds its slice of blocks into partial (bucket, group) aggregates,
+// merged at the end. All aggregation states are monoid (count/sum/min/max
+// merge trivially, percentile concatenates samples before the final sort,
+// uniques merges HyperLogLog registers), so the parallel result is
+// byte-identical to the serial scan. See DESIGN.md "Query execution".
 
 enum class AggKind {
   kCount,
@@ -35,7 +55,7 @@ enum class AggKind {
 struct Aggregate {
   AggKind kind = AggKind::kCount;
   std::string column;       // Ignored for kCount.
-  double percentile = 0.5;  // For kPercentile.
+  double percentile = 0.5;  // For kPercentile; must be in [0, 1].
 };
 
 enum class FilterOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
@@ -75,15 +95,112 @@ struct QueryResult {
   uint64_t rows_scanned = 0;
 };
 
+// A fixed-capacity append-only run of rows, stored column-major: value r of
+// column c lives at `column(c)[r]`, contiguous in r. Rows are normalized to
+// the table schema before they reach a block (see ScubaTable::AddRow), so a
+// block needs no per-row schema. The writer scatters a row's values and
+// publishes them with a release store of `size_`; readers acquire-load
+// `size()` and only touch rows below it, so a block never needs a lock and
+// never reallocates under a reader.
+//
+// Declared-string columns are additionally dictionary-encoded at ingest:
+// equal strings within one block share a small dense code, which lets a
+// group-by scan resolve its (bucket, group) cell with an array index
+// instead of a hash probe. A non-string value landing in a string column
+// disables the column's dictionary for the whole block (scans fall back to
+// the generic keyed path; results are unchanged either way).
+class RowBlock {
+ public:
+  RowBlock(size_t capacity, const SchemaPtr& schema)
+      : capacity_(capacity),
+        columns_(schema->num_columns()),
+        dicts_(schema->num_columns()) {
+    for (auto& col : columns_) col.reset(new Value[capacity]);
+    for (size_t c = 0; c < dicts_.size(); ++c) {
+      if (schema->column(c).type == ValueType::kString) {
+        dicts_[c] = std::make_unique<DictColumn>(capacity);
+      }
+    }
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  size_t num_columns() const { return columns_.size(); }
+  // The contiguous values of column c; entries below size() are published.
+  const Value* column(size_t c) const { return columns_[c].get(); }
+  // The contiguous dictionary codes of column c, or nullptr when the column
+  // is not dictionary-encoded in this block. Codes below size() are
+  // published along with their values.
+  const uint32_t* codes(size_t c) const {
+    const DictColumn* dict = dicts_[c].get();
+    if (dict == nullptr || !dict->valid.load(std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return dict->codes.data();
+  }
+
+  // Writer-only (serialized by the table's ingest mutex). `values` must be
+  // in table-schema column order, one per column.
+  bool full() const { return count_ == capacity_; }
+  void Append(std::vector<Value> values) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (dicts_[c] != nullptr) Encode(*dicts_[c], values[c]);
+      columns_[c][count_] = std::move(values[c]);
+    }
+    size_.store(count_ + 1, std::memory_order_release);
+    ++count_;
+  }
+
+ private:
+  struct DictColumn {
+    explicit DictColumn(size_t capacity) : codes(capacity, 0) {}
+    std::vector<uint32_t> codes;
+    // Writer-only interning state.
+    std::map<std::string, uint32_t> intern;
+    uint32_t next = 0;
+    // Cleared (before the row is published) if a non-string value lands in
+    // the column; readers then ignore `codes` for this block.
+    std::atomic<bool> valid{true};
+  };
+
+  void Encode(DictColumn& dict, const Value& v) {
+    if (v.type() != ValueType::kString) {
+      dict.valid.store(false, std::memory_order_relaxed);
+      return;
+    }
+    auto [it, inserted] = dict.intern.try_emplace(v.AsString(), dict.next);
+    if (inserted) ++dict.next;
+    dict.codes[count_] = it->second;
+  }
+
+  const size_t capacity_;
+  std::vector<std::unique_ptr<Value[]>> columns_;
+  std::vector<std::unique_ptr<DictColumn>> dicts_;
+  size_t count_ = 0;              // Writer's cursor.
+  std::atomic<size_t> size_{0};   // Published row count.
+};
+
 class ScubaTable {
  public:
+  // Rows per block: big enough to amortize task dispatch, small enough that
+  // a handful of blocks saturates a 4-thread pool.
+  static constexpr size_t kBlockRows = 4096;
+
   ScubaTable(std::string name, SchemaPtr schema, double sample_rate = 1.0,
              uint64_t sample_seed = 42);
 
   const std::string& name() const { return name_; }
   const SchemaPtr& schema() const { return schema_; }
 
+  // Fans this table's queries across `pool` (one scan task per slice of
+  // blocks). Null pool = serial scan on the caller's thread. The pool is
+  // shared between tables and between concurrent queries; the owner (the
+  // Scuba service or a bench) must outlive the table's queries.
+  void set_query_pool(ShardExecutor* pool) { query_pool_ = pool; }
+
   // Adds a row, subject to ingest-time sampling. Returns true if kept.
+  // Thread-safe against concurrent Run() calls (queries see a prefix of the
+  // published rows); concurrent AddRow callers serialize on a mutex.
   bool AddRow(Row row);
   // Parses a text-serialized row and adds it.
   Status IngestPayload(std::string_view payload);
@@ -92,25 +209,43 @@ class ScubaTable {
 
   // Retention: drops raw rows whose `time_column` value is below `horizon`
   // (Scuba keeps a bounded window of recent raw data). Returns rows dropped.
+  // In-flight queries keep scanning the blocks they snapshotted.
   size_t ExpireBefore(const std::string& time_column, Micros horizon);
 
-  size_t num_rows() const { return rows_.size(); }
-  uint64_t total_rows_scanned() const { return total_rows_scanned_; }
+  size_t num_rows() const;
+  uint64_t total_rows_scanned() const {
+    return total_rows_scanned_.load(std::memory_order_relaxed);
+  }
   double sample_rate() const { return sample_rate_; }
 
  private:
+  using BlockList = std::vector<std::shared_ptr<RowBlock>>;
+
+  // Copies the current block list under the shared lock (cheap: pointer
+  // copies only).
+  BlockList SnapshotBlocks() const;
+
   std::string name_;
   SchemaPtr schema_;
   double sample_rate_;
-  Rng rng_;
-  std::vector<Row> rows_;
-  mutable uint64_t total_rows_scanned_ = 0;
+  Rng rng_;                       // Guarded by ingest_mu_.
+  mutable std::mutex ingest_mu_;  // Serializes AddRow/ExpireBefore.
+  mutable std::shared_mutex blocks_mu_;  // Guards the block *list*.
+  BlockList blocks_;                     // Newest (append target) last.
+  ShardExecutor* query_pool_ = nullptr;
+  mutable std::atomic<uint64_t> total_rows_scanned_{0};
+  Counter* query_count_;        // scuba.query.count
+  Counter* scanned_counter_;    // scuba.query.rows_scanned
+  Histogram* query_latency_;    // scuba.query.latency_us
 };
 
 // The Scuba service: tables plus realtime Scribe ingestion.
 class Scuba {
  public:
-  explicit Scuba(scribe::Scribe* scribe) : scribe_(scribe) {}
+  // `query_threads` > 1 builds a shared worker pool that all tables' query
+  // scans fan across (a dashboard storm of concurrent queries shares the
+  // pool instead of serializing); <= 1 keeps the serial scan path.
+  explicit Scuba(scribe::Scribe* scribe, int query_threads = 1);
 
   Status CreateTable(const std::string& name, SchemaPtr schema,
                      double sample_rate = 1.0);
@@ -126,6 +261,8 @@ class Scuba {
   // Global CPU-work proxy across all tables.
   uint64_t total_rows_scanned() const;
 
+  ShardExecutor* query_pool() const { return query_pool_.get(); }
+
  private:
   struct Attachment {
     std::string table;
@@ -133,6 +270,7 @@ class Scuba {
   };
 
   scribe::Scribe* scribe_;
+  std::unique_ptr<ShardExecutor> query_pool_;  // Null in serial mode.
   std::map<std::string, std::unique_ptr<ScubaTable>> tables_;
   std::vector<Attachment> attachments_;
 };

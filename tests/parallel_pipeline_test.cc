@@ -18,7 +18,7 @@
 #include "core/node.h"
 #include "core/pipeline.h"
 #include "core/processor.h"
-#include "core/shard_executor.h"
+#include "common/shard_executor.h"
 #include "core/sink.h"
 
 namespace fbstream::stylus {
